@@ -1,0 +1,50 @@
+// Marking-scheme ablation: DCTCP's instantaneous threshold (mark while
+// queue > K) versus classic RED's averaged, probabilistic marking — the
+// comparison that motivated DCTCP's switch rule, rerun under this paper's
+// incast workload for both DCTCP and DCTCP+.
+#include "bench/common.h"
+
+using namespace dctcpp;
+using namespace dctcpp::bench;
+
+int main(int argc, char** argv) {
+  Flags flags;
+  DefineCommonFlags(flags, /*rounds=*/40, /*reps=*/2);
+  if (!flags.Parse(argc, argv)) return flags.Failed() ? 1 : 0;
+
+  const std::vector<int> flow_counts{10, 20, 30, 40, 60};
+  const int reps = static_cast<int>(flags.GetInt("reps"));
+  ThreadPool pool(static_cast<std::size_t>(flags.GetInt("threads")));
+
+  IncastConfig inst = PaperIncast();
+  ApplyCommonFlags(flags, inst);
+  inst.time_limit = 300 * kSecond;
+
+  IncastConfig red = inst;
+  red.link.red = true;  // RED with defaults (min 16K, max 64K, p 0.1)
+
+  std::printf("== Marking ablation: instantaneous K=32KB vs RED ==\n");
+  Table table({"N", "dctcp/K Mbps", "dctcp/RED Mbps", "dctcp+/K Mbps",
+               "dctcp+/RED Mbps"});
+  for (int n : flow_counts) {
+    std::vector<std::string> row{Table::Int(n)};
+    for (Protocol p : {Protocol::kDctcp, Protocol::kDctcpPlus}) {
+      for (IncastConfig* base : {&inst, &red}) {
+        IncastConfig config = *base;
+        config.protocol = p;
+        config.num_flows = n;
+        const IncastSweepPoint point = RunIncastPoint(config, reps, pool);
+        row.push_back(Table::Num(point.goodput_mbps.mean(), 1) +
+                      (point.hit_time_limit ? "*" : ""));
+      }
+    }
+    table.AddRow(std::move(row));
+  }
+  table.Print();
+  std::printf(
+      "\nexpected shape: RED's averaged signal reacts too slowly to the\n"
+      "incast microbursts, so both protocols lose their footing earlier\n"
+      "than with the instantaneous-K rule — the reason DCTCP (and hence\n"
+      "DCTCP+) marks on the instantaneous queue\n");
+  return 0;
+}

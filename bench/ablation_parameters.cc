@@ -1,0 +1,91 @@
+// Ablation of the DCTCP+ design knobs the paper discusses in Secs. V-C/VII:
+// the backoff time unit (advised: the baseline RTT), the divisor factor
+// (advised: 2 — neither too eager nor too conservative), randomization
+// (Fig 6 vs 7), and this implementation's decay cadence extension.
+#include "bench/common.h"
+
+using namespace dctcpp;
+using namespace dctcpp::bench;
+
+namespace {
+
+double RunPoint(const IncastConfig& base, int reps, ThreadPool& pool) {
+  const IncastSweepPoint point = RunIncastPoint(base, reps, pool);
+  return point.goodput_mbps.mean();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags;
+  DefineCommonFlags(flags, /*rounds=*/50, /*reps=*/2);
+  flags.DefineInt("flows", 120, "concurrent flows for the ablation");
+  if (!flags.Parse(argc, argv)) return flags.Failed() ? 1 : 0;
+
+  IncastConfig base = PaperIncast();
+  ApplyCommonFlags(flags, base);
+  base.protocol = Protocol::kDctcpPlus;
+  base.num_flows = static_cast<int>(flags.GetInt("flows"));
+  base.time_limit = 600 * kSecond;
+  const int reps = static_cast<int>(flags.GetInt("reps"));
+  ThreadPool pool(static_cast<std::size_t>(flags.GetInt("threads")));
+
+  std::printf("== DCTCP+ parameter ablation (N = %d) ==\n\n",
+              base.num_flows);
+
+  {
+    Table table({"backoff_time_unit (us)", "goodput (Mbps)"});
+    for (Tick unit : {25 * kMicrosecond, 50 * kMicrosecond,
+                      100 * kMicrosecond, 200 * kMicrosecond,
+                      400 * kMicrosecond}) {
+      IncastConfig config = base;
+      config.options.regulator.backoff_time_unit = unit;
+      table.AddRow({Table::Num(ToMicros(unit), 0),
+                    Table::Num(RunPoint(config, reps, pool), 1)});
+    }
+    std::printf("backoff time unit (paper: the baseline RTT ~100 us; too\n"
+                "small cannot relieve congestion, too large wastes "
+                "bandwidth):\n");
+    table.Print();
+  }
+
+  {
+    Table table({"divisor_factor", "goodput (Mbps)"});
+    for (int divisor : {2, 4, 8}) {
+      IncastConfig config = base;
+      config.options.regulator.divisor_factor = divisor;
+      table.AddRow({Table::Int(divisor),
+                    Table::Num(RunPoint(config, reps, pool), 1)});
+    }
+    std::printf("\ndivisor factor (paper: 2; larger risks premature return"
+                " to NORMAL):\n");
+    table.Print();
+  }
+
+  {
+    Table table({"clean_evals_per_decay", "goodput (Mbps)"});
+    for (int evals : {1, 2, 3, 4}) {
+      IncastConfig config = base;
+      config.options.regulator.clean_evals_per_decay = evals;
+      table.AddRow({Table::Int(evals),
+                    Table::Num(RunPoint(config, reps, pool), 1)});
+    }
+    std::printf("\ndecay cadence (this implementation's knob for the "
+                "\"finer\nregulation law\" of Sec. VII; 1 = the literal "
+                "Algorithm 1):\n");
+    table.Print();
+  }
+
+  {
+    Table table({"variant", "goodput (Mbps)"});
+    for (Protocol p : {Protocol::kDctcpPlus, Protocol::kDctcpPlusPartial}) {
+      IncastConfig config = base;
+      config.protocol = p;
+      table.AddRow({ToString(p),
+                    Table::Num(RunPoint(config, reps, pool), 1)});
+    }
+    std::printf("\nrandomized vs deterministic backoff at this fan-in:\n");
+    table.Print();
+  }
+  return 0;
+}

@@ -1,0 +1,82 @@
+// Shared scaffolding for the reproduction benches: canonical experiment
+// configuration (the paper's testbed parameters), sweep helpers, and
+// uniform printing.
+//
+// Every bench accepts --reps / --rounds to trade runtime for smoothness;
+// the defaults keep one binary in the tens of seconds on a laptop while
+// preserving the shape of the paper's curves (the paper itself repeats
+// each point 1000 times on real hardware).
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "dctcpp/stats/table.h"
+#include "dctcpp/util/flags.h"
+#include "dctcpp/util/thread_pool.h"
+#include "dctcpp/workload/experiment.h"
+#include "dctcpp/workload/incast.h"
+
+namespace dctcpp::bench {
+
+/// The paper's testbed in IncastConfig form: 1 Gbps links, 128 KB static
+/// per-port buffers, K = 32 KB, nine workers, 1 MB per round, RTO_min
+/// 200 ms.
+inline IncastConfig PaperIncast() {
+  IncastConfig config;
+  config.link = LinkConfig{};  // defaults match the paper
+  config.num_workers = 9;
+  config.total_bytes = 1 * kMiB;
+  config.min_rto = 200 * kMillisecond;
+  return config;
+}
+
+/// Registers the flags every incast bench shares.
+inline void DefineCommonFlags(Flags& flags, int default_rounds,
+                              int default_reps) {
+  flags.DefineInt("rounds", default_rounds, "request rounds per run");
+  flags.DefineInt("reps", default_reps, "repetitions (seeds) per point");
+  flags.DefineInt("seed", 1, "base random seed");
+  flags.DefineInt("threads", 0, "worker threads (0 = hardware)");
+}
+
+inline void ApplyCommonFlags(const Flags& flags, IncastConfig& config) {
+  config.rounds = static_cast<int>(flags.GetInt("rounds"));
+  config.seed = static_cast<std::uint64_t>(flags.GetInt("seed"));
+}
+
+/// Prints one sweep as an aligned table:
+/// N, then per protocol goodput (Mbps) and FCT stats.
+inline void PrintGoodputTable(
+    const std::string& title, const std::vector<Protocol>& protocols,
+    const std::vector<int>& flow_counts,
+    const std::vector<IncastSweepPoint>& points) {
+  std::printf("== %s ==\n", title.c_str());
+  std::vector<std::string> headers{"N"};
+  for (Protocol p : protocols) {
+    headers.push_back(std::string(ToString(p)) + " Mbps");
+    headers.push_back(std::string(ToString(p)) + " FCT p50/p99 ms");
+  }
+  Table table(std::move(headers));
+  for (std::size_t ni = 0; ni < flow_counts.size(); ++ni) {
+    std::vector<std::string> row{Table::Int(flow_counts[ni])};
+    for (std::size_t pi = 0; pi < protocols.size(); ++pi) {
+      const auto& point = points[pi * flow_counts.size() + ni];
+      row.push_back(Table::Num(point.goodput_mbps.mean(), 1) +
+                    (point.hit_time_limit ? "*" : ""));
+      if (point.fct_ms.count() > 0) {
+        row.push_back(Table::Num(point.fct_ms.Quantile(0.5), 2) + " / " +
+                      Table::Num(point.fct_ms.Quantile(0.99), 2));
+      } else {
+        row.push_back("- / -");  // no round ever completed
+      }
+    }
+    table.AddRow(std::move(row));
+  }
+  table.Print();
+  std::printf("(* = at least one repetition hit its simulated-time limit "
+              "before finishing all rounds)\n\n");
+}
+
+}  // namespace dctcpp::bench

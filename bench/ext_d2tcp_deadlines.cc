@@ -1,0 +1,70 @@
+// Sec. VII extension: deadline-aware variants. D2TCP (Vamanan et al.) is
+// one of the protocols the paper names for integrating the enhancement
+// mechanism; this bench runs the deadline-tagged incast and reports the
+// deadline-miss fraction for DCTCP, D2TCP, DCTCP+, and the combined
+// D2TCP+ across the fan-in range where the window-based protocols start
+// to collapse.
+#include <cstdio>
+#include <vector>
+
+#include "bench/common.h"
+#include "dctcpp/workload/deadline_incast.h"
+
+using namespace dctcpp;
+using namespace dctcpp::bench;
+
+int main(int argc, char** argv) {
+  Flags flags;
+  flags.DefineInt("rounds", 40, "request rounds per run");
+  flags.DefineInt("deadline-ms", 25, "per-response deadline (ms)");
+  flags.DefineInt("per-flow-kb", 200, "bytes per response (KB)");
+  flags.DefineDouble("spread", 0.6,
+                     "deadline heterogeneity: uniform in [1-s, 1+s] x "
+                     "deadline");
+  flags.DefineInt("seed", 1, "random seed");
+  if (!flags.Parse(argc, argv)) return flags.Failed() ? 1 : 0;
+
+  const std::vector<Protocol> protocols{
+      Protocol::kDctcp, Protocol::kD2tcp, Protocol::kDctcpPlus,
+      Protocol::kD2tcpPlus};
+  const std::vector<int> flow_counts{5, 10, 15, 20, 40, 60};
+
+  std::printf(
+      "== Deadline incast: miss fraction (deadline %lld ms, %lld KB per "
+      "response) ==\n",
+      flags.GetInt("deadline-ms"), flags.GetInt("per-flow-kb"));
+  Table table({"N", "dctcp miss", "d2tcp miss", "dctcp+ miss",
+               "d2tcp+ miss", "d2tcp+ FCT p99 ms"});
+  for (int n : flow_counts) {
+    std::vector<std::string> row{Table::Int(n)};
+    double d2p_p99 = 0.0;
+    for (Protocol p : protocols) {
+      DeadlineIncastConfig config;
+      config.protocol = p;
+      config.num_flows = n;
+      config.rounds = static_cast<int>(flags.GetInt("rounds"));
+      config.per_flow_bytes = flags.GetInt("per-flow-kb") * 1024;
+      config.deadline = flags.GetInt("deadline-ms") * kMillisecond;
+      config.deadline_spread = flags.GetDouble("spread");
+      config.seed = static_cast<std::uint64_t>(flags.GetInt("seed"));
+      const DeadlineIncastResult r = RunDeadlineIncast(config);
+      row.push_back(Table::Num(r.MissFraction(), 3) +
+                    (r.hit_time_limit ? "*" : ""));
+      if (p == Protocol::kD2tcpPlus && r.fct_ms.count() > 0) {
+        d2p_p99 = r.fct_ms.Quantile(0.99);
+      }
+    }
+    row.push_back(Table::Num(d2p_p99, 2));
+    table.AddRow(std::move(row));
+  }
+  table.Print();
+  std::printf(
+      "\nexpected shape (two regimes): while windows have room (low N,\n"
+      "large responses) the deadline-aware penalty buys D2TCP/D2TCP+ a\n"
+      "lower miss fraction than their deadline-blind twins; once windows\n"
+      "sit at the floor (high fan-in, small responses) the gate has no\n"
+      "room to act — this paper's granularity argument — and only the\n"
+      "interval-regulated + variants keep misses bounded. D2TCP+ is the\n"
+      "combination Sec. VII anticipates.\n");
+  return 0;
+}

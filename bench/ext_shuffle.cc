@@ -1,0 +1,66 @@
+// Shuffle study: the all-to-all MapReduce pattern from the paper's
+// motivation (each reducer is an incast sink of mappers x flows_per_pair
+// concurrent flows). Sweeps the per-pair flow multiplier, comparing
+// shuffle completion time across the protocols.
+#include <cstdio>
+#include <vector>
+
+#include "bench/common.h"
+#include "dctcpp/workload/shuffle.h"
+
+using namespace dctcpp;
+using namespace dctcpp::bench;
+
+int main(int argc, char** argv) {
+  Flags flags;
+  flags.DefineInt("mappers", 5, "mapper hosts");
+  flags.DefineInt("reducers", 4, "reducer hosts");
+  flags.DefineInt("pair-kb", 4096, "bytes per (mapper, reducer) pair (KB)");
+  flags.DefineInt("seed", 1, "random seed");
+  if (!flags.Parse(argc, argv)) return flags.Failed() ? 1 : 0;
+
+  const std::vector<Protocol> protocols{Protocol::kTcp, Protocol::kDctcp,
+                                        Protocol::kDctcpPlus};
+  std::printf(
+      "== Shuffle: %lldx%lld, %lld KB per pair (per-reducer fan-in = "
+      "mappers x F) ==\n",
+      flags.GetInt("mappers"), flags.GetInt("reducers"),
+      flags.GetInt("pair-kb"));
+  Table table({"F (flows/pair)", "total flows", "tcp (ms)", "dctcp (ms)",
+               "dctcp+ (ms)", "dctcp+ fairness"});
+  for (int f : {1, 2, 4, 8, 16}) {
+    std::vector<std::string> row{Table::Int(f)};
+    bool first = true;
+    double plus_fairness = 0.0;
+    for (Protocol p : protocols) {
+      ShuffleConfig config;
+      config.protocol = p;
+      config.mappers = static_cast<int>(flags.GetInt("mappers"));
+      config.reducers = static_cast<int>(flags.GetInt("reducers"));
+      config.flows_per_pair = f;
+      config.bytes_per_pair = flags.GetInt("pair-kb") * 1024;
+      config.seed = static_cast<std::uint64_t>(flags.GetInt("seed"));
+      config.time_limit = 120 * kSecond;
+      const ShuffleResult r = RunShuffle(config);
+      if (first) {
+        row.push_back(Table::Int(r.flows));
+        first = false;
+      }
+      row.push_back(Table::Num(ToMillis(r.completion_time), 1) +
+                    (r.hit_time_limit ? "*" : ""));
+      if (p == Protocol::kDctcpPlus) {
+        plus_fairness = r.completion_fairness;
+      }
+    }
+    row.push_back(Table::Num(plus_fairness, 3));
+    table.AddRow(std::move(row));
+  }
+  table.Print();
+  std::printf(
+      "\nexpected shape: every protocol pays the cold-start timeout (the\n"
+      "paper: DCTCP+ cannot act before the first congestion feedback), but\n"
+      "with shuffle-sized transfers DCTCP+ converges mid-shuffle: at deep\n"
+      "fan-in it finishes ahead of DCTCP and far ahead of TCP while\n"
+      "keeping per-flow completion fair\n");
+  return 0;
+}

@@ -1,0 +1,32 @@
+// Figure 1: goodput of DCTCP and TCP versus the number of concurrent
+// flows (1..100) in the basic incast benchmark. The paper's result: TCP
+// collapses past ~10 flows, DCTCP past ~35.
+#include "bench/common.h"
+
+using namespace dctcpp;
+using namespace dctcpp::bench;
+
+int main(int argc, char** argv) {
+  Flags flags;
+  DefineCommonFlags(flags, /*rounds=*/40, /*reps=*/3);
+  if (!flags.Parse(argc, argv)) return flags.Failed() ? 1 : 0;
+
+  IncastConfig base = PaperIncast();
+  ApplyCommonFlags(flags, base);
+
+  const std::vector<Protocol> protocols{Protocol::kTcp, Protocol::kDctcp};
+  const std::vector<int> flow_counts{1,  2,  5,  8,  10, 15, 20, 25,
+                                     30, 35, 40, 50, 60, 80, 100};
+  ThreadPool pool(static_cast<std::size_t>(flags.GetInt("threads")));
+  const auto points = RunIncastSweep(base, protocols, flow_counts,
+                                     static_cast<int>(flags.GetInt("reps")),
+                                     pool);
+  PrintGoodputTable(
+      "Fig 1: incast goodput vs concurrent flows (TCP vs DCTCP)", protocols,
+      flow_counts, points);
+
+  // Paper shape: TCP collapses just past 10 flows, DCTCP past ~35.
+  std::printf("expected shape: TCP collapse just past ~10 flows; "
+              "DCTCP collapse past ~35-45 flows\n");
+  return 0;
+}

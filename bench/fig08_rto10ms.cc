@@ -1,0 +1,50 @@
+// Figure 8: DCTCP+ with the default 200 ms RTO_min against DCTCP and TCP
+// whose RTO_min is lowered to 10 ms for a fair comparison. The paper's
+// result: even with aggressively quick retransmissions, DCTCP/TCP recover
+// some throughput but DCTCP+ (which avoids the timeouts altogether) still
+// wins.
+#include "bench/common.h"
+
+using namespace dctcpp;
+using namespace dctcpp::bench;
+
+int main(int argc, char** argv) {
+  Flags flags;
+  DefineCommonFlags(flags, /*rounds=*/60, /*reps=*/2);
+  if (!flags.Parse(argc, argv)) return flags.Failed() ? 1 : 0;
+
+  const std::vector<int> flow_counts{20, 40, 60, 80, 100, 140, 200};
+  const int reps = static_cast<int>(flags.GetInt("reps"));
+  ThreadPool pool(static_cast<std::size_t>(flags.GetInt("threads")));
+
+  // DCTCP+ keeps the 200 ms default; DCTCP and TCP run at 10 ms.
+  IncastConfig plus_config = PaperIncast();
+  ApplyCommonFlags(flags, plus_config);
+  plus_config.time_limit = 600 * kSecond;
+  const auto plus_points = RunIncastSweep(
+      plus_config, {Protocol::kDctcpPlus}, flow_counts, reps, pool);
+
+  IncastConfig fast_rto = plus_config;
+  fast_rto.min_rto = 10 * kMillisecond;
+  const auto fast_points = RunIncastSweep(
+      fast_rto, {Protocol::kDctcp, Protocol::kTcp}, flow_counts, reps,
+      pool);
+
+  std::printf("== Fig 8: DCTCP+ (RTO 200ms) vs DCTCP/TCP (RTO 10ms) ==\n");
+  Table table({"N", "dctcp+ Mbps (rto=200ms)", "dctcp Mbps (rto=10ms)",
+               "tcp Mbps (rto=10ms)"});
+  for (std::size_t ni = 0; ni < flow_counts.size(); ++ni) {
+    table.AddRow(
+        {Table::Int(flow_counts[ni]),
+         Table::Num(plus_points[ni].goodput_mbps.mean(), 1),
+         Table::Num(fast_points[ni].goodput_mbps.mean(), 1),
+         Table::Num(
+             fast_points[flow_counts.size() + ni].goodput_mbps.mean(), 1)});
+  }
+  table.Print();
+  std::printf(
+      "\nexpected shape: the 10 ms RTO lifts DCTCP/TCP well above their\n"
+      "200 ms-RTO collapse, but DCTCP+ stays on top without touching the\n"
+      "timer (the paper advises against shrinking RTO_min in production)\n");
+  return 0;
+}

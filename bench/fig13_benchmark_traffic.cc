@@ -1,0 +1,78 @@
+// Figure 13: the production-cluster benchmark — Poisson query
+// (partition/aggregate) traffic mixed with short-message/background flows
+// drawn from the measured flow-size distribution, DCTCP+ vs DCTCP with
+// RTO_min = 10 ms. The paper's result: mean query FCT 4.1 ms (DCTCP+) vs
+// 13.6 ms (DCTCP); at the 99th percentile DCTCP+ wins by 16.3 ms; the
+// background flows are barely affected.
+#include <cstdio>
+
+#include "dctcpp/stats/table.h"
+#include "dctcpp/util/flags.h"
+#include "dctcpp/workload/benchmark_traffic.h"
+
+using namespace dctcpp;
+
+int main(int argc, char** argv) {
+  Flags flags;
+  flags.DefineInt("queries", 700, "query count (paper: 7000)");
+  flags.DefineInt("background", 700, "background flow count (paper: 7000)");
+  flags.DefineInt("query-ia-us", 10000, "mean query inter-arrival (us)");
+  flags.DefineInt("fan-in", 200, "connections per query (2 KB each)");
+  flags.DefineInt("bg-ia-us", 3000,
+                  "mean background inter-arrival (us); the default keeps "
+                  "the fabric busy enough that query incasts contend with "
+                  "background bursts, as on the production cluster");
+  flags.DefineInt("seed", 1, "random seed");
+  if (!flags.Parse(argc, argv)) return flags.Failed() ? 1 : 0;
+
+  auto run = [&](Protocol protocol) {
+    BenchmarkTrafficConfig config;
+    config.protocol = protocol;
+    config.num_queries = static_cast<int>(flags.GetInt("queries"));
+    config.num_background_flows =
+        static_cast<int>(flags.GetInt("background"));
+    config.query_mean_interarrival =
+        flags.GetInt("query-ia-us") * kMicrosecond;
+    config.background_mean_interarrival =
+        flags.GetInt("bg-ia-us") * kMicrosecond;
+    config.query_fan_in = static_cast<int>(flags.GetInt("fan-in"));
+    config.seed = static_cast<std::uint64_t>(flags.GetInt("seed"));
+    config.min_rto = 10 * kMillisecond;  // both protocols, as in the paper
+    return RunBenchmarkTraffic(config);
+  };
+
+  const BenchmarkTrafficResult plus = run(Protocol::kDctcpPlus);
+  const BenchmarkTrafficResult dctcp = run(Protocol::kDctcp);
+
+  std::printf("== Fig 13(a): query FCT (ms), RTO_min = 10 ms ==\n");
+  Table queries({"protocol", "mean", "p50", "p95", "p99", "completed"});
+  for (const auto* r : {&plus, &dctcp}) {
+    queries.AddRow({ToString(r->protocol),
+                    Table::Num(r->query_fct_ms.Mean(), 2),
+                    Table::Num(r->query_fct_ms.Quantile(0.5), 2),
+                    Table::Num(r->query_fct_ms.Quantile(0.95), 2),
+                    Table::Num(r->query_fct_ms.Quantile(0.99), 2),
+                    Table::Int(static_cast<long long>(
+                        r->queries_completed))});
+  }
+  queries.Print();
+
+  std::printf("\n== Fig 13(b): background/short-message FCT (ms) ==\n");
+  Table background({"protocol", "mean", "p50", "p95", "p99", "completed"});
+  for (const auto* r : {&plus, &dctcp}) {
+    background.AddRow({ToString(r->protocol),
+                       Table::Num(r->background_fct_ms.Mean(), 2),
+                       Table::Num(r->background_fct_ms.Quantile(0.5), 2),
+                       Table::Num(r->background_fct_ms.Quantile(0.95), 2),
+                       Table::Num(r->background_fct_ms.Quantile(0.99), 2),
+                       Table::Int(static_cast<long long>(
+                           r->background_flows_completed))});
+  }
+  background.Print();
+
+  std::printf(
+      "\npaper: query FCT mean 4.1 ms (dctcp+) vs 13.6 ms (dctcp); 99th\n"
+      "percentile gains 16.3 ms; background FCT nearly unchanged (<1 ms\n"
+      "at mean/95th, 15.2 ms at the 99th)\n");
+  return 0;
+}

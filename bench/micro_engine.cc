@@ -1,0 +1,94 @@
+// google-benchmark microbenchmarks of the simulator's hot paths: event
+// scheduling, queue operations, RNG, the TCP send/ACK loop, and a full
+// small incast round. These guard the engine's throughput (a full Fig 7
+// sweep executes hundreds of millions of events).
+#include <benchmark/benchmark.h>
+
+#include "dctcpp/net/queue.h"
+#include "dctcpp/sim/scheduler.h"
+#include "dctcpp/sim/simulator.h"
+#include "dctcpp/util/rng.h"
+#include "dctcpp/workload/incast.h"
+
+namespace dctcpp {
+namespace {
+
+void BM_SchedulerPushPop(benchmark::State& state) {
+  const int batch = static_cast<int>(state.range(0));
+  Scheduler sched;
+  Tick t = 0;
+  for (auto _ : state) {
+    for (int i = 0; i < batch; ++i) {
+      sched.ScheduleAt(t + (i * 7919) % 1000, [] {});
+    }
+    while (!sched.Empty()) t = sched.RunNext();
+  }
+  state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_SchedulerPushPop)->Arg(16)->Arg(256)->Arg(4096);
+
+void BM_SchedulerCancel(benchmark::State& state) {
+  Scheduler sched;
+  for (auto _ : state) {
+    const EventId id = sched.ScheduleAt(1000, [] {});
+    sched.Cancel(id);
+    benchmark::DoNotOptimize(sched.PendingCount());
+  }
+}
+BENCHMARK(BM_SchedulerCancel);
+
+void BM_QueueEnqueueDequeue(benchmark::State& state) {
+  DropTailEcnQueue queue(1 * kMiB, 32 * 1024);
+  Packet pkt;
+  pkt.payload = 1460;
+  pkt.ecn = Ecn::kEct;
+  for (auto _ : state) {
+    queue.Enqueue(pkt);
+    benchmark::DoNotOptimize(queue.Dequeue());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_QueueEnqueueDequeue);
+
+void BM_RngUniformInt(benchmark::State& state) {
+  Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.UniformInt(0, 999));
+  }
+}
+BENCHMARK(BM_RngUniformInt);
+
+void BM_RngExponential(benchmark::State& state) {
+  Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.Exponential(1.0));
+  }
+}
+BENCHMARK(BM_RngExponential);
+
+/// One full incast run (small): end-to-end engine throughput in
+/// simulated events per second.
+void BM_IncastRound(benchmark::State& state) {
+  const int flows = static_cast<int>(state.range(0));
+  std::uint64_t events = 0;
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    IncastConfig config;
+    config.protocol = Protocol::kDctcp;
+    config.num_flows = flows;
+    config.rounds = 3;
+    config.total_bytes = 256 * 1024;
+    config.seed = seed++;
+    const IncastResult r = RunIncast(config);
+    events += r.events;
+    benchmark::DoNotOptimize(r.goodput_mbps);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(events));
+  state.SetLabel("items = simulated events");
+}
+BENCHMARK(BM_IncastRound)->Arg(8)->Arg(32)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace dctcpp
+
+BENCHMARK_MAIN();

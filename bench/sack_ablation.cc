@@ -1,0 +1,53 @@
+// SACK ablation: does selective acknowledgment change the incast story?
+// The classic finding (Phanishayee et al., FAST'08, which the paper
+// builds on): SACK speeds in-window repair but cannot prevent the
+// full-window losses of deep fan-in, so the RTO-bound collapse — and
+// hence the need for DCTCP+'s interval regulation — remains.
+#include "bench/common.h"
+
+using namespace dctcpp;
+using namespace dctcpp::bench;
+
+int main(int argc, char** argv) {
+  Flags flags;
+  DefineCommonFlags(flags, /*rounds=*/40, /*reps=*/2);
+  if (!flags.Parse(argc, argv)) return flags.Failed() ? 1 : 0;
+
+  const std::vector<Protocol> protocols{Protocol::kTcp, Protocol::kDctcp,
+                                        Protocol::kDctcpPlus};
+  const std::vector<int> flow_counts{10, 40, 80, 160};
+  const int reps = static_cast<int>(flags.GetInt("reps"));
+  ThreadPool pool(static_cast<std::size_t>(flags.GetInt("threads")));
+
+  IncastConfig base = PaperIncast();
+  ApplyCommonFlags(flags, base);
+  base.time_limit = 300 * kSecond;
+
+  const auto plain =
+      RunIncastSweep(base, protocols, flow_counts, reps, pool);
+  IncastConfig sack_base = base;
+  sack_base.socket.sack = true;
+  const auto sacked =
+      RunIncastSweep(sack_base, protocols, flow_counts, reps, pool);
+
+  std::printf("== SACK ablation: goodput (Mbps), no-SACK vs SACK ==\n");
+  Table table({"N", "tcp", "tcp+sack", "dctcp", "dctcp+sack", "dctcp+",
+               "dctcp+ +sack"});
+  for (std::size_t ni = 0; ni < flow_counts.size(); ++ni) {
+    std::vector<std::string> row{Table::Int(flow_counts[ni])};
+    for (std::size_t pi = 0; pi < protocols.size(); ++pi) {
+      row.push_back(Table::Num(
+          plain[pi * flow_counts.size() + ni].goodput_mbps.mean(), 1));
+      row.push_back(Table::Num(
+          sacked[pi * flow_counts.size() + ni].goodput_mbps.mean(), 1));
+    }
+    table.AddRow(std::move(row));
+  }
+  table.Print();
+  std::printf(
+      "\nexpected shape: SACK shifts numbers modestly but does not undo\n"
+      "either collapse (TCP ~10, DCTCP ~45): the losses that matter are\n"
+      "full-window losses, which no acknowledgment scheme can repair\n"
+      "without a timeout — the motivation for DCTCP+'s approach\n");
+  return 0;
+}

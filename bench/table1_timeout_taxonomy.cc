@@ -1,0 +1,57 @@
+// Table I: for one tracked ("randomly selected") concurrent flow, the
+// percentage of request rounds in which it (1) had cwnd pinned at the
+// minimum while ECE kept arriving, (2) suffered a timeout; and among all
+// timeouts the FLoss-TO vs LAck-TO split. N = 20, 40, 60.
+//
+// Paper's numbers (DCTCP): cwnd=2&ECE=1 in 58.3% / 50.2% / 10.4% of
+// rounds; timeouts 0% / 1.9% / 7.1%; at N=60 FLoss dominates (76%).
+#include "bench/common.h"
+
+using namespace dctcpp;
+using namespace dctcpp::bench;
+
+int main(int argc, char** argv) {
+  Flags flags;
+  DefineCommonFlags(flags, /*rounds=*/150, /*reps=*/2);
+  if (!flags.Parse(argc, argv)) return flags.Failed() ? 1 : 0;
+
+  IncastConfig base = PaperIncast();
+  ApplyCommonFlags(flags, base);
+  base.time_limit = 600 * kSecond;
+
+  const std::vector<Protocol> protocols{Protocol::kDctcp, Protocol::kTcp};
+  const std::vector<int> flow_counts{20, 40, 60};
+  ThreadPool pool(static_cast<std::size_t>(flags.GetInt("threads")));
+  const auto points = RunIncastSweep(base, protocols, flow_counts,
+                                     static_cast<int>(flags.GetInt("reps")),
+                                     pool);
+
+  std::printf("== Table I: tracked-flow congestion/timeout taxonomy ==\n");
+  Table table({"N", "cwnd@min,ECE=1 (dctcp) %", "timeout (dctcp) %",
+               "timeout (tcp) %", "FLoss-TO (dctcp) %",
+               "LAck-TO (dctcp) %"});
+  for (std::size_t ni = 0; ni < flow_counts.size(); ++ni) {
+    const auto& dctcp = points[0 * flow_counts.size() + ni];
+    const auto& tcp = points[1 * flow_counts.size() + ni];
+    auto pct = [](std::uint64_t part, std::uint64_t whole) {
+      return whole == 0 ? 0.0
+                        : 100.0 * static_cast<double>(part) /
+                              static_cast<double>(whole);
+    };
+    const std::uint64_t dctcp_tos =
+        dctcp.tracked_floss + dctcp.tracked_lack;
+    table.AddRow({
+        Table::Int(flow_counts[ni]),
+        Table::Num(pct(dctcp.tracked_rounds_at_min_ece, dctcp.rounds), 2),
+        Table::Num(pct(dctcp.tracked_rounds_with_timeout, dctcp.rounds), 2),
+        Table::Num(pct(tcp.tracked_rounds_with_timeout, tcp.rounds), 2),
+        Table::Num(pct(dctcp.tracked_floss, dctcp_tos), 2),
+        Table::Num(pct(dctcp.tracked_lack, dctcp_tos), 2),
+    });
+  }
+  table.Print();
+  std::printf(
+      "\npaper: N=20: 58.3%% at-min, no DCTCP timeouts; N=40: 50.2%% / "
+      "1.9%%;\nN=60: 10.4%% / 7.1%% with FLoss-TO dominating (76%%)\n");
+  return 0;
+}

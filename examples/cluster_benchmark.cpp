@@ -1,0 +1,71 @@
+// Production-cluster benchmark example (the Sec. VI-D traffic): Poisson
+// partition/aggregate queries fanned over hundreds of connections, mixed
+// with short-message and background flows drawn from the measured
+// flow-size distribution. Prints the FCT statistics the paper's Fig 13
+// reports.
+//
+//   ./cluster_benchmark --protocol=dctcp+ --queries=300 --fan-in=200
+#include <cstdio>
+
+#include "dctcpp/stats/table.h"
+#include "dctcpp/util/flags.h"
+#include "dctcpp/workload/benchmark_traffic.h"
+
+using namespace dctcpp;
+
+int main(int argc, char** argv) {
+  Flags flags;
+  flags.DefineString("protocol", "dctcp+",
+                     "tcp | dctcp | dctcp+ | d2tcp | d2tcp+ | tcp+");
+  flags.DefineInt("queries", 300, "query count");
+  flags.DefineInt("background", 300, "background flow count");
+  flags.DefineInt("fan-in", 200, "connections per query (2 KB each)");
+  flags.DefineInt("min-rto-ms", 10, "RTO floor (ms)");
+  flags.DefineInt("seed", 1, "random seed");
+  if (!flags.Parse(argc, argv)) return flags.Failed() ? 1 : 0;
+
+  BenchmarkTrafficConfig config;
+  config.protocol = ParseProtocol(flags.GetString("protocol"));
+  config.num_queries = static_cast<int>(flags.GetInt("queries"));
+  config.num_background_flows =
+      static_cast<int>(flags.GetInt("background"));
+  config.query_fan_in = static_cast<int>(flags.GetInt("fan-in"));
+  config.min_rto = flags.GetInt("min-rto-ms") * kMillisecond;
+  config.seed = static_cast<std::uint64_t>(flags.GetInt("seed"));
+
+  std::printf("cluster benchmark over %s: %d queries (fan-in %d x 2 KB), "
+              "%d background flows, RTO_min %s\n\n",
+              ToString(config.protocol), config.num_queries,
+              config.query_fan_in, config.num_background_flows,
+              FormatTick(config.min_rto).c_str());
+
+  const BenchmarkTrafficResult r = RunBenchmarkTraffic(config);
+  if (r.hit_time_limit) {
+    std::printf("warning: hit the simulated-time limit before draining "
+                "all traffic\n");
+  }
+
+  Table table({"class", "count", "mean ms", "p50", "p95", "p99"});
+  if (r.query_fct_ms.count() > 0) {
+    table.AddRow({"query", Table::Int(static_cast<long long>(
+                               r.queries_completed)),
+                  Table::Num(r.query_fct_ms.Mean(), 2),
+                  Table::Num(r.query_fct_ms.Quantile(0.5), 2),
+                  Table::Num(r.query_fct_ms.Quantile(0.95), 2),
+                  Table::Num(r.query_fct_ms.Quantile(0.99), 2)});
+  }
+  if (r.background_fct_ms.count() > 0) {
+    table.AddRow({"background", Table::Int(static_cast<long long>(
+                                    r.background_flows_completed)),
+                  Table::Num(r.background_fct_ms.Mean(), 2),
+                  Table::Num(r.background_fct_ms.Quantile(0.5), 2),
+                  Table::Num(r.background_fct_ms.Quantile(0.95), 2),
+                  Table::Num(r.background_fct_ms.Quantile(0.99), 2)});
+  }
+  table.Print();
+  std::printf("\nsender-side timeouts: %llu, simulated %.2f s "
+              "(%llu events)\n",
+              static_cast<unsigned long long>(r.sender_timeouts),
+              r.sim_seconds, static_cast<unsigned long long>(r.events));
+  return 0;
+}

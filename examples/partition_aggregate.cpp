@@ -1,0 +1,166 @@
+// Partition/aggregate example: a two-level aggregation tree built from
+// the public API, the traffic pattern that motivates the paper.
+//
+// A root aggregator fans a query out to mid-level aggregators; each of
+// those fans out to the leaf workers, waits for all leaf responses, and
+// only then sends its combined response upward. The root's query
+// completes when every branch has reported. This shows how the library's
+// socket/listener primitives compose into application logic beyond the
+// canned workloads.
+//
+//   ./partition_aggregate [--protocol=dctcp+] [--fanout=3]
+//   [--leaf-bytes=8192] [--queries=20]
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "dctcpp/core/protocol.h"
+#include "dctcpp/net/topology.h"
+#include "dctcpp/sim/simulator.h"
+#include "dctcpp/stats/summary.h"
+#include "dctcpp/util/flags.h"
+#include "dctcpp/workload/apps.h"
+
+using namespace dctcpp;
+
+namespace {
+
+constexpr PortNum kMidPort = 7000;
+constexpr PortNum kLeafPort = 7100;
+
+/// Mid-level aggregator: serves the root on kMidPort; each request
+/// triggers a leaf fan-out, and the combined response goes up only after
+/// every leaf answered.
+class MidAggregator {
+ public:
+  MidAggregator(Host& host, std::vector<Host*> leaves, Protocol protocol,
+                Bytes leaf_bytes)
+      : leaf_bytes_(leaf_bytes),
+        listener_(
+            host, kMidPort,
+            [protocol] { return MakeCongestionOps(protocol); },
+            TcpSocket::Config{},
+            [this](std::unique_ptr<TcpSocket> s) { Accept(std::move(s)); }) {
+    for (Host* leaf : leaves) {
+      clients_.push_back(std::make_unique<AggregatorClient>(
+          host, MakeCongestionOps(protocol), TcpSocket::Config{},
+          leaf->id(), kLeafPort, /*request_size=*/64));
+      clients_.back()->Connect(nullptr);
+    }
+  }
+
+ private:
+  void Accept(std::unique_ptr<TcpSocket> socket) {
+    upstream_ = std::move(socket);
+    upstream_->set_on_data([this](Bytes n) {
+      pending_request_bytes_ += n;
+      while (pending_request_bytes_ >= 64) {
+        pending_request_bytes_ -= 64;
+        FanOut();
+      }
+    });
+  }
+
+  void FanOut() {
+    auto remaining = std::make_shared<int>(static_cast<int>(clients_.size()));
+    for (auto& client : clients_) {
+      client->Request(leaf_bytes_, [this, remaining] {
+        if (--*remaining > 0) return;
+        // All leaves reported: push the aggregate upstream.
+        upstream_->Send(leaf_bytes_ * static_cast<Bytes>(clients_.size()));
+      });
+    }
+  }
+
+  Bytes leaf_bytes_;
+  Bytes pending_request_bytes_ = 0;
+  std::unique_ptr<TcpSocket> upstream_;
+  std::vector<std::unique_ptr<AggregatorClient>> clients_;
+  TcpListener listener_;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags;
+  flags.DefineString("protocol", "dctcp+", "tcp | dctcp | dctcp+");
+  flags.DefineInt("fanout", 3, "mid-level aggregators");
+  flags.DefineInt("leaf-bytes", 8192, "bytes per leaf response");
+  flags.DefineInt("queries", 20, "number of root queries");
+  flags.DefineInt("seed", 1, "random seed");
+  if (!flags.Parse(argc, argv)) return flags.Failed() ? 1 : 0;
+
+  const Protocol protocol = ParseProtocol(flags.GetString("protocol"));
+  const int fanout = static_cast<int>(flags.GetInt("fanout"));
+  const Bytes leaf_bytes = flags.GetInt("leaf-bytes");
+  const int queries = static_cast<int>(flags.GetInt("queries"));
+
+  Simulator sim(static_cast<std::uint64_t>(flags.GetInt("seed")));
+  Network net(sim);
+  TwoTierTopology topo = TwoTierTopology::Build(net, 9, LinkConfig{});
+
+  // Mid-level aggregators on the first `fanout` workers; the remaining
+  // workers are leaves, shared by every mid (partition overlap is fine:
+  // leaves serve every mid over separate connections).
+  std::vector<Host*> leaves(topo.workers.begin() + fanout,
+                            topo.workers.end());
+  std::vector<std::unique_ptr<WorkerServer>> leaf_servers;
+  for (Host* leaf : leaves) {
+    WorkerServer::Config wc;
+    wc.port = kLeafPort;
+    wc.request_size = 64;
+    wc.response_size = [leaf_bytes] { return leaf_bytes; };
+    leaf_servers.push_back(std::make_unique<WorkerServer>(
+        *leaf, [protocol] { return MakeCongestionOps(protocol); },
+        TcpSocket::Config{}, std::move(wc)));
+  }
+  std::vector<std::unique_ptr<MidAggregator>> mids;
+  std::vector<std::unique_ptr<AggregatorClient>> root_clients;
+  for (int i = 0; i < fanout; ++i) {
+    mids.push_back(std::make_unique<MidAggregator>(
+        *topo.workers[i], leaves, protocol, leaf_bytes));
+    root_clients.push_back(std::make_unique<AggregatorClient>(
+        *topo.aggregator, MakeCongestionOps(protocol), TcpSocket::Config{},
+        topo.workers[i]->id(), kMidPort, /*request_size=*/64));
+  }
+
+  const Bytes per_branch = leaf_bytes * static_cast<Bytes>(leaves.size());
+  Percentile query_fct_ms;
+  int connected = 0, issued = 0;
+  Tick query_start = 0;
+
+  std::function<void()> issue = [&] {
+    query_start = sim.Now();
+    auto remaining = std::make_shared<int>(fanout);
+    for (auto& client : root_clients) {
+      client->Request(per_branch, [&, remaining] {
+        if (--*remaining > 0) return;
+        query_fct_ms.Add(ToMillis(sim.Now() - query_start));
+        if (++issued < queries) issue();
+        else sim.Stop();
+      });
+    }
+  };
+  for (auto& client : root_clients) {
+    client->Connect([&] {
+      if (++connected == fanout) issue();
+    });
+  }
+
+  sim.RunUntil(60 * kSecond);
+  std::printf("partition/aggregate over %s: %d mids x %zu leaves, "
+              "%lld B per leaf\n",
+              ToString(protocol), fanout, leaves.size(),
+              static_cast<long long>(leaf_bytes));
+  if (query_fct_ms.count() == 0) {
+    std::printf("no queries completed!\n");
+    return 1;
+  }
+  std::printf("queries completed : %zu\n", query_fct_ms.count());
+  std::printf("query FCT (ms)    : mean %.2f  p50 %.2f  p99 %.2f\n",
+              query_fct_ms.Mean(), query_fct_ms.Median(),
+              query_fct_ms.Quantile(0.99));
+  std::printf("bytes per query   : %lld\n",
+              static_cast<long long>(per_branch * fanout));
+  return 0;
+}

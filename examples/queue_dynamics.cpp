@@ -1,0 +1,86 @@
+// Queue dynamics example: watch the bottleneck (Switch 1 -> aggregator)
+// queue during an incast run, the view behind Figs 9 and 14.
+//
+//   ./queue_dynamics --protocol=dctcp --flows=50 --rounds=10
+#include <algorithm>
+#include <cstdio>
+
+#include "dctcpp/stats/cdf.h"
+#include "dctcpp/stats/csv.h"
+#include "dctcpp/stats/table.h"
+#include "dctcpp/util/flags.h"
+#include "dctcpp/workload/incast.h"
+
+using namespace dctcpp;
+
+int main(int argc, char** argv) {
+  Flags flags;
+  flags.DefineString("protocol", "dctcp",
+                     "tcp | dctcp | dctcp+ | dctcp+nosync");
+  flags.DefineInt("flows", 50, "concurrent flows");
+  flags.DefineInt("rounds", 10, "request rounds");
+  flags.DefineInt("bucket-ms", 5, "timeline bucket width (ms)");
+  flags.DefineInt("seed", 1, "random seed");
+  flags.DefineString("csv", "", "also dump raw 100us samples to this file");
+  if (!flags.Parse(argc, argv)) return flags.Failed() ? 1 : 0;
+
+  IncastConfig config;
+  config.protocol = ParseProtocol(flags.GetString("protocol"));
+  config.num_flows = static_cast<int>(flags.GetInt("flows"));
+  config.rounds = static_cast<int>(flags.GetInt("rounds"));
+  config.seed = static_cast<std::uint64_t>(flags.GetInt("seed"));
+  config.sample_queue = true;
+
+  const IncastResult r = RunIncast(config);
+
+  std::printf("bottleneck queue, %s with N=%d (%llu rounds, %.1f Mbps)\n\n",
+              ToString(config.protocol), config.num_flows,
+              static_cast<unsigned long long>(r.rounds_completed),
+              r.goodput_mbps);
+
+  // Timeline: per-bucket max as an ASCII sparkline against the buffer.
+  const Tick bucket = flags.GetInt("bucket-ms") * kMillisecond;
+  const double limit = static_cast<double>(config.link.buffer_bytes);
+  std::printf("timeline (each row = %lld ms, bar = max queue vs 128 KB "
+              "buffer):\n",
+              static_cast<long long>(bucket / kMillisecond));
+  std::size_t i = 0;
+  int rows = 0;
+  while (i < r.queue_samples.size() && rows < 30) {
+    const Tick start = r.queue_samples[i].at;
+    double max_v = 0;
+    while (i < r.queue_samples.size() &&
+           r.queue_samples[i].at < start + bucket) {
+      max_v = std::max(max_v, r.queue_samples[i].value);
+      ++i;
+    }
+    const int bar = static_cast<int>(max_v / limit * 60.0 + 0.5);
+    std::printf("  %7.1fms %6.1fKB |%.*s%s\n", ToMillis(start),
+                max_v / 1024.0, bar,
+                "############################################################",
+                max_v >= limit - 1600 ? "< FULL" : "");
+    ++rows;
+  }
+
+  Cdf cdf;
+  for (const auto& s : r.queue_samples) cdf.Add(s.value / 1024.0);
+  std::printf("\nqueue CDF (all %zu samples, KB): p50 %.1f  p90 %.1f  "
+              "p99 %.1f  max %.1f\n",
+              cdf.count(), cdf.Quantile(0.5), cdf.Quantile(0.9),
+              cdf.Quantile(0.99), cdf.Quantile(1.0));
+  std::printf("marks %llu, drops %llu, timeouts %llu\n",
+              static_cast<unsigned long long>(r.bottleneck_marks),
+              static_cast<unsigned long long>(r.bottleneck_drops),
+              static_cast<unsigned long long>(r.timeouts));
+
+  const std::string csv_path = flags.GetString("csv");
+  if (!csv_path.empty()) {
+    if (WriteTimeSeriesCsv(csv_path, r.queue_samples, "queue_bytes")) {
+      std::printf("raw samples written to %s\n", csv_path.c_str());
+    } else {
+      std::printf("could not write %s\n", csv_path.c_str());
+      return 1;
+    }
+  }
+  return 0;
+}

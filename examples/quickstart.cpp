@@ -1,0 +1,97 @@
+// Quickstart: one DCTCP+ flow over the 2-tier testbed topology.
+//
+// Builds the network, transfers 2 MB from a worker to the aggregator, and
+// prints the socket's view of the transfer: cwnd trace, DCTCP alpha, the
+// DCTCP+ regulator state, and the achieved goodput.
+//
+//   ./quickstart [--protocol=dctcp+|dctcp|tcp] [--bytes=N]
+#include <cstdio>
+
+#include "dctcpp/core/protocol.h"
+#include "dctcpp/net/topology.h"
+#include "dctcpp/sim/simulator.h"
+#include "dctcpp/tcp/probe.h"
+#include "dctcpp/util/flags.h"
+#include "dctcpp/workload/apps.h"
+
+using namespace dctcpp;
+
+namespace {
+
+/// Probe printing a compact cwnd trace as ACKs arrive.
+class TraceProbe : public RecordingProbe {
+ public:
+  explicit TraceProbe(Simulator& sim) : sim_(sim) {}
+
+  void OnAckProcessed(const TcpSocket& sk, int cwnd, bool ece,
+                      bool at_min) override {
+    RecordingProbe::OnAckProcessed(sk, cwnd, ece, at_min);
+    if (acks() % 64 == 1) {  // sample the trace, do not flood
+      std::printf("  t=%-12s cwnd=%-3d ece=%d flight=%lld B\n",
+                  FormatTick(sim_.Now()).c_str(), cwnd, ece ? 1 : 0,
+                  static_cast<long long>(sk.FlightSize()));
+    }
+  }
+
+ private:
+  Simulator& sim_;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags;
+  flags.DefineString("protocol", "dctcp+", "tcp | dctcp | dctcp+");
+  flags.DefineInt("bytes", 2 * kMiB, "bytes to transfer");
+  flags.DefineInt("seed", 42, "random seed");
+  if (!flags.Parse(argc, argv)) return flags.Failed() ? 1 : 0;
+
+  const Protocol protocol = ParseProtocol(flags.GetString("protocol"));
+  const Bytes bytes = flags.GetInt("bytes");
+
+  Simulator sim(static_cast<std::uint64_t>(flags.GetInt("seed")));
+  Network net(sim);
+  TwoTierTopology topo = TwoTierTopology::Build(net, /*workers=*/9,
+                                                LinkConfig{});
+
+  TcpSocket::Config socket_config;
+  auto cc_factory = [protocol] { return MakeCongestionOps(protocol); };
+
+  // Sink on the aggregator, bulk sender on a worker across the tree.
+  SinkServer sink(*topo.aggregator, 6000, cc_factory, socket_config);
+  BulkSender sender(*topo.workers[0], cc_factory(), socket_config,
+                    topo.aggregator->id(), 6000);
+
+  TraceProbe probe(sim);
+  sender.socket().set_probe(&probe);
+
+  std::printf("transferring %lld bytes over %s ...\n",
+              static_cast<long long>(bytes), ToString(protocol));
+  Tick done_at = 0;
+  sender.Start(bytes, /*close_when_done=*/true,
+               [&] { done_at = sim.Now(); });
+  sim.Run();
+
+  if (done_at == 0) {
+    std::printf("transfer did not complete!\n");
+    return 1;
+  }
+  std::printf("\ndone at %s\n", FormatTick(done_at).c_str());
+  std::printf("goodput        : %.1f Mbps\n", GoodputMbps(bytes, done_at));
+  std::printf("segments sent  : %llu (%llu retransmitted)\n",
+              static_cast<unsigned long long>(probe.segments_sent()),
+              static_cast<unsigned long long>(
+                  probe.retransmitted_segments()));
+  std::printf("timeouts       : %llu\n",
+              static_cast<unsigned long long>(probe.timeouts()));
+  std::printf("bottleneck     : max queue %lld B, %llu marked, %llu drops\n",
+              static_cast<long long>(
+                  topo.bottleneck->queue().stats().max_occupancy),
+              static_cast<unsigned long long>(
+                  topo.bottleneck->queue().stats().marked),
+              static_cast<unsigned long long>(
+                  topo.bottleneck->queue().stats().dropped));
+  std::printf("\ncwnd distribution (per-ACK samples):\n%s",
+              probe.cwnd_histogram().ToString().c_str());
+  return 0;
+}

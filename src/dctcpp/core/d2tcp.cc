@@ -1,0 +1,77 @@
+#include "dctcpp/core/d2tcp.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "dctcpp/tcp/socket.h"
+
+namespace dctcpp {
+
+double DeadlineGate::Imminence(const TcpSocket& sk) const {
+  if (deadline_ == 0) return 1.0;
+  const Bytes remaining = sk.StreamQueued() - sk.StreamAcked();
+  if (remaining <= 0) return 1.0;
+  const Tick left = deadline_ - sk.sim().Now();
+  if (left <= 0) return config_.max_d;  // already late: maximal urgency
+  // Tc: time to drain the remaining bytes at the current rate of one
+  // window per smoothed RTT.
+  const Tick rtt = std::max<Tick>(sk.srtt(), 1);
+  const double window_bytes =
+      static_cast<double>(sk.cwnd()) * static_cast<double>(sk.mss());
+  if (window_bytes <= 0) return config_.max_d;
+  const double tc =
+      static_cast<double>(remaining) / window_bytes * ToSeconds(rtt);
+  const double d = tc / ToSeconds(left);
+  return std::clamp(d, config_.min_d, config_.max_d);
+}
+
+double DeadlineGate::Penalty(double alpha, const TcpSocket& sk) const {
+  if (alpha <= 0.0) return 0.0;
+  return std::pow(alpha, Imminence(sk));
+}
+
+D2tcpCc::D2tcpCc() : D2tcpCc(Config{}) {}
+
+D2tcpCc::D2tcpCc(const Config& config)
+    : DctcpCc(config.dctcp), gate_(config.gate) {}
+
+int D2tcpCc::ApplyWindowReduction(TcpSocket& sk) {
+  const double p = gate_.Penalty(alpha(), sk);
+  const int reduced = static_cast<int>(
+      static_cast<double>(sk.cwnd()) * (1.0 - p / 2.0) + 0.5);
+  const int target = std::max(reduced, MinCwnd());
+  sk.set_ssthresh(target);
+  sk.set_cwnd(target);
+  sk.SetCwrPending();
+  return target;
+}
+
+D2tcpPlusCc::D2tcpPlusCc() : D2tcpPlusCc(Config{}) {}
+
+D2tcpPlusCc::D2tcpPlusCc(const Config& config)
+    : DctcpPlusCc(config.plus), gate_(config.gate) {}
+
+int D2tcpPlusCc::ApplyWindowReduction(TcpSocket& sk) {
+  const double p = gate_.Penalty(alpha(), sk);
+  const int reduced = static_cast<int>(
+      static_cast<double>(sk.cwnd()) * (1.0 - p / 2.0) + 0.5);
+  const int target = std::max(reduced, MinCwnd());
+  sk.set_ssthresh(target);
+  sk.set_cwnd(target);
+  sk.SetCwrPending();
+  return target;
+}
+
+bool SetFlowDeadline(TcpSocket& socket, Tick deadline) {
+  if (auto* d2 = dynamic_cast<D2tcpCc*>(&socket.cc())) {
+    d2->gate().SetDeadline(deadline);
+    return true;
+  }
+  if (auto* d2p = dynamic_cast<D2tcpPlusCc*>(&socket.cc())) {
+    d2p->gate().SetDeadline(deadline);
+    return true;
+  }
+  return false;
+}
+
+}  // namespace dctcpp

@@ -1,0 +1,107 @@
+// D2TCP — Deadline-Aware Data Center TCP (Vamanan et al., SIGCOMM 2012),
+// one of the protocols the paper's Sec. VII names as an integration
+// target for the DCTCP+ mechanism.
+//
+// D2TCP keeps DCTCP's alpha estimate but gates the window reduction by
+// deadline imminence: with d = Tc / D (Tc = time the flow still needs at
+// its current rate, D = time left to its deadline, clamped to
+// [min_d, max_d]) the penalty is p = alpha^d and
+//
+//   W <- W * (1 - p / 2).
+//
+// Far-deadline flows (d < 1) see p > alpha and back off harder;
+// near-deadline flows (d > 1) see p < alpha and keep more window. A flow
+// with no deadline (or nothing left to send) uses d = 1, i.e. plain
+// DCTCP.
+//
+// D2tcpPlusCc stacks the same deadline-aware penalty on DCTCP+, the
+// combination the paper anticipates for massive concurrent flows with
+// deadlines.
+#pragma once
+
+#include "dctcpp/core/dctcp_plus.h"
+#include "dctcpp/dctcp/dctcp.h"
+
+namespace dctcpp {
+
+/// Deadline bookkeeping + the D2TCP penalty, shared by both variants.
+class DeadlineGate {
+ public:
+  struct Config {
+    double min_d = 0.5;
+    double max_d = 2.0;
+  };
+
+  DeadlineGate();  // default Config
+  explicit DeadlineGate(const Config& config) : config_(config) {}
+
+  /// Absolute simulated-time deadline for the data currently queued;
+  /// 0 clears it (plain DCTCP behaviour).
+  void SetDeadline(Tick deadline) { deadline_ = deadline; }
+  Tick deadline() const { return deadline_; }
+
+  /// Deadline imminence d for the socket's current state (1.0 without a
+  /// deadline). Exposed for tests and traces.
+  double Imminence(const TcpSocket& sk) const;
+
+  /// p = alpha^d.
+  double Penalty(double alpha, const TcpSocket& sk) const;
+
+ private:
+  Config config_;
+  Tick deadline_ = 0;
+};
+
+inline DeadlineGate::DeadlineGate() : DeadlineGate(Config{}) {}
+
+class D2tcpCc : public DctcpCc {
+ public:
+  struct Config {
+    DctcpCc::Config dctcp;
+    DeadlineGate::Config gate;
+  };
+
+  D2tcpCc();  // default Config
+  explicit D2tcpCc(const Config& config);
+
+  const char* Name() const override { return "d2tcp"; }
+
+  DeadlineGate& gate() { return gate_; }
+  const DeadlineGate& gate() const { return gate_; }
+
+ protected:
+  int ApplyWindowReduction(TcpSocket& sk) override;
+
+ private:
+  DeadlineGate gate_;
+};
+
+/// D2TCP with the paper's enhancement mechanism on top: deadline-aware
+/// window penalties above the floor, interval regulation at the floor.
+class D2tcpPlusCc : public DctcpPlusCc {
+ public:
+  struct Config {
+    DctcpPlusCc::Config plus;
+    DeadlineGate::Config gate;
+  };
+
+  D2tcpPlusCc();  // default Config
+  explicit D2tcpPlusCc(const Config& config);
+
+  const char* Name() const override { return "d2tcp+"; }
+
+  DeadlineGate& gate() { return gate_; }
+  const DeadlineGate& gate() const { return gate_; }
+
+ protected:
+  int ApplyWindowReduction(TcpSocket& sk) override;
+
+ private:
+  DeadlineGate gate_;
+};
+
+/// Convenience: sets the deadline on a socket whose congestion ops are
+/// deadline-aware; no-op otherwise. Returns whether a gate was found.
+bool SetFlowDeadline(TcpSocket& socket, Tick deadline);
+
+}  // namespace dctcpp

@@ -1,0 +1,75 @@
+#include "dctcpp/core/dctcp_plus.h"
+
+#include "dctcpp/tcp/socket.h"
+
+namespace dctcpp {
+
+DctcpPlusCc::DctcpPlusCc() : DctcpPlusCc(Config{}) {}
+
+DctcpPlusCc::DctcpPlusCc(const Config& config)
+    : DctcpCc(config.dctcp), regulator_(config.regulator) {}
+
+void DctcpPlusCc::OnAck(TcpSocket& sk, const AckContext& ctx) {
+  // DCTCP machinery first (alpha accounting, Eq. 2 reduction), except that
+  // window growth is suspended while the interval regulation is engaged:
+  // below the window floor the sending rate is governed by slow_time, and
+  // regrowing cwnd during the episode would rebuild the very fan-in burst
+  // the mechanism exists to dissolve.
+  DctcpCc::OnAck(sk, ctx);
+  if (regulator_.state() != PlusState::kNormal &&
+      sk.cwnd() > MinCwnd() && !sk.InRecovery()) {
+    // While the interval regulation is engaged the rate is governed by
+    // slow_time alone; window growth would rebuild the very fan-in burst
+    // the mechanism exists to dissolve. Growth resumes on return to
+    // DCTCP_NORMAL.
+    sk.set_cwnd(MinCwnd());
+  }
+
+  // ndctcp_status_evolution(), invoked per ACK. Congestion signals (ECE)
+  // act immediately; the all-clear decays the machine once per window of
+  // acknowledged data.
+  const bool at_min = sk.cwnd() <= MinCwnd();
+  if (ctx.ece) {
+    window_saw_congestion_ = true;
+    regulator_.Evolve(/*congested=*/true, at_min, sk.sim().rng(),
+                      sk.srtt());
+  }
+
+  if (!window_armed_) {
+    decay_window_end_ = sk.StreamAcked() + sk.FlightSize();
+    window_armed_ = true;
+    return;
+  }
+  if (sk.StreamAcked() >= decay_window_end_) {
+    if (!window_saw_congestion_) {
+      regulator_.Evolve(/*congested=*/false, at_min, sk.sim().rng(),
+                        sk.srtt());
+    }
+    window_saw_congestion_ = false;
+    decay_window_end_ = sk.StreamAcked() + sk.FlightSize();
+  }
+}
+
+void DctcpPlusCc::OnRetransmissionTimeout(TcpSocket& sk) {
+  DctcpCc::OnRetransmissionTimeout(sk);
+  // The Fig. 4 `retrans` condition: unconditional congestion evidence (the
+  // loss window is at or below the floor).
+  window_saw_congestion_ = true;
+  regulator_.Evolve(/*congested=*/true, /*cwnd_at_min=*/true,
+                    sk.sim().rng(), sk.srtt());
+}
+
+void DctcpPlusCc::OnFastRetransmit(TcpSocket& sk) {
+  DctcpCc::OnFastRetransmit(sk);
+  window_saw_congestion_ = true;
+  regulator_.Evolve(/*congested=*/true,
+                    /*cwnd_at_min=*/sk.cwnd() <= MinCwnd() + 3,
+                    sk.sim().rng(), sk.srtt());
+}
+
+Tick DctcpPlusCc::PacingDelay(TcpSocket& sk, Rng& rng) {
+  (void)sk;
+  return regulator_.PacingDelay(rng);
+}
+
+}  // namespace dctcpp

@@ -1,0 +1,65 @@
+#include "dctcpp/core/protocol.h"
+
+#include "dctcpp/util/assert.h"
+
+namespace dctcpp {
+
+Protocol ParseProtocol(const std::string& name) {
+  if (name == "tcp") return Protocol::kTcp;
+  if (name == "dctcp") return Protocol::kDctcp;
+  if (name == "dctcp+") return Protocol::kDctcpPlus;
+  if (name == "dctcp+nosync") return Protocol::kDctcpPlusPartial;
+  if (name == "tcp+") return Protocol::kTcpPlus;
+  if (name == "d2tcp") return Protocol::kD2tcp;
+  if (name == "d2tcp+") return Protocol::kD2tcpPlus;
+  DCTCPP_ASSERT(false && "unknown protocol name");
+  return Protocol::kTcp;
+}
+
+std::unique_ptr<CongestionOps> MakeCongestionOps(
+    Protocol protocol, const ProtocolOptions& options) {
+  switch (protocol) {
+    case Protocol::kTcp: {
+      NewRenoCc::Config config;
+      if (options.min_cwnd > 0) config.min_cwnd = options.min_cwnd;
+      return std::make_unique<NewRenoCc>(config);
+    }
+    case Protocol::kDctcp: {
+      DctcpCc::Config config;
+      if (options.min_cwnd > 0) config.min_cwnd = options.min_cwnd;
+      return std::make_unique<DctcpCc>(config);
+    }
+    case Protocol::kTcpPlus: {
+      TcpPlusCc::Config config;
+      config.regulator = options.regulator;
+      if (options.min_cwnd > 0) config.newreno.min_cwnd = options.min_cwnd;
+      return std::make_unique<TcpPlusCc>(config);
+    }
+    case Protocol::kD2tcp: {
+      D2tcpCc::Config config;
+      if (options.min_cwnd > 0) config.dctcp.min_cwnd = options.min_cwnd;
+      return std::make_unique<D2tcpCc>(config);
+    }
+    case Protocol::kD2tcpPlus: {
+      D2tcpPlusCc::Config config;
+      config.plus.regulator = options.regulator;
+      if (options.min_cwnd > 0) {
+        config.plus.dctcp.min_cwnd = options.min_cwnd;
+      }
+      return std::make_unique<D2tcpPlusCc>(config);
+    }
+    case Protocol::kDctcpPlus:
+    case Protocol::kDctcpPlusPartial: {
+      DctcpPlusCc::Config config;
+      config.regulator = options.regulator;
+      config.regulator.randomize = protocol == Protocol::kDctcpPlus;
+      config.regulator.rtt_scaled_unit = protocol == Protocol::kDctcpPlus;
+      if (options.min_cwnd > 0) config.dctcp.min_cwnd = options.min_cwnd;
+      return std::make_unique<DctcpPlusCc>(config);
+    }
+  }
+  DCTCPP_ASSERT(false);
+  return nullptr;
+}
+
+}  // namespace dctcpp

@@ -1,0 +1,55 @@
+// Protocol selection shared by workloads, benches, and examples.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "dctcpp/core/d2tcp.h"
+#include "dctcpp/core/dctcp_plus.h"
+#include "dctcpp/core/tcp_plus.h"
+#include "dctcpp/tcp/newreno.h"
+
+namespace dctcpp {
+
+/// The three transports the paper compares.
+enum class Protocol {
+  kTcp,        ///< TCP NewReno, no ECN (congestion signalled by drops)
+  kDctcp,      ///< DCTCP
+  kDctcpPlus,  ///< DCTCP+ (full: randomized interval regulation)
+  kDctcpPlusPartial,  ///< DCTCP+ without desynchronization (Fig. 6)
+  kTcpPlus,    ///< Sec. VII extension: the mechanism on plain TCP
+  kD2tcp,      ///< deadline-aware DCTCP (Vamanan et al.)
+  kD2tcpPlus,  ///< D2TCP + the enhancement mechanism (Sec. VII)
+};
+
+inline const char* ToString(Protocol p) {
+  switch (p) {
+    case Protocol::kTcp: return "tcp";
+    case Protocol::kDctcp: return "dctcp";
+    case Protocol::kDctcpPlus: return "dctcp+";
+    case Protocol::kDctcpPlusPartial: return "dctcp+nosync";
+    case Protocol::kTcpPlus: return "tcp+";
+    case Protocol::kD2tcp: return "d2tcp";
+    case Protocol::kD2tcpPlus: return "d2tcp+";
+  }
+  return "?";
+}
+
+/// Parses the names printed by ToString; aborts on unknown input.
+Protocol ParseProtocol(const std::string& name);
+
+/// Tuning knobs that vary across the paper's experiments.
+struct ProtocolOptions {
+  /// cwnd floor; the paper uses 2 for TCP/DCTCP and 1 for DCTCP+ (and for
+  /// the DCTCP variant of Fig. 7's footnote). <= 0 keeps each protocol's
+  /// default.
+  int min_cwnd = 0;
+  /// DCTCP+ regulator knobs (ignored by the other protocols).
+  SlowTimeRegulator::Config regulator;
+};
+
+/// Creates the per-socket congestion-control object for `protocol`.
+std::unique_ptr<CongestionOps> MakeCongestionOps(
+    Protocol protocol, const ProtocolOptions& options = {});
+
+}  // namespace dctcpp

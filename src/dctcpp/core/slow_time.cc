@@ -1,0 +1,94 @@
+#include "dctcpp/core/slow_time.h"
+
+#include <algorithm>
+
+#include "dctcpp/util/assert.h"
+
+namespace dctcpp {
+
+const char* ToString(PlusState s) {
+  switch (s) {
+    case PlusState::kNormal: return "DCTCP_NORMAL";
+    case PlusState::kTimeInc: return "DCTCP_Time_Inc";
+    case PlusState::kTimeDes: return "DCTCP_Time_Des";
+  }
+  return "?";
+}
+
+SlowTimeRegulator::SlowTimeRegulator(const Config& config)
+    : config_(config) {
+  DCTCPP_ASSERT(config_.backoff_time_unit > 0);
+  DCTCPP_ASSERT(config_.divisor_factor >= 2);
+  DCTCPP_ASSERT(config_.threshold >= 0);
+  DCTCPP_ASSERT(config_.max_slow_time >= config_.backoff_time_unit);
+}
+
+Tick SlowTimeRegulator::Increment(Rng& rng, Tick rtt_hint) const {
+  // Algorithm 1's random(backoff_time_unit): a uniformly distributed slice
+  // of the unit, which staggers the senders. The partial variant (Fig. 6)
+  // adds the deterministic full unit, leaving the flows synchronized. The
+  // unit itself follows the flow's RTT when that exceeds the configured
+  // baseline (see Evolve).
+  const bool escalated =
+      config_.rtt_scaled_unit &&
+      slow_time_ >=
+          config_.rtt_scale_after_units * config_.backoff_time_unit;
+  const Tick unit = escalated
+                        ? std::max(config_.backoff_time_unit, rtt_hint)
+                        : config_.backoff_time_unit;
+  return config_.randomize ? rng.UniformTick(unit) : unit;
+}
+
+void SlowTimeRegulator::Evolve(bool congested, bool cwnd_at_min, Rng& rng,
+                               Tick rtt_hint) {
+  if (congested) {
+    clean_streak_ = 0;
+  } else if (state_ != PlusState::kNormal) {
+    // Rate-limit the multiplicative decrease: only every
+    // `clean_evals_per_decay`-th consecutive all-clear acts.
+    if (++clean_streak_ < config_.clean_evals_per_decay) return;
+    clean_streak_ = 0;
+  }
+  switch (state_) {
+    case PlusState::kNormal:
+      if (congested && cwnd_at_min) {
+        if (++entry_streak_ < config_.congested_evals_per_entry) break;
+        entry_streak_ = 0;
+        state_ = PlusState::kTimeInc;
+        slow_time_ = Increment(rng, rtt_hint);
+        ++counters_.entered_inc;
+      } else {
+        entry_streak_ = 0;
+      }
+      break;
+
+    case PlusState::kTimeInc:
+      if (congested) {
+        slow_time_ = std::min(slow_time_ + Increment(rng, rtt_hint),
+                              config_.max_slow_time);
+        ++counters_.inc_steps;
+      } else {
+        state_ = PlusState::kTimeDes;
+        slow_time_ /= config_.divisor_factor;
+        ++counters_.entered_des;
+      }
+      break;
+
+    case PlusState::kTimeDes:
+      if (congested) {
+        state_ = PlusState::kTimeInc;
+        slow_time_ = std::min(slow_time_ + Increment(rng, rtt_hint),
+                              config_.max_slow_time);
+        ++counters_.entered_inc;
+      } else if (slow_time_ > config_.threshold) {
+        slow_time_ /= config_.divisor_factor;
+      } else {
+        state_ = PlusState::kNormal;
+        slow_time_ = 0;
+        ++counters_.returned_normal;
+      }
+      break;
+  }
+}
+
+}  // namespace dctcpp

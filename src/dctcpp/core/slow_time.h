@@ -1,0 +1,136 @@
+// The DCTCP+ sending-time-interval regulator (paper Fig. 4 + Algorithm 1).
+//
+// A three-state machine drives the pacing delay `slow_time`:
+//
+//   DCTCP_NORMAL    -- plain DCTCP; no pacing.
+//   DCTCP_Time_Inc  -- cwnd is at its floor yet congestion signals (ECE or
+//                      a retransmission timeout) keep arriving: slow_time
+//                      grows additively by random(backoff_time_unit) per
+//                      signal, slowing the sender below one window per RTT
+//                      and -- through the randomization -- desynchronizing
+//                      the concurrent flows.
+//   DCTCP_Time_Des  -- congestion signals stopped: slow_time shrinks
+//                      multiplicatively (divisor_factor) until it falls
+//                      below threshold_T, at which point the flow returns
+//                      to DCTCP_NORMAL.
+//
+// The regulator is a pure object (no simulator dependency beyond the Rng
+// passed in) so its transition law is directly unit- and property-testable.
+#pragma once
+
+#include <cstdint>
+
+#include "dctcpp/util/rng.h"
+#include "dctcpp/util/time.h"
+
+namespace dctcpp {
+
+enum class PlusState : std::uint8_t {
+  kNormal,   ///< DCTCP_NORMAL
+  kTimeInc,  ///< DCTCP_Time_Inc
+  kTimeDes,  ///< DCTCP_Time_Des
+};
+
+const char* ToString(PlusState s);
+
+class SlowTimeRegulator {
+ public:
+  struct Config {
+    /// Basic backoff unit; the paper advises the baseline RTT (~100 us on
+    /// the testbed).
+    Tick backoff_time_unit = 100 * kMicrosecond;
+    /// Multiplicative-decrease divisor (paper suggests 2; 4 recovers
+    /// faster but risks premature return to NORMAL).
+    int divisor_factor = 2;
+    /// Below this slow_time, DCTCP_Time_Des hands back to DCTCP_NORMAL.
+    /// The paper leaves the value open ("a time threshold to guarantee the
+    /// relatively smooth regulation"); a small threshold keeps a flow in
+    /// DCTCP_Time_Des for several clean windows, which is what carries the
+    /// pacing state across the tail of one request round into the next
+    /// fan-in burst.
+    Tick threshold = 5 * kMicrosecond;
+    /// Randomize increments as random(unit) -- the desynchronization that
+    /// Fig. 6 vs Fig. 7 shows is essential past ~100 flows. When false,
+    /// increments are the full unit (the paper's partial DCTCP+).
+    bool randomize = true;
+    /// Let the effective unit follow the flow's smoothed RTT (which
+    /// includes queueing delay) when it exceeds `backoff_time_unit`. The
+    /// paper fixes the unit at the baseline RTT; RTT scaling is this
+    /// implementation's extension that speeds convergence under very deep
+    /// fan-in (hundreds of flows). The partial (non-randomized) variant
+    /// disables it to stay faithful to Fig. 6.
+    bool rtt_scaled_unit = true;
+    /// RTT scaling engages only once slow_time has already grown past
+    /// this many base units — i.e. only for *sustained* congestion
+    /// episodes. A short flow that brushes the floor during ambient
+    /// congestion backs off by the cheap base unit and loses almost
+    /// nothing; a flow trapped in a massive fan-in escalates quickly.
+    int rtt_scale_after_units = 3;
+    /// Safety cap on slow_time growth (not in the paper; AIMD converges
+    /// long before this in practice).
+    Tick max_slow_time = 50 * kMillisecond;
+    /// Consecutive congestion-free evaluations required per multiplicative
+    /// decrease. 1 is the literal Algorithm 1; a higher value weights the
+    /// decay against transient all-clear signals (the clean tail of a
+    /// request round) — part of the "finer regulation law" the paper's
+    /// Sec. VII invites. The default of 2 is what lets the pacing state
+    /// survive a request round's clean tail at several hundred flows.
+    int clean_evals_per_decay = 2;
+    /// Consecutive congested-at-the-floor evaluations required to engage
+    /// (DCTCP_NORMAL -> DCTCP_Time_Inc). 1 is the literal Algorithm 1; 2
+    /// keeps a stray mark at a transiently small window from engaging the
+    /// pacing machinery when window regulation still has headroom.
+    int congested_evals_per_entry = 1;
+  };
+
+  explicit SlowTimeRegulator(const Config& config);
+
+  /// One evaluation of Algorithm 1, invoked per ACK and per retransmission
+  /// timeout. `congested` is the isToDCTCP_Time_Inc condition (ECE set or
+  /// a retransmission happened); `cwnd_at_min` gates entry from NORMAL.
+  /// `rtt_hint` (optional, > 0) is the flow's smoothed RTT: the paper's
+  /// advice is to use "the baseline RTT" as the backoff unit, and a live
+  /// srtt — which includes queueing delay — makes the unit scale with the
+  /// depth of the congestion the flow is experiencing. The effective unit
+  /// is max(config unit, rtt_hint).
+  void Evolve(bool congested, bool cwnd_at_min, Rng& rng,
+              Tick rtt_hint = 0);
+
+  PlusState state() const { return state_; }
+  Tick slow_time() const { return slow_time_; }
+
+  /// Pacing delay to impose before the next transmission: slow_time when
+  /// the enhancement is engaged, 0 in NORMAL. With randomization on, each
+  /// packet draws a delay uniform in [slow_time/2, 3*slow_time/2] (mean
+  /// slow_time) — the per-packet scattering of Fig. 3(c) that keeps the
+  /// concurrent flows' transmissions from re-clustering; the partial
+  /// variant uses the deterministic interval.
+  Tick PacingDelay(Rng& rng) const {
+    if (state_ == PlusState::kNormal) return 0;
+    if (!config_.randomize || slow_time_ == 0) return slow_time_;
+    return slow_time_ / 2 + rng.UniformTick(slow_time_);
+  }
+
+  const Config& config() const { return config_; }
+
+  /// Cumulative transition counters, for traces and tests.
+  struct Counters {
+    std::uint64_t entered_inc = 0;
+    std::uint64_t inc_steps = 0;
+    std::uint64_t entered_des = 0;
+    std::uint64_t returned_normal = 0;
+  };
+  const Counters& counters() const { return counters_; }
+
+ private:
+  Tick Increment(Rng& rng, Tick rtt_hint) const;
+
+  Config config_;
+  PlusState state_ = PlusState::kNormal;
+  Tick slow_time_ = 0;
+  int clean_streak_ = 0;
+  int entry_streak_ = 0;
+  Counters counters_;
+};
+
+}  // namespace dctcpp

@@ -1,0 +1,70 @@
+#include "dctcpp/core/tcp_plus.h"
+
+#include "dctcpp/tcp/socket.h"
+
+namespace dctcpp {
+
+TcpPlusCc::TcpPlusCc() : TcpPlusCc(Config{}) {}
+
+TcpPlusCc::TcpPlusCc(const Config& config)
+    : NewRenoCc(config.newreno), regulator_(config.regulator) {}
+
+void TcpPlusCc::OnAck(TcpSocket& sk, const AckContext& ctx) {
+  NewRenoCc::OnAck(sk, ctx);
+  if (regulator_.state() != PlusState::kNormal &&
+      sk.cwnd() > MinCwnd() && !sk.InRecovery()) {
+    // As in DCTCP+: while the interval regulation is engaged, the rate is
+    // governed by slow_time alone.
+    sk.set_cwnd(MinCwnd());
+  }
+
+  // Without ECN, duplicate ACKs are the per-packet congestion signal
+  // (each one testifies to a hole in the window) — they play the role
+  // DCTCP+'s marked ACKs play, sustaining the regulator through a loss
+  // episode instead of only ticking once per timeout.
+  if (ctx.duplicate) {
+    window_saw_loss_ = true;
+    const bool at_min = sk.InRecovery()
+                            ? sk.ssthresh() <= MinCwnd() + 1
+                            : sk.cwnd() <= MinCwnd();
+    regulator_.Evolve(/*congested=*/true, at_min, sk.sim().rng(),
+                      sk.srtt());
+  }
+
+  if (!window_armed_) {
+    window_end_ = sk.StreamAcked() + sk.FlightSize();
+    window_armed_ = true;
+    return;
+  }
+  if (sk.StreamAcked() >= window_end_) {
+    if (!window_saw_loss_) {
+      regulator_.Evolve(/*congested=*/false,
+                        /*cwnd_at_min=*/sk.cwnd() <= MinCwnd(),
+                        sk.sim().rng(), sk.srtt());
+    }
+    window_saw_loss_ = false;
+    window_end_ = sk.StreamAcked() + sk.FlightSize();
+  }
+}
+
+void TcpPlusCc::OnRetransmissionTimeout(TcpSocket& sk) {
+  NewRenoCc::OnRetransmissionTimeout(sk);
+  window_saw_loss_ = true;
+  regulator_.Evolve(/*congested=*/true, /*cwnd_at_min=*/true,
+                    sk.sim().rng(), sk.srtt());
+}
+
+void TcpPlusCc::OnFastRetransmit(TcpSocket& sk) {
+  NewRenoCc::OnFastRetransmit(sk);
+  window_saw_loss_ = true;
+  regulator_.Evolve(/*congested=*/true,
+                    /*cwnd_at_min=*/sk.cwnd() <= MinCwnd() + 3,
+                    sk.sim().rng(), sk.srtt());
+}
+
+Tick TcpPlusCc::PacingDelay(TcpSocket& sk, Rng& rng) {
+  (void)sk;
+  return regulator_.PacingDelay(rng);
+}
+
+}  // namespace dctcpp

@@ -1,0 +1,96 @@
+#include "dctcpp/dctcp/dctcp.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "dctcpp/tcp/socket.h"
+#include "dctcpp/util/assert.h"
+
+namespace dctcpp {
+
+DctcpCc::DctcpCc() : DctcpCc(Config{}) {}
+
+DctcpCc::DctcpCc(const Config& config)
+    : NewRenoCc(NewRenoCc::Config{/*ecn=*/true, config.initial_cwnd,
+                                  config.min_cwnd}),
+      dctcp_config_(config),
+      alpha_(config.alpha0) {
+  DCTCPP_ASSERT(config.g > 0.0 && config.g <= 1.0);
+  DCTCPP_ASSERT(config.alpha0 >= 0.0 && config.alpha0 <= 1.0);
+}
+
+void DctcpCc::OnEstablished(TcpSocket& sk) {
+  (void)sk;
+  alpha_window_armed_ = false;
+  acked_bytes_total_ = 0;
+  acked_bytes_marked_ = 0;
+}
+
+void DctcpCc::UpdateAlphaAccounting(TcpSocket& sk, const AckContext& ctx) {
+  if (ctx.newly_acked > 0) {
+    acked_bytes_total_ += ctx.newly_acked;
+    if (ctx.ece) acked_bytes_marked_ += ctx.newly_acked;
+  }
+  if (!alpha_window_armed_) {
+    // Open the first observation window one window of data ahead.
+    alpha_window_end_ = sk.StreamAcked() + sk.FlightSize();
+    alpha_window_armed_ = true;
+    return;
+  }
+  if (sk.StreamAcked() >= alpha_window_end_) {
+    // A full window of data has been acknowledged: fold the observed
+    // marked fraction into alpha (Eq. 1) and start the next window.
+    const double f =
+        acked_bytes_total_ > 0
+            ? static_cast<double>(acked_bytes_marked_) /
+                  static_cast<double>(acked_bytes_total_)
+            : 0.0;
+    alpha_ = (1.0 - dctcp_config_.g) * alpha_ + dctcp_config_.g * f;
+    alpha_ = std::clamp(alpha_, 0.0, 1.0);
+    acked_bytes_total_ = 0;
+    acked_bytes_marked_ = 0;
+    alpha_window_end_ = sk.StreamAcked() + sk.FlightSize();
+  }
+}
+
+int DctcpCc::ApplyWindowReduction(TcpSocket& sk) {
+  // Eq. 2: W <- (1 - alpha/2) W, rounded to the nearest whole MSS and
+  // never below the protocol's floor. The integer rounding preserves the
+  // granularity limit the paper analyses — a 2-MSS window with moderate
+  // alpha cannot shrink at all — while still letting moderate windows
+  // respond to light marking.
+  const int reduced = static_cast<int>(
+      static_cast<double>(sk.cwnd()) * (1.0 - alpha_ / 2.0) + 0.5);
+  const int target = std::max(reduced, MinCwnd());
+  sk.set_ssthresh(target);
+  sk.set_cwnd(target);
+  sk.SetCwrPending();
+  return target;
+}
+
+void DctcpCc::OnAck(TcpSocket& sk, const AckContext& ctx) {
+  UpdateAlphaAccounting(sk, ctx);
+  if (ctx.ece && !sk.InRecovery() && CanReduceNow(sk)) {
+    ApplyWindowReduction(sk);
+    MarkReduced(sk);
+    return;  // reducing ACK does not also grow
+  }
+  if (!ctx.ece) GrowWindow(sk, ctx.newly_acked);
+}
+
+int DctcpCc::SsthreshAfterLoss(const TcpSocket& sk) const {
+  // Packet loss falls back to the Reno response (as in the Linux module,
+  // loss halves regardless of alpha).
+  return std::max(sk.cwnd() / 2, MinCwnd());
+}
+
+void DctcpCc::OnRetransmissionTimeout(TcpSocket& sk) {
+  (void)sk;
+  // Linux dctcp resets the marked-byte accounting on loss recovery; the
+  // alpha estimate itself persists.
+  acked_bytes_total_ = 0;
+  acked_bytes_marked_ = 0;
+  alpha_window_armed_ = false;
+}
+
+}  // namespace dctcpp

@@ -1,0 +1,61 @@
+// DCTCP congestion control (Alizadeh et al., SIGCOMM 2010).
+//
+// The sender estimates the fraction of bytes that experienced congestion
+// from the ECE-marked ACK stream:
+//
+//   alpha <- (1 - g) * alpha + g * F        (paper's Eq. 1)
+//   W     <- (1 - alpha / 2) * W            (paper's Eq. 2, once per window)
+//
+// where F is the marked fraction over the last window of data. Window
+// growth outside congestion episodes is standard Reno slow start /
+// congestion avoidance, as in the Linux module. The receiver uses DCTCP's
+// delayed-ACK-aware CE echo state machine (implemented in TcpSocket,
+// selected via DctcpStyleReceiver()).
+#pragma once
+
+#include "dctcpp/tcp/newreno.h"
+
+namespace dctcpp {
+
+class DctcpCc : public NewRenoCc {
+ public:
+  struct Config {
+    double g = 1.0 / 16.0;     ///< EWMA gain of Eq. 1
+    double alpha0 = 1.0;       ///< initial alpha (Linux starts fully backed off)
+    int initial_cwnd = 3;
+    int min_cwnd = 2;          ///< the lower bound the paper studies
+  };
+
+  DctcpCc();  // default Config
+  explicit DctcpCc(const Config& config);
+
+  const char* Name() const override { return "dctcp"; }
+  bool EcnCapable() const override { return true; }
+  bool DctcpStyleReceiver() const override { return true; }
+  int InitialCwnd() const override { return dctcp_config_.initial_cwnd; }
+  int MinCwnd() const override { return dctcp_config_.min_cwnd; }
+
+  void OnEstablished(TcpSocket& sk) override;
+  void OnAck(TcpSocket& sk, const AckContext& ctx) override;
+  int SsthreshAfterLoss(const TcpSocket& sk) const override;
+  void OnRetransmissionTimeout(TcpSocket& sk) override;
+
+  double alpha() const { return alpha_; }
+
+ protected:
+  /// Applies Eq. 2 to the socket (clamped at MinCwnd); returns new cwnd.
+  /// Virtual so deadline-aware variants (D2TCP) can reshape the penalty.
+  virtual int ApplyWindowReduction(TcpSocket& sk);
+
+ private:
+  void UpdateAlphaAccounting(TcpSocket& sk, const AckContext& ctx);
+
+  Config dctcp_config_;
+  double alpha_;
+  Bytes acked_bytes_total_ = 0;
+  Bytes acked_bytes_marked_ = 0;
+  std::int64_t alpha_window_end_ = 0;  ///< stream offset ending the window
+  bool alpha_window_armed_ = false;
+};
+
+}  // namespace dctcpp

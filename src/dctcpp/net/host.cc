@@ -1,0 +1,67 @@
+#include "dctcpp/net/host.h"
+
+#include "dctcpp/util/assert.h"
+#include "dctcpp/util/log.h"
+
+namespace dctcpp {
+
+void Host::AttachUplink(const LinkConfig& config, PacketSink& peer) {
+  DCTCPP_ASSERT(uplink_ == nullptr);
+  uplink_ = std::make_unique<EgressPort>(sim_, config, peer);
+}
+
+void Host::Send(Packet pkt) {
+  DCTCPP_ASSERT(uplink_ != nullptr);
+  DCTCPP_ASSERT(pkt.src == id_);
+  pkt.uid = (static_cast<std::uint64_t>(id_) + 1) << 40 | next_packet_uid_++;
+  uplink_->Send(pkt);
+}
+
+void Host::RegisterConnection(PortNum local_port, NodeId remote,
+                              PortNum rport, PacketHandler handler) {
+  DCTCPP_ASSERT(handler != nullptr);
+  const ConnKey key{local_port, remote, rport};
+  DCTCPP_ASSERT(!connections_.contains(key));
+  connections_[key] = std::move(handler);
+}
+
+void Host::UnregisterConnection(PortNum local_port, NodeId remote,
+                                PortNum rport) {
+  connections_.erase(ConnKey{local_port, remote, rport});
+}
+
+void Host::Listen(PortNum local_port, PacketHandler handler) {
+  DCTCPP_ASSERT(handler != nullptr);
+  DCTCPP_ASSERT(!listeners_.contains(local_port));
+  listeners_[local_port] = std::move(handler);
+}
+
+void Host::StopListening(PortNum local_port) {
+  listeners_.erase(local_port);
+}
+
+PortNum Host::AllocatePort() {
+  DCTCPP_ASSERT(next_ephemeral_ < 65535);
+  return next_ephemeral_++;
+}
+
+void Host::Deliver(Packet pkt) {
+  DCTCPP_ASSERT(pkt.dst == id_);
+  // Copy the handler before invoking: the callee may (un)register handlers.
+  const ConnKey key{pkt.tcp.dst_port, pkt.src, pkt.tcp.src_port};
+  if (auto it = connections_.find(key); it != connections_.end()) {
+    auto handler = it->second;
+    handler(pkt);
+    return;
+  }
+  if (auto it = listeners_.find(pkt.tcp.dst_port); it != listeners_.end()) {
+    auto handler = it->second;
+    handler(pkt);
+    return;
+  }
+  ++unmatched_;
+  DCTCPP_TRACE("host %s: unmatched %s", name_.c_str(),
+               pkt.Describe().c_str());
+}
+
+}  // namespace dctcpp

@@ -1,0 +1,78 @@
+// End host: a NIC (single uplink) plus a transport demultiplexer.
+//
+// Transport endpoints (TCP sockets) register themselves by connection
+// 4-tuple; listeners register by local port and receive packets for which
+// no established connection matches (i.e. incoming SYNs). The Host knows
+// nothing about TCP itself, keeping net below tcp in the layering.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "dctcpp/net/link.h"
+#include "dctcpp/net/packet.h"
+#include "dctcpp/sim/simulator.h"
+
+namespace dctcpp {
+
+class Host : public PacketSink {
+ public:
+  using PacketHandler = std::function<void(const Packet&)>;
+
+  Host(Simulator& sim, NodeId id, std::string name)
+      : sim_(sim), id_(id), name_(std::move(name)) {}
+
+  NodeId id() const { return id_; }
+  const std::string& name() const { return name_; }
+  Simulator& sim() { return sim_; }
+
+  /// Installs the NIC; called once by the topology builder.
+  void AttachUplink(const LinkConfig& config, PacketSink& peer);
+  bool HasUplink() const { return uplink_ != nullptr; }
+  EgressPort& uplink() { return *uplink_; }
+
+  /// Transmits a packet (source fields must already identify this host).
+  void Send(Packet pkt);
+
+  /// Registers an established-connection handler keyed by
+  /// (local port, remote host, remote port). At most one per key.
+  void RegisterConnection(PortNum local_port, NodeId remote, PortNum rport,
+                          PacketHandler handler);
+  void UnregisterConnection(PortNum local_port, NodeId remote, PortNum rport);
+
+  /// Registers a listener receiving packets to `local_port` that match no
+  /// established connection (e.g. SYNs).
+  void Listen(PortNum local_port, PacketHandler handler);
+  void StopListening(PortNum local_port);
+
+  /// Allocates an ephemeral source port (unique per host).
+  PortNum AllocatePort();
+
+  void Deliver(Packet pkt) override;
+
+  /// Packets that matched neither a connection nor a listener.
+  std::uint64_t unmatched_packets() const { return unmatched_; }
+
+ private:
+  struct ConnKey {
+    PortNum local;
+    NodeId remote;
+    PortNum rport;
+    auto operator<=>(const ConnKey&) const = default;
+  };
+
+  Simulator& sim_;
+  NodeId id_;
+  std::string name_;
+  std::unique_ptr<EgressPort> uplink_;
+  std::map<ConnKey, PacketHandler> connections_;
+  std::map<PortNum, PacketHandler> listeners_;
+  PortNum next_ephemeral_ = 10000;
+  std::uint64_t unmatched_ = 0;
+  std::uint64_t next_packet_uid_ = 1;
+};
+
+}  // namespace dctcpp

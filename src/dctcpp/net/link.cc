@@ -1,0 +1,52 @@
+#include "dctcpp/net/link.h"
+
+#include "dctcpp/util/assert.h"
+#include "dctcpp/util/log.h"
+
+namespace dctcpp {
+
+EgressPort::EgressPort(Simulator& sim, const LinkConfig& config,
+                       PacketSink& peer)
+    : sim_(sim),
+      config_(config),
+      peer_(peer),
+      queue_(config.buffer_bytes, config.ecn_threshold) {
+  if (config.red) queue_.EnableRed(config.red_config, &sim.rng());
+}
+
+void EgressPort::Send(Packet pkt) {
+  if (config_.random_loss > 0.0 &&
+      sim_.rng().Chance(config_.random_loss)) {
+    ++random_losses_;
+    DCTCPP_TRACE("random loss at %s: %s", FormatTick(sim_.Now()).c_str(),
+                 pkt.Describe().c_str());
+    return;
+  }
+  if (!queue_.Enqueue(pkt)) {
+    DCTCPP_TRACE("drop at %s: %s", FormatTick(sim_.Now()).c_str(),
+                 pkt.Describe().c_str());
+    return;
+  }
+  if (!transmitting_) StartTransmission();
+}
+
+void EgressPort::StartTransmission() {
+  auto pkt = queue_.Dequeue();
+  if (!pkt) return;
+  transmitting_ = true;
+  in_flight_bytes_ = pkt->WireSize();
+  const Tick tx = config_.rate.TransmissionTime(pkt->WireSize());
+  sim_.Schedule(tx, [this, p = *pkt] { FinishTransmission(p); });
+}
+
+void EgressPort::FinishTransmission(Packet pkt) {
+  transmitting_ = false;
+  in_flight_bytes_ = 0;
+  // Propagation: the packet arrives at the peer `delay` after the last bit
+  // leaves the wire.
+  sim_.Schedule(config_.propagation_delay,
+                [this, pkt] { peer_.Deliver(pkt); });
+  StartTransmission();
+}
+
+}  // namespace dctcpp

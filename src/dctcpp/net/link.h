@@ -1,0 +1,83 @@
+// Egress port: queue + serializing transmitter + propagation delay.
+//
+// An EgressPort is one direction of a physical link. Send() enqueues into
+// the port's DropTailEcnQueue; a transmitter drains the queue at the line
+// rate (one packet serializing at a time) and delivers each packet to the
+// peer node after the propagation delay. This reproduces the store-and-
+// forward pipeline whose capacity (C*D + B) the paper's incast bursts
+// overflow.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "dctcpp/net/packet.h"
+#include "dctcpp/net/queue.h"
+#include "dctcpp/sim/simulator.h"
+#include "dctcpp/util/units.h"
+
+namespace dctcpp {
+
+/// Anything that can accept a delivered packet (hosts and switches).
+class PacketSink {
+ public:
+  virtual ~PacketSink() = default;
+  virtual void Deliver(Packet pkt) = 0;
+};
+
+/// Configuration of one link direction.
+struct LinkConfig {
+  DataRate rate = DataRate::GigabitsPerSec(1);
+  Tick propagation_delay = 10 * kMicrosecond;
+  Bytes buffer_bytes = 128 * kKiB;
+  Bytes ecn_threshold = 32 * kKiB;  ///< K; <= 0 disables marking
+  /// Independent per-packet corruption/drop probability, applied before
+  /// enqueue. 0 disables. Used for failure-injection tests and for
+  /// studying the protocols off the congestive-loss path.
+  double random_loss = 0.0;
+  /// Replace the instantaneous-K marking with classic RED (the AQM the
+  /// DCTCP line of work compares against); see RedConfig.
+  bool red = false;
+  RedConfig red_config;
+};
+
+class EgressPort {
+ public:
+  EgressPort(Simulator& sim, const LinkConfig& config, PacketSink& peer);
+
+  EgressPort(const EgressPort&) = delete;
+  EgressPort& operator=(const EgressPort&) = delete;
+
+  /// Enqueues the packet for transmission; drops silently (with stats) when
+  /// the buffer is full.
+  void Send(Packet pkt);
+
+  const DropTailEcnQueue& queue() const { return queue_; }
+  const LinkConfig& config() const { return config_; }
+
+  /// Bytes queued plus the packet currently on the wire; the quantity a
+  /// hardware queue-length register would report.
+  Bytes BacklogBytes() const {
+    return queue_.OccupancyBytes() + in_flight_bytes_;
+  }
+
+  /// True while a packet is serializing.
+  bool Transmitting() const { return transmitting_; }
+
+  /// Packets dropped by the random-loss injector (not buffer overflow).
+  std::uint64_t random_losses() const { return random_losses_; }
+
+ private:
+  void StartTransmission();
+  void FinishTransmission(Packet pkt);
+
+  Simulator& sim_;
+  LinkConfig config_;
+  PacketSink& peer_;
+  DropTailEcnQueue queue_;
+  bool transmitting_ = false;
+  Bytes in_flight_bytes_ = 0;
+  std::uint64_t random_losses_ = 0;
+};
+
+}  // namespace dctcpp

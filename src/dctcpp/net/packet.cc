@@ -1,0 +1,20 @@
+#include "dctcpp/net/packet.h"
+
+#include <cstdio>
+
+namespace dctcpp {
+
+std::string Packet::Describe() const {
+  char buf[160];
+  std::snprintf(
+      buf, sizeof buf,
+      "pkt#%llu %d:%u->%d:%u seq=%u ack=%u len=%lld%s%s%s%s%s%s",
+      static_cast<unsigned long long>(uid), src, tcp.src_port, dst,
+      tcp.dst_port, tcp.seq, tcp.ack, static_cast<long long>(payload),
+      tcp.syn ? " SYN" : "", tcp.fin ? " FIN" : "",
+      tcp.ack_flag ? " ACK" : "", tcp.ece ? " ECE" : "",
+      tcp.cwr ? " CWR" : "", ecn == Ecn::kCe ? " CE" : "");
+  return buf;
+}
+
+}  // namespace dctcpp

@@ -1,0 +1,78 @@
+// Packet and header model.
+//
+// Packets are small value types copied through the network; the payload is
+// simulated by byte counts only. The TCP header carries 32-bit sequence
+// numbers with real modular semantics (wrap-safe comparison lives in
+// dctcpp/tcp/seq.h).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "dctcpp/util/time.h"
+#include "dctcpp/util/units.h"
+
+namespace dctcpp {
+
+/// Identifies a host or switch in a Network.
+using NodeId = std::int32_t;
+inline constexpr NodeId kInvalidNode = -1;
+
+/// TCP port number.
+using PortNum = std::uint16_t;
+
+/// Maximum segment size (bytes of TCP payload per full segment) and the
+/// modelled per-packet wire overhead (Ethernet + IP + TCP headers).
+inline constexpr Bytes kMss = 1460;
+inline constexpr Bytes kHeaderBytes = 54;
+
+/// ECN codepoint carried in the (modelled) IP header.
+enum class Ecn : std::uint8_t {
+  kNotEct,  ///< endpoint not ECN-capable: switch drops instead of marking
+  kEct,     ///< ECN-capable transport
+  kCe,      ///< congestion experienced (set by the switch)
+};
+
+/// One SACK block: received range [start, end) in sequence space.
+struct SackBlock {
+  std::uint32_t start = 0;
+  std::uint32_t end = 0;
+  bool Valid() const { return start != end; }
+};
+
+/// TCP header flags and fields used by the model.
+struct TcpHeader {
+  PortNum src_port = 0;
+  PortNum dst_port = 0;
+  std::uint32_t seq = 0;  ///< first payload byte (or SYN/FIN occupying one)
+  std::uint32_t ack = 0;  ///< next expected byte (valid when `ack_flag`)
+  bool syn = false;
+  bool fin = false;
+  bool ack_flag = false;
+  bool ece = false;  ///< ECN-echo (receiver -> sender)
+  bool cwr = false;  ///< congestion window reduced (sender -> receiver)
+  /// RFC 2018 selective acknowledgment option: up to 3 out-of-order
+  /// ranges the receiver holds (all-zero blocks are absent). Only filled
+  /// when both ends negotiated SACK.
+  SackBlock sack[3];
+};
+
+/// One simulated packet.
+struct Packet {
+  NodeId src = kInvalidNode;
+  NodeId dst = kInvalidNode;
+  TcpHeader tcp;
+  Ecn ecn = Ecn::kNotEct;
+  Bytes payload = 0;       ///< TCP payload bytes
+  std::uint64_t uid = 0;   ///< unique per-simulation id, for tracing
+
+  /// Bytes this packet occupies on the wire and in switch buffers.
+  Bytes WireSize() const { return payload + kHeaderBytes; }
+
+  bool IsData() const { return payload > 0; }
+
+  /// Short human-readable rendering for trace logs.
+  std::string Describe() const;
+};
+
+}  // namespace dctcpp

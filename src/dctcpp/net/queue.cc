@@ -1,0 +1,71 @@
+#include "dctcpp/net/queue.h"
+
+#include <algorithm>
+
+#include "dctcpp/util/assert.h"
+
+namespace dctcpp {
+
+DropTailEcnQueue::DropTailEcnQueue(Bytes capacity, Bytes ecn_threshold)
+    : capacity_(capacity), ecn_threshold_(ecn_threshold) {
+  DCTCPP_ASSERT(capacity_ > 0);
+}
+
+void DropTailEcnQueue::EnableRed(const RedConfig& config, Rng* rng) {
+  DCTCPP_ASSERT(rng != nullptr);
+  DCTCPP_ASSERT(config.min_th >= 0 && config.max_th > config.min_th);
+  DCTCPP_ASSERT(config.max_p > 0.0 && config.max_p <= 1.0);
+  DCTCPP_ASSERT(config.weight > 0.0 && config.weight <= 1.0);
+  red_config_ = config;
+  red_rng_ = rng;
+}
+
+bool DropTailEcnQueue::RedShouldMark() {
+  // EWMA of the instantaneous queue, updated per arrival.
+  red_avg_ = (1.0 - red_config_.weight) * red_avg_ +
+             red_config_.weight * static_cast<double>(occupancy_);
+  if (red_avg_ < static_cast<double>(red_config_.min_th)) return false;
+  if (red_avg_ >= static_cast<double>(red_config_.max_th)) return true;
+  const double frac =
+      (red_avg_ - static_cast<double>(red_config_.min_th)) /
+      static_cast<double>(red_config_.max_th - red_config_.min_th);
+  return red_rng_->Chance(red_config_.max_p * frac);
+}
+
+bool DropTailEcnQueue::Enqueue(Packet pkt) {
+  const Bytes size = pkt.WireSize();
+  if (occupancy_ + size > capacity_) {
+    ++stats_.dropped;
+    return false;
+  }
+  if (red_rng_ != nullptr) {
+    // RED: probabilistic marking against the *average* queue.
+    const bool mark = RedShouldMark();
+    if (mark && pkt.ecn != Ecn::kNotEct) {
+      pkt.ecn = Ecn::kCe;
+      ++stats_.marked;
+    }
+  } else if (ecn_threshold_ > 0 && pkt.ecn != Ecn::kNotEct &&
+             occupancy_ + size > ecn_threshold_) {
+    // DCTCP marking rule: mark the arriving packet while the
+    // instantaneous queue (including this packet) exceeds K.
+    pkt.ecn = Ecn::kCe;
+    ++stats_.marked;
+  }
+  occupancy_ += size;
+  stats_.max_occupancy = std::max(stats_.max_occupancy, occupancy_);
+  ++stats_.enqueued;
+  queue_.push_back(pkt);
+  return true;
+}
+
+std::optional<Packet> DropTailEcnQueue::Dequeue() {
+  if (queue_.empty()) return std::nullopt;
+  Packet pkt = queue_.front();
+  queue_.pop_front();
+  occupancy_ -= pkt.WireSize();
+  DCTCPP_ASSERT(occupancy_ >= 0);
+  return pkt;
+}
+
+}  // namespace dctcpp

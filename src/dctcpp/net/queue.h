@@ -1,0 +1,83 @@
+// Drop-tail FIFO with DCTCP-style ECN marking.
+//
+// Models a static per-port shared-buffer switch queue (the paper's NetFPGA
+// switch: 128 KB per port, marking threshold K = 32 KB). Marking is against
+// the *instantaneous* queue occupancy at enqueue time, as specified by
+// DCTCP: every arriving ECN-capable packet is marked CE while occupancy
+// exceeds K. Packets from non-ECN transports are never marked, only
+// dropped when the buffer is full.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+
+#include "dctcpp/net/packet.h"
+#include "dctcpp/util/rng.h"
+#include "dctcpp/util/units.h"
+
+namespace dctcpp {
+
+/// RED (random early detection) marking parameters — the classic AQM the
+/// DCTCP work compares its instantaneous-threshold marking against. The
+/// average queue is an EWMA updated per arrival; ECT packets are marked
+/// with probability ramping from 0 at `min_th` to `max_p` at `max_th`,
+/// and always above `max_th`.
+struct RedConfig {
+  Bytes min_th = 16 * 1024;
+  Bytes max_th = 64 * 1024;
+  double max_p = 0.1;
+  double weight = 0.002;  ///< EWMA gain for the average queue
+};
+
+class DropTailEcnQueue {
+ public:
+  struct Stats {
+    std::uint64_t enqueued = 0;
+    std::uint64_t dropped = 0;
+    std::uint64_t marked = 0;
+    Bytes max_occupancy = 0;  ///< high-water mark over the run
+  };
+
+  /// `capacity`: byte limit of the buffer; `ecn_threshold` (K): occupancy
+  /// above which arriving ECT packets are marked CE. `ecn_threshold <= 0`
+  /// disables marking (plain drop-tail).
+  DropTailEcnQueue(Bytes capacity, Bytes ecn_threshold);
+
+  /// Switches the queue to RED marking (replacing the instantaneous-K
+  /// rule). `rng` supplies the probabilistic marking decisions and must
+  /// outlive the queue.
+  void EnableRed(const RedConfig& config, Rng* rng);
+  bool RedEnabled() const { return red_rng_ != nullptr; }
+  double AverageQueue() const { return red_avg_; }
+
+  /// Attempts to enqueue; returns false (and counts a drop) when the packet
+  /// does not fit. May set the packet's CE codepoint.
+  bool Enqueue(Packet pkt);
+
+  /// Removes and returns the head packet, or nullopt when empty.
+  std::optional<Packet> Dequeue();
+
+  bool Empty() const { return queue_.empty(); }
+  std::size_t PacketCount() const { return queue_.size(); }
+  Bytes OccupancyBytes() const { return occupancy_; }
+  Bytes capacity() const { return capacity_; }
+  Bytes ecn_threshold() const { return ecn_threshold_; }
+
+  const Stats& stats() const { return stats_; }
+
+ private:
+  bool RedShouldMark();
+
+  Bytes capacity_;
+  Bytes ecn_threshold_;
+  Bytes occupancy_ = 0;
+  std::deque<Packet> queue_;
+  Stats stats_;
+
+  RedConfig red_config_;
+  Rng* red_rng_ = nullptr;  ///< non-null iff RED is enabled
+  double red_avg_ = 0.0;
+};
+
+}  // namespace dctcpp

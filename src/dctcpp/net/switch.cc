@@ -1,0 +1,28 @@
+#include "dctcpp/net/switch.h"
+
+#include "dctcpp/util/assert.h"
+
+namespace dctcpp {
+
+int Switch::AddPort(const LinkConfig& config, PacketSink& peer) {
+  ports_.push_back(std::make_unique<EgressPort>(sim_, config, peer));
+  return static_cast<int>(ports_.size()) - 1;
+}
+
+void Switch::SetRoute(NodeId dst, int port) {
+  DCTCPP_ASSERT(port >= 0 && port < PortCount());
+  routes_[dst] = port;
+}
+
+int Switch::RouteTo(NodeId dst) const {
+  auto it = routes_.find(dst);
+  return it == routes_.end() ? -1 : it->second;
+}
+
+void Switch::Deliver(Packet pkt) {
+  const int out = RouteTo(pkt.dst);
+  DCTCPP_ASSERT(out >= 0);  // unroutable: topology bug
+  ports_[static_cast<std::size_t>(out)]->Send(pkt);
+}
+
+}  // namespace dctcpp

@@ -1,0 +1,55 @@
+// Output-queued store-and-forward switch with static per-port buffers.
+//
+// Routing is by destination host id through a table filled in by
+// Network::InstallRoutes(). Each output port owns its DropTailEcnQueue;
+// there is no shared-memory pooling, matching the paper's "static shared
+// buffer" commodity switches (a fixed 128 KB per port).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "dctcpp/net/link.h"
+#include "dctcpp/net/packet.h"
+#include "dctcpp/sim/simulator.h"
+
+namespace dctcpp {
+
+class Switch : public PacketSink {
+ public:
+  Switch(Simulator& sim, NodeId id, std::string name)
+      : sim_(sim), id_(id), name_(std::move(name)) {}
+
+  NodeId id() const { return id_; }
+  const std::string& name() const { return name_; }
+
+  /// Adds an output port facing `peer`; returns its index.
+  int AddPort(const LinkConfig& config, PacketSink& peer);
+
+  /// Routes every packet destined to host `dst` out of port `port`.
+  void SetRoute(NodeId dst, int port);
+
+  /// Forwards the packet out its routed port. Unroutable packets are a
+  /// configuration bug and abort.
+  void Deliver(Packet pkt) override;
+
+  int PortCount() const { return static_cast<int>(ports_.size()); }
+  EgressPort& port(int i) { return *ports_.at(static_cast<std::size_t>(i)); }
+  const EgressPort& port(int i) const {
+    return *ports_.at(static_cast<std::size_t>(i));
+  }
+
+  /// The port a packet to `dst` would take, or -1 when unrouted.
+  int RouteTo(NodeId dst) const;
+
+ private:
+  Simulator& sim_;
+  NodeId id_;
+  std::string name_;
+  std::vector<std::unique_ptr<EgressPort>> ports_;
+  std::unordered_map<NodeId, int> routes_;
+};
+
+}  // namespace dctcpp

@@ -1,0 +1,25 @@
+#include "dctcpp/sim/simulator.h"
+
+namespace dctcpp {
+
+std::uint64_t Simulator::RunUntil(Tick deadline) {
+  std::uint64_t executed = 0;
+  stopped_ = false;
+  while (!stopped_ && !scheduler_.Empty()) {
+    const Tick next = scheduler_.NextTime();
+    if (next > deadline) break;
+    DCTCPP_ASSERT(next >= now_);
+    now_ = next;
+    scheduler_.RunNext();
+    ++executed;
+  }
+  // If we stopped because of the deadline, advance the clock to it so that
+  // repeated RunUntil calls observe monotonic time.
+  if (!stopped_ && deadline != kTickMax && now_ < deadline &&
+      (scheduler_.Empty() || scheduler_.NextTime() > deadline)) {
+    now_ = deadline;
+  }
+  return executed;
+}
+
+}  // namespace dctcpp

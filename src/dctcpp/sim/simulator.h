@@ -1,0 +1,67 @@
+// Simulation façade: clock + scheduler + run loop + per-run RNG.
+//
+// One `Simulator` instance is one independent simulated world. Nothing in
+// the library uses global mutable state, so many Simulators can run
+// concurrently on different threads (the experiment harness relies on this).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "dctcpp/sim/scheduler.h"
+#include "dctcpp/util/rng.h"
+#include "dctcpp/util/time.h"
+
+namespace dctcpp {
+
+class Simulator {
+ public:
+  explicit Simulator(std::uint64_t seed = 1) : rng_(seed) {}
+
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Current simulated time.
+  Tick Now() const { return now_; }
+
+  /// The run's random stream. All model randomness must come from here.
+  Rng& rng() { return rng_; }
+
+  Scheduler& scheduler() { return scheduler_; }
+
+  /// Schedules `action` to run `delay` from now (delay >= 0).
+  EventId Schedule(Tick delay, Scheduler::Action action) {
+    DCTCPP_ASSERT(delay >= 0);
+    return scheduler_.ScheduleAt(now_ + delay, std::move(action));
+  }
+
+  /// Schedules at an absolute time (must not be in the past).
+  EventId ScheduleAt(Tick at, Scheduler::Action action) {
+    DCTCPP_ASSERT(at >= now_);
+    return scheduler_.ScheduleAt(at, std::move(action));
+  }
+
+  void Cancel(EventId id) { scheduler_.Cancel(id); }
+
+  /// Runs until the event queue drains, `Stop()` is called, or the clock
+  /// passes `deadline`. Returns the number of events executed by this call.
+  std::uint64_t RunUntil(Tick deadline);
+
+  /// Runs until the event queue drains or `Stop()` is called.
+  std::uint64_t Run() { return RunUntil(kTickMax); }
+
+  /// Requests the run loop to return after the current event.
+  void Stop() { stopped_ = true; }
+
+  bool stopped() const { return stopped_; }
+
+  std::uint64_t events_executed() const { return scheduler_.executed(); }
+
+ private:
+  Tick now_ = 0;
+  bool stopped_ = false;
+  Scheduler scheduler_;
+  Rng rng_;
+};
+
+}  // namespace dctcpp

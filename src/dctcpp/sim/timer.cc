@@ -1,0 +1,2 @@
+// Timer is header-only; this TU anchors the library target.
+#include "dctcpp/sim/timer.h"

@@ -1,0 +1,62 @@
+// Cancellable one-shot timer bound to a Simulator.
+//
+// This is the simulation analogue of the kernel hrtimer the paper uses to
+// delay `tcp_transmit_skb()`: Schedule/Restart arm it, Cancel disarms it,
+// and the callback fires at most once per arming. The owner must outlive
+// the timer's pending events or cancel in its destructor — Timer cancels
+// itself on destruction, so embedding a Timer by value in the owner is the
+// safe pattern.
+#pragma once
+
+#include <functional>
+#include <utility>
+
+#include "dctcpp/sim/simulator.h"
+
+namespace dctcpp {
+
+class Timer {
+ public:
+  using Callback = std::function<void()>;
+
+  Timer(Simulator& sim, Callback cb)
+      : sim_(sim), callback_(std::move(cb)) {}
+
+  ~Timer() { Cancel(); }
+
+  Timer(const Timer&) = delete;
+  Timer& operator=(const Timer&) = delete;
+
+  /// Arms the timer `delay` from now. Re-arming while pending reschedules.
+  void Schedule(Tick delay) {
+    Cancel();
+    expires_at_ = sim_.Now() + delay;
+    id_ = sim_.Schedule(delay, [this] { Fire(); });
+  }
+
+  /// Disarms; no-op if not pending.
+  void Cancel() {
+    if (id_.valid()) {
+      sim_.Cancel(id_);
+      id_ = EventId{};
+    }
+  }
+
+  bool IsPending() const { return id_.valid(); }
+
+  /// Absolute expiry of the current arming (meaningful while pending).
+  Tick expires_at() const { return expires_at_; }
+
+ private:
+  void Fire() {
+    id_ = EventId{};
+    callback_();
+  }
+
+  Simulator& sim_;
+  Callback callback_;
+  EventId id_{};
+  Tick expires_at_ = 0;
+};
+
+}  // namespace dctcpp

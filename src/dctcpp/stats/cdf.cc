@@ -1,0 +1,61 @@
+#include "dctcpp/stats/cdf.h"
+
+#include <algorithm>
+
+#include "dctcpp/util/assert.h"
+
+namespace dctcpp {
+
+void Cdf::EnsureSorted() const {
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+}
+
+double Cdf::At(double x) const {
+  if (samples_.empty()) return 0.0;
+  EnsureSorted();
+  const auto it = std::upper_bound(samples_.begin(), samples_.end(), x);
+  return static_cast<double>(it - samples_.begin()) /
+         static_cast<double>(samples_.size());
+}
+
+double Cdf::Quantile(double q) const {
+  DCTCPP_ASSERT(!samples_.empty());
+  DCTCPP_ASSERT(q >= 0.0 && q <= 1.0);
+  EnsureSorted();
+  if (q <= 0.0) return samples_.front();
+  const auto n = static_cast<double>(samples_.size());
+  auto idx = static_cast<std::size_t>(q * n);
+  if (idx > 0) --idx;
+  idx = std::min(idx, samples_.size() - 1);
+  // Smallest sample whose empirical CDF reaches q.
+  while (idx + 1 < samples_.size() &&
+         static_cast<double>(idx + 1) / n < q) {
+    ++idx;
+  }
+  return samples_[idx];
+}
+
+std::vector<std::pair<double, double>> Cdf::Series(double lo, double hi,
+                                                   int points) const {
+  DCTCPP_ASSERT(points >= 2);
+  DCTCPP_ASSERT(hi >= lo);
+  std::vector<std::pair<double, double>> out;
+  out.reserve(static_cast<std::size_t>(points));
+  for (int i = 0; i < points; ++i) {
+    const double x =
+        lo + (hi - lo) * static_cast<double>(i) / (points - 1);
+    out.emplace_back(x, At(x));
+  }
+  return out;
+}
+
+void Cdf::Merge(const Cdf& other) {
+  samples_.insert(samples_.end(), other.samples_.begin(),
+                  other.samples_.end());
+  sorted_ = false;
+}
+
+}  // namespace dctcpp

@@ -1,0 +1,39 @@
+// Empirical CDF over stored samples, with fixed-grid rendering.
+//
+// Used for Fig 9 (CDF of switch queue length). Distinct from
+// util/EmpiricalCdf, which *generates* samples from a published CDF.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace dctcpp {
+
+class Cdf {
+ public:
+  void Add(double x) { samples_.push_back(x); sorted_ = false; }
+  void Reserve(std::size_t n) { samples_.reserve(n); }
+
+  std::size_t count() const { return samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+
+  /// P(X <= x) over the collected samples.
+  double At(double x) const;
+
+  /// Inverse CDF: smallest sample s with P(X <= s) >= q.
+  double Quantile(double q) const;
+
+  /// Evaluates the CDF on `points` evenly spaced values in [lo, hi]
+  /// and returns (x, F(x)) pairs — the series a plot would draw.
+  std::vector<std::pair<double, double>> Series(double lo, double hi,
+                                                int points) const;
+
+  void Merge(const Cdf& other);
+
+ private:
+  void EnsureSorted() const;
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = false;
+};
+
+}  // namespace dctcpp

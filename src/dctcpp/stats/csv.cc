@@ -1,0 +1,65 @@
+#include "dctcpp/stats/csv.h"
+
+namespace dctcpp {
+namespace {
+
+bool NeedsQuoting(const std::string& cell) {
+  return cell.find_first_of(",\"\n") != std::string::npos;
+}
+
+std::string Quote(const std::string& cell) {
+  std::string out = "\"";
+  for (char c : cell) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+CsvWriter::CsvWriter(const std::string& path)
+    : file_(std::fopen(path.c_str(), "w")) {}
+
+CsvWriter::~CsvWriter() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+void CsvWriter::Row(const std::vector<std::string>& cells) {
+  if (file_ == nullptr) return;
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const std::string& cell = cells[i];
+    if (NeedsQuoting(cell)) {
+      const std::string quoted = Quote(cell);
+      std::fwrite(quoted.data(), 1, quoted.size(), file_);
+    } else {
+      std::fwrite(cell.data(), 1, cell.size(), file_);
+    }
+    std::fputc(i + 1 < cells.size() ? ',' : '\n', file_);
+  }
+}
+
+void CsvWriter::NumericRow(const std::vector<double>& values,
+                           int precision) {
+  if (file_ == nullptr) return;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    std::fprintf(file_, "%.*g%c", precision, values[i],
+                 i + 1 < values.size() ? ',' : '\n');
+  }
+}
+
+bool WriteTimeSeriesCsv(
+    const std::string& path,
+    const std::vector<TimeSeriesSampler::Sample>& samples,
+    const std::string& value_name) {
+  CsvWriter csv(path);
+  if (!csv.ok()) return false;
+  csv.Row({"time_us", value_name});
+  for (const auto& s : samples) {
+    csv.NumericRow({ToMicros(s.at), s.value});
+  }
+  return true;
+}
+
+}  // namespace dctcpp

@@ -1,0 +1,42 @@
+// Minimal CSV writing, so benches and examples can export plot-ready
+// series (queue timelines, CDFs, sweep curves) next to their ASCII
+// tables.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "dctcpp/stats/time_series.h"
+
+namespace dctcpp {
+
+class CsvWriter {
+ public:
+  /// Opens `path` for writing; check ok() before relying on output.
+  explicit CsvWriter(const std::string& path);
+  ~CsvWriter();
+
+  CsvWriter(const CsvWriter&) = delete;
+  CsvWriter& operator=(const CsvWriter&) = delete;
+
+  bool ok() const { return file_ != nullptr; }
+
+  /// Writes one row; cells are emitted verbatim, comma-separated. Cells
+  /// containing commas or quotes are quoted per RFC 4180.
+  void Row(const std::vector<std::string>& cells);
+
+  /// Convenience numeric row.
+  void NumericRow(const std::vector<double>& values, int precision = 6);
+
+ private:
+  std::FILE* file_ = nullptr;
+};
+
+/// Dumps a TimeSeriesSampler's samples as (time_us, value) rows with a
+/// header. Returns false if the file could not be written.
+bool WriteTimeSeriesCsv(const std::string& path,
+                        const std::vector<TimeSeriesSampler::Sample>& samples,
+                        const std::string& value_name = "value");
+
+}  // namespace dctcpp

@@ -1,0 +1,75 @@
+#include "dctcpp/stats/histogram.h"
+
+#include <cstdio>
+
+#include "dctcpp/util/assert.h"
+
+namespace dctcpp {
+
+Histogram::Histogram(std::int64_t lo, std::int64_t hi) : lo_(lo), hi_(hi) {
+  DCTCPP_ASSERT(lo <= hi);
+  bins_.assign(static_cast<std::size_t>(hi - lo + 1), 0);
+}
+
+void Histogram::Add(std::int64_t value, std::uint64_t weight) {
+  if (value < lo_) {
+    underflow_ += weight;
+  } else if (value > hi_) {
+    overflow_ += weight;
+  } else {
+    bins_[static_cast<std::size_t>(value - lo_)] += weight;
+  }
+  total_ += weight;
+}
+
+std::uint64_t Histogram::CountAt(std::int64_t value) const {
+  if (value < lo_ || value > hi_) return 0;
+  return bins_[static_cast<std::size_t>(value - lo_)];
+}
+
+double Histogram::FractionAt(std::int64_t value) const {
+  if (total_ == 0) return 0.0;
+  return static_cast<double>(CountAt(value)) / static_cast<double>(total_);
+}
+
+double Histogram::CumulativeFraction(std::int64_t value) const {
+  if (total_ == 0) return 0.0;
+  std::uint64_t acc = underflow_;
+  for (std::int64_t v = lo_; v <= value && v <= hi_; ++v) {
+    acc += CountAt(v);
+  }
+  if (value > hi_) acc += overflow_;
+  return static_cast<double>(acc) / static_cast<double>(total_);
+}
+
+void Histogram::Merge(const Histogram& other) {
+  DCTCPP_ASSERT(lo_ == other.lo_ && hi_ == other.hi_);
+  for (std::size_t i = 0; i < bins_.size(); ++i) bins_[i] += other.bins_[i];
+  underflow_ += other.underflow_;
+  overflow_ += other.overflow_;
+  total_ += other.total_;
+}
+
+std::string Histogram::ToString(const std::string& label) const {
+  std::string out;
+  if (!label.empty()) out += label + "\n";
+  char line[160];
+  for (std::int64_t v = lo_; v <= hi_; ++v) {
+    const double frac = FractionAt(v);
+    const int bar = static_cast<int>(frac * 50.0 + 0.5);
+    std::snprintf(line, sizeof line, "  %4lld  %10llu  %6.2f%%  %.*s\n",
+                  static_cast<long long>(v),
+                  static_cast<unsigned long long>(CountAt(v)), frac * 100.0,
+                  bar, "##################################################");
+    out += line;
+  }
+  if (underflow_ != 0 || overflow_ != 0) {
+    std::snprintf(line, sizeof line, "  under=%llu over=%llu\n",
+                  static_cast<unsigned long long>(underflow_),
+                  static_cast<unsigned long long>(overflow_));
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace dctcpp

@@ -1,0 +1,48 @@
+// Fixed-bin integer histogram.
+//
+// Used for the cwnd frequency distributions of Fig 2: one bin per integer
+// cwnd value (in MSS), with an overflow bin for values past the top.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dctcpp {
+
+class Histogram {
+ public:
+  /// Bins cover integer values lo..hi inclusive, plus under/overflow bins.
+  Histogram(std::int64_t lo, std::int64_t hi);
+
+  void Add(std::int64_t value, std::uint64_t weight = 1);
+
+  std::uint64_t CountAt(std::int64_t value) const;
+  std::uint64_t underflow() const { return underflow_; }
+  std::uint64_t overflow() const { return overflow_; }
+  std::uint64_t total() const { return total_; }
+
+  std::int64_t lo() const { return lo_; }
+  std::int64_t hi() const { return hi_; }
+
+  /// Fraction of all samples equal to `value`, in [0, 1].
+  double FractionAt(std::int64_t value) const;
+
+  /// Fraction of all samples <= `value` (underflow included).
+  double CumulativeFraction(std::int64_t value) const;
+
+  void Merge(const Histogram& other);
+
+  /// Multi-line ASCII rendering: "value count fraction bar".
+  std::string ToString(const std::string& label = "") const;
+
+ private:
+  std::int64_t lo_;
+  std::int64_t hi_;
+  std::vector<std::uint64_t> bins_;
+  std::uint64_t underflow_ = 0;
+  std::uint64_t overflow_ = 0;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace dctcpp

@@ -1,0 +1,68 @@
+// Sample accumulators: streaming moments, exact percentiles, fairness.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace dctcpp {
+
+/// Jain's fairness index over per-flow allocations:
+/// (sum x)^2 / (n * sum x^2), in (0, 1]; 1 means perfectly equal shares.
+/// Returns 0 for an empty input or an all-zero allocation.
+double JainFairnessIndex(const std::vector<double>& allocations);
+
+/// Streaming mean/variance/min/max (Welford). O(1) memory.
+class SummaryStats {
+ public:
+  void Add(double x);
+
+  std::size_t count() const { return count_; }
+  double mean() const { return count_ ? mean_ : 0.0; }
+  double min() const { return count_ ? min_ : 0.0; }
+  double max() const { return count_ ? max_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 with fewer than 2 samples.
+  double variance() const;
+  double stddev() const;
+  double sum() const { return sum_; }
+
+  /// Merges another accumulator into this one (parallel reduction).
+  void Merge(const SummaryStats& other);
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Stores all samples; supports exact order statistics. Use for the FCT
+/// distributions where the paper reports mean / 95th / 99th percentiles.
+class Percentile {
+ public:
+  void Add(double x) { samples_.push_back(x); sorted_ = false; }
+  void Reserve(std::size_t n) { samples_.reserve(n); }
+
+  std::size_t count() const { return samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+
+  /// Quantile in [0, 1] by linear interpolation between order statistics
+  /// (the "R-7" definition used by numpy). Requires at least one sample.
+  double Quantile(double q) const;
+
+  double Median() const { return Quantile(0.5); }
+  double Mean() const;
+  double Min() const { return Quantile(0.0); }
+  double Max() const { return Quantile(1.0); }
+
+  const std::vector<double>& samples() const { return samples_; }
+
+  void Merge(const Percentile& other);
+
+ private:
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = false;
+};
+
+}  // namespace dctcpp

@@ -1,0 +1,33 @@
+// Aligned ASCII table printer shared by the bench binaries, so every
+// reproduced figure/table prints in a uniform format.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace dctcpp {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Appends a row; must have the same arity as the header.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Convenience cell formatters.
+  static std::string Num(double v, int precision = 2);
+  static std::string Int(long long v);
+
+  /// Renders with column alignment and a separator under the header.
+  std::string ToString() const;
+
+  /// Renders to a FILE* (stdout by default).
+  void Print(std::FILE* out = stdout) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace dctcpp

@@ -1,0 +1,40 @@
+#include "dctcpp/stats/time_series.h"
+
+#include "dctcpp/util/assert.h"
+
+namespace dctcpp {
+
+TimeSeriesSampler::TimeSeriesSampler(Simulator& sim, Tick period,
+                                     std::function<double()> probe)
+    : sim_(sim), period_(period), probe_(std::move(probe)) {
+  DCTCPP_ASSERT(period_ > 0);
+  DCTCPP_ASSERT(probe_ != nullptr);
+}
+
+TimeSeriesSampler::~TimeSeriesSampler() { Stop(); }
+
+void TimeSeriesSampler::Start() {
+  if (pending_.valid()) return;
+  pending_ = sim_.Schedule(period_, [this] { Tickle(); });
+}
+
+void TimeSeriesSampler::Stop() {
+  if (pending_.valid()) {
+    sim_.Cancel(pending_);
+    pending_ = EventId{};
+  }
+}
+
+void TimeSeriesSampler::Tickle() {
+  samples_.push_back(Sample{sim_.Now(), probe_()});
+  pending_ = sim_.Schedule(period_, [this] { Tickle(); });
+}
+
+std::vector<double> TimeSeriesSampler::Values() const {
+  std::vector<double> v;
+  v.reserve(samples_.size());
+  for (const auto& s : samples_) v.push_back(s.value);
+  return v;
+}
+
+}  // namespace dctcpp

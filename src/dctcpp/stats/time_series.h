@@ -1,0 +1,50 @@
+// Periodic sampling of a model quantity (the paper samples the Switch-1
+// queue length every 100 us for Figs 9 and 14).
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "dctcpp/sim/simulator.h"
+#include "dctcpp/util/time.h"
+
+namespace dctcpp {
+
+/// Samples `probe()` every `period` starting at `start`, storing
+/// (timestamp, value) pairs until Stop() or simulation end.
+class TimeSeriesSampler {
+ public:
+  struct Sample {
+    Tick at;
+    double value;
+  };
+
+  TimeSeriesSampler(Simulator& sim, Tick period,
+                    std::function<double()> probe);
+  ~TimeSeriesSampler();
+
+  TimeSeriesSampler(const TimeSeriesSampler&) = delete;
+  TimeSeriesSampler& operator=(const TimeSeriesSampler&) = delete;
+
+  /// Begins sampling; the first sample is taken `period` from now.
+  void Start();
+
+  /// Stops sampling; collected samples remain available.
+  void Stop();
+
+  const std::vector<Sample>& samples() const { return samples_; }
+
+  /// Values only (for feeding a Cdf).
+  std::vector<double> Values() const;
+
+ private:
+  void Tickle();
+
+  Simulator& sim_;
+  Tick period_;
+  std::function<double()> probe_;
+  EventId pending_{};
+  std::vector<Sample> samples_;
+};
+
+}  // namespace dctcpp

@@ -1,0 +1,55 @@
+#include "dctcpp/tcp/newreno.h"
+
+#include <algorithm>
+
+#include "dctcpp/tcp/socket.h"
+
+namespace dctcpp {
+
+void NewRenoCc::GrowWindow(TcpSocket& sk, Bytes newly_acked) {
+  if (newly_acked <= 0 || sk.InRecovery()) return;
+  if (sk.InSlowStart()) {
+    // One MSS per acked full segment; delayed ACKs cover two segments, so
+    // this is byte-counted (RFC 3465 with L=1 per ACKed MSS).
+    const int inc =
+        static_cast<int>(std::max<Bytes>(1, newly_acked / sk.mss()));
+    sk.set_cwnd(std::min(sk.cwnd() + inc, sk.ssthresh()));
+  } else {
+    // Congestion avoidance: +1 MSS per cwnd worth of acknowledged bytes.
+    ca_bytes_acked_ += newly_acked;
+    const Bytes window_bytes = static_cast<Bytes>(sk.cwnd()) * sk.mss();
+    if (ca_bytes_acked_ >= window_bytes) {
+      ca_bytes_acked_ -= window_bytes;
+      sk.set_cwnd(sk.cwnd() + 1);
+    }
+  }
+}
+
+bool NewRenoCc::CanReduceNow(const TcpSocket& sk) const {
+  return !reduce_armed_ || sk.StreamAcked() >= reduce_end_;
+}
+
+void NewRenoCc::MarkReduced(TcpSocket& sk) {
+  reduce_armed_ = true;
+  reduce_end_ = sk.StreamAcked() + sk.FlightSize();  // current snd_nxt
+}
+
+void NewRenoCc::OnAck(TcpSocket& sk, const AckContext& ctx) {
+  // Classic ECN: on ECE, halve once per window and tell the receiver via
+  // CWR that we reacted.
+  if (config_.ecn && ctx.ece && !sk.InRecovery() && CanReduceNow(sk)) {
+    const int target = std::max(sk.cwnd() / 2, MinCwnd());
+    sk.set_ssthresh(target);
+    sk.set_cwnd(target);
+    sk.SetCwrPending();
+    MarkReduced(sk);
+    return;  // no growth on the reducing ACK
+  }
+  GrowWindow(sk, ctx.newly_acked);
+}
+
+int NewRenoCc::SsthreshAfterLoss(const TcpSocket& sk) const {
+  return std::max(sk.cwnd() / 2, MinCwnd());
+}
+
+}  // namespace dctcpp

@@ -1,0 +1,51 @@
+// TCP NewReno congestion control, optionally with classic RFC 3168 ECN.
+//
+// This is the paper's "TCP" baseline (non-ECN by default: the switch then
+// signals congestion only by dropping). Slow start doubles per RTT,
+// congestion avoidance adds one MSS per window, loss halves.
+#pragma once
+
+#include "dctcpp/tcp/cc.h"
+
+namespace dctcpp {
+
+class NewRenoCc : public CongestionOps {
+ public:
+  struct Config {
+    bool ecn = false;   ///< classic-ECN response (halve once per window)
+    int initial_cwnd = 3;
+    int min_cwnd = 2;
+  };
+
+  NewRenoCc();  // default Config
+  explicit NewRenoCc(const Config& config) : config_(config) {}
+
+  const char* Name() const override { return "newreno"; }
+  bool EcnCapable() const override { return config_.ecn; }
+  int InitialCwnd() const override { return config_.initial_cwnd; }
+  int MinCwnd() const override { return config_.min_cwnd; }
+
+  void OnAck(TcpSocket& sk, const AckContext& ctx) override;
+  int SsthreshAfterLoss(const TcpSocket& sk) const override;
+
+ protected:
+  /// Slow-start / congestion-avoidance growth shared with DctcpCc.
+  void GrowWindow(TcpSocket& sk, Bytes newly_acked);
+
+  /// True when an ECE-driven reduction is permitted (at most one per
+  /// window of data, RFC 3168 style).
+  bool CanReduceNow(const TcpSocket& sk) const;
+  /// Marks the current window as reduced.
+  void MarkReduced(TcpSocket& sk);
+
+  Config config_;
+
+ private:
+  Bytes ca_bytes_acked_ = 0;     ///< congestion-avoidance byte accumulator
+  std::int64_t reduce_end_ = 0;  ///< stream offset gating the next reduction
+  bool reduce_armed_ = false;
+};
+
+inline NewRenoCc::NewRenoCc() : NewRenoCc(Config{}) {}
+
+}  // namespace dctcpp

@@ -1,0 +1,58 @@
+// Receiver-side reassembly: tracks which sequence ranges have arrived and
+// how far the in-order prefix (rcv_nxt) extends. Payload content is not
+// modelled, only coverage.
+//
+// Internally 32-bit sequence numbers are unwrapped to 64-bit linear stream
+// offsets: an arriving segment is positioned by its modular distance from
+// the current rcv_nxt (always < 2^31 for live data), so arbitrarily long
+// streams work across wraps while the interval bookkeeping stays linear.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "dctcpp/tcp/seq.h"
+#include "dctcpp/util/units.h"
+
+namespace dctcpp {
+
+class ReceiveBuffer {
+ public:
+  explicit ReceiveBuffer(SeqNum initial_rcv_nxt = SeqNum(0))
+      : rcv_nxt_(initial_rcv_nxt) {}
+
+  /// Records the arrival of [seq, seq+len). Returns the number of bytes by
+  /// which the in-order prefix advanced (0 for duplicates and segments that
+  /// leave a hole in front).
+  Bytes OnSegment(SeqNum seq, Bytes len);
+
+  /// Next expected byte — the cumulative ACK value.
+  SeqNum rcv_nxt() const { return rcv_nxt_; }
+
+  /// Total in-order bytes delivered since construction.
+  Bytes DeliveredBytes() const { return linear_rcv_nxt_; }
+
+  /// True if out-of-order data is buffered beyond rcv_nxt.
+  bool HasGaps() const { return !ooo_.empty(); }
+
+  std::size_t OutOfOrderRanges() const { return ooo_.size(); }
+  Bytes OutOfOrderBytes() const;
+
+  /// Up to `max_blocks` held out-of-order ranges as absolute sequence
+  /// ranges, lowest first — the receiver's SACK option content.
+  struct SeqRange {
+    SeqNum start;
+    SeqNum end;  // exclusive
+  };
+  std::vector<SeqRange> SackRanges(std::size_t max_blocks) const;
+
+ private:
+  SeqNum rcv_nxt_;
+  std::int64_t linear_rcv_nxt_ = 0;
+  // Disjoint, non-adjacent out-of-order ranges in linear offsets:
+  // start -> end (exclusive), all > linear_rcv_nxt_.
+  std::map<std::int64_t, std::int64_t> ooo_;
+};
+
+}  // namespace dctcpp

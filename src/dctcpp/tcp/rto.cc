@@ -1,0 +1,44 @@
+#include "dctcpp/tcp/rto.h"
+
+#include <algorithm>
+
+#include "dctcpp/util/assert.h"
+
+namespace dctcpp {
+
+void RtoEstimator::AddSample(Tick rtt) {
+  DCTCPP_ASSERT(rtt >= 0);
+  if (!has_sample_) {
+    srtt_ = rtt;
+    rttvar_ = rtt / 2;
+    has_sample_ = true;
+    return;
+  }
+  // RFC 6298: RTTVAR <- (1-beta)*RTTVAR + beta*|SRTT-R'|, beta = 1/4
+  //           SRTT   <- (1-alpha)*SRTT + alpha*R',       alpha = 1/8
+  const Tick err = srtt_ > rtt ? srtt_ - rtt : rtt - srtt_;
+  rttvar_ = (3 * rttvar_ + err) / 4;
+  srtt_ = (7 * srtt_ + rtt) / 8;
+}
+
+Tick RtoEstimator::Rto() const {
+  Tick base;
+  if (!has_sample_) {
+    base = config_.initial_rto;
+  } else {
+    base = srtt_ + std::max(config_.clock_granularity, 4 * rttvar_);
+    base = std::max(base, config_.min_rto);
+  }
+  // Apply Karn backoff with saturation at max_rto.
+  Tick rto = base;
+  for (int i = 0; i < backoff_shift_ && rto < config_.max_rto; ++i) {
+    rto *= 2;
+  }
+  return std::min(rto, config_.max_rto);
+}
+
+void RtoEstimator::Backoff() {
+  if (backoff_shift_ < 16) ++backoff_shift_;
+}
+
+}  // namespace dctcpp

@@ -1,0 +1,53 @@
+// RFC 6298 retransmission-timeout estimation with a configurable floor.
+//
+// The paper evaluates both the Linux default RTO_min of 200 ms and a 10 ms
+// floor (Fig 8 / the benchmark traffic of Fig 13), so the floor is a
+// first-class knob here.
+#pragma once
+
+#include "dctcpp/util/time.h"
+
+namespace dctcpp {
+
+class RtoEstimator {
+ public:
+  struct Config {
+    Tick min_rto = 200 * kMillisecond;  ///< RTO floor (Linux default)
+    Tick max_rto = 60 * kSecond;        ///< cap for exponential backoff
+    Tick initial_rto = 200 * kMillisecond;  ///< before any RTT sample
+    /// RFC 6298 smoothing constants alpha = 1/8, beta = 1/4 are fixed.
+    Tick clock_granularity = 1 * kMicrosecond;  ///< G in the RFC formula
+  };
+
+  RtoEstimator();  // default Config
+  explicit RtoEstimator(const Config& config) : config_(config) {}
+
+  /// Feeds one RTT measurement (from an unretransmitted segment only —
+  /// Karn's rule is the caller's responsibility).
+  void AddSample(Tick rtt);
+
+  /// Current timeout value including any backoff.
+  Tick Rto() const;
+
+  /// Doubles the timeout after a retransmission timeout (Karn backoff).
+  void Backoff();
+
+  /// Clears backoff once new data is acknowledged.
+  void ResetBackoff() { backoff_shift_ = 0; }
+
+  bool HasSample() const { return has_sample_; }
+  Tick srtt() const { return srtt_; }
+  Tick rttvar() const { return rttvar_; }
+  int backoff_shift() const { return backoff_shift_; }
+
+ private:
+  Config config_;
+  bool has_sample_ = false;
+  Tick srtt_ = 0;
+  Tick rttvar_ = 0;
+  int backoff_shift_ = 0;
+};
+
+inline RtoEstimator::RtoEstimator() : RtoEstimator(Config()) {}
+
+}  // namespace dctcpp

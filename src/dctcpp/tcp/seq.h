@@ -1,0 +1,54 @@
+// Wrap-safe 32-bit TCP sequence number arithmetic (RFC 793 modular
+// comparison: a < b iff (a - b) as signed 32-bit is negative).
+#pragma once
+
+#include <cstdint>
+
+namespace dctcpp {
+
+/// A TCP sequence number. Comparisons are modular, valid when the compared
+/// values are within 2^31 of each other (always true for in-flight data).
+class SeqNum {
+ public:
+  constexpr SeqNum() = default;
+  constexpr explicit SeqNum(std::uint32_t raw) : raw_(raw) {}
+
+  constexpr std::uint32_t raw() const { return raw_; }
+
+  constexpr SeqNum operator+(std::int64_t n) const {
+    return SeqNum(static_cast<std::uint32_t>(raw_ + static_cast<std::uint32_t>(n)));
+  }
+  constexpr SeqNum operator-(std::int64_t n) const {
+    return SeqNum(static_cast<std::uint32_t>(raw_ - static_cast<std::uint32_t>(n)));
+  }
+  SeqNum& operator+=(std::int64_t n) {
+    raw_ += static_cast<std::uint32_t>(n);
+    return *this;
+  }
+
+  /// Signed modular distance: *this - other, in [-2^31, 2^31).
+  constexpr std::int32_t DistanceFrom(SeqNum other) const {
+    return static_cast<std::int32_t>(raw_ - other.raw_);
+  }
+
+  friend constexpr bool operator==(SeqNum a, SeqNum b) {
+    return a.raw_ == b.raw_;
+  }
+  friend constexpr bool operator!=(SeqNum a, SeqNum b) {
+    return a.raw_ != b.raw_;
+  }
+  friend constexpr bool operator<(SeqNum a, SeqNum b) {
+    return a.DistanceFrom(b) < 0;
+  }
+  friend constexpr bool operator>(SeqNum a, SeqNum b) { return b < a; }
+  friend constexpr bool operator<=(SeqNum a, SeqNum b) { return !(b < a); }
+  friend constexpr bool operator>=(SeqNum a, SeqNum b) { return !(a < b); }
+
+ private:
+  std::uint32_t raw_ = 0;
+};
+
+constexpr SeqNum SeqMax(SeqNum a, SeqNum b) { return a < b ? b : a; }
+constexpr SeqNum SeqMin(SeqNum a, SeqNum b) { return a < b ? a : b; }
+
+}  // namespace dctcpp

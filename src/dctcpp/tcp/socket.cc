@@ -1,0 +1,678 @@
+#include "dctcpp/tcp/socket.h"
+
+#include <algorithm>
+
+#include "dctcpp/util/assert.h"
+#include "dctcpp/util/log.h"
+
+namespace dctcpp {
+
+TcpSocket::TcpSocket(Host& host, std::unique_ptr<CongestionOps> cc,
+                     const Config& config)
+    : host_(host),
+      cc_(std::move(cc)),
+      config_(config),
+      rto_(config.rto),
+      rto_timer_(host.sim(), [this] { OnRetransmissionTimeout(); }),
+      delack_timer_(host.sim(), [this] { SendAckNow(ReceiverEce()); }),
+      pace_timer_(host.sim(), [this] { TrySend(); }) {
+  DCTCPP_ASSERT(cc_ != nullptr);
+  DCTCPP_ASSERT(config_.mss > 0);
+  cwnd_ = config_.initial_cwnd > 0 ? config_.initial_cwnd
+                                   : cc_->InitialCwnd();
+}
+
+TcpSocket::~TcpSocket() {
+  if (registered_) {
+    host_.UnregisterConnection(local_port_, remote_, remote_port_);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Connection establishment
+
+void TcpSocket::Connect(NodeId remote, PortNum remote_port) {
+  DCTCPP_ASSERT(state_ == State::kClosed);
+  remote_ = remote;
+  remote_port_ = remote_port;
+  local_port_ = host_.AllocatePort();
+  host_.RegisterConnection(local_port_, remote_, remote_port_,
+                           [this](const Packet& p) { OnPacket(p); });
+  registered_ = true;
+  iss_ = SeqNum(static_cast<std::uint32_t>(sim().rng().Next()));
+  state_ = State::kSynSent;
+  SendControl(/*syn=*/true, /*fin=*/false, /*ack=*/false);
+  ArmRtoTimer();
+}
+
+void TcpSocket::AcceptFrom(const Packet& syn) {
+  DCTCPP_ASSERT(state_ == State::kClosed);
+  DCTCPP_ASSERT(syn.tcp.syn && !syn.tcp.ack_flag);
+  remote_ = syn.src;
+  remote_port_ = syn.tcp.src_port;
+  local_port_ = syn.tcp.dst_port;
+  host_.RegisterConnection(local_port_, remote_, remote_port_,
+                           [this](const Packet& p) { OnPacket(p); });
+  registered_ = true;
+  iss_ = SeqNum(static_cast<std::uint32_t>(sim().rng().Next()));
+  rx_ = ReceiveBuffer(SeqNum(syn.tcp.seq) + 1);
+  irs_valid_ = true;
+  // RFC 3168 negotiation: SYN carries ECE+CWR; agree if we are capable too.
+  ecn_ok_ = cc_->EcnCapable() && syn.tcp.ece && syn.tcp.cwr;
+  // SACK-permitted piggybacks on a SYN sack block (model of RFC 2018's
+  // SYN option): block[0] = {1,1} marks the capability.
+  sack_ok_ = config_.sack && syn.tcp.sack[0].start == 1 &&
+             syn.tcp.sack[0].end == 1;
+  state_ = State::kSynRcvd;
+  SendControl(/*syn=*/true, /*fin=*/false, /*ack=*/true);
+  ArmRtoTimer();
+}
+
+void TcpSocket::EstablishCommon() {
+  state_ = State::kEstablished;
+  syn_acked_ = true;
+  rto_.ResetBackoff();
+  MaybeCancelRtoTimer();
+  cc_->OnEstablished(*this);
+  if (on_connected_) on_connected_();
+}
+
+// ---------------------------------------------------------------------------
+// Application interface
+
+void TcpSocket::Send(Bytes n) {
+  DCTCPP_ASSERT(n > 0);
+  DCTCPP_ASSERT(!fin_pending_);
+  app_bytes_queued_ += n;
+  if (Established() || state_ == State::kCloseWait) TrySend();
+}
+
+void TcpSocket::Close() {
+  if (fin_pending_ || state_ == State::kClosed) return;
+  fin_pending_ = true;
+  TrySend();
+}
+
+void TcpSocket::set_cwnd(int cwnd_mss) {
+  cwnd_ = std::max(cwnd_mss, 1);
+}
+
+void TcpSocket::set_ssthresh(int ssthresh_mss) {
+  ssthresh_ = std::max(ssthresh_mss, 1);
+}
+
+// ---------------------------------------------------------------------------
+// Ingress
+
+void TcpSocket::OnPacket(const Packet& pkt) {
+  switch (state_) {
+    case State::kClosed:
+      return;  // stray packet after close
+    case State::kSynSent:
+      if (pkt.tcp.syn && pkt.tcp.ack_flag &&
+          SeqNum(pkt.tcp.ack) == iss_ + 1) {
+        rx_ = ReceiveBuffer(SeqNum(pkt.tcp.seq) + 1);
+        irs_valid_ = true;
+        ecn_ok_ = cc_->EcnCapable() && pkt.tcp.ece;
+        sack_ok_ = config_.sack && pkt.tcp.sack[0].start == 1 &&
+                   pkt.tcp.sack[0].end == 1;
+        EstablishCommon();
+        SendAckNow(false);  // complete the handshake
+        TrySend();
+      }
+      return;
+    case State::kSynRcvd:
+      if (pkt.tcp.syn && !pkt.tcp.ack_flag) {
+        // Client retransmitted its SYN: our SYN-ACK was lost.
+        SendControl(/*syn=*/true, /*fin=*/false, /*ack=*/true);
+        return;
+      }
+      if (pkt.tcp.ack_flag && SeqNum(pkt.tcp.ack) == iss_ + 1) {
+        EstablishCommon();
+        // The handshake-completing segment may already carry data.
+        if (pkt.payload > 0 || pkt.tcp.fin) ProcessPayload(pkt);
+        TrySend();
+      }
+      return;
+    default:
+      break;
+  }
+
+  if (pkt.tcp.syn) {
+    // Retransmitted SYN-ACK: our handshake ACK was lost; repeat it.
+    SendAckNow(ReceiverEce());
+    return;
+  }
+
+  if (pkt.tcp.ack_flag) ProcessAck(pkt);
+  if (state_ == State::kClosed) return;  // ACK processing may finalize
+  if (pkt.payload > 0 || pkt.tcp.fin) ProcessPayload(pkt);
+}
+
+void TcpSocket::ProcessAck(const Packet& pkt) {
+  ++stats_.acks_received;
+  const bool ece = pkt.tcp.ece;
+  if (ece) ++stats_.ece_acks_received;
+  if (sack_ok_) ProcessSackBlocks(pkt);
+
+  // Unwrap the ACK into a linear stream offset. One extra unit may cover
+  // our FIN. Validity is against the high-water mark: after an RTO rewound
+  // stream_next_, ACKs of pre-timeout transmissions are still legitimate.
+  const std::int64_t fin_units = fin_sent_ ? 1 : 0;
+  const std::int64_t linear_ack =
+      stream_acked_ + SeqNum(pkt.tcp.ack).DistanceFrom(SeqOfStream(stream_acked_));
+  if (linear_ack > stream_max_sent_ + fin_units) return;  // acks unsent data
+
+  Bytes newly = 0;
+  bool duplicate = false;
+  Tick rtt_sample = -1;
+
+  if (linear_ack > stream_acked_) {
+    newly = std::min(linear_ack, app_bytes_queued_) - stream_acked_;
+    stream_acked_ += newly;
+    // snd_nxt never trails snd_una (relevant after an RTO rewind).
+    stream_next_ = std::max(stream_next_, stream_acked_);
+    // Trim the SACK scoreboard below the new cumulative edge.
+    while (!sacked_.empty() && sacked_.begin()->second <= stream_acked_) {
+      sacked_.erase(sacked_.begin());
+    }
+    if (!sacked_.empty() && sacked_.begin()->first < stream_acked_) {
+      auto node = sacked_.extract(sacked_.begin());
+      const std::int64_t end = node.mapped();
+      sacked_[stream_acked_] = end;
+    }
+    sack_rtx_next_ = std::max(sack_rtx_next_, stream_acked_);
+    if (fin_sent_ && linear_ack == app_bytes_queued_ + 1) fin_acked_ = true;
+    ++progress_since_arm_;
+    if (rtt_pending_ && stream_acked_ >= rtt_offset_end_) {
+      rtt_sample = sim().Now() - rtt_sent_at_;
+      rto_.AddSample(rtt_sample);
+      rtt_pending_ = false;
+    }
+    rto_.ResetBackoff();
+
+    if (in_recovery_) {
+      if (stream_acked_ >= recover_) {
+        // NewReno full ACK: recovery complete.
+        in_recovery_ = false;
+        dupacks_ = 0;
+        cwnd_ = std::max(ssthresh_, cc_->MinCwnd());
+      } else {
+        // Partial ACK: the next segment was lost too; retransmit it and
+        // deflate the window by the amount acknowledged.
+        const int acked_mss =
+            static_cast<int>((newly + config_.mss - 1) / config_.mss);
+        cwnd_ = std::max(cwnd_ - acked_mss + 1, cc_->MinCwnd());
+        if (sack_ok_) {
+          // SACK recovery: resend the lowest not-yet-resent hole instead
+          // of blindly resending snd_una's segment.
+          sack_rtx_next_ = std::max(sack_rtx_next_, stream_acked_);
+          if (!RetransmitNextHole() && FlightSize() > 0) {
+            SendDataSegment(stream_acked_,
+                            std::min<Bytes>(config_.mss, FlightSize()),
+                            /*retransmit=*/true);
+          }
+        } else if (FlightSize() > 0) {
+          SendDataSegment(stream_acked_,
+                          std::min<Bytes>(config_.mss, FlightSize()),
+                          /*retransmit=*/true);
+        }
+      }
+    } else {
+      dupacks_ = 0;
+    }
+
+    if (FlightSize() == 0 && (!fin_sent_ || fin_acked_)) {
+      MaybeCancelRtoTimer();
+    } else {
+      ArmRtoTimer();  // rearm on forward progress (RFC 6298 5.3)
+    }
+  } else if (linear_ack == stream_acked_ && FlightSize() > 0 &&
+             pkt.payload == 0 && !pkt.tcp.syn && !pkt.tcp.fin) {
+    duplicate = true;
+    ++dupacks_;
+    ++dupacks_since_arm_;
+    if (!in_recovery_ && dupacks_ == 3) {
+      EnterFastRetransmit();
+    } else if (in_recovery_) {
+      ++cwnd_;  // window inflation while the hole persists
+      // With SACK, each further duplicate can repair one more known hole
+      // (bounded RFC 6675-style recovery) instead of waiting for partial
+      // ACKs to reveal them one RTT apart.
+      if (sack_ok_) RetransmitNextHole();
+    }
+  }
+
+  // Delegate policy (window growth, DCTCP alpha, ECE reaction, DCTCP+
+  // state machine) when this ACK concerns our data transfer.
+  if (newly > 0 || duplicate || FlightSize() > 0) {
+    const AckContext ctx{newly, duplicate, ece && ecn_ok_, in_recovery_,
+                         rtt_sample};
+    cc_->OnAck(*this, ctx);
+    if (probe_ != nullptr) {
+      const bool at_min = (ece && ecn_ok_) && cwnd_ <= cc_->MinCwnd();
+      probe_->OnAckProcessed(*this, cwnd_, ece && ecn_ok_, at_min);
+    }
+  }
+
+  if (newly > 0 && on_acked_) on_acked_(newly);
+
+  // Close-side progress.
+  if (fin_acked_) {
+    if (state_ == State::kLastAck) {
+      FinalizeClose();
+      return;
+    }
+    if (state_ == State::kFinWait && peer_fin_received_) {
+      FinalizeClose();
+      return;
+    }
+  }
+
+  TrySend();
+}
+
+// ---------------------------------------------------------------------------
+// SACK scoreboard
+
+void TcpSocket::ProcessSackBlocks(const Packet& pkt) {
+  for (const SackBlock& block : pkt.tcp.sack) {
+    if (!block.Valid()) continue;
+    // Unwrap to linear offsets; clamp to the sent range.
+    const std::int64_t start =
+        stream_acked_ +
+        SeqNum(block.start).DistanceFrom(SeqOfStream(stream_acked_));
+    const std::int64_t end =
+        stream_acked_ +
+        SeqNum(block.end).DistanceFrom(SeqOfStream(stream_acked_));
+    if (end <= start) continue;
+    SackMarkRange(std::max(start, stream_acked_),
+                  std::min(end, stream_max_sent_));
+  }
+}
+
+void TcpSocket::SackMarkRange(std::int64_t start, std::int64_t end) {
+  if (end <= start) return;
+  sack_high_ = std::max(sack_high_, end);
+  auto it = sacked_.upper_bound(start);
+  if (it != sacked_.begin()) {
+    auto prev = std::prev(it);
+    if (prev->second >= start) {
+      start = prev->first;
+      it = prev;
+    }
+  }
+  std::int64_t merged_end = end;
+  while (it != sacked_.end() && it->first <= merged_end) {
+    merged_end = std::max(merged_end, it->second);
+    it = sacked_.erase(it);
+  }
+  sacked_[std::min(start, end)] = merged_end;
+}
+
+bool TcpSocket::IsSacked(std::int64_t offset) const {
+  auto it = sacked_.upper_bound(offset);
+  if (it == sacked_.begin()) return false;
+  return std::prev(it)->second > offset;
+}
+
+std::int64_t TcpSocket::NextHole(std::int64_t from) const {
+  std::int64_t candidate = std::max(from, stream_acked_);
+  while (candidate < sack_high_) {
+    auto it = sacked_.upper_bound(candidate);
+    if (it == sacked_.begin()) return candidate;  // hole before first range
+    auto prev = std::prev(it);
+    if (prev->second <= candidate) return candidate;  // in a gap
+    candidate = prev->second;  // inside a SACKed range: skip past it
+  }
+  return -1;
+}
+
+bool TcpSocket::RetransmitNextHole() {
+  const std::int64_t hole = NextHole(sack_rtx_next_);
+  if (hole < 0 || hole >= app_bytes_queued_) return false;
+  // Length bounded by the MSS, the end of the hole, and the stream.
+  Bytes len = std::min<Bytes>(config_.mss, app_bytes_queued_ - hole);
+  auto it = sacked_.upper_bound(hole);
+  if (it != sacked_.end()) len = std::min<Bytes>(len, it->first - hole);
+  SendDataSegment(hole, len, /*retransmit=*/true);
+  sack_rtx_next_ = hole + len;
+  return true;
+}
+
+bool TcpSocket::ReceiverEce() const {
+  return cc_->DctcpStyleReceiver() ? rx_ce_state_
+                                   : (rx_ece_latched_ && ecn_ok_);
+}
+
+void TcpSocket::ProcessPayload(const Packet& pkt) {
+  DCTCPP_ASSERT(irs_valid_);
+
+  if (pkt.payload > 0) {
+    // Receiver-side ECN bookkeeping precedes ACK generation.
+    const bool ce = pkt.ecn == Ecn::kCe;
+    if (cc_->DctcpStyleReceiver()) {
+      // DCTCP's delayed-ACK-aware echo: on every CE state change, first
+      // acknowledge the packets seen so far with the *old* state, then
+      // flip. Steady CE runs are echoed by the normal delayed ACKs.
+      if (ce != rx_ce_state_) {
+        SendAckNow(rx_ce_state_);
+        rx_ce_state_ = ce;
+      }
+    } else if (ecn_ok_) {
+      if (ce) rx_ece_latched_ = true;
+      if (pkt.tcp.cwr) rx_ece_latched_ = false;
+    }
+
+    const Bytes advanced = rx_.OnSegment(SeqNum(pkt.tcp.seq), pkt.payload);
+    if (advanced > 0 && on_data_) on_data_(advanced);
+
+    if (advanced == 0 || rx_.HasGaps()) {
+      // Duplicate or out-of-order: immediate (duplicate) ACK so the sender
+      // can detect the hole.
+      SendAckNow(ReceiverEce());
+    } else {
+      if (++unacked_segments_ >= config_.delayed_ack_segments) {
+        SendAckNow(ReceiverEce());
+      } else if (!delack_timer_.IsPending()) {
+        delack_timer_.Schedule(config_.delayed_ack_timeout);
+      }
+    }
+  }
+
+  if (pkt.tcp.fin && !peer_fin_received_) {
+    // Accept the FIN only once all of the peer's data is in.
+    const SeqNum fin_seq = SeqNum(pkt.tcp.seq) + pkt.payload;
+    if (fin_seq == rx_.rcv_nxt()) {
+      peer_fin_received_ = true;
+      if (state_ == State::kEstablished) state_ = State::kCloseWait;
+      SendAckNow(ReceiverEce());
+      if (on_remote_close_) on_remote_close_();
+      if (state_ == State::kFinWait && fin_acked_) FinalizeClose();
+    } else {
+      SendAckNow(ReceiverEce());  // out-of-order FIN: dup ACK
+    }
+  }
+}
+
+void TcpSocket::SendAckNow(bool ece) {
+  unacked_segments_ = 0;
+  delack_timer_.Cancel();
+  Packet pkt = MakePacket();
+  pkt.tcp.seq = SeqOfStream(stream_next_).raw();
+  pkt.tcp.ack_flag = true;
+  pkt.tcp.ack = (rx_.rcv_nxt() + (peer_fin_received_ ? 1 : 0)).raw();
+  pkt.tcp.ece = ece;
+  pkt.payload = 0;
+  pkt.ecn = Ecn::kNotEct;
+  if (sack_ok_ && rx_.HasGaps()) {
+    const auto ranges = rx_.SackRanges(3);
+    for (std::size_t i = 0; i < ranges.size(); ++i) {
+      pkt.tcp.sack[i] = SackBlock{ranges[i].start.raw(),
+                                  ranges[i].end.raw()};
+    }
+  }
+  ++stats_.acks_sent;
+  host_.Send(pkt);
+}
+
+// ---------------------------------------------------------------------------
+// Egress
+
+Packet TcpSocket::MakePacket() const {
+  Packet pkt;
+  pkt.src = host_.id();
+  pkt.dst = remote_;
+  pkt.tcp.src_port = local_port_;
+  pkt.tcp.dst_port = remote_port_;
+  return pkt;
+}
+
+void TcpSocket::SendControl(bool syn, bool fin, bool ack) {
+  Packet pkt = MakePacket();
+  pkt.tcp.syn = syn;
+  pkt.tcp.fin = fin;
+  pkt.tcp.ack_flag = ack;
+  if (syn) {
+    pkt.tcp.seq = iss_.raw();
+    if (cc_->EcnCapable()) {
+      // RFC 3168: SYN carries ECE+CWR, SYN-ACK echoes ECE only.
+      pkt.tcp.ece = true;
+      pkt.tcp.cwr = !ack;
+    }
+    if (config_.sack) {
+      // SACK-permitted marker (see AcceptFrom).
+      pkt.tcp.sack[0] = SackBlock{1, 1};
+    }
+  } else if (fin) {
+    pkt.tcp.seq = SeqOfStream(app_bytes_queued_).raw();
+  }
+  if (ack) {
+    pkt.tcp.ack = (rx_.rcv_nxt() + (peer_fin_received_ ? 1 : 0)).raw();
+  }
+  pkt.payload = 0;
+  pkt.ecn = Ecn::kNotEct;
+  host_.Send(pkt);
+}
+
+void TcpSocket::TrySend() {
+  if (state_ != State::kEstablished && state_ != State::kCloseWait &&
+      state_ != State::kFinWait && state_ != State::kLastAck) {
+    return;
+  }
+
+  const Bytes wnd_bytes =
+      static_cast<Bytes>(std::min(cwnd_, config_.rwnd_mss)) * config_.mss;
+
+  while (stream_next_ < app_bytes_queued_) {
+    if (sack_ok_ && stream_next_ < stream_max_sent_) {
+      // Go-back retransmission region: never resend selectively
+      // acknowledged data.
+      auto it = sacked_.upper_bound(stream_next_);
+      if (it != sacked_.begin() &&
+          std::prev(it)->second > stream_next_) {
+        stream_next_ = std::prev(it)->second;
+        continue;
+      }
+    }
+    Bytes len =
+        std::min<Bytes>(config_.mss, app_bytes_queued_ - stream_next_);
+    if (sack_ok_) {
+      auto it = sacked_.upper_bound(stream_next_);
+      if (it != sacked_.end()) {
+        len = std::min<Bytes>(len, it->first - stream_next_);
+      }
+    }
+    if (len <= 0) break;  // defensive; cannot happen with a sane scoreboard
+    if (FlightSize() + len > wnd_bytes) break;
+    const Tick now = sim().Now();
+    // DCTCP+ pacing gate, modelling the paper's hrtimer around
+    // tcp_transmit_skb: while the regulator is engaged, every data
+    // segment -- including the first after idle and post-timeout
+    // retransmissions -- waits slow_time before entering the network.
+    // `pace_armed_` marks a reserved slot not yet consumed by a send.
+    const Tick delay = cc_->PacingDelay(*this, sim().rng());
+    if (delay > 0) {
+      if (!pace_armed_) {
+        pace_until_ = now + delay;
+        pace_armed_ = true;
+      }
+      if (now < pace_until_) {
+        pace_timer_.Schedule(pace_until_ - now);
+        return;
+      }
+      pace_armed_ = false;  // slot consumed by this segment
+    } else {
+      pace_armed_ = false;
+    }
+    // Offsets below the high-water mark are retransmissions of data first
+    // sent before an RTO rewound stream_next_.
+    SendDataSegment(stream_next_, len,
+                    /*retransmit=*/stream_next_ < stream_max_sent_);
+    stream_next_ += len;
+  }
+
+  // A FIN follows once every queued byte has been transmitted.
+  if (fin_pending_ && !fin_sent_ && stream_next_ == app_bytes_queued_) {
+    fin_sent_ = true;
+    SendControl(/*syn=*/false, /*fin=*/true, /*ack=*/true);
+    if (state_ == State::kEstablished) state_ = State::kFinWait;
+    if (state_ == State::kCloseWait) state_ = State::kLastAck;
+    ArmRtoTimer();
+  }
+}
+
+bool TcpSocket::SendDataSegment(std::int64_t offset, Bytes len,
+                                bool retransmit) {
+  DCTCPP_ASSERT(len > 0);
+  Packet pkt = MakePacket();
+  pkt.tcp.seq = SeqOfStream(offset).raw();
+  pkt.tcp.ack_flag = irs_valid_;
+  if (irs_valid_) {
+    pkt.tcp.ack = (rx_.rcv_nxt() + (peer_fin_received_ ? 1 : 0)).raw();
+    pkt.tcp.ece = ReceiverEce();  // piggybacked echo
+  }
+  pkt.payload = len;
+  pkt.ecn = ecn_ok_ ? Ecn::kEct : Ecn::kNotEct;
+  if (cwr_pending_) {
+    pkt.tcp.cwr = true;
+    cwr_pending_ = false;
+  }
+
+  stream_max_sent_ = std::max(stream_max_sent_, offset + len);
+  if (retransmit) {
+    ++stats_.segments_retransmitted;
+    // Karn: a retransmitted range can no longer produce an RTT sample.
+    if (rtt_pending_ && offset < rtt_offset_end_) InvalidateRttSample();
+  } else if (!rtt_pending_) {
+    rtt_pending_ = true;
+    rtt_offset_end_ = offset + len;
+    rtt_sent_at_ = sim().Now();
+  }
+  ++stats_.segments_sent;
+  if (probe_ != nullptr) probe_->OnSegmentSent(*this, pkt, retransmit);
+
+  host_.Send(pkt);
+  if (!rto_timer_.IsPending()) ArmRtoTimer();
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Loss recovery
+
+void TcpSocket::EnterFastRetransmit() {
+  ++stats_.fast_retransmits;
+  ssthresh_ = std::max(cc_->SsthreshAfterLoss(*this), cc_->MinCwnd());
+  in_recovery_ = true;
+  recover_ = stream_next_;
+  cwnd_ = ssthresh_ + 3;
+  cc_->OnFastRetransmit(*this);
+  if (probe_ != nullptr) probe_->OnFastRetransmit(*this);
+  if (sack_ok_) {
+    sack_rtx_next_ = stream_acked_;  // new episode: repair from the edge
+    if (RetransmitNextHole()) return;
+  }
+  if (FlightSize() > 0) {
+    SendDataSegment(stream_acked_,
+                    std::min<Bytes>(config_.mss, FlightSize()),
+                    /*retransmit=*/true);
+  }
+}
+
+void TcpSocket::OnRetransmissionTimeout() {
+  // Handshake and FIN retransmissions carry no congestion-control
+  // significance in the model beyond RTO backoff.
+  if (state_ == State::kSynSent) {
+    rto_.Backoff();
+    SendControl(/*syn=*/true, /*fin=*/false, /*ack=*/false);
+    ArmRtoTimer();
+    return;
+  }
+  if (state_ == State::kSynRcvd) {
+    rto_.Backoff();
+    SendControl(/*syn=*/true, /*fin=*/false, /*ack=*/true);
+    ArmRtoTimer();
+    return;
+  }
+
+  const bool data_outstanding = FlightSize() > 0;
+  if (!data_outstanding && fin_sent_ && !fin_acked_) {
+    rto_.Backoff();
+    SendControl(/*syn=*/false, /*fin=*/true, /*ack=*/true);
+    ArmRtoTimer();
+    return;
+  }
+  if (!data_outstanding) return;  // spurious (everything got acked)
+
+  ++stats_.timeouts;
+  // Taxonomy of the paper's Table I: with zero feedback since the timer
+  // was armed the whole window was lost (FLoss-TO); with some feedback but
+  // not the three duplicates needed for fast retransmit it is LAck-TO.
+  const TimeoutKind kind =
+      (dupacks_since_arm_ == 0 && progress_since_arm_ == 0)
+          ? TimeoutKind::kFullWindowLoss
+          : TimeoutKind::kLackOfAcks;
+  if (probe_ != nullptr) probe_->OnTimeout(*this, kind);
+
+  cc_->OnRetransmissionTimeout(*this);
+
+  ssthresh_ = std::max(cwnd_ / 2, 2);
+  cwnd_ = 1;  // RFC 5681 loss window
+  in_recovery_ = false;
+  dupacks_ = 0;
+  stream_next_ = stream_acked_;  // go-back-N from the hole
+  sack_rtx_next_ = stream_acked_;
+  InvalidateRttSample();
+  rto_.Backoff();
+  ArmRtoTimer();
+
+  // The retransmission goes through the normal (pacing-gated) send path:
+  // DCTCP+ deliberately staggers post-timeout retransmissions, which would
+  // otherwise leave the concurrent flows RTO-synchronized.
+  TrySend();
+}
+
+void TcpSocket::ArmRtoTimer() {
+  rto_timer_.Schedule(rto_.Rto());
+  dupacks_since_arm_ = 0;
+  progress_since_arm_ = 0;
+}
+
+void TcpSocket::MaybeCancelRtoTimer() { rto_timer_.Cancel(); }
+
+void TcpSocket::FinalizeClose() {
+  state_ = State::kClosed;
+  rto_timer_.Cancel();
+  delack_timer_.Cancel();
+  pace_timer_.Cancel();
+  if (registered_) {
+    host_.UnregisterConnection(local_port_, remote_, remote_port_);
+    registered_ = false;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Listener
+
+TcpListener::TcpListener(Host& host, PortNum port, CcFactory cc_factory,
+                         TcpSocket::Config config, AcceptCallback on_accept)
+    : host_(host),
+      port_(port),
+      cc_factory_(std::move(cc_factory)),
+      config_(config),
+      on_accept_(std::move(on_accept)) {
+  DCTCPP_ASSERT(cc_factory_ != nullptr);
+  DCTCPP_ASSERT(on_accept_ != nullptr);
+  host_.Listen(port_, [this](const Packet& p) { OnPacket(p); });
+}
+
+TcpListener::~TcpListener() { host_.StopListening(port_); }
+
+void TcpListener::OnPacket(const Packet& pkt) {
+  if (!pkt.tcp.syn || pkt.tcp.ack_flag) return;  // only fresh SYNs
+  auto socket = std::make_unique<TcpSocket>(host_, cc_factory_(), config_);
+  socket->AcceptFrom(pkt);
+  on_accept_(std::move(socket));
+}
+
+}  // namespace dctcpp

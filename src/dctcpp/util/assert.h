@@ -1,0 +1,30 @@
+// Assertion macros.
+//
+// DCTCPP_ASSERT is an always-on invariant check (simulation correctness
+// depends on these; the cost is negligible next to event dispatch).
+// DCTCPP_DASSERT compiles out in NDEBUG builds for hot-path checks.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace dctcpp::detail {
+
+[[noreturn]] inline void AssertFail(const char* expr, const char* file,
+                                    int line) {
+  std::fprintf(stderr, "dctcpp assertion failed: %s at %s:%d\n", expr, file,
+               line);
+  std::abort();
+}
+
+}  // namespace dctcpp::detail
+
+#define DCTCPP_ASSERT(expr)                                   \
+  ((expr) ? static_cast<void>(0)                              \
+          : ::dctcpp::detail::AssertFail(#expr, __FILE__, __LINE__))
+
+#ifdef NDEBUG
+#define DCTCPP_DASSERT(expr) static_cast<void>(0)
+#else
+#define DCTCPP_DASSERT(expr) DCTCPP_ASSERT(expr)
+#endif

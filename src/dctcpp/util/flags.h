@@ -1,0 +1,57 @@
+// Tiny command-line flag parser for the bench and example binaries.
+//
+// Supports `--name=value`, `--name value`, and bare `--bool-flag`.
+// Unrecognized flags are an error so that experiment sweeps fail loudly
+// rather than silently running the wrong configuration.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace dctcpp {
+
+class Flags {
+ public:
+  /// Registers a flag with its default value and help text. Call all
+  /// Define* before Parse.
+  void DefineInt(const std::string& name, std::int64_t def,
+                 const std::string& help);
+  void DefineDouble(const std::string& name, double def,
+                    const std::string& help);
+  void DefineBool(const std::string& name, bool def, const std::string& help);
+  void DefineString(const std::string& name, const std::string& def,
+                    const std::string& help);
+
+  /// Parses argv. On `--help`, prints usage and returns false (caller should
+  /// exit 0). On a malformed or unknown flag, prints an error and usage and
+  /// returns false (caller should exit nonzero; check Failed()).
+  bool Parse(int argc, char** argv);
+
+  bool Failed() const { return failed_; }
+
+  std::int64_t GetInt(const std::string& name) const;
+  double GetDouble(const std::string& name) const;
+  bool GetBool(const std::string& name) const;
+  const std::string& GetString(const std::string& name) const;
+
+  void PrintUsage(const char* prog) const;
+
+ private:
+  enum class Type { kInt, kDouble, kBool, kString };
+  struct Entry {
+    Type type;
+    std::string help;
+    std::int64_t i = 0;
+    double d = 0;
+    bool b = false;
+    std::string s;
+  };
+
+  bool SetFromString(Entry& e, const std::string& value);
+
+  std::map<std::string, Entry> entries_;
+  bool failed_ = false;
+};
+
+}  // namespace dctcpp

@@ -1,0 +1,51 @@
+#include "dctcpp/util/log.h"
+
+#include <atomic>
+#include <cstdio>
+
+namespace dctcpp {
+namespace {
+
+std::atomic<int> g_level{static_cast<int>(LogLevel::kWarn)};
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void SetLogLevel(LogLevel level) {
+  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+LogLevel GetLogLevel() {
+  return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed));
+}
+
+bool LogEnabled(LogLevel level) {
+  return static_cast<int>(level) >=
+         g_level.load(std::memory_order_relaxed);
+}
+
+void LogV(LogLevel level, const char* fmt, std::va_list ap) {
+  char buf[1024];
+  std::vsnprintf(buf, sizeof buf, fmt, ap);
+  std::fprintf(stderr, "[%s] %s\n", LevelName(level), buf);
+}
+
+void Log(LogLevel level, const char* fmt, ...) {
+  if (!LogEnabled(level)) return;
+  std::va_list ap;
+  va_start(ap, fmt);
+  LogV(level, fmt, ap);
+  va_end(ap);
+}
+
+}  // namespace dctcpp

@@ -1,0 +1,39 @@
+// Minimal leveled logger.
+//
+// The simulator is a library, so logging defaults to WARN and writes to
+// stderr; binaries raise the level with --verbose. Printf-style because the
+// hot path must not pay iostream costs when disabled.
+#pragma once
+
+#include <cstdarg>
+
+namespace dctcpp {
+
+enum class LogLevel : int { kTrace = 0, kDebug, kInfo, kWarn, kError };
+
+/// Sets the global minimum level that will be emitted.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+/// True if a message at `level` would be emitted (guard expensive args).
+bool LogEnabled(LogLevel level);
+
+/// Emits one formatted line ("[level] msg\n") to stderr.
+void LogV(LogLevel level, const char* fmt, std::va_list ap);
+void Log(LogLevel level, const char* fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+}  // namespace dctcpp
+
+#define DCTCPP_LOG(level, ...)                      \
+  do {                                              \
+    if (::dctcpp::LogEnabled(level)) {              \
+      ::dctcpp::Log(level, __VA_ARGS__);            \
+    }                                               \
+  } while (0)
+
+#define DCTCPP_TRACE(...) DCTCPP_LOG(::dctcpp::LogLevel::kTrace, __VA_ARGS__)
+#define DCTCPP_DEBUG(...) DCTCPP_LOG(::dctcpp::LogLevel::kDebug, __VA_ARGS__)
+#define DCTCPP_INFO(...) DCTCPP_LOG(::dctcpp::LogLevel::kInfo, __VA_ARGS__)
+#define DCTCPP_WARN(...) DCTCPP_LOG(::dctcpp::LogLevel::kWarn, __VA_ARGS__)
+#define DCTCPP_ERROR(...) DCTCPP_LOG(::dctcpp::LogLevel::kError, __VA_ARGS__)

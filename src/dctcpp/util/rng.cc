@@ -1,0 +1,53 @@
+#include "dctcpp/util/rng.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dctcpp {
+
+double Rng::Exponential(double mean) {
+  DCTCPP_ASSERT(mean > 0);
+  // Avoid log(0): NextDouble() is in [0,1), so 1-u is in (0,1].
+  const double u = NextDouble();
+  return -mean * std::log(1.0 - u);
+}
+
+EmpiricalCdf::EmpiricalCdf(std::vector<Point> points)
+    : points_(std::move(points)) {
+  DCTCPP_ASSERT(!points_.empty());
+  for (std::size_t i = 1; i < points_.size(); ++i) {
+    DCTCPP_ASSERT(points_[i].cumulative >= points_[i - 1].cumulative);
+    DCTCPP_ASSERT(points_[i].value >= points_[i - 1].value);
+  }
+  DCTCPP_ASSERT(points_.back().cumulative == 1.0);
+}
+
+double EmpiricalCdf::Sample(Rng& rng) const {
+  const double u = rng.NextDouble();
+  // First point with cumulative >= u.
+  auto it = std::lower_bound(
+      points_.begin(), points_.end(), u,
+      [](const Point& p, double x) { return p.cumulative < x; });
+  if (it == points_.begin()) return points_.front().value;
+  if (it == points_.end()) return points_.back().value;
+  const Point& hi = *it;
+  const Point& lo = *(it - 1);
+  const double span = hi.cumulative - lo.cumulative;
+  if (span <= 0) return hi.value;
+  const double f = (u - lo.cumulative) / span;
+  return lo.value + f * (hi.value - lo.value);
+}
+
+double EmpiricalCdf::Mean() const {
+  // Piecewise-linear CDF => each segment contributes a uniform chunk with
+  // probability mass (c_i - c_{i-1}) and mean (v_{i-1}+v_i)/2. Mass at the
+  // first point (its cumulative > 0) is an atom at that value.
+  double mean = points_.front().value * points_.front().cumulative;
+  for (std::size_t i = 1; i < points_.size(); ++i) {
+    const double mass = points_[i].cumulative - points_[i - 1].cumulative;
+    mean += mass * 0.5 * (points_[i].value + points_[i - 1].value);
+  }
+  return mean;
+}
+
+}  // namespace dctcpp

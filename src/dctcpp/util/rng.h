@@ -1,0 +1,143 @@
+// Deterministic random number generation.
+//
+// Every simulation run owns exactly one `Rng` seeded from the run
+// configuration, so runs are bit-reproducible. The generator is
+// xoshiro256** (Blackman & Vigna) seeded through SplitMix64; it is fast,
+// has 256 bits of state, and passes BigCrush.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dctcpp/util/assert.h"
+#include "dctcpp/util/time.h"
+
+namespace dctcpp {
+
+/// SplitMix64 step; used for seeding and as a cheap hash.
+constexpr std::uint64_t SplitMix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** pseudo-random generator with convenience distributions.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x1234abcd) { Seed(seed); }
+
+  /// Re-seeds the full 256-bit state from a 64-bit value via SplitMix64.
+  void Seed(std::uint64_t seed) {
+    std::uint64_t sm = seed;
+    for (auto& w : s_) w = SplitMix64(sm);
+  }
+
+  /// Raw 64 random bits.
+  std::uint64_t Next() {
+    const std::uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = Rotl(s_[3], 45);
+    return result;
+  }
+
+  // UniformRandomBitGenerator interface (usable with <random> adapters).
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+  result_type operator()() { return Next(); }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t UniformInt(std::int64_t lo, std::int64_t hi) {
+    DCTCPP_ASSERT(lo <= hi);
+    const std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+    if (span == 0) return static_cast<std::int64_t>(Next());  // full range
+    // Lemire's unbiased multiply-shift rejection method.
+    std::uint64_t x = Next();
+    unsigned __int128 m = static_cast<unsigned __int128>(x) * span;
+    auto l = static_cast<std::uint64_t>(m);
+    if (l < span) {
+      const std::uint64_t t = (0 - span) % span;
+      while (l < t) {
+        x = Next();
+        m = static_cast<unsigned __int128>(x) * span;
+        l = static_cast<std::uint64_t>(m);
+      }
+    }
+    return lo + static_cast<std::int64_t>(m >> 64);
+  }
+
+  /// Uniform duration in [0, upper] inclusive (paper's `random(unit)`).
+  Tick UniformTick(Tick upper) {
+    DCTCPP_ASSERT(upper >= 0);
+    return UniformInt(0, upper);
+  }
+
+  /// Uniform double in [lo, hi).
+  double UniformDouble(double lo, double hi) {
+    return lo + (hi - lo) * NextDouble();
+  }
+
+  /// Exponentially distributed double with the given mean (> 0).
+  double Exponential(double mean);
+
+  /// Bernoulli trial with probability p of returning true.
+  bool Chance(double p) { return NextDouble() < p; }
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      const auto j =
+          static_cast<std::size_t>(UniformInt(0, static_cast<std::int64_t>(i) - 1));
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Derives an independent child generator (for per-flow streams).
+  Rng Fork() { return Rng(Next()); }
+
+ private:
+  static constexpr std::uint64_t Rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t s_[4];
+};
+
+/// A piecewise-linear empirical CDF over values, sampled by inversion.
+/// Used to model the production-cluster flow-size distributions that the
+/// paper's benchmark traffic draws from.
+class EmpiricalCdf {
+ public:
+  struct Point {
+    double value;        ///< sample value (e.g. flow size in bytes)
+    double cumulative;   ///< CDF at that value, in [0, 1], nondecreasing
+  };
+
+  /// `points` must be nonempty, sorted by cumulative, ending at 1.0.
+  explicit EmpiricalCdf(std::vector<Point> points);
+
+  /// Draws one value by inverse-transform sampling.
+  double Sample(Rng& rng) const;
+
+  /// Mean of the piecewise-linear distribution (for load calculations).
+  double Mean() const;
+
+ private:
+  std::vector<Point> points_;
+};
+
+}  // namespace dctcpp

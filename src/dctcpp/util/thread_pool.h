@@ -1,0 +1,59 @@
+// Fixed-size worker pool used by the experiment harness.
+//
+// Each (protocol, flow-count, repetition) point of a sweep is an independent
+// simulation, so sweeps parallelize embarrassingly: the harness submits one
+// closure per point and waits on the returned futures or uses ParallelFor.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace dctcpp {
+
+class ThreadPool {
+ public:
+  /// `threads == 0` selects std::thread::hardware_concurrency() (min 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size(); }
+
+  /// Enqueues a task; the future resolves when it has run.
+  template <typename F>
+  std::future<void> Submit(F&& fn) {
+    auto task =
+        std::make_shared<std::packaged_task<void()>>(std::forward<F>(fn));
+    std::future<void> fut = task->get_future();
+    {
+      std::lock_guard lock(mu_);
+      queue_.emplace_back([task] { (*task)(); });
+    }
+    cv_.notify_one();
+    return fut;
+  }
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+/// Runs `body(i)` for i in [0, n) across `pool`, blocking until all finish.
+/// Exceptions from the body propagate (the first one encountered rethrows).
+void ParallelFor(ThreadPool& pool, std::size_t n,
+                 const std::function<void(std::size_t)>& body);
+
+}  // namespace dctcpp

@@ -1,0 +1,72 @@
+// Byte-count and data-rate units.
+//
+// Rates are represented as bits per second in a 64-bit integer; the
+// serialization delay of a packet is computed in integer nanoseconds with
+// round-up so that back-to-back packets never overlap on a link.
+#pragma once
+
+#include <cstdint>
+
+#include "dctcpp/util/assert.h"
+#include "dctcpp/util/time.h"
+
+namespace dctcpp {
+
+/// Byte counts are plain 64-bit integers.
+using Bytes = std::int64_t;
+
+inline constexpr Bytes kKiB = 1024;
+inline constexpr Bytes kMiB = 1024 * kKiB;
+
+/// A link/line rate in bits per second.
+class DataRate {
+ public:
+  constexpr DataRate() = default;
+  constexpr explicit DataRate(std::int64_t bits_per_sec)
+      : bps_(bits_per_sec) {}
+
+  static constexpr DataRate BitsPerSec(std::int64_t v) { return DataRate(v); }
+  static constexpr DataRate KilobitsPerSec(std::int64_t v) {
+    return DataRate(v * 1000);
+  }
+  static constexpr DataRate MegabitsPerSec(std::int64_t v) {
+    return DataRate(v * 1000 * 1000);
+  }
+  static constexpr DataRate GigabitsPerSec(std::int64_t v) {
+    return DataRate(v * 1000 * 1000 * 1000);
+  }
+
+  constexpr std::int64_t bps() const { return bps_; }
+  constexpr double mbps() const { return static_cast<double>(bps_) / 1e6; }
+
+  /// Time to serialize `n` bytes at this rate, rounded up to a whole tick.
+  constexpr Tick TransmissionTime(Bytes n) const {
+    DCTCPP_ASSERT(bps_ > 0);
+    DCTCPP_ASSERT(n >= 0);
+    // ns = bytes*8 * 1e9 / bps, computed without overflow for realistic
+    // packet sizes (n*8*1e9 fits in __int128).
+    const __int128 num = static_cast<__int128>(n) * 8 * kSecond;
+    return static_cast<Tick>((num + bps_ - 1) / bps_);
+  }
+
+  /// Bytes fully serializable in `t` (used for pipeline-capacity math).
+  constexpr Bytes BytesPer(Tick t) const {
+    const __int128 num = static_cast<__int128>(bps_) * t;
+    return static_cast<Bytes>(num / (8 * kSecond));
+  }
+
+  friend constexpr bool operator==(DataRate a, DataRate b) {
+    return a.bps_ == b.bps_;
+  }
+
+ private:
+  std::int64_t bps_ = 0;
+};
+
+/// Goodput in Mbps from a byte count over an interval, for reporting.
+inline double GoodputMbps(Bytes bytes, Tick interval) {
+  if (interval <= 0) return 0.0;
+  return static_cast<double>(bytes) * 8.0 / ToSeconds(interval) / 1e6;
+}
+
+}  // namespace dctcpp

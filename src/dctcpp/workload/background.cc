@@ -1,0 +1,83 @@
+#include "dctcpp/workload/background.h"
+
+#include "dctcpp/util/assert.h"
+
+namespace dctcpp {
+
+EmpiricalCdf ProductionFlowSizeCdf() {
+  // Piecewise-linear fit of the DCTCP paper's measured flow-size CDF: the
+  // bulk of flows are a few KB (query/coordination traffic), a middle band
+  // of 50 KB - 1 MB short messages, and a 1 MB - 10 MB background tail
+  // that carries most of the bytes. Values in bytes.
+  return EmpiricalCdf({
+      {1 * 1024.0, 0.00},
+      {2 * 1024.0, 0.30},
+      {10 * 1024.0, 0.50},
+      {50 * 1024.0, 0.70},
+      {256 * 1024.0, 0.80},
+      {1024 * 1024.0, 0.92},
+      {5 * 1024 * 1024.0, 0.98},
+      {10 * 1024 * 1024.0, 1.00},
+  });
+}
+
+FlowGenerator::FlowGenerator(Simulator& sim, std::vector<Host*> hosts,
+                             TcpListener::CcFactory cc_factory,
+                             const TcpSocket::Config& socket_config,
+                             Config config, EmpiricalCdf size_cdf)
+    : sim_(sim),
+      hosts_(std::move(hosts)),
+      cc_factory_(std::move(cc_factory)),
+      socket_config_(socket_config),
+      config_(config),
+      size_cdf_(std::move(size_cdf)) {
+  DCTCPP_ASSERT(hosts_.size() >= 2);
+  DCTCPP_ASSERT(config_.flow_count >= 0);
+  DCTCPP_ASSERT(config_.mean_interarrival > 0);
+  flows_.reserve(static_cast<std::size_t>(config_.flow_count));
+}
+
+void FlowGenerator::Start(std::function<void()> on_all_complete) {
+  on_all_complete_ = std::move(on_all_complete);
+  if (config_.flow_count == 0) {
+    if (on_all_complete_) on_all_complete_();
+    return;
+  }
+  ScheduleNext();
+}
+
+void FlowGenerator::ScheduleNext() {
+  if (started_ >= config_.flow_count) return;
+  const double wait_s =
+      sim_.rng().Exponential(ToSeconds(config_.mean_interarrival));
+  const Tick wait = static_cast<Tick>(wait_s * static_cast<double>(kSecond));
+  sim_.Schedule(wait, [this] { LaunchFlow(); });
+}
+
+void FlowGenerator::LaunchFlow() {
+  Rng& rng = sim_.rng();
+  const auto n = static_cast<std::int64_t>(hosts_.size());
+  const auto src = static_cast<std::size_t>(rng.UniformInt(0, n - 1));
+  std::size_t dst = static_cast<std::size_t>(rng.UniformInt(0, n - 2));
+  if (dst >= src) ++dst;  // uniform over pairs with dst != src
+
+  const Bytes size =
+      std::max<Bytes>(1, static_cast<Bytes>(size_cdf_.Sample(rng)));
+  bytes_sent_ += size;
+  ++started_;
+
+  flows_.push_back(std::make_unique<BulkSender>(
+      *hosts_[src], cc_factory_(), socket_config_, hosts_[dst]->id(),
+      config_.sink_port));
+  BulkSender* flow = flows_.back().get();
+  flow->Start(size, config_.close_flows, [this, flow] {
+    fct_ms_.Add(ToMillis(sim_.Now() - flow->started_at()));
+    if (++completed_ == config_.flow_count && on_all_complete_) {
+      on_all_complete_();
+    }
+  });
+
+  ScheduleNext();
+}
+
+}  // namespace dctcpp

@@ -1,0 +1,72 @@
+// Poisson flow generation between random host pairs, with sizes drawn
+// from an empirical distribution — the "short messages and background
+// traffic ... produced according to the flow size versus the inter-arrival
+// time distribution from the measurement result of the production cluster"
+// of Sec. VI-D.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "dctcpp/stats/summary.h"
+#include "dctcpp/tcp/socket.h"
+#include "dctcpp/util/rng.h"
+#include "dctcpp/workload/apps.h"
+
+namespace dctcpp {
+
+/// Approximation of the production-cluster flow-size distribution from the
+/// DCTCP paper's measurements that Sec. VI-D samples: mostly small
+/// (<= 10 KB) flows with a heavy tail carrying most of the bytes.
+EmpiricalCdf ProductionFlowSizeCdf();
+
+class FlowGenerator {
+ public:
+  struct Config {
+    int flow_count = 100;
+    /// Mean of the exponential inter-arrival time.
+    Tick mean_interarrival = 10 * kMillisecond;
+    PortNum sink_port = 6000;
+    /// Close each flow's connection after its last byte (exercises
+    /// connect/teardown per flow, as new application flows would).
+    bool close_flows = true;
+  };
+
+  /// Flows run between distinct hosts drawn uniformly from `hosts`; every
+  /// host must already run a SinkServer on `config.sink_port`.
+  FlowGenerator(Simulator& sim, std::vector<Host*> hosts,
+                TcpListener::CcFactory cc_factory,
+                const TcpSocket::Config& socket_config, Config config,
+                EmpiricalCdf size_cdf);
+
+  /// Schedules the first arrival; `on_all_complete` (optional) fires when
+  /// every generated flow has been fully acknowledged.
+  void Start(std::function<void()> on_all_complete = nullptr);
+
+  /// Flow completion times (connect initiation to last byte acked), ms.
+  const Percentile& fct_ms() const { return fct_ms_; }
+  int flows_started() const { return started_; }
+  int flows_completed() const { return completed_; }
+  Bytes bytes_sent() const { return bytes_sent_; }
+
+ private:
+  void ScheduleNext();
+  void LaunchFlow();
+
+  Simulator& sim_;
+  std::vector<Host*> hosts_;
+  TcpListener::CcFactory cc_factory_;
+  TcpSocket::Config socket_config_;
+  Config config_;
+  EmpiricalCdf size_cdf_;
+
+  std::vector<std::unique_ptr<BulkSender>> flows_;
+  Percentile fct_ms_;
+  int started_ = 0;
+  int completed_ = 0;
+  Bytes bytes_sent_ = 0;
+  std::function<void()> on_all_complete_;
+};
+
+}  // namespace dctcpp

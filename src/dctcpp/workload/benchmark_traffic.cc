@@ -1,0 +1,203 @@
+#include "dctcpp/workload/benchmark_traffic.h"
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "dctcpp/net/topology.h"
+#include "dctcpp/sim/simulator.h"
+#include "dctcpp/tcp/probe.h"
+#include "dctcpp/util/log.h"
+#include "dctcpp/workload/apps.h"
+
+namespace dctcpp {
+namespace {
+
+constexpr PortNum kWorkerPort = 5000;
+constexpr PortNum kSinkPort = 6000;
+
+/// Drives Poisson query arrivals. Each query requests
+/// `query_response_bytes` from every worker over the aggregator's
+/// persistent connections; sub-responses on one connection complete FIFO,
+/// so per-query accounting rides on AggregatorClient's request queue.
+class QueryDriver {
+ public:
+  QueryDriver(Simulator& sim, std::vector<AggregatorClient*> clients,
+              const BenchmarkTrafficConfig& config,
+              BenchmarkTrafficResult& result,
+              std::function<void()> on_all_done)
+      : sim_(sim),
+        clients_(std::move(clients)),
+        config_(config),
+        result_(result),
+        on_all_done_(std::move(on_all_done)) {}
+
+  void Start() {
+    if (config_.num_queries == 0) {
+      done_ = true;
+      if (on_all_done_) on_all_done_();
+      return;
+    }
+    ScheduleNext();
+  }
+
+ private:
+  void ScheduleNext() {
+    if (issued_ >= config_.num_queries) return;
+    const double wait_s =
+        sim_.rng().Exponential(ToSeconds(config_.query_mean_interarrival));
+    sim_.Schedule(static_cast<Tick>(wait_s * static_cast<double>(kSecond)),
+                  [this] { Issue(); });
+  }
+
+  void Issue() {
+    const int id = issued_++;
+    const Tick started = sim_.Now();
+    auto remaining = std::make_shared<int>(static_cast<int>(clients_.size()));
+    for (AggregatorClient* client : clients_) {
+      client->Request(config_.query_response_bytes,
+                      [this, id, started, remaining] {
+                        (void)id;
+                        if (--*remaining > 0) return;
+                        result_.query_fct_ms.Add(
+                            ToMillis(sim_.Now() - started));
+                        ++result_.queries_completed;
+                        if (result_.queries_completed ==
+                                static_cast<std::uint64_t>(
+                                    config_.num_queries) &&
+                            on_all_done_) {
+                          done_ = true;
+                          on_all_done_();
+                        }
+                      });
+    }
+    ScheduleNext();
+  }
+
+  Simulator& sim_;
+  std::vector<AggregatorClient*> clients_;
+  const BenchmarkTrafficConfig& config_;
+  BenchmarkTrafficResult& result_;
+  std::function<void()> on_all_done_;
+  int issued_ = 0;
+  bool done_ = false;
+};
+
+}  // namespace
+
+BenchmarkTrafficResult RunBenchmarkTraffic(
+    const BenchmarkTrafficConfig& config) {
+  Simulator sim(config.seed);
+  Network net(sim);
+  TwoTierTopology topo =
+      TwoTierTopology::Build(net, config.num_workers, config.link);
+
+  TcpSocket::Config socket_config = config.socket;
+  socket_config.rto.min_rto = config.min_rto;
+  socket_config.rto.initial_rto =
+      std::max(config.min_rto, 10 * kMillisecond);
+
+  auto cc_factory = [&config] {
+    return MakeCongestionOps(config.protocol, config.options);
+  };
+
+  BenchmarkTrafficResult result;
+  result.protocol = config.protocol;
+
+  // Worker-side query servers, with probes on the sender sockets.
+  std::vector<std::unique_ptr<RecordingProbe>> probes;
+  auto accept_hook = [&probes](TcpSocket& sk) {
+    probes.push_back(std::make_unique<RecordingProbe>());
+    sk.set_probe(probes.back().get());
+  };
+  std::vector<std::unique_ptr<WorkerServer>> servers;
+  for (Host* worker : topo.workers) {
+    WorkerServer::Config wc;
+    wc.port = kWorkerPort;
+    wc.request_size = config.request_size;
+    wc.response_size = [&config] { return config.query_response_bytes; };
+    wc.on_accept_hook = accept_hook;
+    servers.push_back(std::make_unique<WorkerServer>(
+        *worker, cc_factory, socket_config, std::move(wc)));
+  }
+
+  // The aggregator's persistent query connections: `query_fan_in` of
+  // them, spread round-robin over the worker hosts (the multithreaded
+  // partition/aggregate pattern of the incast benchmark).
+  std::vector<std::unique_ptr<AggregatorClient>> clients;
+  std::vector<AggregatorClient*> client_ptrs;
+  for (int i = 0; i < config.query_fan_in; ++i) {
+    Host* worker = topo.workers[static_cast<std::size_t>(
+        i % static_cast<int>(topo.workers.size()))];
+    clients.push_back(std::make_unique<AggregatorClient>(
+        *topo.aggregator, cc_factory(), socket_config, worker->id(),
+        kWorkerPort, config.request_size));
+    client_ptrs.push_back(clients.back().get());
+  }
+
+  // Sinks everywhere for the background flows (any host can be a target).
+  std::vector<Host*> all_hosts = topo.workers;
+  all_hosts.push_back(topo.aggregator);
+  std::vector<std::unique_ptr<SinkServer>> sinks;
+  for (Host* h : all_hosts) {
+    sinks.push_back(std::make_unique<SinkServer>(*h, kSinkPort, cc_factory,
+                                                 socket_config));
+  }
+
+  FlowGenerator::Config fg;
+  fg.flow_count = config.num_background_flows;
+  fg.mean_interarrival = config.background_mean_interarrival;
+  fg.sink_port = kSinkPort;
+  FlowGenerator background(sim, all_hosts, cc_factory, socket_config, fg,
+                           ProductionFlowSizeCdf());
+
+  bool queries_done = false;
+  bool background_done = false;
+  auto maybe_stop = [&] {
+    if (queries_done && background_done) sim.Stop();
+  };
+
+  QueryDriver queries(sim, client_ptrs, config, result, [&] {
+    queries_done = true;
+    maybe_stop();
+  });
+
+  // Connect the aggregator's persistent query connections first, then let
+  // both traffic classes loose.
+  int connected = 0;
+  for (std::size_t i = 0; i < clients.size(); ++i) {
+    sim.Schedule(static_cast<Tick>(i) * 100 * kMicrosecond, [&, i] {
+      clients[i]->Connect([&] {
+        if (++connected < static_cast<int>(clients.size())) return;
+        queries.Start();
+        background.Start([&] {
+          background_done = true;
+          maybe_stop();
+        });
+      });
+    });
+  }
+
+  sim.RunUntil(config.time_limit);
+  result.hit_time_limit = !(queries_done && background_done);
+  if (result.hit_time_limit) {
+    DCTCPP_WARN(
+        "benchmark %s hit time limit: %llu/%d queries, %d/%d bg flows",
+        ToString(config.protocol),
+        static_cast<unsigned long long>(result.queries_completed),
+        config.num_queries, background.flows_completed(),
+        config.num_background_flows);
+  }
+
+  result.background_fct_ms = background.fct_ms();
+  result.background_flows_completed =
+      static_cast<std::uint64_t>(background.flows_completed());
+  for (const auto& probe : probes) {
+    result.sender_timeouts += probe->timeouts();
+  }
+  result.events = sim.events_executed();
+  result.sim_seconds = ToSeconds(sim.Now());
+  return result;
+}
+
+}  // namespace dctcpp

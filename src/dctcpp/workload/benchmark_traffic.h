@@ -1,0 +1,61 @@
+// The Sec. VI-D benchmark: query (partition/aggregate) traffic mixed with
+// short-message/background flows following the production-cluster
+// statistics, comparing DCTCP+ and DCTCP with RTO_min = 10 ms (Fig 13).
+#pragma once
+
+#include <cstdint>
+
+#include "dctcpp/core/protocol.h"
+#include "dctcpp/net/link.h"
+#include "dctcpp/stats/summary.h"
+#include "dctcpp/tcp/socket.h"
+#include "dctcpp/workload/background.h"
+
+namespace dctcpp {
+
+struct BenchmarkTrafficConfig {
+  Protocol protocol = Protocol::kDctcp;
+  int num_workers = 9;
+  /// Query count (paper: 7000; scale down for quick runs).
+  int num_queries = 1000;
+  /// Background/short-message flow count (paper: 7000).
+  int num_background_flows = 1000;
+  /// Poisson arrivals.
+  Tick query_mean_interarrival = 10 * kMillisecond;
+  Tick background_mean_interarrival = 10 * kMillisecond;
+  /// Concurrent connections each query fans out over (spread round-robin
+  /// across the worker hosts, like the incast benchmark's multithreaded
+  /// flows). The paper's premise is partition/aggregate over hundreds of
+  /// concurrent flows; each connection returns `query_response_bytes`.
+  int query_fan_in = 200;
+  /// Bytes pulled per connection per query (paper: 2 KB responses).
+  Bytes query_response_bytes = 2048;
+  Bytes request_size = 64;
+  LinkConfig link;
+  Tick min_rto = 10 * kMillisecond;  ///< both protocols run 10 ms (Fig 13)
+  std::uint64_t seed = 1;
+  ProtocolOptions options;
+  TcpSocket::Config socket;
+  Tick time_limit = 600 * kSecond;
+};
+
+struct BenchmarkTrafficResult {
+  Protocol protocol{};
+  /// Per-query completion time (issue to last response byte), ms.
+  Percentile query_fct_ms;
+  /// Per-background-flow completion time, ms.
+  Percentile background_fct_ms;
+
+  std::uint64_t queries_completed = 0;
+  std::uint64_t background_flows_completed = 0;
+  std::uint64_t sender_timeouts = 0;  ///< across worker/query sockets
+
+  std::uint64_t events = 0;
+  double sim_seconds = 0.0;
+  bool hit_time_limit = false;
+};
+
+BenchmarkTrafficResult RunBenchmarkTraffic(
+    const BenchmarkTrafficConfig& config);
+
+}  // namespace dctcpp

@@ -1,0 +1,121 @@
+#include "dctcpp/workload/deadline_incast.h"
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "dctcpp/core/d2tcp.h"
+#include "dctcpp/net/topology.h"
+#include "dctcpp/sim/simulator.h"
+#include "dctcpp/util/log.h"
+#include "dctcpp/workload/apps.h"
+
+namespace dctcpp {
+namespace {
+
+constexpr PortNum kWorkerPort = 5000;
+
+}  // namespace
+
+DeadlineIncastResult RunDeadlineIncast(const DeadlineIncastConfig& config) {
+  DCTCPP_ASSERT(config.num_flows >= 1);
+  DCTCPP_ASSERT(config.deadline > 0);
+
+  Simulator sim(config.seed);
+  Network net(sim);
+  TwoTierTopology topo =
+      TwoTierTopology::Build(net, config.num_workers, config.link);
+
+  TcpSocket::Config socket_config = config.socket;
+  socket_config.rto.min_rto = config.min_rto;
+  socket_config.rto.initial_rto =
+      std::max(config.min_rto, 10 * kMillisecond);
+
+  auto cc_factory = [&config] {
+    return MakeCongestionOps(config.protocol, config.options);
+  };
+
+  // Collect the worker-side (sender) sockets in accept order; the driver
+  // tags each with its per-response deadline at request-issue time (a
+  // no-op for protocols without a deadline gate).
+  std::vector<TcpSocket*> sender_sockets;
+  std::vector<std::unique_ptr<WorkerServer>> servers;
+  for (int w = 0; w < config.num_workers; ++w) {
+    WorkerServer::Config wc;
+    wc.port = kWorkerPort;
+    wc.request_size = config.request_size;
+    wc.response_size = [&config] { return config.per_flow_bytes; };
+    wc.on_accept_hook = [&sender_sockets](TcpSocket& sk) {
+      sender_sockets.push_back(&sk);
+    };
+    servers.push_back(std::make_unique<WorkerServer>(
+        *topo.workers[w], cc_factory, socket_config, std::move(wc)));
+  }
+
+  std::vector<std::unique_ptr<AggregatorClient>> clients;
+  for (int i = 0; i < config.num_flows; ++i) {
+    Host* worker = topo.workers[i % config.num_workers];
+    clients.push_back(std::make_unique<AggregatorClient>(
+        *topo.aggregator, cc_factory(), socket_config, worker->id(),
+        kWorkerPort, config.request_size));
+  }
+
+  DeadlineIncastResult result;
+  result.protocol = config.protocol;
+  result.num_flows = config.num_flows;
+
+  int connected = 0;
+  int completed_in_round = 0;
+  std::function<void()> start_round = [&] {
+    completed_in_round = 0;
+    const Tick issued_at = sim.Now();
+    for (std::size_t i = 0; i < clients.size(); ++i) {
+      // Draw this response's deadline and tag the sender side with it
+      // (when the protocol has a deadline gate).
+      Tick deadline = config.deadline;
+      if (config.deadline_spread > 0.0) {
+        const double f = sim.rng().UniformDouble(
+            1.0 - config.deadline_spread, 1.0 + config.deadline_spread);
+        deadline = static_cast<Tick>(static_cast<double>(deadline) * f);
+      }
+      if (i < sender_sockets.size()) {
+        SetFlowDeadline(*sender_sockets[i], issued_at + deadline);
+      }
+      clients[i]->Request(config.per_flow_bytes, [&, issued_at, deadline] {
+        const Tick fct = sim.Now() - issued_at;
+        result.fct_ms.Add(ToMillis(fct));
+        ++result.responses;
+        if (fct <= deadline) ++result.deadlines_met;
+        if (++completed_in_round < config.num_flows) return;
+        ++result.rounds_completed;
+        if (result.rounds_completed >=
+            static_cast<std::uint64_t>(config.rounds)) {
+          sim.Stop();
+        } else {
+          start_round();
+        }
+      });
+    }
+  };
+
+  for (int i = 0; i < config.num_flows; ++i) {
+    sim.Schedule(static_cast<Tick>(i) * 100 * kMicrosecond, [&, i] {
+      clients[i]->Connect([&] {
+        if (++connected == config.num_flows) start_round();
+      });
+    });
+  }
+
+  sim.RunUntil(config.time_limit);
+  result.hit_time_limit =
+      result.rounds_completed < static_cast<std::uint64_t>(config.rounds);
+  if (result.hit_time_limit) {
+    DCTCPP_WARN("deadline incast %s N=%d hit time limit (%llu rounds)",
+                ToString(config.protocol), config.num_flows,
+                static_cast<unsigned long long>(result.rounds_completed));
+  }
+  result.sim_seconds = ToSeconds(sim.Now());
+  return result;
+}
+
+}  // namespace dctcpp

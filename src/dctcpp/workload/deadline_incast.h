@@ -1,0 +1,59 @@
+// Deadline-tagged incast: every response must arrive within a per-request
+// deadline, the workload D2TCP targets (and the setting where the paper's
+// Sec. VII envisions combining its mechanism with deadline-aware
+// protocols as D2TCP+).
+#pragma once
+
+#include <cstdint>
+
+#include "dctcpp/core/protocol.h"
+#include "dctcpp/net/link.h"
+#include "dctcpp/stats/summary.h"
+#include "dctcpp/tcp/socket.h"
+
+namespace dctcpp {
+
+struct DeadlineIncastConfig {
+  Protocol protocol = Protocol::kD2tcp;
+  int num_flows = 40;
+  int num_workers = 9;
+  /// Short, deadline-bound responses (D2TCP's regime).
+  Bytes per_flow_bytes = 20 * 1024;
+  /// Per-response deadline measured from request issue.
+  Tick deadline = 30 * kMillisecond;
+  /// Heterogeneity: each response's deadline is drawn uniformly from
+  /// [deadline*(1-spread), deadline*(1+spread)]. 0 = uniform deadlines.
+  /// Deadline-aware protocols only differentiate themselves when
+  /// urgencies differ across concurrent flows.
+  double deadline_spread = 0.0;
+  int rounds = 50;
+  Bytes request_size = 64;
+  LinkConfig link;
+  Tick min_rto = 200 * kMillisecond;
+  std::uint64_t seed = 1;
+  ProtocolOptions options;
+  TcpSocket::Config socket;
+  Tick time_limit = 300 * kSecond;
+};
+
+struct DeadlineIncastResult {
+  Protocol protocol{};
+  int num_flows = 0;
+  std::uint64_t responses = 0;
+  std::uint64_t deadlines_met = 0;
+  Percentile fct_ms;  ///< per-response completion times
+  std::uint64_t rounds_completed = 0;
+  bool hit_time_limit = false;
+  double sim_seconds = 0.0;
+
+  double MissFraction() const {
+    return responses == 0
+               ? 0.0
+               : 1.0 - static_cast<double>(deadlines_met) /
+                           static_cast<double>(responses);
+  }
+};
+
+DeadlineIncastResult RunDeadlineIncast(const DeadlineIncastConfig& config);
+
+}  // namespace dctcpp

@@ -1,0 +1,89 @@
+#include "dctcpp/workload/experiment.h"
+
+#include <mutex>
+
+#include "dctcpp/util/assert.h"
+
+namespace dctcpp {
+
+void IncastSweepPoint::Merge(const IncastResult& r) {
+  protocol = r.protocol;
+  num_flows = r.num_flows;
+  goodput_mbps.Add(r.goodput_mbps);
+  fct_ms.Merge(r.fct_ms);
+  cwnd_hist.Merge(r.cwnd_hist);
+  rounds += r.rounds_completed;
+  timeouts += r.timeouts;
+  floss_timeouts += r.floss_timeouts;
+  lack_timeouts += r.lack_timeouts;
+  tracked_rounds_at_min_ece += r.tracked_rounds_at_min_ece;
+  tracked_rounds_with_timeout += r.tracked_rounds_with_timeout;
+  tracked_floss += r.tracked_floss;
+  tracked_lack += r.tracked_lack;
+  hit_time_limit = hit_time_limit || r.hit_time_limit;
+}
+
+IncastSweepPoint RunIncastPoint(const IncastConfig& base, int reps,
+                                ThreadPool& pool) {
+  DCTCPP_ASSERT(reps >= 1);
+  std::vector<IncastResult> results(static_cast<std::size_t>(reps));
+  ParallelFor(pool, static_cast<std::size_t>(reps),
+              [&base, &results](std::size_t i) {
+                IncastConfig config = base;
+                config.seed = base.seed + i;
+                results[i] = RunIncast(config);
+              });
+  IncastSweepPoint point;
+  for (const auto& r : results) point.Merge(r);
+  return point;
+}
+
+std::vector<IncastSweepPoint> RunIncastSweep(
+    const IncastConfig& base, const std::vector<Protocol>& protocols,
+    const std::vector<int>& flow_counts, int reps, ThreadPool& pool) {
+  struct Job {
+    Protocol protocol;
+    int num_flows;
+    int rep;
+  };
+  std::vector<Job> jobs;
+  for (Protocol p : protocols) {
+    for (int n : flow_counts) {
+      for (int r = 0; r < reps; ++r) jobs.push_back(Job{p, n, r});
+    }
+  }
+
+  std::vector<IncastSweepPoint> points(protocols.size() *
+                                       flow_counts.size());
+  std::mutex merge_mu;
+  ParallelFor(pool, jobs.size(), [&](std::size_t j) {
+    const Job& job = jobs[j];
+    IncastConfig config = base;
+    config.protocol = job.protocol;
+    config.num_flows = job.num_flows;
+    config.seed = base.seed + static_cast<std::uint64_t>(job.rep) +
+                  0x9e3779b97f4a7c15ULL *
+                      static_cast<std::uint64_t>(job.num_flows);
+    const IncastResult result = RunIncast(config);
+    // Point index: protocol-major, flow-count-minor.
+    std::size_t pi = 0, ni = 0;
+    for (std::size_t i = 0; i < protocols.size(); ++i) {
+      if (protocols[i] == job.protocol) pi = i;
+    }
+    for (std::size_t i = 0; i < flow_counts.size(); ++i) {
+      if (flow_counts[i] == job.num_flows) ni = i;
+    }
+    std::lock_guard lock(merge_mu);
+    points[pi * flow_counts.size() + ni].Merge(result);
+  });
+  return points;
+}
+
+std::vector<int> FlowCounts(int from, int to, int step) {
+  DCTCPP_ASSERT(from >= 1 && step >= 1 && to >= from);
+  std::vector<int> out;
+  for (int n = from; n <= to; n += step) out.push_back(n);
+  return out;
+}
+
+}  // namespace dctcpp

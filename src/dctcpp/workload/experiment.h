@@ -1,0 +1,53 @@
+// Parameter-sweep harness: runs many independent incast simulations
+// (protocol x flow-count x repetition) across a thread pool and merges the
+// per-repetition results into the per-point statistics the paper plots.
+#pragma once
+
+#include <vector>
+
+#include "dctcpp/stats/summary.h"
+#include "dctcpp/util/thread_pool.h"
+#include "dctcpp/workload/incast.h"
+
+namespace dctcpp {
+
+/// Aggregated metrics for one (protocol, N) sweep point.
+struct IncastSweepPoint {
+  Protocol protocol{};
+  int num_flows = 0;
+
+  SummaryStats goodput_mbps;  ///< one sample per repetition
+  Percentile fct_ms;          ///< all rounds of all repetitions
+  Histogram cwnd_hist{1, 16};
+
+  std::uint64_t rounds = 0;
+  std::uint64_t timeouts = 0;
+  std::uint64_t floss_timeouts = 0;
+  std::uint64_t lack_timeouts = 0;
+
+  std::uint64_t tracked_rounds_at_min_ece = 0;
+  std::uint64_t tracked_rounds_with_timeout = 0;
+  std::uint64_t tracked_floss = 0;
+  std::uint64_t tracked_lack = 0;
+
+  bool hit_time_limit = false;
+
+  /// Folds one repetition's result into this point.
+  void Merge(const IncastResult& r);
+};
+
+/// Runs `reps` repetitions of `base` (seeds base.seed, base.seed+1, ...)
+/// on `pool` and merges them. `base.protocol` / `base.num_flows` select
+/// the point.
+IncastSweepPoint RunIncastPoint(const IncastConfig& base, int reps,
+                                ThreadPool& pool);
+
+/// Full sweep: every protocol crossed with every flow count.
+std::vector<IncastSweepPoint> RunIncastSweep(
+    const IncastConfig& base, const std::vector<Protocol>& protocols,
+    const std::vector<int>& flow_counts, int reps, ThreadPool& pool);
+
+/// Inclusive range helper with stride, e.g. FlowCounts(10, 200, 10).
+std::vector<int> FlowCounts(int from, int to, int step);
+
+}  // namespace dctcpp

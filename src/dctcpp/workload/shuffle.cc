@@ -1,0 +1,113 @@
+#include "dctcpp/workload/shuffle.h"
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "dctcpp/net/topology.h"
+#include "dctcpp/sim/simulator.h"
+#include "dctcpp/tcp/probe.h"
+#include "dctcpp/util/log.h"
+#include "dctcpp/workload/apps.h"
+
+namespace dctcpp {
+namespace {
+
+constexpr PortNum kReducerPort = 6200;
+
+}  // namespace
+
+ShuffleResult RunShuffle(const ShuffleConfig& config) {
+  DCTCPP_ASSERT(config.mappers >= 1 && config.reducers >= 1);
+  DCTCPP_ASSERT(config.flows_per_pair >= 1);
+
+  Simulator sim(config.seed);
+  Network net(sim);
+  // Hosts come from the standard tree; the aggregator slot is unused.
+  TwoTierTopology topo = TwoTierTopology::Build(
+      net, config.mappers + config.reducers, config.link);
+  std::vector<Host*> mappers(topo.workers.begin(),
+                             topo.workers.begin() + config.mappers);
+  std::vector<Host*> reducers(topo.workers.begin() + config.mappers,
+                              topo.workers.end());
+
+  TcpSocket::Config socket_config = config.socket;
+  socket_config.rto.min_rto = config.min_rto;
+  socket_config.rto.initial_rto =
+      std::max(config.min_rto, 10 * kMillisecond);
+
+  auto cc_factory = [&config] {
+    return MakeCongestionOps(config.protocol, config.options);
+  };
+
+  std::vector<std::unique_ptr<SinkServer>> sinks;
+  for (Host* r : reducers) {
+    sinks.push_back(std::make_unique<SinkServer>(*r, kReducerPort,
+                                                 cc_factory,
+                                                 socket_config));
+  }
+
+  ShuffleResult result;
+  result.protocol = config.protocol;
+  result.flows =
+      config.mappers * config.reducers * config.flows_per_pair;
+  const Bytes per_flow = std::max<Bytes>(
+      1, config.bytes_per_pair / config.flows_per_pair);
+
+  std::vector<std::unique_ptr<RecordingProbe>> probes;
+  std::vector<std::unique_ptr<BulkSender>> flows;
+  std::vector<Tick> flow_fct;
+  int done = 0;
+  Tick started_at = 0;
+
+  // All transfers launch together (staggered by microseconds to model the
+  // map tasks finishing near-simultaneously).
+  sim.Schedule(0, [&] {
+    started_at = sim.Now();
+    int idx = 0;
+    for (Host* m : mappers) {
+      for (Host* r : reducers) {
+        for (int f = 0; f < config.flows_per_pair; ++f, ++idx) {
+          flows.push_back(std::make_unique<BulkSender>(
+              *m, cc_factory(), socket_config, r->id(), kReducerPort));
+          probes.push_back(std::make_unique<RecordingProbe>());
+          flows.back()->socket().set_probe(probes.back().get());
+          BulkSender* flow = flows.back().get();
+          sim.Schedule(static_cast<Tick>(idx) * 10 * kMicrosecond,
+                       [&, flow] {
+                         flow->Start(per_flow, /*close_when_done=*/false,
+                                     [&, flow] {
+                                       flow_fct.push_back(
+                                           sim.Now() - flow->started_at());
+                                       if (++done == result.flows) {
+                                         sim.Stop();
+                                       }
+                                     });
+                       });
+        }
+      }
+    }
+  });
+
+  sim.RunUntil(config.time_limit);
+  result.hit_time_limit = done < result.flows;
+  if (result.hit_time_limit) {
+    DCTCPP_WARN("shuffle %s (%d flows) hit time limit with %d done",
+                ToString(config.protocol), result.flows, done);
+  }
+
+  result.completion_time = sim.Now() - started_at;
+  const Bytes total =
+      per_flow * static_cast<Bytes>(flow_fct.size());
+  result.goodput_mbps = GoodputMbps(total, result.completion_time);
+  std::vector<double> fct_seconds;
+  for (Tick fct : flow_fct) {
+    result.flow_fct_ms.Add(ToMillis(fct));
+    fct_seconds.push_back(ToSeconds(fct));
+  }
+  result.completion_fairness = JainFairnessIndex(fct_seconds);
+  for (const auto& probe : probes) result.timeouts += probe->timeouts();
+  return result;
+}
+
+}  // namespace dctcpp

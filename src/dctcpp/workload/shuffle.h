@@ -1,0 +1,48 @@
+// MapReduce-style shuffle: every mapper ships a partition to every
+// reducer, all at once — the divide-and-conquer traffic the paper's
+// introduction cites (Yahoo! M45, Google/Bing partition-aggregate) as the
+// source of massive concurrent flows. Each reducer is an incast sink with
+// fan-in mappers x flows_per_pair.
+#pragma once
+
+#include <cstdint>
+
+#include "dctcpp/core/protocol.h"
+#include "dctcpp/net/link.h"
+#include "dctcpp/stats/summary.h"
+#include "dctcpp/tcp/socket.h"
+
+namespace dctcpp {
+
+struct ShuffleConfig {
+  Protocol protocol = Protocol::kDctcp;
+  int mappers = 5;
+  int reducers = 4;  ///< mappers + reducers hosts are drawn from the tree
+  /// Parallel connections per (mapper, reducer) pair — the benchmark's
+  /// multithreading knob; per-reducer fan-in = mappers * flows_per_pair.
+  int flows_per_pair = 1;
+  Bytes bytes_per_pair = 256 * 1024;  ///< split across the pair's flows
+  LinkConfig link;
+  Tick min_rto = 200 * kMillisecond;
+  std::uint64_t seed = 1;
+  ProtocolOptions options;
+  TcpSocket::Config socket;
+  Tick time_limit = 300 * kSecond;
+};
+
+struct ShuffleResult {
+  Protocol protocol{};
+  int flows = 0;               ///< total concurrent flows
+  Tick completion_time = 0;    ///< first byte offered to last byte acked
+  double goodput_mbps = 0.0;   ///< aggregate shuffle goodput
+  /// Jain index over per-flow completion times (1 = all flows finished
+  /// together; low values mean stragglers).
+  double completion_fairness = 0.0;
+  Percentile flow_fct_ms;
+  std::uint64_t timeouts = 0;
+  bool hit_time_limit = false;
+};
+
+ShuffleResult RunShuffle(const ShuffleConfig& config);
+
+}  // namespace dctcpp

@@ -1,0 +1,150 @@
+// D2TCP and D2TCP+: the deadline gate's imminence math, factory wiring,
+// and the deadline-incast workload end to end.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "dctcpp/core/d2tcp.h"
+#include "dctcpp/core/protocol.h"
+#include "dctcpp/net/topology.h"
+#include "dctcpp/sim/simulator.h"
+#include "dctcpp/tcp/socket.h"
+#include "dctcpp/workload/deadline_incast.h"
+
+namespace dctcpp {
+namespace {
+
+using namespace time_literals;
+
+TEST(D2tcpUnitTest, NamesAndFactory) {
+  EXPECT_EQ(ParseProtocol("d2tcp"), Protocol::kD2tcp);
+  EXPECT_EQ(ParseProtocol("d2tcp+"), Protocol::kD2tcpPlus);
+  auto d2 = MakeCongestionOps(Protocol::kD2tcp);
+  auto d2p = MakeCongestionOps(Protocol::kD2tcpPlus);
+  EXPECT_STREQ(d2->Name(), "d2tcp");
+  EXPECT_STREQ(d2p->Name(), "d2tcp+");
+  EXPECT_TRUE(d2->EcnCapable());
+  EXPECT_EQ(d2->MinCwnd(), 2);   // DCTCP's floor
+  EXPECT_EQ(d2p->MinCwnd(), 1);  // the + variants' floor
+}
+
+/// Fixture giving a connected socket so imminence math has real state.
+class DeadlineGateFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    sim = std::make_unique<Simulator>(1);
+    net = std::make_unique<Network>(*sim);
+    topo = TwoTierTopology::Build(*net, 2, LinkConfig{});
+    listener = std::make_unique<TcpListener>(
+        *topo.aggregator, PortNum{5000},
+        [] { return std::make_unique<D2tcpCc>(); }, TcpSocket::Config{},
+        [this](std::unique_ptr<TcpSocket> s) { server = std::move(s); });
+    client = std::make_unique<TcpSocket>(
+        *topo.workers[0], std::make_unique<D2tcpCc>(), TcpSocket::Config{});
+    client->Connect(topo.aggregator->id(), 5000);
+    sim->RunUntil(100_ms);
+    ASSERT_TRUE(client->Established());
+    // Seed an srtt and some queued data.
+    client->Send(100 * 1460);
+    sim->RunUntil(sim->Now() + 5_ms);
+  }
+
+  D2tcpCc& cc() { return static_cast<D2tcpCc&>(client->cc()); }
+
+  std::unique_ptr<Simulator> sim;
+  std::unique_ptr<Network> net;
+  TwoTierTopology topo;
+  std::unique_ptr<TcpListener> listener;
+  std::unique_ptr<TcpSocket> client;
+  std::unique_ptr<TcpSocket> server;
+};
+
+TEST_F(DeadlineGateFixture, NoDeadlineMeansUnitImminence) {
+  EXPECT_DOUBLE_EQ(cc().gate().Imminence(*client), 1.0);
+  EXPECT_DOUBLE_EQ(cc().gate().Penalty(0.5, *client), 0.5);
+}
+
+TEST_F(DeadlineGateFixture, TightDeadlineRaisesImminence) {
+  client->Send(1000 * 1460);  // plenty left to send
+  cc().gate().SetDeadline(sim->Now() + 1_ms);  // nearly due
+  EXPECT_GT(cc().gate().Imminence(*client), 1.0);
+  // Near-deadline: penalty below alpha -> smaller backoff.
+  EXPECT_LT(cc().gate().Penalty(0.5, *client), 0.5);
+}
+
+TEST_F(DeadlineGateFixture, LooseDeadlineLowersImminence) {
+  client->Send(1000 * 1460);  // outstanding data for the estimate
+  cc().gate().SetDeadline(sim->Now() + 60 * kSecond);
+  EXPECT_LT(cc().gate().Imminence(*client), 1.0);
+  // Far-deadline: penalty above alpha -> larger backoff.
+  EXPECT_GT(cc().gate().Penalty(0.5, *client), 0.5);
+}
+
+TEST_F(DeadlineGateFixture, ImminenceClampedToConfiguredRange) {
+  client->Send(100000 * 1460);
+  cc().gate().SetDeadline(sim->Now() + 1);  // essentially already due
+  EXPECT_DOUBLE_EQ(cc().gate().Imminence(*client), 2.0);
+  cc().gate().SetDeadline(sim->Now() + 3600 * kSecond);
+  EXPECT_DOUBLE_EQ(cc().gate().Imminence(*client), 0.5);
+}
+
+TEST_F(DeadlineGateFixture, PastDeadlineIsMaximalUrgency) {
+  client->Send(1000 * 1460);
+  cc().gate().SetDeadline(1);  // long past
+  EXPECT_DOUBLE_EQ(cc().gate().Imminence(*client), 2.0);
+}
+
+TEST_F(DeadlineGateFixture, SetFlowDeadlineDispatchesByType) {
+  EXPECT_TRUE(SetFlowDeadline(*client, sim->Now() + 1_ms));
+  EXPECT_EQ(cc().gate().deadline(), sim->Now() + 1_ms);
+  // A non-deadline-aware socket reports false and is unaffected.
+  TcpSocket plain(*topo.workers[1], MakeCongestionOps(Protocol::kDctcp),
+                  TcpSocket::Config{});
+  EXPECT_FALSE(SetFlowDeadline(plain, sim->Now() + 1_ms));
+}
+
+TEST(DeadlineIncastTest, RunsAndCountsDeadlines) {
+  DeadlineIncastConfig config;
+  config.protocol = Protocol::kD2tcp;
+  config.num_flows = 10;
+  config.rounds = 5;
+  config.per_flow_bytes = 10 * 1024;
+  config.deadline = 50_ms;
+  config.time_limit = 60 * kSecond;
+  const DeadlineIncastResult r = RunDeadlineIncast(config);
+  EXPECT_EQ(r.rounds_completed, 5u);
+  EXPECT_EQ(r.responses, 50u);
+  EXPECT_GT(r.deadlines_met, 0u);
+  EXPECT_GE(r.MissFraction(), 0.0);
+  EXPECT_LE(r.MissFraction(), 1.0);
+  EXPECT_EQ(r.fct_ms.count(), 50u);
+}
+
+TEST(DeadlineIncastTest, AllProtocolsComplete) {
+  for (Protocol p : {Protocol::kDctcp, Protocol::kD2tcp,
+                     Protocol::kDctcpPlus, Protocol::kD2tcpPlus}) {
+    DeadlineIncastConfig config;
+    config.protocol = p;
+    config.num_flows = 8;
+    config.rounds = 3;
+    config.per_flow_bytes = 8 * 1024;
+    config.time_limit = 60 * kSecond;
+    const DeadlineIncastResult r = RunDeadlineIncast(config);
+    EXPECT_EQ(r.rounds_completed, 3u) << ToString(p);
+  }
+}
+
+TEST(DeadlineIncastTest, EasyDeadlinesAllMet) {
+  DeadlineIncastConfig config;
+  config.protocol = Protocol::kD2tcp;
+  config.num_flows = 6;
+  config.rounds = 5;
+  config.per_flow_bytes = 4 * 1024;
+  config.deadline = 1 * kSecond;  // trivially loose
+  config.time_limit = 60 * kSecond;
+  const DeadlineIncastResult r = RunDeadlineIncast(config);
+  EXPECT_DOUBLE_EQ(r.MissFraction(), 0.0);
+}
+
+}  // namespace
+}  // namespace dctcpp

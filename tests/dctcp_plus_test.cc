@@ -1,0 +1,202 @@
+// DCTCP+ end-to-end behaviour: engagement at the window floor, pacing,
+// growth freeze, protocol factory, and the full-vs-partial distinction.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "dctcpp/core/dctcp_plus.h"
+#include "dctcpp/core/protocol.h"
+#include "dctcpp/net/topology.h"
+#include "dctcpp/sim/simulator.h"
+#include "dctcpp/tcp/socket.h"
+
+namespace dctcpp {
+namespace {
+
+using namespace time_literals;
+
+TEST(DctcpPlusUnitTest, DefaultsMatchPaper) {
+  DctcpPlusCc cc;
+  EXPECT_STREQ(cc.Name(), "dctcp+");
+  EXPECT_TRUE(cc.EcnCapable());
+  EXPECT_TRUE(cc.DctcpStyleReceiver());
+  // Sec. VI footnote 3: the floor drops to 1 MSS for smoother handoff
+  // between window and interval regulation.
+  EXPECT_EQ(cc.MinCwnd(), 1);
+  EXPECT_EQ(cc.plus_state(), PlusState::kNormal);
+  EXPECT_EQ(cc.slow_time(), 0);
+}
+
+TEST(ProtocolFactoryTest, NamesRoundTrip) {
+  for (Protocol p : {Protocol::kTcp, Protocol::kDctcp, Protocol::kDctcpPlus,
+                     Protocol::kDctcpPlusPartial}) {
+    EXPECT_EQ(ParseProtocol(ToString(p)), p);
+  }
+}
+
+TEST(ProtocolFactoryTest, BuildsDistinctOps) {
+  auto tcp = MakeCongestionOps(Protocol::kTcp);
+  auto dctcp = MakeCongestionOps(Protocol::kDctcp);
+  auto plus = MakeCongestionOps(Protocol::kDctcpPlus);
+  EXPECT_FALSE(tcp->EcnCapable());
+  EXPECT_TRUE(dctcp->EcnCapable());
+  EXPECT_TRUE(plus->EcnCapable());
+  EXPECT_EQ(dctcp->MinCwnd(), 2);
+  EXPECT_EQ(plus->MinCwnd(), 1);
+}
+
+TEST(ProtocolFactoryTest, MinCwndOverride) {
+  ProtocolOptions options;
+  options.min_cwnd = 1;
+  auto dctcp = MakeCongestionOps(Protocol::kDctcp, options);
+  EXPECT_EQ(dctcp->MinCwnd(), 1);
+}
+
+TEST(ProtocolFactoryTest, PartialVariantDisablesRandomization) {
+  auto partial = MakeCongestionOps(Protocol::kDctcpPlusPartial);
+  auto& cc = static_cast<DctcpPlusCc&>(*partial);
+  EXPECT_FALSE(cc.regulator().config().randomize);
+  EXPECT_FALSE(cc.regulator().config().rtt_scaled_unit);
+  auto full = MakeCongestionOps(Protocol::kDctcpPlus);
+  EXPECT_TRUE(
+      static_cast<DctcpPlusCc&>(*full).regulator().config().randomize);
+}
+
+/// Two hosts through a heavily marking bottleneck: the client's cwnd is
+/// forced to the floor with ECE still arriving, which must engage the
+/// interval regulation.
+class DctcpPlusFixture : public ::testing::Test {
+ protected:
+  void Build(Bytes threshold) {
+    sim = std::make_unique<Simulator>(1);
+    net = std::make_unique<Network>(*sim);
+    Switch& sw = net->AddSwitch("sw");
+    a = &net->AddHost("a");
+    b = &net->AddHost("b");
+    LinkConfig fast;  // 10 Gbps ingress makes sw->b a real bottleneck
+    fast.rate = DataRate::GigabitsPerSec(10);
+    net->ConnectHost(*a, sw, fast);
+    LinkConfig to_b;
+    to_b.ecn_threshold = threshold;
+    net->ConnectHost(*b, sw, to_b, Network::NicConfig(LinkConfig{}));
+    net->InstallRoutes();
+  }
+
+  void Establish(DctcpPlusCc::Config cc_config = {}) {
+    listener = std::make_unique<TcpListener>(
+        *b, PortNum{5000},
+        [cc_config] { return std::make_unique<DctcpPlusCc>(cc_config); },
+        TcpSocket::Config{}, [this](std::unique_ptr<TcpSocket> s) {
+          server = std::move(s);
+          server->set_on_data([this](Bytes n) { received += n; });
+        });
+    client = std::make_unique<TcpSocket>(
+        *a, std::make_unique<DctcpPlusCc>(cc_config), TcpSocket::Config{});
+    client->Connect(b->id(), 5000);
+    sim->RunUntil(sim->Now() + 100_ms);
+    ASSERT_TRUE(client->Established());
+  }
+
+  DctcpPlusCc& plus() { return static_cast<DctcpPlusCc&>(client->cc()); }
+
+  std::unique_ptr<Simulator> sim;
+  std::unique_ptr<Network> net;
+  Host* a = nullptr;
+  Host* b = nullptr;
+  std::unique_ptr<TcpListener> listener;
+  std::unique_ptr<TcpSocket> client;
+  std::unique_ptr<TcpSocket> server;
+  Bytes received = 0;
+};
+
+TEST_F(DctcpPlusFixture, EngagesUnderPersistentMarking) {
+  Build(/*threshold=*/1);  // mark every packet: alpha -> 1, cwnd -> floor
+  Establish();
+  // Modest size: with every packet marked the regulator ramps slow_time
+  // hard, so the paced transfer is deliberately slow.
+  const Bytes size = 128 * 1024;
+  client->Send(size);
+  bool engaged = false;
+  const Tick deadline = sim->Now() + 30 * kSecond;
+  while (sim->Now() < deadline && received < size) {
+    sim->RunUntil(sim->Now() + 1_ms);
+    if (plus().plus_state() != PlusState::kNormal) engaged = true;
+  }
+  EXPECT_EQ(received, size);
+  EXPECT_TRUE(engaged);
+  EXPECT_GT(plus().regulator().counters().entered_inc, 0u);
+}
+
+TEST_F(DctcpPlusFixture, WindowPinnedAtFloorWhileEngaged) {
+  Build(/*threshold=*/1);
+  Establish();
+  const Bytes size = 128 * 1024;
+  client->Send(size);
+  const Tick deadline = sim->Now() + 30 * kSecond;
+  while (sim->Now() < deadline && received < size) {
+    sim->RunUntil(sim->Now() + 500_us);
+    if (plus().plus_state() == PlusState::kTimeInc &&
+        !client->InRecovery()) {
+      ASSERT_LE(client->cwnd(), plus().MinCwnd());
+    }
+  }
+  EXPECT_EQ(received, size);
+}
+
+TEST_F(DctcpPlusFixture, StaysNormalOnCleanPath) {
+  Build(/*threshold=*/0);  // no marking at all
+  Establish();
+  client->Send(1 * kMiB);
+  sim->RunUntil(sim->Now() + 2 * kSecond);
+  EXPECT_EQ(received, 1 * kMiB);
+  // With ECN negotiated but no CE ever set, the machine never engages.
+  EXPECT_EQ(plus().regulator().counters().entered_inc, 0u);
+}
+
+TEST_F(DctcpPlusFixture, SlowerThanUnpacedUnderMarkingButCompletes) {
+  Build(/*threshold=*/1);
+  Establish();
+  const Tick start = sim->Now();
+  client->Send(128 * 1024);
+  sim->RunUntil(start + 30 * kSecond);
+  ASSERT_EQ(received, 128 * 1024);
+  // The transfer is paced (slower than line rate) yet loss-free.
+  EXPECT_EQ(client->stats().segments_retransmitted, 0u);
+}
+
+TEST_F(DctcpPlusFixture, TimeoutEngagesRegulator) {
+  // No marking, tiny buffer: losses and RTOs are the congestion signal.
+  sim = std::make_unique<Simulator>(1);
+  net = std::make_unique<Network>(*sim);
+  Switch& sw = net->AddSwitch("sw");
+  a = &net->AddHost("a");
+  b = &net->AddHost("b");
+  LinkConfig fast;
+  fast.rate = DataRate::GigabitsPerSec(10);
+  net->ConnectHost(*a, sw, fast);
+  LinkConfig tiny;
+  tiny.buffer_bytes = 2 * 1514;
+  tiny.ecn_threshold = 0;
+  net->ConnectHost(*b, sw, tiny, Network::NicConfig(LinkConfig{}));
+  net->InstallRoutes();
+  TcpSocket::Config socket_config;
+  socket_config.rto.min_rto = 10_ms;
+  listener = std::make_unique<TcpListener>(
+      *b, PortNum{5000},
+      [] { return std::make_unique<DctcpPlusCc>(); }, socket_config,
+      [this](std::unique_ptr<TcpSocket> s) {
+        server = std::move(s);
+        server->set_on_data([this](Bytes n) { received += n; });
+      });
+  client = std::make_unique<TcpSocket>(*a, std::make_unique<DctcpPlusCc>(),
+                                       socket_config);
+  client->Connect(b->id(), 5000);
+  sim->RunUntil(sim->Now() + 100_ms);
+  client->Send(1 * kMiB);
+  sim->RunUntil(sim->Now() + 30 * kSecond);
+  EXPECT_EQ(received, 1 * kMiB);
+  EXPECT_GT(plus().regulator().counters().entered_inc, 0u);
+}
+
+}  // namespace
+}  // namespace dctcpp

@@ -1,0 +1,176 @@
+// DCTCP tests: alpha estimation (Eq. 1), window law (Eq. 2), receiver CE
+// echo behaviour, and end-to-end queue control near the marking threshold.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "dctcpp/dctcp/dctcp.h"
+#include "dctcpp/net/topology.h"
+#include "dctcpp/sim/simulator.h"
+#include "dctcpp/stats/summary.h"
+#include "dctcpp/tcp/socket.h"
+
+namespace dctcpp {
+namespace {
+
+using namespace time_literals;
+
+class DctcpFixture : public ::testing::Test {
+ protected:
+  /// a -> sw at 10 Gbps, sw -> b at 1 Gbps: the b-side port is a real
+  /// bottleneck with the configured buffer and marking threshold.
+  void Build(Bytes buffer = 128 * kKiB, Bytes threshold = 32 * kKiB) {
+    sim = std::make_unique<Simulator>(1);
+    net = std::make_unique<Network>(*sim);
+    Switch& sw = net->AddSwitch("sw");
+    a = &net->AddHost("a");
+    b = &net->AddHost("b");
+    LinkConfig fast;
+    fast.rate = DataRate::GigabitsPerSec(10);
+    net->ConnectHost(*a, sw, fast);
+    LinkConfig to_b;
+    to_b.buffer_bytes = buffer;
+    to_b.ecn_threshold = threshold;
+    net->ConnectHost(*b, sw, to_b, Network::NicConfig(LinkConfig{}));
+    net->InstallRoutes();
+    bottleneck = &net->PortTowardsHost(sw, *b);
+  }
+
+  void Establish(DctcpCc::Config cc_config = {}) {
+    listener = std::make_unique<TcpListener>(
+        *b, PortNum{5000},
+        [cc_config] { return std::make_unique<DctcpCc>(cc_config); },
+        TcpSocket::Config{}, [this](std::unique_ptr<TcpSocket> s) {
+          server = std::move(s);
+          server->set_on_data([this](Bytes n) { received += n; });
+        });
+    client = std::make_unique<TcpSocket>(
+        *a, std::make_unique<DctcpCc>(cc_config), TcpSocket::Config{});
+    client->Connect(b->id(), 5000);
+    sim->RunUntil(sim->Now() + 100_ms);
+    ASSERT_TRUE(client->Established());
+  }
+
+  DctcpCc& client_cc() { return static_cast<DctcpCc&>(client->cc()); }
+
+  std::unique_ptr<Simulator> sim;
+  std::unique_ptr<Network> net;
+  Host* a = nullptr;
+  Host* b = nullptr;
+  EgressPort* bottleneck = nullptr;
+  std::unique_ptr<TcpListener> listener;
+  std::unique_ptr<TcpSocket> client;
+  std::unique_ptr<TcpSocket> server;
+  Bytes received = 0;
+};
+
+TEST_F(DctcpFixture, NegotiatesEcnAndTransfers) {
+  Build();
+  Establish();
+  EXPECT_TRUE(client->EcnNegotiated());
+  client->Send(1 * kMiB);
+  sim->RunUntil(sim->Now() + 1 * kSecond);
+  EXPECT_EQ(received, 1 * kMiB);
+}
+
+TEST_F(DctcpFixture, AlphaDecaysWithoutMarks) {
+  // Huge threshold: nothing marked; alpha (init 1.0) must decay by (1-g)
+  // per window.
+  Build(/*buffer=*/4 * kMiB, /*threshold=*/3 * kMiB);
+  Establish();
+  client->Send(4 * kMiB);
+  sim->RunUntil(sim->Now() + 2 * kSecond);
+  EXPECT_EQ(received, 4 * kMiB);
+  // Each unmarked window multiplies alpha by (1 - g); from 1.0 it must
+  // have fallen well below its initial value by the end of the transfer.
+  EXPECT_LT(client_cc().alpha(), 0.7);
+}
+
+TEST_F(DctcpFixture, AlphaStaysHighUnderPersistentMarking) {
+  // Tiny threshold: everything beyond a couple packets is marked.
+  Build(/*buffer=*/4 * kMiB, /*threshold=*/2 * 1514);
+  Establish();
+  client->Send(2 * kMiB);
+  sim->RunUntil(sim->Now() + 2 * kSecond);
+  EXPECT_EQ(received, 2 * kMiB);
+  EXPECT_GT(client_cc().alpha(), 0.2);
+}
+
+TEST_F(DctcpFixture, AlphaStaysWithinUnitInterval) {
+  Build(/*buffer=*/128 * kKiB, /*threshold=*/8 * 1514);
+  Establish();
+  client->Send(4 * kMiB);
+  sim->RunUntil(sim->Now() + 2 * kSecond);
+  EXPECT_GE(client_cc().alpha(), 0.0);
+  EXPECT_LE(client_cc().alpha(), 1.0);
+}
+
+TEST_F(DctcpFixture, QueueHoversNearThreshold) {
+  Build();
+  Establish();
+  client->Send(8 * kMiB);
+  // Let the transfer reach steady state, then sample the queue.
+  sim->RunUntil(sim->Now() + 30_ms);
+  SummaryStats queue;
+  for (int i = 0; i < 200; ++i) {
+    sim->RunUntil(sim->Now() + 100_us);
+    queue.Add(static_cast<double>(bottleneck->queue().OccupancyBytes()));
+  }
+  // DCTCP's signature: the standing queue oscillates around K (32 KB),
+  // far below the 128 KB buffer a loss-based sender would fill.
+  EXPECT_GT(queue.mean(), 2 * 1024.0);
+  EXPECT_LT(queue.mean(), 80 * 1024.0);
+  EXPECT_EQ(bottleneck->queue().stats().dropped, 0u);
+}
+
+TEST_F(DctcpFixture, LossStillHandledWithoutEcn) {
+  // Threshold 0 disables marking entirely: DCTCP must survive on its Reno
+  // loss-recovery fallback.
+  Build(/*buffer=*/8 * 1514, /*threshold=*/0);
+  Establish();
+  client->Send(1 * kMiB);
+  sim->RunUntil(sim->Now() + 5 * kSecond);
+  EXPECT_EQ(received, 1 * kMiB);
+  EXPECT_GT(client->stats().segments_retransmitted, 0u);
+}
+
+TEST_F(DctcpFixture, WindowNeverBelowFloor) {
+  Build(/*buffer=*/128 * kKiB, /*threshold=*/2 * 1514);
+  DctcpCc::Config config;
+  config.min_cwnd = 2;
+  Establish(config);
+  client->Send(2 * kMiB);
+  Tick deadline = sim->Now() + 2 * kSecond;
+  while (sim->Now() < deadline && received < 2 * kMiB) {
+    sim->RunUntil(sim->Now() + 1_ms);
+    ASSERT_GE(client->cwnd(), 1);  // 1 only transiently after RTO
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Unit-level checks of the congestion ops themselves.
+
+TEST(DctcpUnitTest, ConfigValidation) {
+  DctcpCc::Config ok;
+  ok.g = 0.0625;
+  EXPECT_NO_THROW(DctcpCc{ok});
+}
+
+TEST(DctcpUnitTest, DefaultsMatchPaper) {
+  DctcpCc cc;
+  EXPECT_TRUE(cc.EcnCapable());
+  EXPECT_TRUE(cc.DctcpStyleReceiver());
+  EXPECT_EQ(cc.MinCwnd(), 2);  // the floor the paper analyses
+  EXPECT_DOUBLE_EQ(cc.alpha(), 1.0);
+  EXPECT_STREQ(cc.Name(), "dctcp");
+}
+
+TEST(DctcpUnitTest, NewRenoDefaultsNonEcn) {
+  NewRenoCc cc;
+  EXPECT_FALSE(cc.EcnCapable());
+  EXPECT_FALSE(cc.DctcpStyleReceiver());
+  EXPECT_EQ(cc.MinCwnd(), 2);
+}
+
+}  // namespace
+}  // namespace dctcpp

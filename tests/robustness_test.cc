@@ -1,0 +1,138 @@
+// Failure-injection robustness: every protocol must deliver reliably over
+// paths with random (non-congestive) packet corruption, in both
+// directions, including on the incast workload. Parameterized across
+// protocol x loss rate.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "dctcpp/core/protocol.h"
+#include "dctcpp/net/topology.h"
+#include "dctcpp/sim/simulator.h"
+#include "dctcpp/tcp/socket.h"
+#include "dctcpp/workload/incast.h"
+
+namespace dctcpp {
+namespace {
+
+using namespace time_literals;
+
+struct LossCase {
+  Protocol protocol;
+  double loss;
+};
+
+std::string CaseName(const ::testing::TestParamInfo<LossCase>& info) {
+  std::string name = ToString(info.param.protocol);
+  for (char& c : name) {
+    if (c == '+') c = 'P';
+  }
+  return name + "_loss" +
+         std::to_string(static_cast<int>(info.param.loss * 1000));
+}
+
+class LossyPathTest : public ::testing::TestWithParam<LossCase> {};
+
+TEST_P(LossyPathTest, TransferSurvivesRandomLoss) {
+  const LossCase param = GetParam();
+  Simulator sim(7);
+  Network net(sim);
+  Switch& sw = net.AddSwitch("sw");
+  Host& a = net.AddHost("a");
+  Host& b = net.AddHost("b");
+  LinkConfig lossy;
+  lossy.random_loss = param.loss;
+  // Loss on both directions (data and ACK path).
+  net.ConnectHost(a, sw, lossy, Network::NicConfig(lossy));
+  net.ConnectHost(b, sw, lossy, Network::NicConfig(lossy));
+  net.InstallRoutes();
+
+  TcpSocket::Config socket_config;
+  socket_config.rto.min_rto = 10_ms;
+
+  Bytes received = 0;
+  std::unique_ptr<TcpSocket> server;
+  TcpListener listener(
+      b, 5000,
+      [&param] { return MakeCongestionOps(param.protocol); }, socket_config,
+      [&](std::unique_ptr<TcpSocket> s) {
+        server = std::move(s);
+        server->set_on_data([&](Bytes n) { received += n; });
+      });
+  TcpSocket client(a, MakeCongestionOps(param.protocol), socket_config);
+  bool connected = false;
+  client.set_on_connected([&] {
+    connected = true;
+    client.Send(512 * 1024);
+  });
+  client.Connect(b.id(), 5000);
+  sim.RunUntil(120 * kSecond);
+  EXPECT_TRUE(connected);
+  EXPECT_EQ(received, 512 * 1024) << "protocol=" << ToString(param.protocol)
+                                  << " loss=" << param.loss;
+  EXPECT_EQ(client.StreamAcked(), 512 * 1024);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllProtocols, LossyPathTest,
+    ::testing::Values(LossCase{Protocol::kTcp, 0.01},
+                      LossCase{Protocol::kTcp, 0.05},
+                      LossCase{Protocol::kDctcp, 0.01},
+                      LossCase{Protocol::kDctcp, 0.05},
+                      LossCase{Protocol::kDctcpPlus, 0.01},
+                      LossCase{Protocol::kDctcpPlus, 0.05},
+                      LossCase{Protocol::kTcpPlus, 0.01},
+                      LossCase{Protocol::kDctcpPlusPartial, 0.01}),
+    CaseName);
+
+class LossyIncastTest : public ::testing::TestWithParam<Protocol> {};
+
+TEST_P(LossyIncastTest, IncastCompletesOverLossyFabric) {
+  IncastConfig config;
+  config.protocol = GetParam();
+  config.num_flows = 8;
+  config.rounds = 3;
+  config.total_bytes = 128 * 1024;
+  config.link.random_loss = 0.005;
+  config.min_rto = 10 * kMillisecond;
+  config.time_limit = 120 * kSecond;
+  const IncastResult r = RunIncast(config);
+  EXPECT_EQ(r.rounds_completed, 3u);
+  EXPECT_FALSE(r.hit_time_limit);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllProtocols, LossyIncastTest,
+    ::testing::Values(Protocol::kTcp, Protocol::kDctcp,
+                      Protocol::kDctcpPlus, Protocol::kTcpPlus),
+    [](const ::testing::TestParamInfo<Protocol>& info) {
+      std::string name = ToString(info.param);
+      for (char& c : name) {
+        if (c == '+') c = 'P';
+      }
+      return name;
+    });
+
+TEST(LossInjectionTest, CounterTracksDrops) {
+  Simulator sim(3);
+  Network net(sim);
+  Switch& sw = net.AddSwitch("sw");
+  Host& a = net.AddHost("a");
+  Host& b = net.AddHost("b");
+  LinkConfig always_lose;
+  always_lose.random_loss = 1.0;
+  net.ConnectHost(a, sw, always_lose, always_lose);
+  net.ConnectHost(b, sw, LinkConfig{});
+  net.InstallRoutes();
+  Packet pkt;
+  pkt.src = a.id();
+  pkt.dst = b.id();
+  pkt.payload = 100;
+  a.Send(pkt);
+  sim.Run();
+  EXPECT_EQ(a.uplink().random_losses(), 1u);
+  EXPECT_EQ(b.unmatched_packets(), 0u);  // never arrived
+}
+
+}  // namespace
+}  // namespace dctcpp

@@ -1,0 +1,111 @@
+// RFC 6298 estimator tests, including the RTO_min knob the paper varies.
+#include <gtest/gtest.h>
+
+#include "dctcpp/tcp/rto.h"
+
+namespace dctcpp {
+namespace {
+
+using namespace time_literals;
+
+RtoEstimator::Config FloorUs(Tick min_rto) {
+  RtoEstimator::Config config;
+  config.min_rto = min_rto;
+  return config;
+}
+
+TEST(RtoTest, InitialRtoBeforeAnySample) {
+  RtoEstimator rto;
+  EXPECT_FALSE(rto.HasSample());
+  EXPECT_EQ(rto.Rto(), 200_ms);
+}
+
+TEST(RtoTest, FirstSampleInitializesSrttAndRttvar) {
+  RtoEstimator rto(FloorUs(1_ms));
+  rto.AddSample(100_us);
+  EXPECT_TRUE(rto.HasSample());
+  EXPECT_EQ(rto.srtt(), 100_us);
+  EXPECT_EQ(rto.rttvar(), 50_us);
+  // srtt + 4*rttvar = 300us, below the 1ms floor.
+  EXPECT_EQ(rto.Rto(), 1_ms);
+}
+
+TEST(RtoTest, FloorDominatesSmallRtts) {
+  RtoEstimator rto(FloorUs(200_ms));
+  for (int i = 0; i < 100; ++i) rto.AddSample(100_us);
+  EXPECT_EQ(rto.Rto(), 200_ms);
+}
+
+TEST(RtoTest, TenMillisecondFloor) {
+  RtoEstimator rto(FloorUs(10_ms));
+  for (int i = 0; i < 100; ++i) rto.AddSample(100_us);
+  EXPECT_EQ(rto.Rto(), 10_ms);
+}
+
+TEST(RtoTest, LargeRttExceedsFloor) {
+  RtoEstimator rto(FloorUs(10_ms));
+  for (int i = 0; i < 100; ++i) rto.AddSample(50_ms);
+  // Converged: srtt -> 50ms, rttvar -> small; RTO ~ srtt.
+  EXPECT_GT(rto.Rto(), 50_ms);
+  EXPECT_LT(rto.Rto(), 80_ms);
+}
+
+TEST(RtoTest, SmoothingConvergesToSteadyRtt) {
+  RtoEstimator rto(FloorUs(1_ms));
+  rto.AddSample(1_ms);
+  for (int i = 0; i < 200; ++i) rto.AddSample(500_us);
+  EXPECT_NEAR(static_cast<double>(rto.srtt()), 500e3, 5e3);
+}
+
+TEST(RtoTest, VarianceGrowsWithJitter) {
+  RtoEstimator steady(FloorUs(1)), jittery(FloorUs(1));
+  for (int i = 0; i < 100; ++i) {
+    steady.AddSample(1_ms);
+    jittery.AddSample(i % 2 ? 500_us : 1500_us);
+  }
+  EXPECT_GT(jittery.rttvar(), steady.rttvar());
+  EXPECT_GT(jittery.Rto(), steady.Rto());
+}
+
+TEST(RtoTest, BackoffDoubles) {
+  RtoEstimator rto(FloorUs(100_ms));
+  rto.AddSample(1_ms);
+  const Tick base = rto.Rto();
+  rto.Backoff();
+  EXPECT_EQ(rto.Rto(), 2 * base);
+  rto.Backoff();
+  EXPECT_EQ(rto.Rto(), 4 * base);
+  EXPECT_EQ(rto.backoff_shift(), 2);
+}
+
+TEST(RtoTest, BackoffCapsAtMax) {
+  RtoEstimator::Config config;
+  config.min_rto = 200_ms;
+  config.max_rto = 2 * kSecond;
+  RtoEstimator rto(config);
+  for (int i = 0; i < 20; ++i) rto.Backoff();
+  EXPECT_EQ(rto.Rto(), 2 * kSecond);
+}
+
+TEST(RtoTest, ResetBackoffRestoresBase) {
+  RtoEstimator rto(FloorUs(100_ms));
+  rto.AddSample(1_ms);
+  const Tick base = rto.Rto();
+  rto.Backoff();
+  rto.Backoff();
+  rto.ResetBackoff();
+  EXPECT_EQ(rto.Rto(), base);
+}
+
+TEST(RtoTest, ClockGranularityLowerBoundsVarTerm) {
+  RtoEstimator::Config config;
+  config.min_rto = 1;  // effectively no floor
+  config.clock_granularity = 10_ms;
+  RtoEstimator rto(config);
+  for (int i = 0; i < 100; ++i) rto.AddSample(5_ms);
+  // rttvar converges toward 0; G=10ms keeps RTO >= srtt + 10ms.
+  EXPECT_GE(rto.Rto(), rto.srtt() + 10_ms);
+}
+
+}  // namespace
+}  // namespace dctcpp

@@ -1,0 +1,86 @@
+// Wrap-safe sequence arithmetic, including parameterized sweeps across the
+// 32-bit wrap point.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "dctcpp/tcp/seq.h"
+
+namespace dctcpp {
+namespace {
+
+TEST(SeqNumTest, BasicOrdering) {
+  EXPECT_LT(SeqNum(1), SeqNum(2));
+  EXPECT_GT(SeqNum(2), SeqNum(1));
+  EXPECT_LE(SeqNum(2), SeqNum(2));
+  EXPECT_GE(SeqNum(2), SeqNum(2));
+  EXPECT_EQ(SeqNum(5), SeqNum(5));
+  EXPECT_NE(SeqNum(5), SeqNum(6));
+}
+
+TEST(SeqNumTest, AdditionWraps) {
+  const SeqNum near_max(0xFFFFFFFFu);
+  EXPECT_EQ((near_max + 1).raw(), 0u);
+  EXPECT_EQ((near_max + 10).raw(), 9u);
+}
+
+TEST(SeqNumTest, SubtractionWraps) {
+  const SeqNum zero(0);
+  EXPECT_EQ((zero - 1).raw(), 0xFFFFFFFFu);
+}
+
+TEST(SeqNumTest, OrderingAcrossWrap) {
+  const SeqNum before(0xFFFFFF00u);
+  const SeqNum after = before + 0x200;  // wrapped past zero
+  EXPECT_LT(before, after);
+  EXPECT_GT(after, before);
+}
+
+TEST(SeqNumTest, DistanceAcrossWrap) {
+  const SeqNum a(0xFFFFFFF0u);
+  const SeqNum b = a + 0x20;
+  EXPECT_EQ(b.DistanceFrom(a), 0x20);
+  EXPECT_EQ(a.DistanceFrom(b), -0x20);
+}
+
+TEST(SeqNumTest, CompoundAdd) {
+  SeqNum s(10);
+  s += 5;
+  EXPECT_EQ(s.raw(), 15u);
+  s += -3;
+  EXPECT_EQ(s.raw(), 12u);
+}
+
+TEST(SeqNumTest, MinMax) {
+  const SeqNum a(100), b(200);
+  EXPECT_EQ(SeqMax(a, b), b);
+  EXPECT_EQ(SeqMin(a, b), a);
+  // Across wrap: b logically after a.
+  const SeqNum c(0xFFFFFFFEu);
+  const SeqNum d = c + 5;
+  EXPECT_EQ(SeqMax(c, d), d);
+  EXPECT_EQ(SeqMin(c, d), c);
+}
+
+/// Property sweep: for bases spread over the whole 32-bit space (including
+/// the wrap point), adding k always yields a strictly greater sequence
+/// number with the right distance, for k within the valid half-window.
+class SeqWrapProperty : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(SeqWrapProperty, AdditionOrderingAndDistanceHold) {
+  const SeqNum base(GetParam());
+  for (std::int64_t k : {1LL, 100LL, 65535LL, 1LL << 20, (1LL << 31) - 1}) {
+    const SeqNum moved = base + k;
+    EXPECT_GT(moved, base) << "base=" << GetParam() << " k=" << k;
+    EXPECT_EQ(moved.DistanceFrom(base), static_cast<std::int32_t>(k));
+    EXPECT_EQ((moved - k), base);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    WrapSweep, SeqWrapProperty,
+    ::testing::Values(0u, 1u, 0x7FFFFFFFu, 0x80000000u, 0xFFFFFFFFu,
+                      0xFFFF0000u, 0x12345678u, 0xDEADBEEFu));
+
+}  // namespace
+}  // namespace dctcpp

@@ -1,0 +1,66 @@
+// Shuffle workload tests.
+#include <gtest/gtest.h>
+
+#include "dctcpp/workload/shuffle.h"
+
+namespace dctcpp {
+namespace {
+
+TEST(ShuffleTest, SmallShuffleCompletes) {
+  ShuffleConfig config;
+  config.protocol = Protocol::kDctcp;
+  config.mappers = 3;
+  config.reducers = 3;
+  config.bytes_per_pair = 64 * 1024;
+  config.time_limit = 60 * kSecond;
+  const ShuffleResult r = RunShuffle(config);
+  EXPECT_FALSE(r.hit_time_limit);
+  EXPECT_EQ(r.flows, 9);
+  EXPECT_EQ(r.flow_fct_ms.count(), 9u);
+  EXPECT_GT(r.goodput_mbps, 0.0);
+  EXPECT_GT(r.completion_fairness, 0.3);
+  EXPECT_LE(r.completion_fairness, 1.0 + 1e-12);
+}
+
+TEST(ShuffleTest, FlowsPerPairMultipliesConcurrency) {
+  ShuffleConfig config;
+  config.mappers = 2;
+  config.reducers = 2;
+  config.flows_per_pair = 4;
+  config.bytes_per_pair = 64 * 1024;
+  config.time_limit = 60 * kSecond;
+  const ShuffleResult r = RunShuffle(config);
+  EXPECT_EQ(r.flows, 16);
+  EXPECT_FALSE(r.hit_time_limit);
+}
+
+TEST(ShuffleTest, AllProtocolsComplete) {
+  for (Protocol p : {Protocol::kTcp, Protocol::kDctcp,
+                     Protocol::kDctcpPlus}) {
+    ShuffleConfig config;
+    config.protocol = p;
+    config.mappers = 3;
+    config.reducers = 2;
+    config.bytes_per_pair = 32 * 1024;
+    config.min_rto = 10 * kMillisecond;
+    config.time_limit = 60 * kSecond;
+    const ShuffleResult r = RunShuffle(config);
+    EXPECT_FALSE(r.hit_time_limit) << ToString(p);
+    EXPECT_EQ(r.flow_fct_ms.count(), 6u) << ToString(p);
+  }
+}
+
+TEST(ShuffleTest, DeterministicForSeed) {
+  ShuffleConfig config;
+  config.mappers = 3;
+  config.reducers = 3;
+  config.bytes_per_pair = 32 * 1024;
+  config.time_limit = 60 * kSecond;
+  const ShuffleResult a = RunShuffle(config);
+  const ShuffleResult b = RunShuffle(config);
+  EXPECT_EQ(a.completion_time, b.completion_time);
+  EXPECT_EQ(a.goodput_mbps, b.goodput_mbps);
+}
+
+}  // namespace
+}  // namespace dctcpp

@@ -1,0 +1,226 @@
+// Unit tests for the discrete-event engine: scheduler ordering, lazy
+// cancellation, run-loop semantics, and the cancellable Timer.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "dctcpp/sim/scheduler.h"
+#include "dctcpp/sim/simulator.h"
+#include "dctcpp/sim/timer.h"
+
+namespace dctcpp {
+namespace {
+
+using namespace time_literals;
+
+// ---------------------------------------------------------------------------
+// Scheduler
+
+TEST(SchedulerTest, RunsInTimeOrder) {
+  Scheduler sched;
+  std::vector<int> order;
+  sched.ScheduleAt(30, [&] { order.push_back(3); });
+  sched.ScheduleAt(10, [&] { order.push_back(1); });
+  sched.ScheduleAt(20, [&] { order.push_back(2); });
+  while (!sched.Empty()) sched.RunNext();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(SchedulerTest, FifoAmongEqualTimestamps) {
+  Scheduler sched;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sched.ScheduleAt(5, [&order, i] { order.push_back(i); });
+  }
+  while (!sched.Empty()) sched.RunNext();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(SchedulerTest, CancelPreventsExecution) {
+  Scheduler sched;
+  bool ran = false;
+  const EventId id = sched.ScheduleAt(10, [&] { ran = true; });
+  sched.Cancel(id);
+  EXPECT_TRUE(sched.Empty());
+  EXPECT_FALSE(ran);
+}
+
+TEST(SchedulerTest, CancelIsIdempotentAndSafeOnFiredEvents) {
+  Scheduler sched;
+  const EventId id = sched.ScheduleAt(1, [] {});
+  sched.RunNext();
+  sched.Cancel(id);  // already fired: no-op
+  sched.Cancel(id);
+  sched.Cancel(EventId{});  // invalid id: no-op
+  EXPECT_TRUE(sched.Empty());
+}
+
+TEST(SchedulerTest, PendingCountTracksLiveEvents) {
+  Scheduler sched;
+  const EventId a = sched.ScheduleAt(1, [] {});
+  sched.ScheduleAt(2, [] {});
+  EXPECT_EQ(sched.PendingCount(), 2u);
+  sched.Cancel(a);
+  EXPECT_EQ(sched.PendingCount(), 1u);
+  sched.RunNext();
+  EXPECT_EQ(sched.PendingCount(), 0u);
+}
+
+TEST(SchedulerTest, NextTimeSkipsCancelled) {
+  Scheduler sched;
+  const EventId a = sched.ScheduleAt(1, [] {});
+  sched.ScheduleAt(5, [] {});
+  sched.Cancel(a);
+  EXPECT_EQ(sched.NextTime(), 5);
+}
+
+TEST(SchedulerTest, EventsScheduledDuringExecutionRun) {
+  Scheduler sched;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 5) sched.ScheduleAt(depth, recurse);
+  };
+  sched.ScheduleAt(0, recurse);
+  while (!sched.Empty()) sched.RunNext();
+  EXPECT_EQ(depth, 5);
+}
+
+TEST(SchedulerTest, ExecutedCounter) {
+  Scheduler sched;
+  for (int i = 0; i < 7; ++i) sched.ScheduleAt(i, [] {});
+  while (!sched.Empty()) sched.RunNext();
+  EXPECT_EQ(sched.executed(), 7u);
+}
+
+// ---------------------------------------------------------------------------
+// Simulator
+
+TEST(SimulatorTest, ClockAdvancesToEventTimes) {
+  Simulator sim;
+  std::vector<Tick> at;
+  sim.Schedule(10, [&] { at.push_back(sim.Now()); });
+  sim.Schedule(25, [&] { at.push_back(sim.Now()); });
+  sim.Run();
+  EXPECT_EQ(at, (std::vector<Tick>{10, 25}));
+  EXPECT_EQ(sim.Now(), 25);
+}
+
+TEST(SimulatorTest, RunUntilStopsAtDeadline) {
+  Simulator sim;
+  bool late = false;
+  sim.Schedule(10, [] {});
+  sim.Schedule(100, [&] { late = true; });
+  sim.RunUntil(50);
+  EXPECT_FALSE(late);
+  EXPECT_EQ(sim.Now(), 50);  // clock parked at the deadline
+  sim.Run();
+  EXPECT_TRUE(late);
+}
+
+TEST(SimulatorTest, StopEndsRunEarly) {
+  Simulator sim;
+  int ran = 0;
+  sim.Schedule(1, [&] {
+    ++ran;
+    sim.Stop();
+  });
+  sim.Schedule(2, [&] { ++ran; });
+  sim.Run();
+  EXPECT_EQ(ran, 1);
+  sim.Run();  // resumes with the remaining event
+  EXPECT_EQ(ran, 2);
+}
+
+TEST(SimulatorTest, RelativeScheduleUsesCurrentTime) {
+  Simulator sim;
+  Tick inner_fired = -1;
+  sim.Schedule(10, [&] {
+    sim.Schedule(5, [&] { inner_fired = sim.Now(); });
+  });
+  sim.Run();
+  EXPECT_EQ(inner_fired, 15);
+}
+
+TEST(SimulatorTest, SeededRngIsDeterministicAcrossInstances) {
+  Simulator a(99), b(99);
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_EQ(a.rng().Next(), b.rng().Next());
+  }
+}
+
+TEST(SimulatorTest, RunReturnsExecutedCount) {
+  Simulator sim;
+  for (int i = 1; i <= 5; ++i) sim.Schedule(i, [] {});
+  EXPECT_EQ(sim.Run(), 5u);
+}
+
+// ---------------------------------------------------------------------------
+// Timer
+
+TEST(TimerTest, FiresOnceAtExpiry) {
+  Simulator sim;
+  int fired = 0;
+  Timer t(sim, [&] { ++fired; });
+  t.Schedule(100);
+  EXPECT_TRUE(t.IsPending());
+  sim.Run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_FALSE(t.IsPending());
+  EXPECT_EQ(sim.Now(), 100);
+}
+
+TEST(TimerTest, CancelPreventsFiring) {
+  Simulator sim;
+  int fired = 0;
+  Timer t(sim, [&] { ++fired; });
+  t.Schedule(100);
+  t.Cancel();
+  sim.Run();
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(TimerTest, RescheduleReplacesPending) {
+  Simulator sim;
+  std::vector<Tick> fires;
+  Timer t(sim, [&] { fires.push_back(sim.Now()); });
+  t.Schedule(100);
+  t.Schedule(50);  // re-arm earlier
+  sim.Run();
+  EXPECT_EQ(fires, (std::vector<Tick>{50}));
+}
+
+TEST(TimerTest, CanReArmFromCallback) {
+  Simulator sim;
+  int fired = 0;
+  Timer* self = nullptr;
+  Timer t(sim, [&] {
+    if (++fired < 3) self->Schedule(10);
+  });
+  self = &t;
+  t.Schedule(10);
+  sim.Run();
+  EXPECT_EQ(fired, 3);
+  EXPECT_EQ(sim.Now(), 30);
+}
+
+TEST(TimerTest, ExpiresAtReflectsArming) {
+  Simulator sim;
+  Timer t(sim, [] {});
+  sim.Schedule(7, [&] { t.Schedule(13); });
+  sim.Run();
+  EXPECT_EQ(t.expires_at(), 20);
+}
+
+TEST(TimerTest, DestructionCancelsPendingEvent) {
+  Simulator sim;
+  int fired = 0;
+  {
+    Timer t(sim, [&] { ++fired; });
+    t.Schedule(10);
+  }
+  sim.Run();
+  EXPECT_EQ(fired, 0);
+}
+
+}  // namespace
+}  // namespace dctcpp

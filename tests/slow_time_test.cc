@@ -1,0 +1,275 @@
+// SlowTimeRegulator: every transition arc of Fig. 4 / Algorithm 1, the
+// AIMD bounds, randomization, and property sweeps over signal sequences.
+#include <gtest/gtest.h>
+
+#include "dctcpp/core/slow_time.h"
+
+namespace dctcpp {
+namespace {
+
+using namespace time_literals;
+
+SlowTimeRegulator::Config Literal() {
+  // The literal Algorithm 1: decay per clean evaluation, engage on the
+  // first congested-at-min evaluation.
+  SlowTimeRegulator::Config config;
+  config.clean_evals_per_decay = 1;
+  config.congested_evals_per_entry = 1;
+  config.rtt_scaled_unit = false;
+  return config;
+}
+
+TEST(SlowTimeTest, StartsNormalWithZeroDelay) {
+  SlowTimeRegulator reg(Literal());
+  Rng rng(1);
+  EXPECT_EQ(reg.state(), PlusState::kNormal);
+  EXPECT_EQ(reg.slow_time(), 0);
+  EXPECT_EQ(reg.PacingDelay(rng), 0);
+}
+
+TEST(SlowTimeTest, NormalIgnoresCongestionAboveFloor) {
+  SlowTimeRegulator reg(Literal());
+  Rng rng(1);
+  reg.Evolve(/*congested=*/true, /*cwnd_at_min=*/false, rng);
+  EXPECT_EQ(reg.state(), PlusState::kNormal);
+  EXPECT_EQ(reg.slow_time(), 0);
+}
+
+TEST(SlowTimeTest, EntersTimeIncAtFloorWithCongestion) {
+  SlowTimeRegulator reg(Literal());
+  Rng rng(1);
+  reg.Evolve(true, true, rng);
+  EXPECT_EQ(reg.state(), PlusState::kTimeInc);
+  EXPECT_LE(reg.slow_time(), reg.config().backoff_time_unit);
+  EXPECT_EQ(reg.counters().entered_inc, 1u);
+}
+
+TEST(SlowTimeTest, DeterministicVariantAddsFullUnit) {
+  auto config = Literal();
+  config.randomize = false;
+  SlowTimeRegulator reg(config);
+  Rng rng(1);
+  reg.Evolve(true, true, rng);
+  EXPECT_EQ(reg.slow_time(), config.backoff_time_unit);
+  reg.Evolve(true, true, rng);
+  EXPECT_EQ(reg.slow_time(), 2 * config.backoff_time_unit);
+  EXPECT_EQ(reg.counters().inc_steps, 1u);
+}
+
+TEST(SlowTimeTest, IncToDesHalves) {
+  auto config = Literal();
+  config.randomize = false;
+  SlowTimeRegulator reg(config);
+  Rng rng(1);
+  reg.Evolve(true, true, rng);   // -> Inc, slow = unit
+  reg.Evolve(true, true, rng);   // slow = 2 units
+  reg.Evolve(false, true, rng);  // -> Des, slow = 1 unit
+  EXPECT_EQ(reg.state(), PlusState::kTimeDes);
+  EXPECT_EQ(reg.slow_time(), config.backoff_time_unit);
+  EXPECT_EQ(reg.counters().entered_des, 1u);
+}
+
+TEST(SlowTimeTest, DesReturnsToIncOnCongestion) {
+  auto config = Literal();
+  config.randomize = false;
+  SlowTimeRegulator reg(config);
+  Rng rng(1);
+  reg.Evolve(true, true, rng);
+  reg.Evolve(false, true, rng);  // Des
+  reg.Evolve(true, true, rng);   // back to Inc with an increment
+  EXPECT_EQ(reg.state(), PlusState::kTimeInc);
+  EXPECT_GT(reg.slow_time(), 0);
+}
+
+TEST(SlowTimeTest, DesDecaysToNormalBelowThreshold) {
+  auto config = Literal();
+  config.randomize = false;
+  config.backoff_time_unit = 100_us;
+  config.threshold = 30_us;
+  config.divisor_factor = 2;
+  SlowTimeRegulator reg(config);
+  Rng rng(1);
+  reg.Evolve(true, true, rng);   // Inc, 100us
+  reg.Evolve(false, true, rng);  // Des, 50us
+  EXPECT_EQ(reg.state(), PlusState::kTimeDes);
+  reg.Evolve(false, true, rng);  // 50 > 30: halve to 25us
+  EXPECT_EQ(reg.state(), PlusState::kTimeDes);
+  EXPECT_EQ(reg.slow_time(), 25_us);
+  reg.Evolve(false, true, rng);  // 25 <= 30: NORMAL, slow = 0
+  EXPECT_EQ(reg.state(), PlusState::kNormal);
+  EXPECT_EQ(reg.slow_time(), 0);
+  EXPECT_EQ(reg.counters().returned_normal, 1u);
+}
+
+TEST(SlowTimeTest, SlowTimeCappedAtMax) {
+  auto config = Literal();
+  config.randomize = false;
+  config.max_slow_time = 5 * config.backoff_time_unit;
+  SlowTimeRegulator reg(config);
+  Rng rng(1);
+  for (int i = 0; i < 100; ++i) reg.Evolve(true, true, rng);
+  EXPECT_EQ(reg.slow_time(), config.max_slow_time);
+}
+
+TEST(SlowTimeTest, RandomizedIncrementsVary) {
+  SlowTimeRegulator reg(Literal());
+  Rng rng(7);
+  std::set<Tick> values;
+  for (int i = 0; i < 20; ++i) {
+    reg.Evolve(true, true, rng);
+    values.insert(reg.slow_time());
+  }
+  EXPECT_GT(values.size(), 10u);  // increments differ
+}
+
+TEST(SlowTimeTest, RttHintEscalatesOnlyAfterSustainedCongestion) {
+  auto config = Literal();
+  config.randomize = false;
+  config.rtt_scaled_unit = true;
+  config.backoff_time_unit = 100_us;
+  config.rtt_scale_after_units = 3;
+  SlowTimeRegulator reg(config);
+  Rng rng(1);
+  // Below 3 base units: increments stay at the cheap base unit even with
+  // a large RTT hint (light engagement must stay cheap).
+  reg.Evolve(true, true, rng, /*rtt_hint=*/2_ms);
+  EXPECT_EQ(reg.slow_time(), 100_us);
+  reg.Evolve(true, true, rng, 2_ms);
+  reg.Evolve(true, true, rng, 2_ms);
+  EXPECT_EQ(reg.slow_time(), 300_us);
+  // At 3 units the episode is sustained: the unit follows srtt.
+  reg.Evolve(true, true, rng, 2_ms);
+  EXPECT_EQ(reg.slow_time(), 300_us + 2_ms);
+}
+
+TEST(SlowTimeTest, RttHintIgnoredWhenScalingDisabled) {
+  auto config = Literal();
+  config.randomize = false;
+  config.rtt_scaled_unit = false;
+  SlowTimeRegulator reg(config);
+  Rng rng(1);
+  reg.Evolve(true, true, rng, /*rtt_hint=*/2_ms);
+  EXPECT_EQ(reg.slow_time(), config.backoff_time_unit);
+}
+
+TEST(SlowTimeTest, DecayCadenceRequiresConsecutiveCleanEvals) {
+  auto config = Literal();
+  config.randomize = false;
+  config.clean_evals_per_decay = 2;
+  SlowTimeRegulator reg(config);
+  Rng rng(1);
+  reg.Evolve(true, true, rng);  // Inc, 1 unit
+  reg.Evolve(true, true, rng);  // 2 units
+  reg.Evolve(false, true, rng);  // clean #1: no change yet
+  EXPECT_EQ(reg.state(), PlusState::kTimeInc);
+  EXPECT_EQ(reg.slow_time(), 2 * config.backoff_time_unit);
+  reg.Evolve(false, true, rng);  // clean #2: Des + halve
+  EXPECT_EQ(reg.state(), PlusState::kTimeDes);
+  EXPECT_EQ(reg.slow_time(), config.backoff_time_unit);
+}
+
+TEST(SlowTimeTest, CongestionResetsCleanStreak) {
+  auto config = Literal();
+  config.randomize = false;
+  config.clean_evals_per_decay = 2;
+  SlowTimeRegulator reg(config);
+  Rng rng(1);
+  reg.Evolve(true, true, rng);
+  reg.Evolve(false, true, rng);  // clean #1
+  reg.Evolve(true, true, rng);   // congestion resets the streak
+  reg.Evolve(false, true, rng);  // clean #1 again
+  EXPECT_EQ(reg.state(), PlusState::kTimeInc);
+}
+
+TEST(SlowTimeTest, EntryHysteresisDelaysEngagement) {
+  auto config = Literal();
+  config.congested_evals_per_entry = 3;
+  SlowTimeRegulator reg(config);
+  Rng rng(1);
+  reg.Evolve(true, true, rng);
+  reg.Evolve(true, true, rng);
+  EXPECT_EQ(reg.state(), PlusState::kNormal);
+  reg.Evolve(true, true, rng);
+  EXPECT_EQ(reg.state(), PlusState::kTimeInc);
+}
+
+TEST(SlowTimeTest, EntryStreakResetByNonCongestedEval) {
+  auto config = Literal();
+  config.congested_evals_per_entry = 2;
+  SlowTimeRegulator reg(config);
+  Rng rng(1);
+  reg.Evolve(true, true, rng);
+  reg.Evolve(false, true, rng);  // breaks the streak
+  reg.Evolve(true, true, rng);
+  EXPECT_EQ(reg.state(), PlusState::kNormal);
+  reg.Evolve(true, true, rng);
+  EXPECT_EQ(reg.state(), PlusState::kTimeInc);
+}
+
+TEST(SlowTimeTest, PacingDelayZeroOnlyInNormal) {
+  auto config = Literal();
+  config.randomize = false;
+  SlowTimeRegulator reg(config);
+  Rng rng(1);
+  EXPECT_EQ(reg.PacingDelay(rng), 0);
+  reg.Evolve(true, true, rng);
+  EXPECT_GT(reg.PacingDelay(rng), 0);
+  reg.Evolve(false, true, rng);  // Des
+  EXPECT_GT(reg.PacingDelay(rng), 0);
+}
+
+TEST(SlowTimeTest, RandomizedPacingDelayJittersAroundSlowTime) {
+  SlowTimeRegulator reg(Literal());
+  Rng rng(3);
+  for (int i = 0; i < 10; ++i) reg.Evolve(true, true, rng);
+  const Tick st = reg.slow_time();
+  ASSERT_GT(st, 0);
+  for (int i = 0; i < 1000; ++i) {
+    const Tick d = reg.PacingDelay(rng);
+    ASSERT_GE(d, st / 2);
+    ASSERT_LE(d, st / 2 + st);
+  }
+}
+
+TEST(SlowTimeTest, ToStringNamesStates) {
+  EXPECT_STREQ(ToString(PlusState::kNormal), "DCTCP_NORMAL");
+  EXPECT_STREQ(ToString(PlusState::kTimeInc), "DCTCP_Time_Inc");
+  EXPECT_STREQ(ToString(PlusState::kTimeDes), "DCTCP_Time_Des");
+}
+
+/// Property sweep: under arbitrary signal sequences the invariants hold:
+/// slow_time in [0, max]; slow_time == 0 iff NORMAL... (NORMAL implies 0);
+/// state transitions only along Fig. 4 arcs.
+class RegulatorProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(RegulatorProperty, InvariantsUnderRandomSignals) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) + 1000);
+  SlowTimeRegulator::Config config;
+  config.clean_evals_per_decay = 1 + GetParam() % 3;
+  config.congested_evals_per_entry = 1 + GetParam() % 2;
+  config.randomize = GetParam() % 2 == 0;
+  SlowTimeRegulator reg(config);
+  PlusState prev = reg.state();
+  for (int i = 0; i < 5000; ++i) {
+    const bool congested = rng.Chance(0.4);
+    const bool at_min = rng.Chance(0.7);
+    reg.Evolve(congested, at_min, rng, rng.UniformTick(3_ms));
+    const PlusState cur = reg.state();
+    ASSERT_GE(reg.slow_time(), 0);
+    ASSERT_LE(reg.slow_time(), config.max_slow_time);
+    if (cur == PlusState::kNormal) ASSERT_EQ(reg.slow_time(), 0);
+    // Legal arcs only (Fig. 4): Normal<->Inc, Inc<->Des, Des->Normal.
+    if (prev == PlusState::kNormal) {
+      ASSERT_NE(cur, PlusState::kTimeDes);
+    }
+    if (prev == PlusState::kTimeDes && cur != PlusState::kTimeDes) {
+      ASSERT_TRUE(cur == PlusState::kNormal || cur == PlusState::kTimeInc);
+    }
+    prev = cur;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RegulatorProperty, ::testing::Range(0, 12));
+
+}  // namespace
+}  // namespace dctcpp

@@ -1,0 +1,353 @@
+// Unit tests for dctcpp/stats: accumulators, histogram, CDF, sampler, table.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dctcpp/sim/simulator.h"
+#include "dctcpp/stats/cdf.h"
+#include "dctcpp/stats/csv.h"
+#include "dctcpp/stats/histogram.h"
+#include "dctcpp/stats/summary.h"
+#include "dctcpp/stats/table.h"
+#include "dctcpp/stats/time_series.h"
+
+namespace dctcpp {
+namespace {
+
+// ---------------------------------------------------------------------------
+// SummaryStats
+
+TEST(SummaryStatsTest, EmptyIsZero) {
+  SummaryStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(SummaryStatsTest, KnownMoments) {
+  SummaryStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.Add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(SummaryStatsTest, SingleSampleVarianceZero) {
+  SummaryStats s;
+  s.Add(3.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.0);
+}
+
+TEST(SummaryStatsTest, MergeMatchesSequential) {
+  SummaryStats all, a, b;
+  for (int i = 0; i < 50; ++i) {
+    const double x = std::sin(i) * 10;
+    all.Add(x);
+    (i % 2 ? a : b).Add(x);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(SummaryStatsTest, MergeWithEmpty) {
+  SummaryStats a, empty;
+  a.Add(1.0);
+  a.Add(3.0);
+  a.Merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  SummaryStats b;
+  b.Merge(a);
+  EXPECT_DOUBLE_EQ(b.mean(), 2.0);
+}
+
+// ---------------------------------------------------------------------------
+// JainFairnessIndex
+
+TEST(FairnessTest, PerfectEqualityIsOne) {
+  EXPECT_DOUBLE_EQ(JainFairnessIndex({5.0, 5.0, 5.0, 5.0}), 1.0);
+  EXPECT_DOUBLE_EQ(JainFairnessIndex({1.0}), 1.0);
+}
+
+TEST(FairnessTest, SingleWinnerIsOneOverN) {
+  EXPECT_DOUBLE_EQ(JainFairnessIndex({10.0, 0.0, 0.0, 0.0}), 0.25);
+}
+
+TEST(FairnessTest, DegenerateInputs) {
+  EXPECT_DOUBLE_EQ(JainFairnessIndex({}), 0.0);
+  EXPECT_DOUBLE_EQ(JainFairnessIndex({0.0, 0.0}), 0.0);
+}
+
+TEST(FairnessTest, KnownMixedAllocation) {
+  // x = {1, 3}: (4)^2 / (2 * 10) = 0.8
+  EXPECT_DOUBLE_EQ(JainFairnessIndex({1.0, 3.0}), 0.8);
+}
+
+TEST(FairnessTest, ScaleInvariant) {
+  const std::vector<double> a{1.0, 2.0, 3.0};
+  std::vector<double> b;
+  for (double x : a) b.push_back(1000.0 * x);
+  EXPECT_DOUBLE_EQ(JainFairnessIndex(a), JainFairnessIndex(b));
+}
+
+// ---------------------------------------------------------------------------
+// Percentile
+
+TEST(PercentileTest, ExactQuantilesOfKnownSet) {
+  Percentile p;
+  for (int i = 1; i <= 100; ++i) p.Add(i);
+  EXPECT_DOUBLE_EQ(p.Min(), 1.0);
+  EXPECT_DOUBLE_EQ(p.Max(), 100.0);
+  EXPECT_DOUBLE_EQ(p.Median(), 50.5);
+  EXPECT_NEAR(p.Quantile(0.95), 95.05, 1e-9);
+  EXPECT_DOUBLE_EQ(p.Mean(), 50.5);
+}
+
+TEST(PercentileTest, SingleSample) {
+  Percentile p;
+  p.Add(7.0);
+  EXPECT_DOUBLE_EQ(p.Quantile(0.0), 7.0);
+  EXPECT_DOUBLE_EQ(p.Quantile(0.5), 7.0);
+  EXPECT_DOUBLE_EQ(p.Quantile(1.0), 7.0);
+}
+
+TEST(PercentileTest, InterleavedAddAndQuery) {
+  Percentile p;
+  p.Add(3.0);
+  p.Add(1.0);
+  EXPECT_DOUBLE_EQ(p.Median(), 2.0);
+  p.Add(5.0);  // adding after a query must still work
+  EXPECT_DOUBLE_EQ(p.Median(), 3.0);
+}
+
+TEST(PercentileTest, MergeCombinesSamples) {
+  Percentile a, b;
+  for (int i = 1; i <= 5; ++i) a.Add(i);
+  for (int i = 6; i <= 10; ++i) b.Add(i);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 10u);
+  EXPECT_DOUBLE_EQ(a.Median(), 5.5);
+}
+
+// ---------------------------------------------------------------------------
+// Histogram
+
+TEST(HistogramTest, BinsAndBounds) {
+  Histogram h(1, 10);
+  h.Add(1);
+  h.Add(10);
+  h.Add(5);
+  h.Add(5);
+  EXPECT_EQ(h.CountAt(1), 1u);
+  EXPECT_EQ(h.CountAt(5), 2u);
+  EXPECT_EQ(h.CountAt(10), 1u);
+  EXPECT_EQ(h.CountAt(2), 0u);
+  EXPECT_EQ(h.total(), 4u);
+}
+
+TEST(HistogramTest, UnderAndOverflow) {
+  Histogram h(1, 4);
+  h.Add(0);
+  h.Add(-3);
+  h.Add(5);
+  EXPECT_EQ(h.underflow(), 2u);
+  EXPECT_EQ(h.overflow(), 1u);
+  EXPECT_EQ(h.total(), 3u);
+  EXPECT_EQ(h.CountAt(0), 0u);
+}
+
+TEST(HistogramTest, Weights) {
+  Histogram h(0, 3);
+  h.Add(2, 10);
+  EXPECT_EQ(h.CountAt(2), 10u);
+  EXPECT_EQ(h.total(), 10u);
+}
+
+TEST(HistogramTest, Fractions) {
+  Histogram h(1, 4);
+  h.Add(1);
+  h.Add(2);
+  h.Add(2);
+  h.Add(4);
+  EXPECT_DOUBLE_EQ(h.FractionAt(2), 0.5);
+  EXPECT_DOUBLE_EQ(h.CumulativeFraction(2), 0.75);
+  EXPECT_DOUBLE_EQ(h.CumulativeFraction(4), 1.0);
+}
+
+TEST(HistogramTest, EmptyFractionsZero) {
+  Histogram h(1, 4);
+  EXPECT_DOUBLE_EQ(h.FractionAt(2), 0.0);
+  EXPECT_DOUBLE_EQ(h.CumulativeFraction(4), 0.0);
+}
+
+TEST(HistogramTest, MergeAddsCounts) {
+  Histogram a(1, 4), b(1, 4);
+  a.Add(1);
+  b.Add(1);
+  b.Add(4);
+  b.Add(9);  // overflow
+  a.Merge(b);
+  EXPECT_EQ(a.CountAt(1), 2u);
+  EXPECT_EQ(a.CountAt(4), 1u);
+  EXPECT_EQ(a.overflow(), 1u);
+  EXPECT_EQ(a.total(), 4u);
+}
+
+TEST(HistogramTest, ToStringContainsCounts) {
+  Histogram h(1, 2);
+  h.Add(1);
+  const std::string s = h.ToString("label");
+  EXPECT_NE(s.find("label"), std::string::npos);
+  EXPECT_NE(s.find("100.00%"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Cdf
+
+TEST(CdfTest, AtComputesEmpiricalFraction) {
+  Cdf c;
+  for (double x : {1.0, 2.0, 3.0, 4.0}) c.Add(x);
+  EXPECT_DOUBLE_EQ(c.At(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(c.At(1.0), 0.25);
+  EXPECT_DOUBLE_EQ(c.At(2.5), 0.5);
+  EXPECT_DOUBLE_EQ(c.At(4.0), 1.0);
+  EXPECT_DOUBLE_EQ(c.At(100.0), 1.0);
+}
+
+TEST(CdfTest, QuantileInverse) {
+  Cdf c;
+  for (int i = 1; i <= 10; ++i) c.Add(i);
+  EXPECT_DOUBLE_EQ(c.Quantile(0.5), 5.0);
+  EXPECT_DOUBLE_EQ(c.Quantile(1.0), 10.0);
+  EXPECT_DOUBLE_EQ(c.Quantile(0.0), 1.0);
+}
+
+TEST(CdfTest, SeriesIsMonotone) {
+  Cdf c;
+  for (double x : {5.0, 1.0, 3.0, 9.0, 7.0}) c.Add(x);
+  const auto series = c.Series(0.0, 10.0, 11);
+  ASSERT_EQ(series.size(), 11u);
+  for (std::size_t i = 1; i < series.size(); ++i) {
+    EXPECT_GE(series[i].second, series[i - 1].second);
+  }
+  EXPECT_DOUBLE_EQ(series.front().second, 0.0);
+  EXPECT_DOUBLE_EQ(series.back().second, 1.0);
+}
+
+TEST(CdfTest, MergeAndMutateAfterQuery) {
+  Cdf a, b;
+  a.Add(1.0);
+  EXPECT_DOUBLE_EQ(a.At(1.0), 1.0);
+  b.Add(3.0);
+  a.Merge(b);
+  EXPECT_DOUBLE_EQ(a.At(1.0), 0.5);
+}
+
+// ---------------------------------------------------------------------------
+// TimeSeriesSampler
+
+TEST(TimeSeriesSamplerTest, SamplesAtFixedPeriod) {
+  Simulator sim;
+  double value = 0.0;
+  TimeSeriesSampler sampler(sim, 100, [&] { return value; });
+  sampler.Start();
+  sim.Schedule(250, [&] { value = 42.0; });
+  sim.Schedule(550, [&] { sampler.Stop(); });
+  sim.RunUntil(1000);
+  const auto& samples = sampler.samples();
+  ASSERT_EQ(samples.size(), 5u);  // t=100..500
+  EXPECT_EQ(samples[0].at, 100);
+  EXPECT_DOUBLE_EQ(samples[0].value, 0.0);
+  EXPECT_DOUBLE_EQ(samples[2].value, 42.0);  // t=300 after the change
+  EXPECT_EQ(samples[4].at, 500);
+}
+
+TEST(TimeSeriesSamplerTest, StartIsIdempotent) {
+  Simulator sim;
+  TimeSeriesSampler sampler(sim, 100, [] { return 1.0; });
+  sampler.Start();
+  sampler.Start();
+  sim.Schedule(350, [&] { sampler.Stop(); });
+  sim.RunUntil(1000);
+  EXPECT_EQ(sampler.samples().size(), 3u);
+}
+
+TEST(TimeSeriesSamplerTest, ValuesExtraction) {
+  Simulator sim;
+  int n = 0;
+  TimeSeriesSampler sampler(sim, 10, [&] { return static_cast<double>(++n); });
+  sampler.Start();
+  sim.Schedule(35, [&] { sampler.Stop(); });
+  sim.RunUntil(100);
+  EXPECT_EQ(sampler.Values(), (std::vector<double>{1.0, 2.0, 3.0}));
+}
+
+// ---------------------------------------------------------------------------
+// CsvWriter
+
+TEST(CsvTest, WritesRowsAndQuotes) {
+  const std::string path = ::testing::TempDir() + "/dctcpp_csv_test.csv";
+  {
+    CsvWriter csv(path);
+    ASSERT_TRUE(csv.ok());
+    csv.Row({"a", "b,with comma", "c\"quoted\""});
+    csv.NumericRow({1.5, 2.0});
+  }
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  ASSERT_NE(f, nullptr);
+  char buf[256];
+  std::string content;
+  while (std::fgets(buf, sizeof buf, f)) content += buf;
+  std::fclose(f);
+  std::remove(path.c_str());
+  EXPECT_EQ(content, "a,\"b,with comma\",\"c\"\"quoted\"\"\"\n1.5,2\n");
+}
+
+TEST(CsvTest, UnwritablePathReportsNotOk) {
+  CsvWriter csv("/nonexistent-dir/nope.csv");
+  EXPECT_FALSE(csv.ok());
+}
+
+TEST(CsvTest, TimeSeriesDump) {
+  const std::string path = ::testing::TempDir() + "/dctcpp_ts_test.csv";
+  std::vector<TimeSeriesSampler::Sample> samples{{1000, 42.0},
+                                                 {2000, 43.5}};
+  ASSERT_TRUE(WriteTimeSeriesCsv(path, samples, "queue"));
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  ASSERT_NE(f, nullptr);
+  char buf[256];
+  std::string content;
+  while (std::fgets(buf, sizeof buf, f)) content += buf;
+  std::fclose(f);
+  std::remove(path.c_str());
+  EXPECT_EQ(content, "time_us,queue\n1,42\n2,43.5\n");
+}
+
+// ---------------------------------------------------------------------------
+// Table
+
+TEST(TableTest, AlignsColumns) {
+  Table t({"name", "value"});
+  t.AddRow({"x", "1"});
+  t.AddRow({"longer", "22"});
+  const std::string s = t.ToString();
+  EXPECT_NE(s.find("name"), std::string::npos);
+  EXPECT_NE(s.find("longer"), std::string::npos);
+  // Header separator present.
+  EXPECT_NE(s.find("---"), std::string::npos);
+}
+
+TEST(TableTest, NumAndIntFormatters) {
+  EXPECT_EQ(Table::Num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::Num(2.0, 0), "2");
+  EXPECT_EQ(Table::Int(-42), "-42");
+}
+
+}  // namespace
+}  // namespace dctcpp

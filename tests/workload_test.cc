@@ -1,0 +1,345 @@
+// Workload-layer tests: the request/response apps, flow generation, the
+// incast experiment end to end (including the paper's headline ordering),
+// the benchmark-traffic experiment, and the sweep harness.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "dctcpp/net/topology.h"
+#include "dctcpp/sim/simulator.h"
+#include "dctcpp/workload/apps.h"
+#include "dctcpp/workload/background.h"
+#include "dctcpp/workload/benchmark_traffic.h"
+#include "dctcpp/workload/experiment.h"
+#include "dctcpp/workload/incast.h"
+
+namespace dctcpp {
+namespace {
+
+using namespace time_literals;
+
+TcpListener::CcFactory TcpFactory() {
+  return [] { return MakeCongestionOps(Protocol::kDctcp); };
+}
+
+class AppsFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    sim = std::make_unique<Simulator>(1);
+    net = std::make_unique<Network>(*sim);
+    topo = TwoTierTopology::Build(*net, 4, LinkConfig{});
+  }
+
+  std::unique_ptr<Simulator> sim;
+  std::unique_ptr<Network> net;
+  TwoTierTopology topo;
+};
+
+TEST_F(AppsFixture, WorkerRespondsToRequests) {
+  WorkerServer::Config wc;
+  wc.port = 5000;
+  wc.request_size = 64;
+  wc.response_size = [] { return Bytes{10000}; };
+  WorkerServer server(*topo.workers[0], TcpFactory(), TcpSocket::Config{},
+                      std::move(wc));
+  AggregatorClient client(*topo.aggregator, MakeCongestionOps(Protocol::kDctcp),
+                          TcpSocket::Config{}, topo.workers[0]->id(), 5000,
+                          64);
+  int responses = 0;
+  client.Connect([&] {
+    client.Request(10000, [&] { ++responses; });
+    client.Request(10000, [&] { ++responses; });
+  });
+  sim->RunUntil(1 * kSecond);
+  EXPECT_EQ(responses, 2);
+  EXPECT_EQ(client.total_received(), 20000);
+  EXPECT_EQ(server.total_responded(), 20000);
+  EXPECT_EQ(server.ConnectionCount(), 1u);
+}
+
+TEST_F(AppsFixture, RequestsServedFifo) {
+  WorkerServer::Config wc;
+  wc.port = 5000;
+  wc.request_size = 64;
+  wc.response_size = [] { return Bytes{5000}; };
+  WorkerServer server(*topo.workers[0], TcpFactory(), TcpSocket::Config{},
+                      std::move(wc));
+  AggregatorClient client(*topo.aggregator, MakeCongestionOps(Protocol::kDctcp),
+                          TcpSocket::Config{}, topo.workers[0]->id(), 5000,
+                          64);
+  std::vector<int> completions;
+  client.Connect([&] {
+    for (int i = 0; i < 5; ++i) {
+      client.Request(5000, [&completions, i] { completions.push_back(i); });
+    }
+  });
+  sim->RunUntil(1 * kSecond);
+  EXPECT_EQ(completions, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST_F(AppsFixture, BulkSenderCompletesAndCloses) {
+  SinkServer sink(*topo.aggregator, 6000, TcpFactory(),
+                  TcpSocket::Config{});
+  BulkSender sender(*topo.workers[1], MakeCongestionOps(Protocol::kDctcp),
+                    TcpSocket::Config{}, topo.aggregator->id(), 6000);
+  bool done = false;
+  sender.Start(100000, /*close_when_done=*/true, [&] { done = true; });
+  sim->RunUntil(2 * kSecond);
+  EXPECT_TRUE(done);
+  EXPECT_EQ(sink.total_received(), 100000);
+  EXPECT_EQ(sink.flows_completed(), 1u);
+  EXPECT_EQ(sender.acked_bytes(), 100000);
+}
+
+TEST_F(AppsFixture, SinkTracksMultipleFlows) {
+  SinkServer sink(*topo.aggregator, 6000, TcpFactory(),
+                  TcpSocket::Config{});
+  std::vector<std::unique_ptr<BulkSender>> senders;
+  int done = 0;
+  for (int i = 0; i < 3; ++i) {
+    senders.push_back(std::make_unique<BulkSender>(
+        *topo.workers[i], MakeCongestionOps(Protocol::kDctcp),
+        TcpSocket::Config{}, topo.aggregator->id(), PortNum{6000}));
+    senders.back()->Start(50000, true, [&done] { ++done; });
+  }
+  sim->RunUntil(2 * kSecond);
+  EXPECT_EQ(done, 3);
+  EXPECT_EQ(sink.total_received(), 150000);
+  EXPECT_EQ(sink.flows_completed(), 3u);
+}
+
+TEST_F(AppsFixture, FlowGeneratorRunsAllFlows) {
+  std::vector<Host*> hosts = topo.workers;
+  hosts.push_back(topo.aggregator);
+  std::vector<std::unique_ptr<SinkServer>> sinks;
+  for (Host* h : hosts) {
+    sinks.push_back(std::make_unique<SinkServer>(
+        *h, PortNum{6000}, TcpFactory(), TcpSocket::Config{}));
+  }
+  FlowGenerator::Config fg;
+  fg.flow_count = 20;
+  fg.mean_interarrival = 1_ms;
+  FlowGenerator gen(*sim, hosts, TcpFactory(), TcpSocket::Config{}, fg,
+                    EmpiricalCdf({{1000.0, 0.0}, {20000.0, 1.0}}));
+  bool all_done = false;
+  gen.Start([&] { all_done = true; });
+  sim->RunUntil(30 * kSecond);
+  EXPECT_TRUE(all_done);
+  EXPECT_EQ(gen.flows_started(), 20);
+  EXPECT_EQ(gen.flows_completed(), 20);
+  EXPECT_EQ(gen.fct_ms().count(), 20u);
+  EXPECT_GT(gen.fct_ms().Mean(), 0.0);
+  Bytes sunk = 0;
+  for (const auto& s : sinks) sunk += s->total_received();
+  EXPECT_EQ(sunk, gen.bytes_sent());
+}
+
+TEST(ProductionCdfTest, HeavyTailedShape) {
+  const EmpiricalCdf cdf = ProductionFlowSizeCdf();
+  Rng rng(5);
+  Percentile sizes;
+  for (int i = 0; i < 20000; ++i) sizes.Add(cdf.Sample(rng));
+  // Most flows are small, the tail is megabytes.
+  EXPECT_LT(sizes.Median(), 100e3);
+  EXPECT_GT(sizes.Quantile(0.99), 1e6);
+  EXPECT_LE(sizes.Max(), 10 * 1024 * 1024 + 1);
+}
+
+// ---------------------------------------------------------------------------
+// Incast experiment (integration)
+
+IncastConfig SmallIncast(Protocol protocol, int flows) {
+  IncastConfig config;
+  config.protocol = protocol;
+  config.num_flows = flows;
+  config.rounds = 5;
+  config.total_bytes = 256 * 1024;
+  config.time_limit = 60 * kSecond;
+  return config;
+}
+
+TEST(IncastTest, CompletesForAllProtocols) {
+  for (Protocol p : {Protocol::kTcp, Protocol::kDctcp, Protocol::kDctcpPlus,
+                     Protocol::kDctcpPlusPartial}) {
+    const IncastResult r = RunIncast(SmallIncast(p, 8));
+    EXPECT_EQ(r.rounds_completed, 5u) << ToString(p);
+    EXPECT_FALSE(r.hit_time_limit) << ToString(p);
+    EXPECT_GT(r.goodput_mbps, 0.0) << ToString(p);
+    EXPECT_EQ(r.fct_ms.count(), 5u) << ToString(p);
+  }
+}
+
+TEST(IncastTest, DeterministicForSeed) {
+  const IncastResult r1 = RunIncast(SmallIncast(Protocol::kDctcp, 10));
+  const IncastResult r2 = RunIncast(SmallIncast(Protocol::kDctcp, 10));
+  EXPECT_EQ(r1.goodput_mbps, r2.goodput_mbps);
+  EXPECT_EQ(r1.events, r2.events);
+  EXPECT_EQ(r1.timeouts, r2.timeouts);
+}
+
+TEST(IncastTest, SeedChangesOutcome) {
+  // DCTCP+ at a fan-in that engages the randomized regulator: different
+  // seeds must produce different event schedules.
+  IncastConfig a = SmallIncast(Protocol::kDctcpPlus, 40);
+  a.rounds = 8;
+  IncastConfig b = a;
+  b.seed = 999;
+  EXPECT_NE(RunIncast(a).events, RunIncast(b).events);
+}
+
+TEST(IncastTest, QueueSamplingProducesSeries) {
+  IncastConfig config = SmallIncast(Protocol::kDctcp, 8);
+  config.sample_queue = true;
+  const IncastResult r = RunIncast(config);
+  ASSERT_GT(r.queue_samples.size(), 10u);
+  // Samples are 100 us apart and non-negative.
+  EXPECT_EQ(r.queue_samples[1].at - r.queue_samples[0].at, 100_us);
+  for (const auto& s : r.queue_samples) ASSERT_GE(s.value, 0.0);
+}
+
+TEST(IncastTest, CwndHistogramPopulated) {
+  const IncastResult r = RunIncast(SmallIncast(Protocol::kDctcp, 10));
+  EXPECT_GT(r.cwnd_hist.total(), 100u);
+}
+
+TEST(IncastTest, BackgroundFlowsCarryTraffic) {
+  IncastConfig config = SmallIncast(Protocol::kDctcpPlus, 8);
+  config.background_flows = 2;
+  config.rounds = 10;
+  const IncastResult r = RunIncast(config);
+  ASSERT_EQ(r.bg_throughput_mbps.size(), 2u);
+  EXPECT_GT(r.bg_throughput_mbps[0], 1.0);
+  EXPECT_GT(r.bg_throughput_mbps[1], 1.0);
+  EXPECT_EQ(r.rounds_completed, 10u);
+}
+
+TEST(IncastTest, FairnessNearOneWhenHealthy) {
+  IncastConfig config = SmallIncast(Protocol::kDctcp, 10);
+  config.rounds = 10;
+  const IncastResult r = RunIncast(config);
+  // Every flow serves the same per-round quota, so completed runs are
+  // perfectly fair by construction.
+  EXPECT_GT(r.flow_fairness, 0.99);
+  EXPECT_LE(r.flow_fairness, 1.0 + 1e-12);
+}
+
+TEST(IncastTest, PerFlowBytesOverride) {
+  IncastConfig config = SmallIncast(Protocol::kDctcp, 4);
+  config.per_flow_bytes = 12345;
+  const IncastResult r = RunIncast(config);
+  EXPECT_EQ(r.per_flow_bytes, 12345);
+}
+
+// The paper's headline: at 60+ concurrent flows DCTCP collapses into
+// RTO-bound rounds while DCTCP+ keeps short FCTs. This is the key
+// qualitative result (Figs 1 and 7) asserted as a test.
+TEST(IncastTest, DctcpPlusBeatsDctcpAtHighFanIn) {
+  IncastConfig config;
+  config.num_flows = 60;
+  config.rounds = 25;
+  config.time_limit = 120 * kSecond;
+
+  config.protocol = Protocol::kDctcp;
+  const IncastResult dctcp = RunIncast(config);
+  config.protocol = Protocol::kDctcpPlus;
+  const IncastResult plus = RunIncast(config);
+
+  // DCTCP suffers timeouts nearly every round; its median round is pinned
+  // near RTO_min (200 ms). DCTCP+ stays an order of magnitude faster.
+  EXPECT_GT(dctcp.fct_ms.Median(), 100.0);
+  EXPECT_LT(plus.fct_ms.Median(), 60.0);
+  EXPECT_GT(plus.goodput_mbps, 4 * dctcp.goodput_mbps);
+}
+
+TEST(IncastTest, DctcpHealthyAtLowFanIn) {
+  IncastConfig config = SmallIncast(Protocol::kDctcp, 10);
+  config.rounds = 20;
+  config.total_bytes = 1 * kMiB;
+  const IncastResult r = RunIncast(config);
+  EXPECT_GT(r.goodput_mbps, 700.0);
+  EXPECT_EQ(r.timeouts, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Sweep harness
+
+TEST(SweepTest, FlowCountsRange) {
+  EXPECT_EQ(FlowCounts(10, 30, 10), (std::vector<int>{10, 20, 30}));
+  EXPECT_EQ(FlowCounts(5, 5, 1), (std::vector<int>{5}));
+}
+
+TEST(SweepTest, PointMergesRepetitions) {
+  ThreadPool pool(2);
+  IncastConfig config = SmallIncast(Protocol::kDctcp, 6);
+  const IncastSweepPoint point = RunIncastPoint(config, 3, pool);
+  EXPECT_EQ(point.goodput_mbps.count(), 3u);
+  EXPECT_EQ(point.rounds, 15u);  // 3 reps x 5 rounds
+  EXPECT_EQ(point.fct_ms.count(), 15u);
+  EXPECT_EQ(point.num_flows, 6);
+}
+
+TEST(SweepTest, SweepCoversGrid) {
+  ThreadPool pool(2);
+  IncastConfig base = SmallIncast(Protocol::kDctcp, 0);
+  base.rounds = 2;
+  const auto points = RunIncastSweep(
+      base, {Protocol::kDctcp, Protocol::kTcp}, {4, 8}, 2, pool);
+  ASSERT_EQ(points.size(), 4u);
+  EXPECT_EQ(points[0].protocol, Protocol::kDctcp);
+  EXPECT_EQ(points[0].num_flows, 4);
+  EXPECT_EQ(points[3].protocol, Protocol::kTcp);
+  EXPECT_EQ(points[3].num_flows, 8);
+  for (const auto& p : points) {
+    EXPECT_EQ(p.goodput_mbps.count(), 2u);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Benchmark traffic (Sec. VI-D)
+
+TEST(BenchmarkTrafficTest, SmallRunCompletes) {
+  BenchmarkTrafficConfig config;
+  config.protocol = Protocol::kDctcpPlus;
+  config.num_queries = 30;
+  config.num_background_flows = 30;
+  config.query_mean_interarrival = 2_ms;
+  config.background_mean_interarrival = 2_ms;
+  config.time_limit = 120 * kSecond;
+  const BenchmarkTrafficResult r = RunBenchmarkTraffic(config);
+  EXPECT_FALSE(r.hit_time_limit);
+  EXPECT_EQ(r.queries_completed, 30u);
+  EXPECT_EQ(r.background_flows_completed, 30u);
+  EXPECT_EQ(r.query_fct_ms.count(), 30u);
+  EXPECT_EQ(r.background_fct_ms.count(), 30u);
+  EXPECT_GT(r.query_fct_ms.Mean(), 0.0);
+}
+
+TEST(BenchmarkTrafficTest, DeterministicForSeed) {
+  BenchmarkTrafficConfig config;
+  config.num_queries = 10;
+  config.num_background_flows = 10;
+  config.time_limit = 120 * kSecond;
+  const auto r1 = RunBenchmarkTraffic(config);
+  const auto r2 = RunBenchmarkTraffic(config);
+  EXPECT_EQ(r1.events, r2.events);
+  EXPECT_EQ(r1.query_fct_ms.Mean(), r2.query_fct_ms.Mean());
+}
+
+TEST(BenchmarkTrafficTest, QueryOnlyAndBackgroundOnly) {
+  BenchmarkTrafficConfig config;
+  config.num_queries = 10;
+  config.num_background_flows = 0;
+  config.time_limit = 60 * kSecond;
+  const auto queries_only = RunBenchmarkTraffic(config);
+  EXPECT_EQ(queries_only.queries_completed, 10u);
+  EXPECT_EQ(queries_only.background_flows_completed, 0u);
+
+  config.num_queries = 0;
+  config.num_background_flows = 10;
+  const auto bg_only = RunBenchmarkTraffic(config);
+  EXPECT_EQ(bg_only.queries_completed, 0u);
+  EXPECT_EQ(bg_only.background_flows_completed, 10u);
+}
+
+}  // namespace
+}  // namespace dctcpp
