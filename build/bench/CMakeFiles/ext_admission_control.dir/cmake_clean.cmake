@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_admission_control.dir/ext_admission_control.cc.o"
+  "CMakeFiles/ext_admission_control.dir/ext_admission_control.cc.o.d"
+  "ext_admission_control"
+  "ext_admission_control.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_admission_control.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_d2tcp_deadlines.dir/ext_d2tcp_deadlines.cc.o"
+  "CMakeFiles/ext_d2tcp_deadlines.dir/ext_d2tcp_deadlines.cc.o.d"
+  "ext_d2tcp_deadlines"
+  "ext_d2tcp_deadlines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_d2tcp_deadlines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_shuffle.dir/ext_shuffle.cc.o"
+  "CMakeFiles/ext_shuffle.dir/ext_shuffle.cc.o.d"
+  "ext_shuffle"
+  "ext_shuffle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_shuffle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_tcp_plus.dir/ext_tcp_plus.cc.o"
+  "CMakeFiles/ext_tcp_plus.dir/ext_tcp_plus.cc.o.d"
+  "ext_tcp_plus"
+  "ext_tcp_plus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_tcp_plus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

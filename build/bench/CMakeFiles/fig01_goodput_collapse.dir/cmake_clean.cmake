@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_goodput_collapse.dir/fig01_goodput_collapse.cc.o"
+  "CMakeFiles/fig01_goodput_collapse.dir/fig01_goodput_collapse.cc.o.d"
+  "fig01_goodput_collapse"
+  "fig01_goodput_collapse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_goodput_collapse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

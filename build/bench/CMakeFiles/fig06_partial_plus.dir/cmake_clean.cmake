@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_partial_plus.dir/fig06_partial_plus.cc.o"
+  "CMakeFiles/fig06_partial_plus.dir/fig06_partial_plus.cc.o.d"
+  "fig06_partial_plus"
+  "fig06_partial_plus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_partial_plus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

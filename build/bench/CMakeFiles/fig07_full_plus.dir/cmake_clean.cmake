@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_full_plus.dir/fig07_full_plus.cc.o"
+  "CMakeFiles/fig07_full_plus.dir/fig07_full_plus.cc.o.d"
+  "fig07_full_plus"
+  "fig07_full_plus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_full_plus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

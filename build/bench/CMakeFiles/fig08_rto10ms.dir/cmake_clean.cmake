@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_rto10ms.dir/fig08_rto10ms.cc.o"
+  "CMakeFiles/fig08_rto10ms.dir/fig08_rto10ms.cc.o.d"
+  "fig08_rto10ms"
+  "fig08_rto10ms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_rto10ms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

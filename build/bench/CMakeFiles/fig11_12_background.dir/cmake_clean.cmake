@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_12_background.dir/fig11_12_background.cc.o"
+  "CMakeFiles/fig11_12_background.dir/fig11_12_background.cc.o.d"
+  "fig11_12_background"
+  "fig11_12_background.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_12_background.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

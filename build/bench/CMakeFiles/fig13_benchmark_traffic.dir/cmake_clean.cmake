@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_benchmark_traffic.dir/fig13_benchmark_traffic.cc.o"
+  "CMakeFiles/fig13_benchmark_traffic.dir/fig13_benchmark_traffic.cc.o.d"
+  "fig13_benchmark_traffic"
+  "fig13_benchmark_traffic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_benchmark_traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sack_ablation.dir/sack_ablation.cc.o"
+  "CMakeFiles/sack_ablation.dir/sack_ablation.cc.o.d"
+  "sack_ablation"
+  "sack_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sack_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

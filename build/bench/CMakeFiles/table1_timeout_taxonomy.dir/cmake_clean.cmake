@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_timeout_taxonomy.dir/table1_timeout_taxonomy.cc.o"
+  "CMakeFiles/table1_timeout_taxonomy.dir/table1_timeout_taxonomy.cc.o.d"
+  "table1_timeout_taxonomy"
+  "table1_timeout_taxonomy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_timeout_taxonomy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cluster_benchmark.dir/cluster_benchmark.cpp.o"
+  "CMakeFiles/cluster_benchmark.dir/cluster_benchmark.cpp.o.d"
+  "cluster_benchmark"
+  "cluster_benchmark.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cluster_benchmark.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

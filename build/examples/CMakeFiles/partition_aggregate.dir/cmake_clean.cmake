@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/partition_aggregate.dir/partition_aggregate.cpp.o"
+  "CMakeFiles/partition_aggregate.dir/partition_aggregate.cpp.o.d"
+  "partition_aggregate"
+  "partition_aggregate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/partition_aggregate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

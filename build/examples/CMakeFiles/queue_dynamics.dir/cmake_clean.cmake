@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/queue_dynamics.dir/queue_dynamics.cpp.o"
+  "CMakeFiles/queue_dynamics.dir/queue_dynamics.cpp.o.d"
+  "queue_dynamics"
+  "queue_dynamics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/queue_dynamics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dctcpp/core/d2tcp.cc" "src/CMakeFiles/dctcpp_core.dir/dctcpp/core/d2tcp.cc.o" "gcc" "src/CMakeFiles/dctcpp_core.dir/dctcpp/core/d2tcp.cc.o.d"
+  "/root/repo/src/dctcpp/core/dctcp_plus.cc" "src/CMakeFiles/dctcpp_core.dir/dctcpp/core/dctcp_plus.cc.o" "gcc" "src/CMakeFiles/dctcpp_core.dir/dctcpp/core/dctcp_plus.cc.o.d"
+  "/root/repo/src/dctcpp/core/protocol.cc" "src/CMakeFiles/dctcpp_core.dir/dctcpp/core/protocol.cc.o" "gcc" "src/CMakeFiles/dctcpp_core.dir/dctcpp/core/protocol.cc.o.d"
+  "/root/repo/src/dctcpp/core/slow_time.cc" "src/CMakeFiles/dctcpp_core.dir/dctcpp/core/slow_time.cc.o" "gcc" "src/CMakeFiles/dctcpp_core.dir/dctcpp/core/slow_time.cc.o.d"
+  "/root/repo/src/dctcpp/core/tcp_plus.cc" "src/CMakeFiles/dctcpp_core.dir/dctcpp/core/tcp_plus.cc.o" "gcc" "src/CMakeFiles/dctcpp_core.dir/dctcpp/core/tcp_plus.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dctcpp_dctcp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dctcpp_tcp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dctcpp_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dctcpp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dctcpp_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dctcpp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

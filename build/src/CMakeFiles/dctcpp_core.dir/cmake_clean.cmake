@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dctcpp_core.dir/dctcpp/core/d2tcp.cc.o"
+  "CMakeFiles/dctcpp_core.dir/dctcpp/core/d2tcp.cc.o.d"
+  "CMakeFiles/dctcpp_core.dir/dctcpp/core/dctcp_plus.cc.o"
+  "CMakeFiles/dctcpp_core.dir/dctcpp/core/dctcp_plus.cc.o.d"
+  "CMakeFiles/dctcpp_core.dir/dctcpp/core/protocol.cc.o"
+  "CMakeFiles/dctcpp_core.dir/dctcpp/core/protocol.cc.o.d"
+  "CMakeFiles/dctcpp_core.dir/dctcpp/core/slow_time.cc.o"
+  "CMakeFiles/dctcpp_core.dir/dctcpp/core/slow_time.cc.o.d"
+  "CMakeFiles/dctcpp_core.dir/dctcpp/core/tcp_plus.cc.o"
+  "CMakeFiles/dctcpp_core.dir/dctcpp/core/tcp_plus.cc.o.d"
+  "libdctcpp_core.a"
+  "libdctcpp_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dctcpp_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dctcpp_dctcp.dir/dctcpp/dctcp/dctcp.cc.o"
+  "CMakeFiles/dctcpp_dctcp.dir/dctcpp/dctcp/dctcp.cc.o.d"
+  "libdctcpp_dctcp.a"
+  "libdctcpp_dctcp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dctcpp_dctcp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

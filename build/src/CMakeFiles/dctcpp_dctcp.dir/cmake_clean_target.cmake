@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdctcpp_dctcp.a"
+)

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dctcpp/net/host.cc" "src/CMakeFiles/dctcpp_net.dir/dctcpp/net/host.cc.o" "gcc" "src/CMakeFiles/dctcpp_net.dir/dctcpp/net/host.cc.o.d"
+  "/root/repo/src/dctcpp/net/link.cc" "src/CMakeFiles/dctcpp_net.dir/dctcpp/net/link.cc.o" "gcc" "src/CMakeFiles/dctcpp_net.dir/dctcpp/net/link.cc.o.d"
+  "/root/repo/src/dctcpp/net/packet.cc" "src/CMakeFiles/dctcpp_net.dir/dctcpp/net/packet.cc.o" "gcc" "src/CMakeFiles/dctcpp_net.dir/dctcpp/net/packet.cc.o.d"
+  "/root/repo/src/dctcpp/net/queue.cc" "src/CMakeFiles/dctcpp_net.dir/dctcpp/net/queue.cc.o" "gcc" "src/CMakeFiles/dctcpp_net.dir/dctcpp/net/queue.cc.o.d"
+  "/root/repo/src/dctcpp/net/switch.cc" "src/CMakeFiles/dctcpp_net.dir/dctcpp/net/switch.cc.o" "gcc" "src/CMakeFiles/dctcpp_net.dir/dctcpp/net/switch.cc.o.d"
+  "/root/repo/src/dctcpp/net/topology.cc" "src/CMakeFiles/dctcpp_net.dir/dctcpp/net/topology.cc.o" "gcc" "src/CMakeFiles/dctcpp_net.dir/dctcpp/net/topology.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dctcpp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dctcpp_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dctcpp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dctcpp_net.dir/dctcpp/net/host.cc.o"
+  "CMakeFiles/dctcpp_net.dir/dctcpp/net/host.cc.o.d"
+  "CMakeFiles/dctcpp_net.dir/dctcpp/net/link.cc.o"
+  "CMakeFiles/dctcpp_net.dir/dctcpp/net/link.cc.o.d"
+  "CMakeFiles/dctcpp_net.dir/dctcpp/net/packet.cc.o"
+  "CMakeFiles/dctcpp_net.dir/dctcpp/net/packet.cc.o.d"
+  "CMakeFiles/dctcpp_net.dir/dctcpp/net/queue.cc.o"
+  "CMakeFiles/dctcpp_net.dir/dctcpp/net/queue.cc.o.d"
+  "CMakeFiles/dctcpp_net.dir/dctcpp/net/switch.cc.o"
+  "CMakeFiles/dctcpp_net.dir/dctcpp/net/switch.cc.o.d"
+  "CMakeFiles/dctcpp_net.dir/dctcpp/net/topology.cc.o"
+  "CMakeFiles/dctcpp_net.dir/dctcpp/net/topology.cc.o.d"
+  "libdctcpp_net.a"
+  "libdctcpp_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dctcpp_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

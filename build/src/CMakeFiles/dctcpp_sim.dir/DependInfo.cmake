@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dctcpp/sim/scheduler.cc" "src/CMakeFiles/dctcpp_sim.dir/dctcpp/sim/scheduler.cc.o" "gcc" "src/CMakeFiles/dctcpp_sim.dir/dctcpp/sim/scheduler.cc.o.d"
+  "/root/repo/src/dctcpp/sim/simulator.cc" "src/CMakeFiles/dctcpp_sim.dir/dctcpp/sim/simulator.cc.o" "gcc" "src/CMakeFiles/dctcpp_sim.dir/dctcpp/sim/simulator.cc.o.d"
+  "/root/repo/src/dctcpp/sim/timer.cc" "src/CMakeFiles/dctcpp_sim.dir/dctcpp/sim/timer.cc.o" "gcc" "src/CMakeFiles/dctcpp_sim.dir/dctcpp/sim/timer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dctcpp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dctcpp_sim.dir/dctcpp/sim/scheduler.cc.o"
+  "CMakeFiles/dctcpp_sim.dir/dctcpp/sim/scheduler.cc.o.d"
+  "CMakeFiles/dctcpp_sim.dir/dctcpp/sim/simulator.cc.o"
+  "CMakeFiles/dctcpp_sim.dir/dctcpp/sim/simulator.cc.o.d"
+  "CMakeFiles/dctcpp_sim.dir/dctcpp/sim/timer.cc.o"
+  "CMakeFiles/dctcpp_sim.dir/dctcpp/sim/timer.cc.o.d"
+  "libdctcpp_sim.a"
+  "libdctcpp_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dctcpp_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dctcpp/stats/cdf.cc" "src/CMakeFiles/dctcpp_stats.dir/dctcpp/stats/cdf.cc.o" "gcc" "src/CMakeFiles/dctcpp_stats.dir/dctcpp/stats/cdf.cc.o.d"
+  "/root/repo/src/dctcpp/stats/csv.cc" "src/CMakeFiles/dctcpp_stats.dir/dctcpp/stats/csv.cc.o" "gcc" "src/CMakeFiles/dctcpp_stats.dir/dctcpp/stats/csv.cc.o.d"
+  "/root/repo/src/dctcpp/stats/histogram.cc" "src/CMakeFiles/dctcpp_stats.dir/dctcpp/stats/histogram.cc.o" "gcc" "src/CMakeFiles/dctcpp_stats.dir/dctcpp/stats/histogram.cc.o.d"
+  "/root/repo/src/dctcpp/stats/summary.cc" "src/CMakeFiles/dctcpp_stats.dir/dctcpp/stats/summary.cc.o" "gcc" "src/CMakeFiles/dctcpp_stats.dir/dctcpp/stats/summary.cc.o.d"
+  "/root/repo/src/dctcpp/stats/table.cc" "src/CMakeFiles/dctcpp_stats.dir/dctcpp/stats/table.cc.o" "gcc" "src/CMakeFiles/dctcpp_stats.dir/dctcpp/stats/table.cc.o.d"
+  "/root/repo/src/dctcpp/stats/time_series.cc" "src/CMakeFiles/dctcpp_stats.dir/dctcpp/stats/time_series.cc.o" "gcc" "src/CMakeFiles/dctcpp_stats.dir/dctcpp/stats/time_series.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dctcpp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

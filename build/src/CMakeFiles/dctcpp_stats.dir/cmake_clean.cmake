@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dctcpp_stats.dir/dctcpp/stats/cdf.cc.o"
+  "CMakeFiles/dctcpp_stats.dir/dctcpp/stats/cdf.cc.o.d"
+  "CMakeFiles/dctcpp_stats.dir/dctcpp/stats/csv.cc.o"
+  "CMakeFiles/dctcpp_stats.dir/dctcpp/stats/csv.cc.o.d"
+  "CMakeFiles/dctcpp_stats.dir/dctcpp/stats/histogram.cc.o"
+  "CMakeFiles/dctcpp_stats.dir/dctcpp/stats/histogram.cc.o.d"
+  "CMakeFiles/dctcpp_stats.dir/dctcpp/stats/summary.cc.o"
+  "CMakeFiles/dctcpp_stats.dir/dctcpp/stats/summary.cc.o.d"
+  "CMakeFiles/dctcpp_stats.dir/dctcpp/stats/table.cc.o"
+  "CMakeFiles/dctcpp_stats.dir/dctcpp/stats/table.cc.o.d"
+  "CMakeFiles/dctcpp_stats.dir/dctcpp/stats/time_series.cc.o"
+  "CMakeFiles/dctcpp_stats.dir/dctcpp/stats/time_series.cc.o.d"
+  "libdctcpp_stats.a"
+  "libdctcpp_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dctcpp_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dctcpp/tcp/newreno.cc" "src/CMakeFiles/dctcpp_tcp.dir/dctcpp/tcp/newreno.cc.o" "gcc" "src/CMakeFiles/dctcpp_tcp.dir/dctcpp/tcp/newreno.cc.o.d"
+  "/root/repo/src/dctcpp/tcp/probe.cc" "src/CMakeFiles/dctcpp_tcp.dir/dctcpp/tcp/probe.cc.o" "gcc" "src/CMakeFiles/dctcpp_tcp.dir/dctcpp/tcp/probe.cc.o.d"
+  "/root/repo/src/dctcpp/tcp/receive_buffer.cc" "src/CMakeFiles/dctcpp_tcp.dir/dctcpp/tcp/receive_buffer.cc.o" "gcc" "src/CMakeFiles/dctcpp_tcp.dir/dctcpp/tcp/receive_buffer.cc.o.d"
+  "/root/repo/src/dctcpp/tcp/rto.cc" "src/CMakeFiles/dctcpp_tcp.dir/dctcpp/tcp/rto.cc.o" "gcc" "src/CMakeFiles/dctcpp_tcp.dir/dctcpp/tcp/rto.cc.o.d"
+  "/root/repo/src/dctcpp/tcp/socket.cc" "src/CMakeFiles/dctcpp_tcp.dir/dctcpp/tcp/socket.cc.o" "gcc" "src/CMakeFiles/dctcpp_tcp.dir/dctcpp/tcp/socket.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dctcpp_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dctcpp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dctcpp_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dctcpp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dctcpp_tcp.dir/dctcpp/tcp/newreno.cc.o"
+  "CMakeFiles/dctcpp_tcp.dir/dctcpp/tcp/newreno.cc.o.d"
+  "CMakeFiles/dctcpp_tcp.dir/dctcpp/tcp/probe.cc.o"
+  "CMakeFiles/dctcpp_tcp.dir/dctcpp/tcp/probe.cc.o.d"
+  "CMakeFiles/dctcpp_tcp.dir/dctcpp/tcp/receive_buffer.cc.o"
+  "CMakeFiles/dctcpp_tcp.dir/dctcpp/tcp/receive_buffer.cc.o.d"
+  "CMakeFiles/dctcpp_tcp.dir/dctcpp/tcp/rto.cc.o"
+  "CMakeFiles/dctcpp_tcp.dir/dctcpp/tcp/rto.cc.o.d"
+  "CMakeFiles/dctcpp_tcp.dir/dctcpp/tcp/socket.cc.o"
+  "CMakeFiles/dctcpp_tcp.dir/dctcpp/tcp/socket.cc.o.d"
+  "libdctcpp_tcp.a"
+  "libdctcpp_tcp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dctcpp_tcp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dctcpp/util/flags.cc" "src/CMakeFiles/dctcpp_util.dir/dctcpp/util/flags.cc.o" "gcc" "src/CMakeFiles/dctcpp_util.dir/dctcpp/util/flags.cc.o.d"
+  "/root/repo/src/dctcpp/util/log.cc" "src/CMakeFiles/dctcpp_util.dir/dctcpp/util/log.cc.o" "gcc" "src/CMakeFiles/dctcpp_util.dir/dctcpp/util/log.cc.o.d"
+  "/root/repo/src/dctcpp/util/rng.cc" "src/CMakeFiles/dctcpp_util.dir/dctcpp/util/rng.cc.o" "gcc" "src/CMakeFiles/dctcpp_util.dir/dctcpp/util/rng.cc.o.d"
+  "/root/repo/src/dctcpp/util/thread_pool.cc" "src/CMakeFiles/dctcpp_util.dir/dctcpp/util/thread_pool.cc.o" "gcc" "src/CMakeFiles/dctcpp_util.dir/dctcpp/util/thread_pool.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dctcpp_util.dir/dctcpp/util/flags.cc.o"
+  "CMakeFiles/dctcpp_util.dir/dctcpp/util/flags.cc.o.d"
+  "CMakeFiles/dctcpp_util.dir/dctcpp/util/log.cc.o"
+  "CMakeFiles/dctcpp_util.dir/dctcpp/util/log.cc.o.d"
+  "CMakeFiles/dctcpp_util.dir/dctcpp/util/rng.cc.o"
+  "CMakeFiles/dctcpp_util.dir/dctcpp/util/rng.cc.o.d"
+  "CMakeFiles/dctcpp_util.dir/dctcpp/util/thread_pool.cc.o"
+  "CMakeFiles/dctcpp_util.dir/dctcpp/util/thread_pool.cc.o.d"
+  "libdctcpp_util.a"
+  "libdctcpp_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dctcpp_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

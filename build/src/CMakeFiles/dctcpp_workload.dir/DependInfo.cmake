@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dctcpp/workload/apps.cc" "src/CMakeFiles/dctcpp_workload.dir/dctcpp/workload/apps.cc.o" "gcc" "src/CMakeFiles/dctcpp_workload.dir/dctcpp/workload/apps.cc.o.d"
+  "/root/repo/src/dctcpp/workload/background.cc" "src/CMakeFiles/dctcpp_workload.dir/dctcpp/workload/background.cc.o" "gcc" "src/CMakeFiles/dctcpp_workload.dir/dctcpp/workload/background.cc.o.d"
+  "/root/repo/src/dctcpp/workload/benchmark_traffic.cc" "src/CMakeFiles/dctcpp_workload.dir/dctcpp/workload/benchmark_traffic.cc.o" "gcc" "src/CMakeFiles/dctcpp_workload.dir/dctcpp/workload/benchmark_traffic.cc.o.d"
+  "/root/repo/src/dctcpp/workload/deadline_incast.cc" "src/CMakeFiles/dctcpp_workload.dir/dctcpp/workload/deadline_incast.cc.o" "gcc" "src/CMakeFiles/dctcpp_workload.dir/dctcpp/workload/deadline_incast.cc.o.d"
+  "/root/repo/src/dctcpp/workload/experiment.cc" "src/CMakeFiles/dctcpp_workload.dir/dctcpp/workload/experiment.cc.o" "gcc" "src/CMakeFiles/dctcpp_workload.dir/dctcpp/workload/experiment.cc.o.d"
+  "/root/repo/src/dctcpp/workload/incast.cc" "src/CMakeFiles/dctcpp_workload.dir/dctcpp/workload/incast.cc.o" "gcc" "src/CMakeFiles/dctcpp_workload.dir/dctcpp/workload/incast.cc.o.d"
+  "/root/repo/src/dctcpp/workload/shuffle.cc" "src/CMakeFiles/dctcpp_workload.dir/dctcpp/workload/shuffle.cc.o" "gcc" "src/CMakeFiles/dctcpp_workload.dir/dctcpp/workload/shuffle.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dctcpp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dctcpp_dctcp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dctcpp_tcp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dctcpp_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dctcpp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dctcpp_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dctcpp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

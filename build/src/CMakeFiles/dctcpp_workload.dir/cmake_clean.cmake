@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dctcpp_workload.dir/dctcpp/workload/apps.cc.o"
+  "CMakeFiles/dctcpp_workload.dir/dctcpp/workload/apps.cc.o.d"
+  "CMakeFiles/dctcpp_workload.dir/dctcpp/workload/background.cc.o"
+  "CMakeFiles/dctcpp_workload.dir/dctcpp/workload/background.cc.o.d"
+  "CMakeFiles/dctcpp_workload.dir/dctcpp/workload/benchmark_traffic.cc.o"
+  "CMakeFiles/dctcpp_workload.dir/dctcpp/workload/benchmark_traffic.cc.o.d"
+  "CMakeFiles/dctcpp_workload.dir/dctcpp/workload/deadline_incast.cc.o"
+  "CMakeFiles/dctcpp_workload.dir/dctcpp/workload/deadline_incast.cc.o.d"
+  "CMakeFiles/dctcpp_workload.dir/dctcpp/workload/experiment.cc.o"
+  "CMakeFiles/dctcpp_workload.dir/dctcpp/workload/experiment.cc.o.d"
+  "CMakeFiles/dctcpp_workload.dir/dctcpp/workload/incast.cc.o"
+  "CMakeFiles/dctcpp_workload.dir/dctcpp/workload/incast.cc.o.d"
+  "CMakeFiles/dctcpp_workload.dir/dctcpp/workload/shuffle.cc.o"
+  "CMakeFiles/dctcpp_workload.dir/dctcpp/workload/shuffle.cc.o.d"
+  "libdctcpp_workload.a"
+  "libdctcpp_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dctcpp_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

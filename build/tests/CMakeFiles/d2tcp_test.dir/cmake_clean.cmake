@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/d2tcp_test.dir/d2tcp_test.cc.o"
+  "CMakeFiles/d2tcp_test.dir/d2tcp_test.cc.o.d"
+  "d2tcp_test"
+  "d2tcp_test.pdb"
+  "d2tcp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/d2tcp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

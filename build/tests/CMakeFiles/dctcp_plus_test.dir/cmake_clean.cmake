@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dctcp_plus_test.dir/dctcp_plus_test.cc.o"
+  "CMakeFiles/dctcp_plus_test.dir/dctcp_plus_test.cc.o.d"
+  "dctcp_plus_test"
+  "dctcp_plus_test.pdb"
+  "dctcp_plus_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dctcp_plus_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

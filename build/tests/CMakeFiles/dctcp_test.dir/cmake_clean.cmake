@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dctcp_test.dir/dctcp_test.cc.o"
+  "CMakeFiles/dctcp_test.dir/dctcp_test.cc.o.d"
+  "dctcp_test"
+  "dctcp_test.pdb"
+  "dctcp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dctcp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

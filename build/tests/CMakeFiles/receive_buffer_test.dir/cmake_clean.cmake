@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/receive_buffer_test.dir/receive_buffer_test.cc.o"
+  "CMakeFiles/receive_buffer_test.dir/receive_buffer_test.cc.o.d"
+  "receive_buffer_test"
+  "receive_buffer_test.pdb"
+  "receive_buffer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/receive_buffer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/red_test.dir/red_test.cc.o"
+  "CMakeFiles/red_test.dir/red_test.cc.o.d"
+  "red_test"
+  "red_test.pdb"
+  "red_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/red_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

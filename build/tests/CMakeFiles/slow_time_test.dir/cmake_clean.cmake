@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slow_time_test.dir/slow_time_test.cc.o"
+  "CMakeFiles/slow_time_test.dir/slow_time_test.cc.o.d"
+  "slow_time_test"
+  "slow_time_test.pdb"
+  "slow_time_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slow_time_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

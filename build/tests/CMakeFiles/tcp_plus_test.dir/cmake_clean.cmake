@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcp_plus_test.dir/tcp_plus_test.cc.o"
+  "CMakeFiles/tcp_plus_test.dir/tcp_plus_test.cc.o.d"
+  "tcp_plus_test"
+  "tcp_plus_test.pdb"
+  "tcp_plus_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcp_plus_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/transfer_property_test.dir/transfer_property_test.cc.o"
+  "CMakeFiles/transfer_property_test.dir/transfer_property_test.cc.o.d"
+  "transfer_property_test"
+  "transfer_property_test.pdb"
+  "transfer_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/transfer_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/stats_test[1]_include.cmake")
+include("/root/repo/build/tests/seq_test[1]_include.cmake")
+include("/root/repo/build/tests/receive_buffer_test[1]_include.cmake")
+include("/root/repo/build/tests/rto_test[1]_include.cmake")
+include("/root/repo/build/tests/net_test[1]_include.cmake")
+include("/root/repo/build/tests/tcp_test[1]_include.cmake")
+include("/root/repo/build/tests/dctcp_test[1]_include.cmake")
+include("/root/repo/build/tests/slow_time_test[1]_include.cmake")
+include("/root/repo/build/tests/dctcp_plus_test[1]_include.cmake")
+include("/root/repo/build/tests/workload_test[1]_include.cmake")
+include("/root/repo/build/tests/tcp_plus_test[1]_include.cmake")
+include("/root/repo/build/tests/robustness_test[1]_include.cmake")
+include("/root/repo/build/tests/sack_test[1]_include.cmake")
+include("/root/repo/build/tests/d2tcp_test[1]_include.cmake")
+include("/root/repo/build/tests/red_test[1]_include.cmake")
+include("/root/repo/build/tests/shuffle_test[1]_include.cmake")
+include("/root/repo/build/tests/transfer_property_test[1]_include.cmake")
