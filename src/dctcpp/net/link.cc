@@ -34,19 +34,26 @@ void EgressPort::StartTransmission() {
   auto pkt = queue_.Dequeue();
   if (!pkt) return;
   transmitting_ = true;
-  in_flight_bytes_ = pkt->WireSize();
-  const Tick tx = config_.rate.TransmissionTime(pkt->WireSize());
-  sim_.Schedule(tx, [this, p = *pkt] { FinishTransmission(p); });
+  on_wire_ = *pkt;
+  in_flight_bytes_ = on_wire_.WireSize();
+  const Tick tx = config_.rate.TransmissionTime(on_wire_.WireSize());
+  sim_.Schedule(tx, [this] { FinishTransmission(); });
 }
 
-void EgressPort::FinishTransmission(Packet pkt) {
+void EgressPort::FinishTransmission() {
   transmitting_ = false;
   in_flight_bytes_ = 0;
   // Propagation: the packet arrives at the peer `delay` after the last bit
   // leaves the wire.
-  sim_.Schedule(config_.propagation_delay,
-                [this, pkt] { peer_.Deliver(pkt); });
+  propagating_.push_back(on_wire_);
+  sim_.Schedule(config_.propagation_delay, [this] { DeliverHead(); });
   StartTransmission();
+}
+
+void EgressPort::DeliverHead() {
+  const Packet pkt = propagating_.front();
+  propagating_.pop_front();
+  peer_.Deliver(pkt);
 }
 
 }  // namespace dctcpp

@@ -9,7 +9,7 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
+#include <deque>
 
 #include "dctcpp/net/packet.h"
 #include "dctcpp/net/queue.h"
@@ -69,7 +69,8 @@ class EgressPort {
 
  private:
   void StartTransmission();
-  void FinishTransmission(Packet pkt);
+  void FinishTransmission();
+  void DeliverHead();
 
   Simulator& sim_;
   LinkConfig config_;
@@ -78,6 +79,12 @@ class EgressPort {
   bool transmitting_ = false;
   Bytes in_flight_bytes_ = 0;
   std::uint64_t random_losses_ = 0;
+  // Event callbacks capture only `this` (so they fit InlineAction's inline
+  // buffer): the serializing packet and the packets in flight on the wire
+  // live here instead of in the closures. Propagation delay is constant
+  // per port, so deliveries leave `propagating_` in FIFO order.
+  Packet on_wire_;
+  std::deque<Packet> propagating_;
 };
 
 }  // namespace dctcpp

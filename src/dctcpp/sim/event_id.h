@@ -1,0 +1,21 @@
+// Opaque handle identifying a scheduled event.
+//
+// A handle stays distinguishable from every other event for the lifetime of
+// the scheduler that issued it, even after the event fires or is cancelled:
+// backends that recycle event storage (the timer wheel's pool) fold a
+// generation counter into the id, so a stale handle can never cancel a
+// later event that happens to reuse the same slot.
+#pragma once
+
+#include <cstdint>
+
+namespace dctcpp {
+
+/// Opaque handle identifying a scheduled event; cancelling a handle whose
+/// event already fired (or was already cancelled) is a harmless no-op.
+struct EventId {
+  std::uint64_t value = 0;
+  bool valid() const { return value != 0; }
+};
+
+}  // namespace dctcpp

@@ -1,75 +1,25 @@
-// Discrete-event scheduler.
+// Discrete-event scheduler façade.
 //
-// A binary min-heap keyed by (time, insertion sequence): events at the same
-// timestamp run in the order they were scheduled, which makes simulations
-// deterministic and gives links/queues well-defined FIFO semantics.
-// Cancellation is O(1) lazy: a cancelled entry stays in the heap and is
-// skipped on pop.
+// Two interchangeable backends implement the same interface and the same
+// determinism contract (events pop in (time, insertion-sequence) order, so
+// same-tick events fire in the order they were scheduled):
+//
+//  - `TimerWheelScheduler` (timer_wheel.h): hierarchical timer wheel with a
+//    pooled, allocation-free event representation and O(1) generation-safe
+//    cancellation. This is the production engine.
+//  - `HeapScheduler` (heap_scheduler.h): the original binary-heap engine,
+//    kept as the differential-testing oracle and benchmark baseline.
+//
+// tests/scheduler_diff_test.cc replays identical event traces through both
+// and asserts identical execution order.
 #pragma once
 
-#include <cstdint>
-#include <functional>
-#include <queue>
-#include <unordered_set>
-#include <vector>
-
-#include "dctcpp/util/assert.h"
-#include "dctcpp/util/time.h"
+#include "dctcpp/sim/event_id.h"
+#include "dctcpp/sim/heap_scheduler.h"
+#include "dctcpp/sim/timer_wheel.h"
 
 namespace dctcpp {
 
-/// Opaque handle identifying a scheduled event; valid until it fires or is
-/// cancelled.
-struct EventId {
-  std::uint64_t value = 0;
-  bool valid() const { return value != 0; }
-};
-
-class Scheduler {
- public:
-  using Action = std::function<void()>;
-
-  /// Schedules `action` at absolute time `at` (must be >= Now of the owning
-  /// simulator; the scheduler itself only requires monotonic pops).
-  EventId ScheduleAt(Tick at, Action action);
-
-  /// Cancels a pending event; harmless if it already fired or was cancelled.
-  void Cancel(EventId id);
-
-  bool Empty() const { return live_.empty(); }
-  std::size_t PendingCount() const { return live_.size(); }
-
-  /// Time of the earliest pending event; kTickMax if none.
-  Tick NextTime();
-
-  /// Pops and runs the earliest event. Returns its timestamp.
-  /// Precondition: !Empty().
-  Tick RunNext();
-
-  /// Total events ever executed (for instrumentation).
-  std::uint64_t executed() const { return executed_; }
-
- private:
-  struct Entry {
-    Tick at;
-    std::uint64_t seq;  // tie-break: FIFO among equal timestamps
-    std::uint64_t id;
-    Action action;
-  };
-  struct Later {
-    bool operator()(const Entry& a, const Entry& b) const {
-      if (a.at != b.at) return a.at > b.at;
-      return a.seq > b.seq;
-    }
-  };
-
-  void DropCancelledHead();
-
-  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
-  std::unordered_set<std::uint64_t> live_;
-  std::uint64_t next_seq_ = 1;
-  std::uint64_t next_id_ = 1;
-  std::uint64_t executed_ = 0;
-};
+using Scheduler = TimerWheelScheduler;
 
 }  // namespace dctcpp

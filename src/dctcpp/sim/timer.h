@@ -8,16 +8,18 @@
 // safe pattern.
 #pragma once
 
-#include <functional>
 #include <utility>
 
+#include "dctcpp/sim/inline_action.h"
 #include "dctcpp/sim/simulator.h"
 
 namespace dctcpp {
 
 class Timer {
  public:
-  using Callback = std::function<void()>;
+  /// Move-only, small-buffer-optimized: the usual `[this]`-capturing
+  /// callbacks are stored without any heap allocation.
+  using Callback = InlineAction;
 
   Timer(Simulator& sim, Callback cb)
       : sim_(sim), callback_(std::move(cb)) {}

@@ -1,0 +1,327 @@
+#include "dctcpp/sim/timer_wheel.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace dctcpp {
+
+namespace {
+
+/// Bitmask with `count` bits set starting at bit `start`, wrapping at 64.
+/// Precondition: 1 <= count <= 64.
+std::uint64_t CircularMask(int start, std::uint64_t count) {
+  const std::uint64_t ones =
+      count >= 64 ? ~0ull : (std::uint64_t(1) << count) - 1;
+  return std::rotl(ones, start);
+}
+
+}  // namespace
+
+TimerWheelScheduler::TimerWheelScheduler() {
+  for (auto& level : head_) std::fill(std::begin(level), std::end(level), kNil);
+  for (auto& level : tail_) std::fill(std::begin(level), std::end(level), kNil);
+}
+
+std::uint32_t TimerWheelScheduler::AllocNode() {
+  if (free_head_ != kNil) {
+    const std::uint32_t idx = free_head_;
+    free_head_ = NodeAt(idx).next;
+    return idx;
+  }
+  if (alloc_count_ == chunks_.size() * kChunkSize) {
+    chunks_.push_back(std::make_unique<Node[]>(kChunkSize));
+  }
+  return alloc_count_++;
+}
+
+void TimerWheelScheduler::FreeNode(Node& n, std::uint32_t idx) {
+  n.action.Reset();
+  ++n.gen;  // invalidates every EventId handed out for this slot so far
+  n.loc = kLocFree;
+  n.level = -1;
+  n.slot = -1;
+  n.next = free_head_;
+  free_head_ = idx;
+}
+
+void TimerWheelScheduler::LinkSorted(int level, int slot, std::uint32_t idx,
+                                     Node& n) {
+  n.loc = kLocWheel;
+  n.level = static_cast<std::int8_t>(level);
+  n.slot = static_cast<std::int8_t>(slot);
+  std::uint32_t& head = head_[level][slot];
+  std::uint32_t& tail = tail_[level][slot];
+  if (head == kNil) {
+    head = tail = idx;
+    n.prev = n.next = kNil;
+    occupied_[level] |= std::uint64_t(1) << slot;
+    return;
+  }
+  // Fresh schedules carry the highest seq so far and append in O(1); only
+  // cascaded re-homes (older seqs) walk backwards to their sorted position.
+  std::uint32_t after = tail;
+  while (after != kNil && NodeAt(after).seq > n.seq) after = NodeAt(after).prev;
+  if (after == kNil) {
+    n.prev = kNil;
+    n.next = head;
+    NodeAt(head).prev = idx;
+    head = idx;
+  } else {
+    Node& a = NodeAt(after);
+    n.prev = after;
+    n.next = a.next;
+    if (a.next != kNil) {
+      NodeAt(a.next).prev = idx;
+    } else {
+      tail = idx;
+    }
+    a.next = idx;
+  }
+}
+
+void TimerWheelScheduler::Unlink(std::uint32_t idx, Node& n) {
+  DCTCPP_DASSERT(n.loc == kLocWheel);
+  std::uint32_t& head = head_[n.level][n.slot];
+  std::uint32_t& tail = tail_[n.level][n.slot];
+  if (n.prev != kNil) {
+    NodeAt(n.prev).next = n.next;
+  } else {
+    head = n.next;
+  }
+  if (n.next != kNil) {
+    NodeAt(n.next).prev = n.prev;
+  } else {
+    tail = n.prev;
+  }
+  if (head == kNil) occupied_[n.level] &= ~(std::uint64_t(1) << n.slot);
+  (void)idx;
+}
+
+void TimerWheelScheduler::Place(std::uint32_t idx, Node& n) {
+  const Tick delta = n.at - now_;
+  DCTCPP_DASSERT(delta >= 0);
+  if (delta >= kWheelSpan) {
+    n.loc = kLocHeap;
+    n.level = -1;
+    n.slot = -1;
+    heap_.push_back(HeapEntry{n.at, n.seq, idx, n.gen});
+    std::push_heap(heap_.begin(), heap_.end(), HeapLater{});
+    return;
+  }
+  const int level =
+      delta == 0
+          ? 0
+          : (std::bit_width(static_cast<std::uint64_t>(delta)) - 1) /
+                kLevelBits;
+  const int slot = static_cast<int>(
+      (n.at >> (kLevelBits * level)) & (kSlotsPerLevel - 1));
+  LinkSorted(level, slot, idx, n);
+}
+
+EventId TimerWheelScheduler::ScheduleAt(Tick at, Action action) {
+  DCTCPP_ASSERT(static_cast<bool>(action));
+  DCTCPP_ASSERT(at >= now_);
+  const std::uint32_t idx = AllocNode();
+  Node& n = NodeAt(idx);
+  n.at = at;
+  n.seq = next_seq_++;
+  n.action = std::move(action);
+  Place(idx, n);
+  ++live_count_;
+  if (cached_valid_ && at < cached_at_) {
+    // Strictly earlier than the cached minimum: it is the new minimum.
+    // (A tie keeps the cached event — its seq is necessarily lower.)
+    cached_at_ = at;
+    cached_seq_ = n.seq;
+    cached_idx_ = idx;
+    cached_from_heap_ = (n.loc == kLocHeap);
+  }
+  return EventId{(static_cast<std::uint64_t>(n.gen) << 32) | (idx + 1)};
+}
+
+void TimerWheelScheduler::Cancel(EventId id) {
+  if (!id.valid()) return;
+  const std::uint32_t idx =
+      static_cast<std::uint32_t>(id.value & 0xffffffffu) - 1;
+  if (idx >= alloc_count_) return;
+  Node& n = NodeAt(idx);
+  if (n.gen != static_cast<std::uint32_t>(id.value >> 32)) return;  // stale
+  if (n.loc == kLocFree) return;
+  if (n.loc == kLocWheel) {
+    Unlink(idx, n);
+  }
+  // Heap-resident events leave a stale HeapEntry behind; the generation
+  // bump in FreeNode makes it unrecognizable and it is dropped on pop.
+  if (cached_valid_ && cached_idx_ == idx) cached_valid_ = false;
+  FreeNode(n, idx);
+  --live_count_;
+}
+
+void TimerWheelScheduler::AdvanceTo(Tick t) {
+  DCTCPP_DASSERT(t >= now_);
+  if (t == now_) return;
+  // Dumped slot lists are appended to the todo chain in forward order so
+  // each stays ascending-seq; re-Place then hits LinkSorted's O(1)
+  // tail-append fast path instead of walking the target slot (a reversed
+  // chain would make a cascade of m same-slot events cost O(m^2)).
+  std::uint32_t todo_head = kNil;
+  std::uint32_t todo_tail = kNil;
+  for (int k = 1; k < kLevels; ++k) {
+    const int shift = kLevelBits * k;
+    const std::uint64_t oldp = static_cast<std::uint64_t>(now_) >> shift;
+    const std::uint64_t newp = static_cast<std::uint64_t>(t) >> shift;
+    if (oldp == newp) break;  // no boundary crossed here nor above
+    if (occupied_[k] != 0) {
+      // Slots (oldp, newp] were entered or passed: cascade their events.
+      const std::uint64_t mask =
+          CircularMask(static_cast<int>((oldp + 1) & (kSlotsPerLevel - 1)),
+                       std::min<std::uint64_t>(newp - oldp, kSlotsPerLevel));
+      std::uint64_t dump = occupied_[k] & mask;
+      occupied_[k] &= ~mask;
+      while (dump != 0) {
+        const int slot = std::countr_zero(dump);
+        dump &= dump - 1;
+        const std::uint32_t first = head_[k][slot];
+        const std::uint32_t last = tail_[k][slot];
+        head_[k][slot] = tail_[k][slot] = kNil;
+        if (first == kNil) continue;
+        if (todo_tail == kNil) {
+          todo_head = first;
+        } else {
+          NodeAt(todo_tail).next = first;
+        }
+        todo_tail = last;
+      }
+    }
+  }
+  now_ = t;
+  while (todo_head != kNil) {
+    const std::uint32_t idx = todo_head;
+    Node& n = NodeAt(idx);
+    todo_head = n.next;
+    Place(idx, n);
+  }
+}
+
+void TimerWheelScheduler::EnsureNext() {
+  if (cached_valid_) return;
+  cached_valid_ = true;
+  cached_from_heap_ = false;
+  cached_at_ = kTickMax;
+  cached_seq_ = ~0ull;
+  cached_idx_ = kNil;
+
+  if (occupied_[0] != 0) {
+    // Level-0 slots hold exactly one timestamp each, so the first occupied
+    // slot circularly from the wheel position is the exact minimum (its
+    // list head has the lowest seq: lists are seq-sorted).
+    const int pos0 = static_cast<int>(now_ & (kSlotsPerLevel - 1));
+    const int off = std::countr_zero(std::rotr(occupied_[0], pos0));
+    const int slot = (pos0 + off) & (kSlotsPerLevel - 1);
+    const std::uint32_t h = head_[0][slot];
+    cached_at_ = now_ + off;
+    cached_seq_ = NodeAt(h).seq;
+    cached_idx_ = h;
+  }
+  for (int k = 1; k < kLevels; ++k) {
+    if (occupied_[k] == 0) continue;
+    const int shift = kLevelBits * k;
+    const Tick width = Tick(1) << shift;
+    const Tick lap = width << kLevelBits;
+    const int posk = static_cast<int>((now_ >> shift) & (kSlotsPerLevel - 1));
+    // The current-position slot is always empty at k >= 1, so circular
+    // order from posk+1 lists slots by increasing base time; the first
+    // occupied one bounds every other slot at this level from below.
+    const int start = (posk + 1) & (kSlotsPerLevel - 1);
+    const int off = std::countr_zero(std::rotr(occupied_[k], start));
+    const int slot = (start + off) & (kSlotsPerLevel - 1);
+    Tick base = (now_ & ~(lap - 1)) + Tick(slot) * width;
+    if (base <= now_) base += lap;  // passed/current slot index: next lap
+    if (base > cached_at_) continue;  // cannot beat or tie the minimum
+    for (std::uint32_t i = head_[k][slot]; i != kNil; i = NodeAt(i).next) {
+      const Node& n = NodeAt(i);
+      if (n.at < cached_at_ || (n.at == cached_at_ && n.seq < cached_seq_)) {
+        cached_at_ = n.at;
+        cached_seq_ = n.seq;
+        cached_idx_ = i;
+      }
+    }
+  }
+  // Overflow heap: drop entries orphaned by Cancel, then compare the top.
+  while (!heap_.empty()) {
+    const HeapEntry& top = heap_.front();
+    const Node& n = NodeAt(top.idx);
+    if (n.loc == kLocHeap && n.gen == top.gen) break;
+    std::pop_heap(heap_.begin(), heap_.end(), HeapLater{});
+    heap_.pop_back();
+  }
+  if (!heap_.empty()) {
+    const HeapEntry& top = heap_.front();
+    if (top.at < cached_at_ ||
+        (top.at == cached_at_ && top.seq < cached_seq_)) {
+      cached_at_ = top.at;
+      cached_seq_ = top.seq;
+      cached_idx_ = top.idx;
+      cached_from_heap_ = true;
+    }
+  }
+}
+
+Tick TimerWheelScheduler::NextTime() {
+  EnsureNext();
+  return cached_at_;
+}
+
+Tick TimerWheelScheduler::RunNext() {
+  EnsureNext();
+  DCTCPP_ASSERT(live_count_ > 0);
+  const Tick t = cached_at_;
+  const std::uint32_t idx = cached_idx_;
+  const bool from_heap = cached_from_heap_;
+  AdvanceTo(t);
+  Node& n = NodeAt(idx);
+  if (from_heap) {
+    DCTCPP_DASSERT(!heap_.empty() && heap_.front().idx == idx);
+    std::pop_heap(heap_.begin(), heap_.end(), HeapLater{});
+    heap_.pop_back();
+  } else {
+    Unlink(idx, n);
+  }
+  const std::int8_t level = n.level;
+  const std::int8_t slot = n.slot;
+  // Move the action out and recycle the node *before* running it, so the
+  // callback may freely schedule (and even land on this node's id with a
+  // fresh generation).
+  InlineAction action = std::move(n.action);
+  FreeNode(n, idx);
+  --live_count_;
+  ++executed_;
+  cached_valid_ = false;
+  // Same-tick fast path: a level-0 slot holds exactly one timestamp, so a
+  // non-empty slot after the pop means its head (lowest remaining seq) is
+  // the next event — unless the overflow heap could hold an older event at
+  // this same tick, in which case fall back to the full scan. Callbacks
+  // can only add same-tick events with higher seqs, so the cache stays
+  // exact through whatever `action` schedules.
+  if (!from_heap && level == 0 && head_[0][slot] != kNil &&
+      (heap_.empty() || heap_.front().at > t)) {
+    cached_valid_ = true;
+    cached_at_ = t;
+    cached_seq_ = NodeAt(head_[0][slot]).seq;
+    cached_idx_ = head_[0][slot];
+    cached_from_heap_ = false;
+  }
+  action();
+  return t;
+}
+
+std::size_t TimerWheelScheduler::OverflowCount() const {
+  std::size_t live = 0;
+  for (const HeapEntry& e : heap_) {
+    const Node& n = NodeAt(e.idx);
+    if (n.loc == kLocHeap && n.gen == e.gen) ++live;
+  }
+  return live;
+}
+
+}  // namespace dctcpp

@@ -1,0 +1,163 @@
+// Production discrete-event scheduler: hierarchical timer wheel.
+//
+// Eight levels of 64 slots each; the level-k slot width is 64^k ticks, so
+// the wheel spans 2^48 ticks (~3.2 simulated days at 1 ns/tick). Events
+// farther out than the span wait in a small min-heap overflow level and are
+// popped from there directly. Events live in a free-listed pool of
+// intrusively doubly-linked nodes, so scheduling performs no heap
+// allocation in steady state and cancellation is an O(1) unlink — no
+// `unordered_set`, no lazy tombstones on the hot path. `EventId`s carry a
+// per-node generation counter, so a stale handle (fired or cancelled) can
+// never cancel a later event that reuses the same pool slot.
+//
+// Determinism contract (identical to HeapScheduler, proven by the
+// differential test in tests/scheduler_diff_test.cc): events pop in
+// (time, insertion sequence) order — same-tick events fire in the order
+// they were scheduled, globally, regardless of which wheel level they
+// transited. Slot lists are kept sorted by sequence number to preserve
+// this across cascades.
+//
+// Invariants (now_ == timestamp of the last popped event):
+//  - level-0 events have `at` in [now_, now_+64); each occupied slot holds
+//    exactly one timestamp, so the earliest event is found with one bitmap
+//    rotate + count-trailing-zeros;
+//  - level-k (k>=1) events have `at` in (now_, now_ + 64^(k+1)); the slot
+//    at the wheel's current position is always empty, so occupied slots map
+//    to exactly one lap and slot base times are totally ordered circularly
+//    from the position;
+//  - when time advances across a level-k window boundary, the level-(k+1)
+//    slots passed over are cascaded (re-homed) into lower levels, each
+//    event cascading at most once per level over its lifetime.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "dctcpp/sim/event_id.h"
+#include "dctcpp/sim/inline_action.h"
+#include "dctcpp/util/assert.h"
+#include "dctcpp/util/time.h"
+
+namespace dctcpp {
+
+class TimerWheelScheduler {
+ public:
+  using Action = InlineAction;
+
+  TimerWheelScheduler();
+
+  /// Schedules `action` at absolute time `at`. Must satisfy `at >= ` the
+  /// timestamp of the last popped event (the owning simulator's Now()
+  /// guarantee implies this).
+  EventId ScheduleAt(Tick at, Action action);
+
+  /// Cancels a pending event; harmless if it already fired, was already
+  /// cancelled, or the handle is stale (generation-checked).
+  void Cancel(EventId id);
+
+  bool Empty() const { return live_count_ == 0; }
+  std::size_t PendingCount() const { return live_count_; }
+
+  /// Exact time of the earliest pending event; kTickMax if none.
+  Tick NextTime();
+
+  /// Pops and runs the earliest event. Returns its timestamp.
+  /// Precondition: !Empty().
+  Tick RunNext();
+
+  /// Total events ever executed (for instrumentation).
+  std::uint64_t executed() const { return executed_; }
+
+  /// Events currently parked in the far-future overflow heap (untracked
+  /// stale entries excluded). Exposed for tests.
+  std::size_t OverflowCount() const;
+
+ private:
+  static constexpr int kLevelBits = 6;
+  static constexpr int kSlotsPerLevel = 1 << kLevelBits;  // 64
+  static constexpr int kLevels = 8;
+  static constexpr Tick kWheelSpan = Tick(1)
+                                     << (kLevelBits * kLevels);  // 2^48
+  static constexpr std::uint32_t kNil = 0xffffffffu;
+
+  enum Location : std::int8_t { kLocFree = 0, kLocWheel = 1, kLocHeap = 2 };
+
+  struct Node {
+    Tick at = 0;
+    std::uint64_t seq = 0;
+    InlineAction action;
+    std::uint32_t gen = 0;
+    std::uint32_t next = kNil;
+    std::uint32_t prev = kNil;
+    std::int8_t loc = kLocFree;
+    std::int8_t level = -1;
+    std::int8_t slot = -1;
+  };
+
+  struct HeapEntry {
+    Tick at;
+    std::uint64_t seq;
+    std::uint32_t idx;
+    std::uint32_t gen;
+  };
+  struct HeapLater {  // min-heap on (at, seq) via std::*_heap
+    bool operator()(const HeapEntry& a, const HeapEntry& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  static constexpr std::uint32_t kChunkShift = 10;  // 1024 nodes per chunk
+  static constexpr std::uint32_t kChunkSize = 1u << kChunkShift;
+
+  Node& NodeAt(std::uint32_t idx) {
+    return chunks_[idx >> kChunkShift][idx & (kChunkSize - 1)];
+  }
+  const Node& NodeAt(std::uint32_t idx) const {
+    return chunks_[idx >> kChunkShift][idx & (kChunkSize - 1)];
+  }
+
+  std::uint32_t AllocNode();
+  void FreeNode(Node& n, std::uint32_t idx);
+
+  /// Homes a node into the wheel (or overflow heap) based on `at - now_`.
+  void Place(std::uint32_t idx, Node& n);
+  /// Inserts into a slot list keeping it sorted by seq (append-fast).
+  void LinkSorted(int level, int slot, std::uint32_t idx, Node& n);
+  void Unlink(std::uint32_t idx, Node& n);
+
+  /// Advances the wheel to `t` (<= every pending event's time), cascading
+  /// higher-level slots whose windows were entered or passed.
+  void AdvanceTo(Tick t);
+
+  /// Drops stale heap tops, then computes the exact earliest pending event
+  /// into the cached_* fields (kTickMax/kNil when empty).
+  void EnsureNext();
+
+  Tick now_ = 0;
+  std::uint64_t next_seq_ = 1;
+  std::uint64_t executed_ = 0;
+  std::size_t live_count_ = 0;
+
+  std::uint32_t head_[kLevels][kSlotsPerLevel];
+  std::uint32_t tail_[kLevels][kSlotsPerLevel];
+  std::uint64_t occupied_[kLevels] = {};
+
+  std::vector<HeapEntry> heap_;  // overflow level, lazy-cancelled
+
+  std::vector<std::unique_ptr<Node[]>> chunks_;
+  std::uint32_t alloc_count_ = 0;
+  std::uint32_t free_head_ = kNil;
+
+  // Memoized earliest event, kept exact across ScheduleAt (monotonic seq
+  // means a later-scheduled tie never displaces the cached minimum).
+  bool cached_valid_ = false;
+  bool cached_from_heap_ = false;
+  Tick cached_at_ = kTickMax;
+  std::uint64_t cached_seq_ = ~0ull;
+  std::uint32_t cached_idx_ = kNil;
+};
+
+}  // namespace dctcpp

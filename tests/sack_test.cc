@@ -136,11 +136,14 @@ TEST_F(SackFixture, SackRecoversBurstLossFasterThanNewReno) {
   // A long-RTT path (5 ms propagation) makes NewReno's one-hole-per-RTT
   // partial-ACK crawl measurable against SACK's one-episode repair.
   auto run = [this](bool sack) {
-    Build(/*buffer=*/16 * 1514, /*delay=*/5_ms);
-    received = 0;
+    // Drop the sockets of the previous run before Build() destroys the
+    // simulator they were scheduled on: their Timer destructors cancel
+    // pending events, which must not touch a freed scheduler.
     client.reset();
     server.reset();
     listener.reset();
+    Build(/*buffer=*/16 * 1514, /*delay=*/5_ms);
+    received = 0;
     Establish(sack, sack);
     RecordingProbe probe;
     client->set_probe(&probe);

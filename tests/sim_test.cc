@@ -1,12 +1,20 @@
 // Unit tests for the discrete-event engine: scheduler ordering, lazy
-// cancellation, run-loop semantics, and the cancellable Timer.
+// cancellation, run-loop semantics, and the cancellable Timer. The
+// scheduler suite is typed and runs against both backends (the production
+// timer wheel and the reference binary heap), which share one determinism
+// contract.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <utility>
 #include <vector>
 
 #include "dctcpp/sim/scheduler.h"
 #include "dctcpp/sim/simulator.h"
 #include "dctcpp/sim/timer.h"
+#include "dctcpp/util/rng.h"
 
 namespace dctcpp {
 namespace {
@@ -14,10 +22,17 @@ namespace {
 using namespace time_literals;
 
 // ---------------------------------------------------------------------------
-// Scheduler
+// Scheduler (both backends)
 
-TEST(SchedulerTest, RunsInTimeOrder) {
-  Scheduler sched;
+template <typename S>
+class SchedulerTest : public ::testing::Test {};
+
+using SchedulerBackends =
+    ::testing::Types<TimerWheelScheduler, HeapScheduler>;
+TYPED_TEST_SUITE(SchedulerTest, SchedulerBackends);
+
+TYPED_TEST(SchedulerTest, RunsInTimeOrder) {
+  TypeParam sched;
   std::vector<int> order;
   sched.ScheduleAt(30, [&] { order.push_back(3); });
   sched.ScheduleAt(10, [&] { order.push_back(1); });
@@ -26,8 +41,8 @@ TEST(SchedulerTest, RunsInTimeOrder) {
   EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
 }
 
-TEST(SchedulerTest, FifoAmongEqualTimestamps) {
-  Scheduler sched;
+TYPED_TEST(SchedulerTest, FifoAmongEqualTimestamps) {
+  TypeParam sched;
   std::vector<int> order;
   for (int i = 0; i < 10; ++i) {
     sched.ScheduleAt(5, [&order, i] { order.push_back(i); });
@@ -36,8 +51,39 @@ TEST(SchedulerTest, FifoAmongEqualTimestamps) {
   for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
 }
 
-TEST(SchedulerTest, CancelPreventsExecution) {
-  Scheduler sched;
+TYPED_TEST(SchedulerTest, SameTickFifoPropertyUnderRandomArrival) {
+  // Property: however the same-tick events are interleaved with events at
+  // other ticks, and whatever order the ticks themselves arrive in,
+  // execution at any tick follows scheduling order. Exercises the wheel
+  // across cascade boundaries (ticks span several levels).
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    Rng rng(seed);
+    TypeParam sched;
+    constexpr int kEvents = 512;
+    std::vector<std::pair<Tick, int>> scheduled;  // (tick, arrival rank)
+    for (int i = 0; i < kEvents; ++i) {
+      // A handful of distinct ticks spread over ~200 ms forces collisions.
+      const Tick at = 25_us * rng.UniformInt(0, 15) +
+                      200_ms * rng.UniformInt(0, 1);
+      scheduled.emplace_back(at, i);
+    }
+    std::vector<std::pair<Tick, int>> fired;
+    for (const auto& [at, rank] : scheduled) {
+      sched.ScheduleAt(at, [&fired, at = at, rank = rank] {
+        fired.emplace_back(at, rank);
+      });
+    }
+    while (!sched.Empty()) sched.RunNext();
+    // Expected order: stable sort of arrival order by tick.
+    std::stable_sort(
+        scheduled.begin(), scheduled.end(),
+        [](const auto& a, const auto& b) { return a.first < b.first; });
+    EXPECT_EQ(fired, scheduled) << "seed " << seed;
+  }
+}
+
+TYPED_TEST(SchedulerTest, CancelPreventsExecution) {
+  TypeParam sched;
   bool ran = false;
   const EventId id = sched.ScheduleAt(10, [&] { ran = true; });
   sched.Cancel(id);
@@ -45,8 +91,8 @@ TEST(SchedulerTest, CancelPreventsExecution) {
   EXPECT_FALSE(ran);
 }
 
-TEST(SchedulerTest, CancelIsIdempotentAndSafeOnFiredEvents) {
-  Scheduler sched;
+TYPED_TEST(SchedulerTest, CancelIsIdempotentAndSafeOnFiredEvents) {
+  TypeParam sched;
   const EventId id = sched.ScheduleAt(1, [] {});
   sched.RunNext();
   sched.Cancel(id);  // already fired: no-op
@@ -55,8 +101,38 @@ TEST(SchedulerTest, CancelIsIdempotentAndSafeOnFiredEvents) {
   EXPECT_TRUE(sched.Empty());
 }
 
-TEST(SchedulerTest, PendingCountTracksLiveEvents) {
-  Scheduler sched;
+TYPED_TEST(SchedulerTest, StaleIdAfterFireCannotCancelLaterEvent) {
+  // Regression test for the EventId reuse hazard: after `first` fires, its
+  // pool slot may be recycled for `second`. The stale handle carries an
+  // old generation and must not cancel the new occupant.
+  TypeParam sched;
+  const EventId first = sched.ScheduleAt(1, [] {});
+  sched.RunNext();  // `first` fires; its storage may now be reused
+  bool second_ran = false;
+  const EventId second = sched.ScheduleAt(2, [&] { second_ran = true; });
+  sched.Cancel(first);  // stale: must be a no-op
+  EXPECT_EQ(sched.PendingCount(), 1u);
+  sched.RunNext();
+  EXPECT_TRUE(second_ran);
+  (void)second;
+}
+
+TYPED_TEST(SchedulerTest, DoubleCancelCannotCancelLaterEvent) {
+  // Regression test: cancelling twice must not free the slot twice nor
+  // touch a later event that reuses it.
+  TypeParam sched;
+  const EventId victim = sched.ScheduleAt(10, [] {});
+  sched.Cancel(victim);
+  bool reused_ran = false;
+  sched.ScheduleAt(20, [&] { reused_ran = true; });
+  sched.Cancel(victim);  // double cancel: stale, must be a no-op
+  EXPECT_EQ(sched.PendingCount(), 1u);
+  sched.RunNext();
+  EXPECT_TRUE(reused_ran);
+}
+
+TYPED_TEST(SchedulerTest, PendingCountTracksLiveEvents) {
+  TypeParam sched;
   const EventId a = sched.ScheduleAt(1, [] {});
   sched.ScheduleAt(2, [] {});
   EXPECT_EQ(sched.PendingCount(), 2u);
@@ -66,16 +142,16 @@ TEST(SchedulerTest, PendingCountTracksLiveEvents) {
   EXPECT_EQ(sched.PendingCount(), 0u);
 }
 
-TEST(SchedulerTest, NextTimeSkipsCancelled) {
-  Scheduler sched;
+TYPED_TEST(SchedulerTest, NextTimeSkipsCancelled) {
+  TypeParam sched;
   const EventId a = sched.ScheduleAt(1, [] {});
   sched.ScheduleAt(5, [] {});
   sched.Cancel(a);
   EXPECT_EQ(sched.NextTime(), 5);
 }
 
-TEST(SchedulerTest, EventsScheduledDuringExecutionRun) {
-  Scheduler sched;
+TYPED_TEST(SchedulerTest, EventsScheduledDuringExecutionRun) {
+  TypeParam sched;
   int depth = 0;
   std::function<void()> recurse = [&] {
     if (++depth < 5) sched.ScheduleAt(depth, recurse);
@@ -85,11 +161,75 @@ TEST(SchedulerTest, EventsScheduledDuringExecutionRun) {
   EXPECT_EQ(depth, 5);
 }
 
-TEST(SchedulerTest, ExecutedCounter) {
-  Scheduler sched;
+TYPED_TEST(SchedulerTest, ExecutedCounter) {
+  TypeParam sched;
   for (int i = 0; i < 7; ++i) sched.ScheduleAt(i, [] {});
   while (!sched.Empty()) sched.RunNext();
   EXPECT_EQ(sched.executed(), 7u);
+}
+
+TYPED_TEST(SchedulerTest, SparseFarApartEventsPopExactly) {
+  // Timestamps chosen to sit on different wheel levels and force long
+  // idle jumps (multi-level cascades) between pops.
+  TypeParam sched;
+  const std::vector<Tick> times = {3,         40,        5_us,     90_us,
+                                   3_ms,      250_ms,    2_s,      60_s,
+                                   3600_s};
+  std::vector<Tick> fired;
+  for (const Tick at : times) {
+    sched.ScheduleAt(at, [&fired, at] { fired.push_back(at); });
+  }
+  while (!sched.Empty()) {
+    const Tick next = sched.NextTime();
+    EXPECT_EQ(sched.RunNext(), next);
+  }
+  EXPECT_EQ(fired, times);
+}
+
+// ---------------------------------------------------------------------------
+// Timer wheel specifics
+
+TEST(TimerWheelTest, FarFutureEventsUseOverflowHeapAndStillFireInOrder) {
+  TimerWheelScheduler sched;
+  // ~3.26 simulated days in ns: beyond the 2^48-tick wheel span.
+  const Tick far = Tick(1) << 49;
+  std::vector<int> order;
+  sched.ScheduleAt(far + 5, [&] { order.push_back(3); });
+  const EventId cancelled = sched.ScheduleAt(far, [&] { order.push_back(9); });
+  sched.ScheduleAt(far + 5, [&] { order.push_back(4); });
+  sched.ScheduleAt(100, [&] { order.push_back(1); });
+  EXPECT_EQ(sched.OverflowCount(), 3u);
+  sched.Cancel(cancelled);  // cancellation of a heap-resident event
+  EXPECT_EQ(sched.OverflowCount(), 2u);
+  EXPECT_EQ(sched.NextTime(), 100);
+  while (!sched.Empty()) sched.RunNext();
+  EXPECT_EQ(order, (std::vector<int>{1, 3, 4}));
+}
+
+TEST(TimerWheelTest, InlineActionStoresSmallCapturesInline) {
+  int counter = 0;
+  InlineAction small([&counter] { ++counter; });
+  EXPECT_TRUE(small.IsInline());
+  small();
+  small();  // repeat invocation (Timer relies on this)
+  EXPECT_EQ(counter, 2);
+
+  struct Big {
+    char bytes[2 * InlineAction::kInlineSize] = {};
+  };
+  Big big_payload;
+  InlineAction big([big_payload, &counter] {
+    counter += static_cast<int>(sizeof(big_payload.bytes)) > 0 ? 1 : 0;
+  });
+  EXPECT_FALSE(big.IsInline());  // boxed, but still works
+  big();
+  EXPECT_EQ(counter, 3);
+
+  InlineAction moved = std::move(small);
+  EXPECT_TRUE(moved.IsInline());
+  moved();
+  EXPECT_EQ(counter, 4);
+  EXPECT_FALSE(static_cast<bool>(small));  // NOLINT: moved-from is empty
 }
 
 // ---------------------------------------------------------------------------
