@@ -1,0 +1,275 @@
+// Datapath regression harness: fixed-workload timings for the per-packet
+// forwarding path, emitted as JSON so CI (and CHANGES.md) can track
+// packets/sec across PRs. Companion to engine_regression.cc (which covers
+// the scheduler core); this binary covers what sits on top of it: switch
+// queues, link pipelines, and the TCP scoreboards.
+//
+// The headline scenario is the paper's canonical N=40 DCTCP incast, run
+// twice in the same process: once on the production datapath (PacketRing
+// FIFOs) and once in reference mode (the std::deque storage the repo used
+// before). Both runs must produce bit-identical simulation results —
+// goodput, timeout counts, event counts — which is the determinism gate;
+// the timing delta is the honest in-binary before/after for the container
+// swap. The recorded pre-PR baseline (the seed binary measured with
+// identical flags on the machine that produced DESIGN.md's numbers) is
+// also embedded so the JSON can report speedup against the full pre-PR
+// datapath, which additionally lacked today's copy-chain elimination and
+// wide level-0 timer wheel.
+//
+// Component microbenchmarks (ring vs deque, flat vs map scoreboard,
+// ParallelFor dispatch) isolate where the end-to-end delta comes from.
+//
+// Usage: datapath_regression [--smoke] [output.json]   (default: stdout)
+//
+// scripts/perf_regression.sh builds and runs this and writes
+// BENCH_datapath.json at the repo root. Exit status is nonzero when the
+// determinism check fails, so the bench-smoke ctest doubles as a gate.
+#include <sys/resource.h>
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "dctcpp/net/packet_ring.h"
+#include "dctcpp/util/interval_set.h"
+#include "dctcpp/util/rng.h"
+#include "dctcpp/util/thread_pool.h"
+#include "dctcpp/workload/incast.h"
+
+namespace dctcpp {
+namespace {
+
+double Now() {
+  using clock = std::chrono::steady_clock;
+  return std::chrono::duration<double>(clock::now().time_since_epoch())
+      .count();
+}
+
+// Seed binary (commit 5929353, pre-PR) running this harness's canonical
+// scenario, measured with identical compiler flags on the machine whose
+// numbers DESIGN.md records. Only the *_per_sec fields are machine
+// dependent; the simulation outputs are part of the determinism contract.
+constexpr double kPrePrEventsPerSec = 5.72e6;
+constexpr double kPrePrPacketsPerSec = 2.80e6;
+
+struct IncastTiming {
+  std::string mode;
+  double seconds = 0.0;
+  std::uint64_t packets = 0;
+  std::uint64_t events = 0;
+  double goodput_mbps = 0.0;
+  std::uint64_t timeouts = 0;
+  std::uint64_t rounds = 0;
+
+  double PacketsPerSec() const { return packets / seconds; }
+  double EventsPerSec() const { return events / seconds; }
+};
+
+IncastConfig CanonicalConfig(int rounds) {
+  IncastConfig config;
+  config.protocol = Protocol::kDctcp;
+  config.num_flows = 40;
+  config.rounds = rounds;
+  config.total_bytes = 1 * kMiB;
+  config.seed = 1;
+  return config;
+}
+
+IncastTiming TimedIncast(const char* mode, bool reference_fifo, int rounds) {
+  SetReferenceFifoForTest(reference_fifo);
+  const double start = Now();
+  const IncastResult r = RunIncast(CanonicalConfig(rounds));
+  const double seconds = Now() - start;
+  SetReferenceFifoForTest(false);
+  return IncastTiming{mode,      seconds,           r.packets_forwarded,
+                      r.events,  r.goodput_mbps,    r.timeouts,
+                      r.rounds_completed};
+}
+
+struct MicroResult {
+  std::string name;
+  std::uint64_t ops = 0;
+  double seconds = 0.0;
+
+  double OpsPerSec() const { return ops / seconds; }
+};
+
+/// Bursty FIFO traffic shaped like a switch port under incast: push a
+/// fan-in burst, drain it, repeat. Exercises wrap-around continuously.
+MicroResult FifoPushPop(const char* name, bool reference_fifo,
+                        std::uint64_t total) {
+  SetReferenceFifoForTest(reference_fifo);
+  PacketFifo fifo;
+  SetReferenceFifoForTest(false);
+  Packet pkt;
+  pkt.payload = kMss;
+  std::uint64_t checksum = 0;
+  const double start = Now();
+  std::uint64_t done = 0;
+  while (done < total) {
+    for (int burst = 0; burst < 40; ++burst) {
+      pkt.uid = done + static_cast<std::uint64_t>(burst);
+      fifo.PushBack(pkt);
+    }
+    while (!fifo.Empty()) {
+      checksum += fifo.Front().uid;
+      fifo.PopFront();
+    }
+    done += 40;
+  }
+  const double seconds = Now() - start;
+  if (checksum == ~0ull) std::fprintf(stderr, "impossible\n");
+  return MicroResult{name, done, seconds};
+}
+
+/// Scoreboard churn shaped like SACK processing: random segment-sized adds
+/// with periodic cumulative-ACK trims.
+template <typename SetT>
+MicroResult ScoreboardChurn(const char* name, std::uint64_t total) {
+  Rng rng(7);
+  SetT set;
+  std::int64_t acked = 0;
+  const double start = Now();
+  for (std::uint64_t i = 0; i < total; ++i) {
+    const std::int64_t seg =
+        acked + 1460 * static_cast<std::int64_t>(rng.UniformInt(1, 64));
+    set.Add(seg, seg + 1460);
+    if ((i & 31u) == 31u) {
+      acked += 1460 * 16;
+      set.TrimBelow(acked);
+    }
+  }
+  return MicroResult{name, total, Now() - start};
+}
+
+/// ParallelFor dispatch overhead: many tiny bodies, so the timing is the
+/// claim/complete machinery rather than the work.
+MicroResult DispatchOverhead(std::uint64_t tasks) {
+  ThreadPool pool;
+  std::vector<std::uint64_t> sink(256);
+  const double start = Now();
+  ParallelFor(pool, tasks, [&sink](std::size_t i) {
+    sink[i & 255] += i;  // racy by design; the value is never read
+  });
+  return MicroResult{"parallel_for_dispatch", tasks, Now() - start};
+}
+
+long PeakRssKb() {
+  struct rusage ru {};
+  getrusage(RUSAGE_SELF, &ru);
+  return ru.ru_maxrss;  // kilobytes on Linux
+}
+
+void WriteIncast(std::FILE* out, const IncastTiming& t, const char* trail) {
+  std::fprintf(out,
+               "    {\"mode\": \"%s\", \"seconds\": %.6f, "
+               "\"packets\": %llu, \"packets_per_sec\": %.0f, "
+               "\"events\": %llu, \"events_per_sec\": %.0f, "
+               "\"goodput_mbps\": %.1f, \"timeouts\": %llu, "
+               "\"rounds\": %llu}%s\n",
+               t.mode.c_str(), t.seconds,
+               static_cast<unsigned long long>(t.packets), t.PacketsPerSec(),
+               static_cast<unsigned long long>(t.events), t.EventsPerSec(),
+               t.goodput_mbps, static_cast<unsigned long long>(t.timeouts),
+               static_cast<unsigned long long>(t.rounds), trail);
+}
+
+int Main(int argc, char** argv) {
+  bool smoke = false;
+  const char* out_path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else {
+      out_path = argv[i];
+    }
+  }
+
+  const int rounds = smoke ? 30 : 300;
+  const std::uint64_t micro_ops = smoke ? 400'000 : 4'000'000;
+
+  // Warm-up run so first-touch page faults (node pools, ring growth) don't
+  // bias whichever mode is measured first.
+  TimedIncast("warmup", false, smoke ? 5 : 30);
+
+  const IncastTiming optimized = TimedIncast("ring", false, rounds);
+  const IncastTiming reference = TimedIncast("reference_deque", true, rounds);
+
+  const bool deterministic =
+      optimized.goodput_mbps == reference.goodput_mbps &&
+      optimized.timeouts == reference.timeouts &&
+      optimized.events == reference.events &&
+      optimized.packets == reference.packets &&
+      optimized.rounds == reference.rounds;
+
+  std::vector<MicroResult> micro;
+  micro.push_back(FifoPushPop("fifo_ring", false, micro_ops));
+  micro.push_back(FifoPushPop("fifo_deque", true, micro_ops));
+  micro.push_back(
+      ScoreboardChurn<IntervalSet>("scoreboard_flat", micro_ops / 4));
+  micro.push_back(
+      ScoreboardChurn<MapIntervalSet>("scoreboard_map", micro_ops / 4));
+  micro.push_back(DispatchOverhead(smoke ? 20'000 : 200'000));
+
+  std::FILE* out = stdout;
+  if (out_path != nullptr) {
+    out = std::fopen(out_path, "w");
+    if (!out) {
+      std::perror("datapath_regression: fopen");
+      return 1;
+    }
+  }
+
+  std::fprintf(out, "{\n  \"scenario\": \"incast_dctcp_n40\",\n");
+  std::fprintf(out, "  \"rounds\": %d,\n", rounds);
+  std::fprintf(out, "  \"incast\": [\n");
+  WriteIncast(out, optimized, ",");
+  WriteIncast(out, reference, "");
+  std::fprintf(out, "  ],\n");
+  std::fprintf(out,
+               "  \"determinism\": {\"match\": %s, "
+               "\"goodput_mbps\": %.1f, \"timeouts\": %llu},\n",
+               deterministic ? "true" : "false", optimized.goodput_mbps,
+               static_cast<unsigned long long>(optimized.timeouts));
+  std::fprintf(out, "  \"speedup_packets_vs_reference_fifo\": %.2f,\n",
+               optimized.PacketsPerSec() / reference.PacketsPerSec());
+  std::fprintf(out,
+               "  \"pre_pr_baseline\": {\"commit\": \"5929353\", "
+               "\"events_per_sec\": %.0f, \"packets_per_sec\": %.0f, "
+               "\"note\": \"seed binary, same scenario/flags/machine as "
+               "DESIGN.md\"},\n",
+               kPrePrEventsPerSec, kPrePrPacketsPerSec);
+  std::fprintf(out, "  \"speedup_packets_vs_pre_pr\": %.2f,\n",
+               optimized.PacketsPerSec() / kPrePrPacketsPerSec);
+  std::fprintf(out, "  \"speedup_events_vs_pre_pr\": %.2f,\n",
+               optimized.EventsPerSec() / kPrePrEventsPerSec);
+  std::fprintf(out, "  \"micro\": [\n");
+  for (std::size_t i = 0; i < micro.size(); ++i) {
+    const MicroResult& m = micro[i];
+    std::fprintf(out,
+                 "    {\"name\": \"%s\", \"ops\": %llu, "
+                 "\"seconds\": %.6f, \"ops_per_sec\": %.0f}%s\n",
+                 m.name.c_str(), static_cast<unsigned long long>(m.ops),
+                 m.seconds, m.OpsPerSec(), i + 1 < micro.size() ? "," : "");
+  }
+  std::fprintf(out, "  ],\n");
+  std::fprintf(out, "  \"smoke\": %s,\n", smoke ? "true" : "false");
+  std::fprintf(out, "  \"peak_rss_kb\": %ld\n}\n", PeakRssKb());
+  if (out != stdout) std::fclose(out);
+
+  if (!deterministic) {
+    std::fprintf(stderr,
+                 "datapath_regression: DETERMINISM FAILURE — ring and "
+                 "reference runs diverged\n");
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace dctcpp
+
+int main(int argc, char** argv) { return dctcpp::Main(argc, argv); }

@@ -1,17 +1,4 @@
 #!/usr/bin/env bash
-# Builds and runs the engine regression harness, writing BENCH_engine.json
-# at the repo root. Numbers feed DESIGN.md's "Engine performance" section
-# and the >=2x wheel-vs-heap acceptance gate.
-#
-# Usage: scripts/engine_regression.sh [build_dir]
-set -euo pipefail
-
-repo_root="$(cd "$(dirname "$0")/.." && pwd)"
-build_dir="${1:-$repo_root/build}"
-
-# No explicit build type: the top-level CMakeLists defaults to
-# RelWithDebInfo, and an existing build dir keeps its configuration.
-cmake -S "$repo_root" -B "$build_dir" >/dev/null
-cmake --build "$build_dir" --target engine_regression -j >/dev/null
-"$build_dir/bench/engine_regression" "$repo_root/BENCH_engine.json"
-echo "Wrote $repo_root/BENCH_engine.json"
+# Back-compat shim: the engine harness is now one of two run by
+# scripts/perf_regression.sh, which also produces BENCH_datapath.json.
+exec "$(cd "$(dirname "$0")" && pwd)/perf_regression.sh" "$@"

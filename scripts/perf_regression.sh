@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Builds and runs both fixed-workload performance harnesses:
+#   - engine_regression   -> BENCH_engine.json   (scheduler core)
+#   - datapath_regression -> BENCH_datapath.json (per-packet datapath)
+# Numbers feed DESIGN.md's "Engine performance" and "Datapath performance"
+# sections and the acceptance gates (>=2x wheel-vs-heap, >=1.5x datapath
+# packets/sec vs the pre-PR baseline). datapath_regression exits nonzero
+# if its ring-vs-reference determinism check fails, which fails this
+# script too.
+#
+# Usage: scripts/perf_regression.sh [build_dir]
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-$repo_root/build}"
+
+# No explicit build type: the top-level CMakeLists defaults to
+# RelWithDebInfo, and an existing build dir keeps its configuration.
+cmake -S "$repo_root" -B "$build_dir" >/dev/null
+cmake --build "$build_dir" --target engine_regression datapath_regression \
+  -j >/dev/null
+"$build_dir/bench/engine_regression" "$repo_root/BENCH_engine.json"
+echo "Wrote $repo_root/BENCH_engine.json"
+"$build_dir/bench/datapath_regression" "$repo_root/BENCH_datapath.json"
+echo "Wrote $repo_root/BENCH_datapath.json"

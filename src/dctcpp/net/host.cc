@@ -45,7 +45,7 @@ PortNum Host::AllocatePort() {
   return next_ephemeral_++;
 }
 
-void Host::Deliver(Packet pkt) {
+void Host::Deliver(const Packet& pkt) {
   DCTCPP_ASSERT(pkt.dst == id_);
   // Copy the handler before invoking: the callee may (un)register handlers.
   const ConnKey key{pkt.tcp.dst_port, pkt.src, pkt.tcp.src_port};

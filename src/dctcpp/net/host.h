@@ -51,7 +51,7 @@ class Host : public PacketSink {
   /// Allocates an ephemeral source port (unique per host).
   PortNum AllocatePort();
 
-  void Deliver(Packet pkt) override;
+  void Deliver(const Packet& pkt) override;
 
   /// Packets that matched neither a connection nor a listener.
   std::uint64_t unmatched_packets() const { return unmatched_; }

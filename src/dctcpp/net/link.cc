@@ -14,7 +14,7 @@ EgressPort::EgressPort(Simulator& sim, const LinkConfig& config,
   if (config.red) queue_.EnableRed(config.red_config, &sim.rng());
 }
 
-void EgressPort::Send(Packet pkt) {
+void EgressPort::Send(const Packet& pkt) {
   if (config_.random_loss > 0.0 &&
       sim_.rng().Chance(config_.random_loss)) {
     ++random_losses_;
@@ -27,16 +27,17 @@ void EgressPort::Send(Packet pkt) {
                  pkt.Describe().c_str());
     return;
   }
+  sim_.CountForwardedPacket();
   if (!transmitting_) StartTransmission();
 }
 
 void EgressPort::StartTransmission() {
-  auto pkt = queue_.Dequeue();
-  if (!pkt) return;
+  if (queue_.Empty()) return;
   transmitting_ = true;
-  on_wire_ = *pkt;
+  on_wire_ = queue_.Front();
+  queue_.PopFront();
   in_flight_bytes_ = on_wire_.WireSize();
-  const Tick tx = config_.rate.TransmissionTime(on_wire_.WireSize());
+  const Tick tx = config_.rate.TransmissionTime(in_flight_bytes_);
   sim_.Schedule(tx, [this] { FinishTransmission(); });
 }
 
@@ -45,15 +46,17 @@ void EgressPort::FinishTransmission() {
   in_flight_bytes_ = 0;
   // Propagation: the packet arrives at the peer `delay` after the last bit
   // leaves the wire.
-  propagating_.push_back(on_wire_);
+  propagating_.PushBack(on_wire_);
   sim_.Schedule(config_.propagation_delay, [this] { DeliverHead(); });
   StartTransmission();
 }
 
 void EgressPort::DeliverHead() {
-  const Packet pkt = propagating_.front();
-  propagating_.pop_front();
-  peer_.Deliver(pkt);
+  // Delivering in place is safe: the callee can re-enter Send, but only on
+  // *other* ports (a packet never routes back out the port it arrived on),
+  // so `propagating_` cannot grow or reallocate under this reference.
+  peer_.Deliver(propagating_.Front());
+  propagating_.PopFront();
 }
 
 }  // namespace dctcpp

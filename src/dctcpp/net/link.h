@@ -9,9 +9,9 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 
 #include "dctcpp/net/packet.h"
+#include "dctcpp/net/packet_ring.h"
 #include "dctcpp/net/queue.h"
 #include "dctcpp/sim/simulator.h"
 #include "dctcpp/util/units.h"
@@ -19,10 +19,12 @@
 namespace dctcpp {
 
 /// Anything that can accept a delivered packet (hosts and switches).
+/// The reference stays valid only for the duration of the call; sinks that
+/// keep the packet (forwarding into a queue) copy it into their own slot.
 class PacketSink {
  public:
   virtual ~PacketSink() = default;
-  virtual void Deliver(Packet pkt) = 0;
+  virtual void Deliver(const Packet& pkt) = 0;
 };
 
 /// Configuration of one link direction.
@@ -50,7 +52,7 @@ class EgressPort {
 
   /// Enqueues the packet for transmission; drops silently (with stats) when
   /// the buffer is full.
-  void Send(Packet pkt);
+  void Send(const Packet& pkt);
 
   const DropTailEcnQueue& queue() const { return queue_; }
   const LinkConfig& config() const { return config_; }
@@ -84,7 +86,7 @@ class EgressPort {
   // live here instead of in the closures. Propagation delay is constant
   // per port, so deliveries leave `propagating_` in FIFO order.
   Packet on_wire_;
-  std::deque<Packet> propagating_;
+  PacketFifo propagating_;
 };
 
 }  // namespace dctcpp

@@ -1,0 +1,22 @@
+#include "dctcpp/net/packet_ring.h"
+
+#include <atomic>
+
+namespace dctcpp {
+namespace {
+
+std::atomic<bool> g_reference_fifo{false};
+
+}  // namespace
+
+void SetReferenceFifoForTest(bool enabled) {
+  g_reference_fifo.store(enabled, std::memory_order_relaxed);
+}
+
+bool ReferenceFifoEnabled() {
+  return g_reference_fifo.load(std::memory_order_relaxed);
+}
+
+PacketFifo::PacketFifo() : reference_(ReferenceFifoEnabled()) {}
+
+}  // namespace dctcpp

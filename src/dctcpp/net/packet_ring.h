@@ -1,0 +1,121 @@
+// Flat ring buffer of Packets — the datapath FIFO.
+//
+// Every switch-port queue and every in-flight propagation pipeline holds
+// packets in strict FIFO order, so the container only ever needs
+// push-back / front / pop-front. PacketRing provides exactly that over one
+// contiguous power-of-two array: no per-block bookkeeping (std::deque), no
+// allocation in steady state, and PushBack returns a reference to the
+// stored slot so callers can finish building the packet (ECN marking) in
+// place instead of copying twice.
+//
+// PacketFifo wraps PacketRing with a process-wide "reference mode" that
+// swaps the storage for the std::deque this repo used before the ring.
+// The datapath regression harness and the determinism ctest run the same
+// simulation in both modes: identical results prove the ring is a pure
+// mechanism change, and the timing delta is the honest before/after.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <vector>
+
+#include "dctcpp/net/packet.h"
+#include "dctcpp/util/assert.h"
+
+namespace dctcpp {
+
+class PacketRing {
+ public:
+  /// `initial_capacity` is rounded up to a power of two; the ring grows by
+  /// doubling when full.
+  explicit PacketRing(std::size_t initial_capacity = 16) {
+    std::size_t cap = 1;
+    while (cap < initial_capacity) cap <<= 1;
+    slots_.resize(cap);
+  }
+
+  bool Empty() const { return count_ == 0; }
+  std::size_t Size() const { return count_; }
+  std::size_t Capacity() const { return slots_.size(); }
+
+  /// Appends a copy of `pkt` and returns the stored slot (valid until the
+  /// next PushBack, which may grow the ring).
+  Packet& PushBack(const Packet& pkt) {
+    if (count_ == slots_.size()) Grow();
+    Packet& slot = slots_[(head_ + count_) & (slots_.size() - 1)];
+    slot = pkt;
+    ++count_;
+    return slot;
+  }
+
+  const Packet& Front() const {
+    DCTCPP_DASSERT(count_ > 0);
+    return slots_[head_];
+  }
+
+  void PopFront() {
+    DCTCPP_DASSERT(count_ > 0);
+    head_ = (head_ + 1) & (slots_.size() - 1);
+    --count_;
+  }
+
+ private:
+  void Grow() {
+    std::vector<Packet> bigger(slots_.size() * 2);
+    for (std::size_t i = 0; i < count_; ++i) {
+      bigger[i] = slots_[(head_ + i) & (slots_.size() - 1)];
+    }
+    slots_.swap(bigger);
+    head_ = 0;
+  }
+
+  std::vector<Packet> slots_;
+  std::size_t head_ = 0;
+  std::size_t count_ = 0;
+};
+
+/// Selects the storage backend of every PacketFifo constructed afterwards.
+/// Reference mode (std::deque) exists solely so benchmarks and determinism
+/// tests can replay the pre-ring datapath inside the same binary; toggle it
+/// only between simulation runs, never while one is in flight.
+void SetReferenceFifoForTest(bool enabled);
+bool ReferenceFifoEnabled();
+
+/// FIFO of packets backed by PacketRing (production) or std::deque
+/// (reference mode, decided at construction).
+class PacketFifo {
+ public:
+  PacketFifo();
+
+  bool Empty() const { return reference_ ? deque_.empty() : ring_.Empty(); }
+  std::size_t Size() const {
+    return reference_ ? deque_.size() : ring_.Size();
+  }
+
+  Packet& PushBack(const Packet& pkt) {
+    if (reference_) {
+      deque_.push_back(pkt);
+      return deque_.back();
+    }
+    return ring_.PushBack(pkt);
+  }
+
+  const Packet& Front() const {
+    return reference_ ? deque_.front() : ring_.Front();
+  }
+
+  void PopFront() {
+    if (reference_) {
+      deque_.pop_front();
+    } else {
+      ring_.PopFront();
+    }
+  }
+
+ private:
+  bool reference_;
+  PacketRing ring_;
+  std::deque<Packet> deque_;
+};
+
+}  // namespace dctcpp

@@ -32,40 +32,46 @@ bool DropTailEcnQueue::RedShouldMark() {
   return red_rng_->Chance(red_config_.max_p * frac);
 }
 
-bool DropTailEcnQueue::Enqueue(Packet pkt) {
+bool DropTailEcnQueue::Enqueue(const Packet& pkt) {
   const Bytes size = pkt.WireSize();
   if (occupancy_ + size > capacity_) {
     ++stats_.dropped;
     return false;
   }
+  bool mark = false;
   if (red_rng_ != nullptr) {
-    // RED: probabilistic marking against the *average* queue.
-    const bool mark = RedShouldMark();
-    if (mark && pkt.ecn != Ecn::kNotEct) {
-      pkt.ecn = Ecn::kCe;
-      ++stats_.marked;
-    }
+    // RED: probabilistic marking against the *average* queue. The EWMA
+    // update inside must run for every arrival, ECT or not.
+    mark = RedShouldMark() && pkt.ecn != Ecn::kNotEct;
   } else if (ecn_threshold_ > 0 && pkt.ecn != Ecn::kNotEct &&
              occupancy_ + size > ecn_threshold_) {
     // DCTCP marking rule: mark the arriving packet while the
     // instantaneous queue (including this packet) exceeds K.
-    pkt.ecn = Ecn::kCe;
+    mark = true;
+  }
+  // Single copy into the FIFO slot; marking mutates the slot in place.
+  Packet& slot = queue_.PushBack(pkt);
+  if (mark) {
+    slot.ecn = Ecn::kCe;
     ++stats_.marked;
   }
   occupancy_ += size;
   stats_.max_occupancy = std::max(stats_.max_occupancy, occupancy_);
   ++stats_.enqueued;
-  queue_.push_back(pkt);
   return true;
 }
 
 std::optional<Packet> DropTailEcnQueue::Dequeue() {
-  if (queue_.empty()) return std::nullopt;
-  Packet pkt = queue_.front();
-  queue_.pop_front();
-  occupancy_ -= pkt.WireSize();
-  DCTCPP_ASSERT(occupancy_ >= 0);
+  if (queue_.Empty()) return std::nullopt;
+  Packet pkt = queue_.Front();
+  PopFront();
   return pkt;
+}
+
+void DropTailEcnQueue::PopFront() {
+  occupancy_ -= queue_.Front().WireSize();
+  DCTCPP_ASSERT(occupancy_ >= 0);
+  queue_.PopFront();
 }
 
 }  // namespace dctcpp

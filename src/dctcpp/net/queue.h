@@ -9,10 +9,10 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <optional>
 
 #include "dctcpp/net/packet.h"
+#include "dctcpp/net/packet_ring.h"
 #include "dctcpp/util/rng.h"
 #include "dctcpp/util/units.h"
 
@@ -52,14 +52,19 @@ class DropTailEcnQueue {
   double AverageQueue() const { return red_avg_; }
 
   /// Attempts to enqueue; returns false (and counts a drop) when the packet
-  /// does not fit. May set the packet's CE codepoint.
-  bool Enqueue(Packet pkt);
+  /// does not fit. The stored copy's CE codepoint may be set.
+  bool Enqueue(const Packet& pkt);
 
   /// Removes and returns the head packet, or nullopt when empty.
   std::optional<Packet> Dequeue();
 
-  bool Empty() const { return queue_.empty(); }
-  std::size_t PacketCount() const { return queue_.size(); }
+  /// Zero-copy drain used by the transmitter: the head packet in place,
+  /// then an explicit pop. Preconditions: !Empty().
+  const Packet& Front() const { return queue_.Front(); }
+  void PopFront();
+
+  bool Empty() const { return queue_.Empty(); }
+  std::size_t PacketCount() const { return queue_.Size(); }
   Bytes OccupancyBytes() const { return occupancy_; }
   Bytes capacity() const { return capacity_; }
   Bytes ecn_threshold() const { return ecn_threshold_; }
@@ -72,7 +77,7 @@ class DropTailEcnQueue {
   Bytes capacity_;
   Bytes ecn_threshold_;
   Bytes occupancy_ = 0;
-  std::deque<Packet> queue_;
+  PacketFifo queue_;
   Stats stats_;
 
   RedConfig red_config_;

@@ -19,7 +19,7 @@ int Switch::RouteTo(NodeId dst) const {
   return it == routes_.end() ? -1 : it->second;
 }
 
-void Switch::Deliver(Packet pkt) {
+void Switch::Deliver(const Packet& pkt) {
   const int out = RouteTo(pkt.dst);
   DCTCPP_ASSERT(out >= 0);  // unroutable: topology bug
   ports_[static_cast<std::size_t>(out)]->Send(pkt);

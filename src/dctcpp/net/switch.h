@@ -33,7 +33,7 @@ class Switch : public PacketSink {
 
   /// Forwards the packet out its routed port. Unroutable packets are a
   /// configuration bug and abort.
-  void Deliver(Packet pkt) override;
+  void Deliver(const Packet& pkt) override;
 
   int PortCount() const { return static_cast<int>(ports_.size()); }
   EgressPort& port(int i) { return *ports_.at(static_cast<std::size_t>(i)); }

@@ -57,9 +57,16 @@ class Simulator {
 
   std::uint64_t events_executed() const { return scheduler_.executed(); }
 
+  /// Datapath throughput counter: packets accepted by any egress port of
+  /// this world (bumped by EgressPort::Send on successful enqueue). The
+  /// numerator of the regression harness's packets/sec.
+  void CountForwardedPacket() { ++packets_forwarded_; }
+  std::uint64_t packets_forwarded() const { return packets_forwarded_; }
+
  private:
   Tick now_ = 0;
   bool stopped_ = false;
+  std::uint64_t packets_forwarded_ = 0;
   Scheduler scheduler_;
   Rng rng_;
 };

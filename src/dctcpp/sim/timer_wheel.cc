@@ -17,7 +17,8 @@ std::uint64_t CircularMask(int start, std::uint64_t count) {
 
 }  // namespace
 
-TimerWheelScheduler::TimerWheelScheduler() {
+TimerWheelScheduler::TimerWheelScheduler()
+    : head0_(kL0Slots, kNil), tail0_(kL0Slots, kNil) {
   for (auto& level : head_) std::fill(std::begin(level), std::end(level), kNil);
   for (auto& level : tail_) std::fill(std::begin(level), std::end(level), kNil);
 }
@@ -44,17 +45,62 @@ void TimerWheelScheduler::FreeNode(Node& n, std::uint32_t idx) {
   free_head_ = idx;
 }
 
+void TimerWheelScheduler::SetL0Bit(int slot) {
+  const int w = slot >> 6;
+  occ0_[w] |= std::uint64_t(1) << (slot & 63);
+  occ0_sum_[w >> 6] |= std::uint64_t(1) << (w & 63);
+}
+
+void TimerWheelScheduler::ClearL0Bit(int slot) {
+  const int w = slot >> 6;
+  if ((occ0_[w] &= ~(std::uint64_t(1) << (slot & 63))) == 0) {
+    occ0_sum_[w >> 6] &= ~(std::uint64_t(1) << (w & 63));
+  }
+}
+
+int TimerWheelScheduler::FindL0From(int pos) const {
+  const int w = pos >> 6;
+  const std::uint64_t first = occ0_[w] & (~std::uint64_t(0) << (pos & 63));
+  if (first != 0) return (w << 6) | std::countr_zero(first);
+  // Words strictly after `w` within the same summary word. The double
+  // shift sidesteps the undefined shift-by-64 when (w & 63) == 63.
+  const int sw = w >> 6;
+  const std::uint64_t same = (occ0_sum_[sw] >> (w & 63)) >> 1;
+  if (same != 0) {
+    const int wi = w + 1 + std::countr_zero(same);
+    return (wi << 6) | std::countr_zero(occ0_[wi]);
+  }
+  // Remaining summary words in circular order. The final iteration
+  // revisits `sw` unmasked: any set bit there now indexes a word <= w
+  // (later ones were ruled out above), which is exactly the wrap case.
+  for (int j = 1; j <= kL0SumWords; ++j) {
+    const int si = (sw + j) & (kL0SumWords - 1);
+    const std::uint64_t s = occ0_sum_[si];
+    if (s != 0) {
+      const int wi = (si << 6) | std::countr_zero(s);
+      return (wi << 6) | std::countr_zero(occ0_[wi]);
+    }
+  }
+  return -1;
+}
+
 void TimerWheelScheduler::LinkSorted(int level, int slot, std::uint32_t idx,
                                      Node& n) {
   n.loc = kLocWheel;
   n.level = static_cast<std::int8_t>(level);
-  n.slot = static_cast<std::int8_t>(slot);
-  std::uint32_t& head = head_[level][slot];
-  std::uint32_t& tail = tail_[level][slot];
+  n.slot = static_cast<std::int16_t>(slot);
+  std::uint32_t& head =
+      level == 0 ? head0_[slot] : head_[level - 1][slot];
+  std::uint32_t& tail =
+      level == 0 ? tail0_[slot] : tail_[level - 1][slot];
   if (head == kNil) {
     head = tail = idx;
     n.prev = n.next = kNil;
-    occupied_[level] |= std::uint64_t(1) << slot;
+    if (level == 0) {
+      SetL0Bit(slot);
+    } else {
+      occupied_[level - 1] |= std::uint64_t(1) << slot;
+    }
     return;
   }
   // Fresh schedules carry the highest seq so far and append in O(1); only
@@ -81,8 +127,10 @@ void TimerWheelScheduler::LinkSorted(int level, int slot, std::uint32_t idx,
 
 void TimerWheelScheduler::Unlink(std::uint32_t idx, Node& n) {
   DCTCPP_DASSERT(n.loc == kLocWheel);
-  std::uint32_t& head = head_[n.level][n.slot];
-  std::uint32_t& tail = tail_[n.level][n.slot];
+  const int level = n.level;
+  const int slot = n.slot;
+  std::uint32_t& head = level == 0 ? head0_[slot] : head_[level - 1][slot];
+  std::uint32_t& tail = level == 0 ? tail0_[slot] : tail_[level - 1][slot];
   if (n.prev != kNil) {
     NodeAt(n.prev).next = n.next;
   } else {
@@ -93,13 +141,25 @@ void TimerWheelScheduler::Unlink(std::uint32_t idx, Node& n) {
   } else {
     tail = n.prev;
   }
-  if (head == kNil) occupied_[n.level] &= ~(std::uint64_t(1) << n.slot);
+  if (head == kNil) {
+    if (level == 0) {
+      ClearL0Bit(slot);
+    } else {
+      occupied_[level - 1] &= ~(std::uint64_t(1) << slot);
+    }
+  }
   (void)idx;
 }
 
 void TimerWheelScheduler::Place(std::uint32_t idx, Node& n) {
   const Tick delta = n.at - now_;
   DCTCPP_DASSERT(delta >= 0);
+  if (delta < kL0Slots) {
+    // The common case: every per-packet datapath event (serialization,
+    // propagation, inline wakeups) lands here and never cascades.
+    LinkSorted(0, static_cast<int>(n.at & (kL0Slots - 1)), idx, n);
+    return;
+  }
   if (delta >= kWheelSpan) {
     n.loc = kLocHeap;
     n.level = -1;
@@ -108,13 +168,10 @@ void TimerWheelScheduler::Place(std::uint32_t idx, Node& n) {
     std::push_heap(heap_.begin(), heap_.end(), HeapLater{});
     return;
   }
-  const int level =
-      delta == 0
-          ? 0
-          : (std::bit_width(static_cast<std::uint64_t>(delta)) - 1) /
-                kLevelBits;
-  const int slot = static_cast<int>(
-      (n.at >> (kLevelBits * level)) & (kSlotsPerLevel - 1));
+  const int ub = std::bit_width(static_cast<std::uint64_t>(delta)) - 1;
+  const int level = (ub - kL0Bits) / kLevelBits + 1;
+  const int slot =
+      static_cast<int>((n.at >> UpperShift(level)) & (kSlotsPerLevel - 1));
   LinkSorted(level, slot, idx, n);
 }
 
@@ -160,30 +217,35 @@ void TimerWheelScheduler::Cancel(EventId id) {
 void TimerWheelScheduler::AdvanceTo(Tick t) {
   DCTCPP_DASSERT(t >= now_);
   if (t == now_) return;
-  // Dumped slot lists are appended to the todo chain in forward order so
-  // each stays ascending-seq; re-Place then hits LinkSorted's O(1)
-  // tail-append fast path instead of walking the target slot (a reversed
-  // chain would make a cascade of m same-slot events cost O(m^2)).
+  // Level 0 needs no work when time advances: t is never past a pending
+  // event, so every one-tick slot in [now_, t) is already empty and its
+  // occupancy bits were cleared as the events popped.
+  //
+  // Dumped upper slot lists are appended to the todo chain in forward
+  // order so each stays ascending-seq; re-Place then hits LinkSorted's
+  // O(1) tail-append fast path instead of walking the target slot (a
+  // reversed chain would make a cascade of m same-slot events cost
+  // O(m^2)).
   std::uint32_t todo_head = kNil;
   std::uint32_t todo_tail = kNil;
-  for (int k = 1; k < kLevels; ++k) {
-    const int shift = kLevelBits * k;
+  for (int k = 1; k <= kUpperLevels; ++k) {
+    const int shift = UpperShift(k);
     const std::uint64_t oldp = static_cast<std::uint64_t>(now_) >> shift;
     const std::uint64_t newp = static_cast<std::uint64_t>(t) >> shift;
     if (oldp == newp) break;  // no boundary crossed here nor above
-    if (occupied_[k] != 0) {
+    if (occupied_[k - 1] != 0) {
       // Slots (oldp, newp] were entered or passed: cascade their events.
       const std::uint64_t mask =
           CircularMask(static_cast<int>((oldp + 1) & (kSlotsPerLevel - 1)),
                        std::min<std::uint64_t>(newp - oldp, kSlotsPerLevel));
-      std::uint64_t dump = occupied_[k] & mask;
-      occupied_[k] &= ~mask;
+      std::uint64_t dump = occupied_[k - 1] & mask;
+      occupied_[k - 1] &= ~mask;
       while (dump != 0) {
         const int slot = std::countr_zero(dump);
         dump &= dump - 1;
-        const std::uint32_t first = head_[k][slot];
-        const std::uint32_t last = tail_[k][slot];
-        head_[k][slot] = tail_[k][slot] = kNil;
+        const std::uint32_t first = head_[k - 1][slot];
+        const std::uint32_t last = tail_[k - 1][slot];
+        head_[k - 1][slot] = tail_[k - 1][slot] = kNil;
         if (first == kNil) continue;
         if (todo_tail == kNil) {
           todo_head = first;
@@ -211,21 +273,20 @@ void TimerWheelScheduler::EnsureNext() {
   cached_seq_ = ~0ull;
   cached_idx_ = kNil;
 
-  if (occupied_[0] != 0) {
+  const int pos0 = static_cast<int>(now_ & (kL0Slots - 1));
+  const int slot0 = FindL0From(pos0);
+  if (slot0 >= 0) {
     // Level-0 slots hold exactly one timestamp each, so the first occupied
     // slot circularly from the wheel position is the exact minimum (its
     // list head has the lowest seq: lists are seq-sorted).
-    const int pos0 = static_cast<int>(now_ & (kSlotsPerLevel - 1));
-    const int off = std::countr_zero(std::rotr(occupied_[0], pos0));
-    const int slot = (pos0 + off) & (kSlotsPerLevel - 1);
-    const std::uint32_t h = head_[0][slot];
-    cached_at_ = now_ + off;
+    const std::uint32_t h = head0_[slot0];
+    cached_at_ = now_ + ((slot0 - pos0) & (kL0Slots - 1));
     cached_seq_ = NodeAt(h).seq;
     cached_idx_ = h;
   }
-  for (int k = 1; k < kLevels; ++k) {
-    if (occupied_[k] == 0) continue;
-    const int shift = kLevelBits * k;
+  for (int k = 1; k <= kUpperLevels; ++k) {
+    if (occupied_[k - 1] == 0) continue;
+    const int shift = UpperShift(k);
     const Tick width = Tick(1) << shift;
     const Tick lap = width << kLevelBits;
     const int posk = static_cast<int>((now_ >> shift) & (kSlotsPerLevel - 1));
@@ -233,12 +294,12 @@ void TimerWheelScheduler::EnsureNext() {
     // order from posk+1 lists slots by increasing base time; the first
     // occupied one bounds every other slot at this level from below.
     const int start = (posk + 1) & (kSlotsPerLevel - 1);
-    const int off = std::countr_zero(std::rotr(occupied_[k], start));
+    const int off = std::countr_zero(std::rotr(occupied_[k - 1], start));
     const int slot = (start + off) & (kSlotsPerLevel - 1);
     Tick base = (now_ & ~(lap - 1)) + Tick(slot) * width;
     if (base <= now_) base += lap;  // passed/current slot index: next lap
     if (base > cached_at_) continue;  // cannot beat or tie the minimum
-    for (std::uint32_t i = head_[k][slot]; i != kNil; i = NodeAt(i).next) {
+    for (std::uint32_t i = head_[k - 1][slot]; i != kNil; i = NodeAt(i).next) {
       const Node& n = NodeAt(i);
       if (n.at < cached_at_ || (n.at == cached_at_ && n.seq < cached_seq_)) {
         cached_at_ = n.at;
@@ -288,7 +349,7 @@ Tick TimerWheelScheduler::RunNext() {
     Unlink(idx, n);
   }
   const std::int8_t level = n.level;
-  const std::int8_t slot = n.slot;
+  const std::int16_t slot = n.slot;
   // Move the action out and recycle the node *before* running it, so the
   // callback may freely schedule (and even land on this node's id with a
   // fresh generation).
@@ -303,12 +364,12 @@ Tick TimerWheelScheduler::RunNext() {
   // this same tick, in which case fall back to the full scan. Callbacks
   // can only add same-tick events with higher seqs, so the cache stays
   // exact through whatever `action` schedules.
-  if (!from_heap && level == 0 && head_[0][slot] != kNil &&
+  if (!from_heap && level == 0 && head0_[slot] != kNil &&
       (heap_.empty() || heap_.front().at > t)) {
     cached_valid_ = true;
     cached_at_ = t;
-    cached_seq_ = NodeAt(head_[0][slot]).seq;
-    cached_idx_ = head_[0][slot];
+    cached_seq_ = NodeAt(head0_[slot]).seq;
+    cached_idx_ = head0_[slot];
     cached_from_heap_ = false;
   }
   action();

@@ -1,14 +1,20 @@
 // Production discrete-event scheduler: hierarchical timer wheel.
 //
-// Eight levels of 64 slots each; the level-k slot width is 64^k ticks, so
-// the wheel spans 2^48 ticks (~3.2 simulated days at 1 ns/tick). Events
-// farther out than the span wait in a small min-heap overflow level and are
-// popped from there directly. Events live in a free-listed pool of
-// intrusively doubly-linked nodes, so scheduling performs no heap
-// allocation in steady state and cancellation is an O(1) unlink — no
-// `unordered_set`, no lazy tombstones on the hot path. `EventId`s carry a
-// per-node generation counter, so a stale handle (fired or cancelled) can
-// never cancel a later event that reuses the same pool slot.
+// Level 0 has 2^14 one-tick slots (16.4 us at 1 ns/tick) indexed through a
+// two-level occupancy bitmap; levels 1..6 have 64 slots each of width
+// 2^14 * 64^(k-1), so the wheel spans 2^50 ticks (~13 simulated days).
+// Level 0 is deliberately wide enough to cover a packet's serialization
+// plus propagation time on the modelled links: the per-packet datapath
+// events (FinishTransmission ~12 us out, DeliverHead ~10 us out) are homed
+// directly into their final slot and never cascade — placement is one
+// masked index plus two bitmap ORs. Events farther out than the span wait
+// in a small min-heap overflow level and are popped from there directly.
+// Events live in a free-listed pool of intrusively doubly-linked nodes, so
+// scheduling performs no heap allocation in steady state and cancellation
+// is an O(1) unlink — no `unordered_set`, no lazy tombstones on the hot
+// path. `EventId`s carry a per-node generation counter, so a stale handle
+// (fired or cancelled) can never cancel a later event that reuses the same
+// pool slot.
 //
 // Determinism contract (identical to HeapScheduler, proven by the
 // differential test in tests/scheduler_diff_test.cc): events pop in
@@ -18,13 +24,13 @@
 // this across cascades.
 //
 // Invariants (now_ == timestamp of the last popped event):
-//  - level-0 events have `at` in [now_, now_+64); each occupied slot holds
-//    exactly one timestamp, so the earliest event is found with one bitmap
-//    rotate + count-trailing-zeros;
-//  - level-k (k>=1) events have `at` in (now_, now_ + 64^(k+1)); the slot
-//    at the wheel's current position is always empty, so occupied slots map
-//    to exactly one lap and slot base times are totally ordered circularly
-//    from the position;
+//  - level-0 events have `at` in [now_, now_+2^14); each occupied slot
+//    holds exactly one timestamp, so the earliest event is found with a
+//    circular find-first-set over the two-level bitmap;
+//  - level-k (k>=1) events have `at` in (now_, now_ + width_k * 64); the
+//    slot at the wheel's current position is always empty, so occupied
+//    slots map to exactly one lap and slot base times are totally ordered
+//    circularly from the position;
 //  - when time advances across a level-k window boundary, the level-(k+1)
 //    slots passed over are cascaded (re-homed) into lower levels, each
 //    event cascading at most once per level over its lifetime.
@@ -75,12 +81,21 @@ class TimerWheelScheduler {
   std::size_t OverflowCount() const;
 
  private:
+  static constexpr int kL0Bits = 14;
+  static constexpr int kL0Slots = 1 << kL0Bits;  // 16384 one-tick slots
+  static constexpr int kL0Words = kL0Slots / 64;
+  static constexpr int kL0SumWords = kL0Words / 64;
   static constexpr int kLevelBits = 6;
   static constexpr int kSlotsPerLevel = 1 << kLevelBits;  // 64
-  static constexpr int kLevels = 8;
-  static constexpr Tick kWheelSpan = Tick(1)
-                                     << (kLevelBits * kLevels);  // 2^48
+  static constexpr int kUpperLevels = 6;                  // levels 1..6
+  static constexpr Tick kWheelSpan =
+      Tick(1) << (kL0Bits + kLevelBits * kUpperLevels);  // 2^50
   static constexpr std::uint32_t kNil = 0xffffffffu;
+
+  /// Bit position of upper level k's slot index within a timestamp.
+  static constexpr int UpperShift(int k) {
+    return kL0Bits + kLevelBits * (k - 1);
+  }
 
   enum Location : std::int8_t { kLocFree = 0, kLocWheel = 1, kLocHeap = 2 };
 
@@ -93,7 +108,7 @@ class TimerWheelScheduler {
     std::uint32_t prev = kNil;
     std::int8_t loc = kLocFree;
     std::int8_t level = -1;
-    std::int8_t slot = -1;
+    std::int16_t slot = -1;
   };
 
   struct HeapEntry {
@@ -128,6 +143,12 @@ class TimerWheelScheduler {
   void LinkSorted(int level, int slot, std::uint32_t idx, Node& n);
   void Unlink(std::uint32_t idx, Node& n);
 
+  void SetL0Bit(int slot);
+  void ClearL0Bit(int slot);
+  /// First occupied level-0 slot at circular distance >= 0 from `pos`
+  /// (absolute slot index), or -1 if level 0 is empty.
+  int FindL0From(int pos) const;
+
   /// Advances the wheel to `t` (<= every pending event's time), cascading
   /// higher-level slots whose windows were entered or passed.
   void AdvanceTo(Tick t);
@@ -141,9 +162,17 @@ class TimerWheelScheduler {
   std::uint64_t executed_ = 0;
   std::size_t live_count_ = 0;
 
-  std::uint32_t head_[kLevels][kSlotsPerLevel];
-  std::uint32_t tail_[kLevels][kSlotsPerLevel];
-  std::uint64_t occupied_[kLevels] = {};
+  // Level 0: flat one-tick slots with a two-level occupancy bitmap
+  // (occ0_sum_ bit s set <=> occ0_[s] != 0).
+  std::vector<std::uint32_t> head0_;  // kL0Slots entries
+  std::vector<std::uint32_t> tail0_;
+  std::uint64_t occ0_[kL0Words] = {};
+  std::uint64_t occ0_sum_[kL0SumWords] = {};
+
+  // Upper levels, indexed [k-1] for level k in 1..kUpperLevels.
+  std::uint32_t head_[kUpperLevels][kSlotsPerLevel];
+  std::uint32_t tail_[kUpperLevels][kSlotsPerLevel];
+  std::uint64_t occupied_[kUpperLevels] = {};
 
   std::vector<HeapEntry> heap_;  // overflow level, lazy-cancelled
 

@@ -5,6 +5,16 @@
 #include "dctcpp/util/assert.h"
 
 namespace dctcpp {
+namespace {
+
+/// Saturating add: counters pin at UINT64_MAX instead of wrapping when
+/// many high-weight repetitions are folded together.
+std::uint64_t SatAdd(std::uint64_t a, std::uint64_t b) {
+  const std::uint64_t sum = a + b;
+  return sum < a ? ~std::uint64_t{0} : sum;
+}
+
+}  // namespace
 
 Histogram::Histogram(std::int64_t lo, std::int64_t hi) : lo_(lo), hi_(hi) {
   DCTCPP_ASSERT(lo <= hi);
@@ -13,13 +23,14 @@ Histogram::Histogram(std::int64_t lo, std::int64_t hi) : lo_(lo), hi_(hi) {
 
 void Histogram::Add(std::int64_t value, std::uint64_t weight) {
   if (value < lo_) {
-    underflow_ += weight;
+    underflow_ = SatAdd(underflow_, weight);
   } else if (value > hi_) {
-    overflow_ += weight;
+    overflow_ = SatAdd(overflow_, weight);
   } else {
-    bins_[static_cast<std::size_t>(value - lo_)] += weight;
+    auto& bin = bins_[static_cast<std::size_t>(value - lo_)];
+    bin = SatAdd(bin, weight);
   }
-  total_ += weight;
+  total_ = SatAdd(total_, weight);
 }
 
 std::uint64_t Histogram::CountAt(std::int64_t value) const {
@@ -36,18 +47,20 @@ double Histogram::CumulativeFraction(std::int64_t value) const {
   if (total_ == 0) return 0.0;
   std::uint64_t acc = underflow_;
   for (std::int64_t v = lo_; v <= value && v <= hi_; ++v) {
-    acc += CountAt(v);
+    acc = SatAdd(acc, CountAt(v));
   }
-  if (value > hi_) acc += overflow_;
+  if (value > hi_) acc = SatAdd(acc, overflow_);
   return static_cast<double>(acc) / static_cast<double>(total_);
 }
 
 void Histogram::Merge(const Histogram& other) {
   DCTCPP_ASSERT(lo_ == other.lo_ && hi_ == other.hi_);
-  for (std::size_t i = 0; i < bins_.size(); ++i) bins_[i] += other.bins_[i];
-  underflow_ += other.underflow_;
-  overflow_ += other.overflow_;
-  total_ += other.total_;
+  for (std::size_t i = 0; i < bins_.size(); ++i) {
+    bins_[i] = SatAdd(bins_[i], other.bins_[i]);
+  }
+  underflow_ = SatAdd(underflow_, other.underflow_);
+  overflow_ = SatAdd(overflow_, other.overflow_);
+  total_ = SatAdd(total_, other.total_);
 }
 
 std::string Histogram::ToString(const std::string& label) const {

@@ -2,6 +2,8 @@
 //
 // Used for the cwnd frequency distributions of Fig 2: one bin per integer
 // cwnd value (in MSS), with an overflow bin for values past the top.
+// All counters saturate at UINT64_MAX instead of wrapping, so folding
+// arbitrarily many high-weight repetitions (1000-rep sweeps) is safe.
 #pragma once
 
 #include <cstdint>

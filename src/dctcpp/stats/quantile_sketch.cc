@@ -1,0 +1,82 @@
+#include "dctcpp/stats/quantile_sketch.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "dctcpp/util/assert.h"
+
+namespace dctcpp {
+
+QuantileSketch::QuantileSketch(double relative_error)
+    : relative_error_(relative_error) {
+  DCTCPP_ASSERT(relative_error > 0.0 && relative_error < 0.5);
+  gamma_ = (1.0 + relative_error) / (1.0 - relative_error);
+  inv_log_gamma_ = 1.0 / std::log(gamma_);
+  index_lo_ = static_cast<int>(
+      std::floor(std::log(kMinTrackable) * inv_log_gamma_));
+  const int index_hi = static_cast<int>(
+      std::ceil(std::log(kMaxTrackable) * inv_log_gamma_));
+  buckets_.assign(static_cast<std::size_t>(index_hi - index_lo_ + 1), 0);
+}
+
+int QuantileSketch::BucketIndex(double x) const {
+  if (!(x > kMinTrackable)) return 0;  // clamps NaN, <=0, and tiny values
+  const int idx =
+      static_cast<int>(std::floor(std::log(x) * inv_log_gamma_)) - index_lo_;
+  return std::clamp(idx, 0, static_cast<int>(buckets_.size()) - 1);
+}
+
+double QuantileSketch::BucketValue(int index) const {
+  // Geometric midpoint of [gamma^i, gamma^(i+1)).
+  return std::exp((index + index_lo_ + 0.5) / inv_log_gamma_);
+}
+
+void QuantileSketch::Add(double x) {
+  ++buckets_[static_cast<std::size_t>(BucketIndex(x))];
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  sum_ += x;
+}
+
+void QuantileSketch::Merge(const QuantileSketch& other) {
+  DCTCPP_ASSERT(buckets_.size() == other.buckets_.size());
+  DCTCPP_ASSERT(relative_error_ == other.relative_error_);
+  if (other.count_ == 0) return;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    buckets_[i] += other.buckets_[i];
+  }
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
+double QuantileSketch::Quantile(double q) const {
+  DCTCPP_ASSERT(q >= 0.0 && q <= 1.0);
+  if (count_ == 0) return 0.0;
+  // Rank of the order statistic Percentile would interpolate around.
+  const auto rank = static_cast<std::uint64_t>(
+      q * static_cast<double>(count_ - 1));
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    seen += buckets_[i];
+    if (seen > rank) {
+      // Clamp to the exact extremes so Quantile(0)/Quantile(1) are exact
+      // and interior estimates never leave the observed range.
+      return std::clamp(BucketValue(static_cast<int>(i)), min_, max_);
+    }
+  }
+  return max_;  // unreachable: seen == count_ > rank by the end
+}
+
+}  // namespace dctcpp

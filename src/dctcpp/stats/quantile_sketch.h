@@ -1,0 +1,73 @@
+// Bounded-memory streaming quantile sketch with logarithmic buckets.
+//
+// Sweep aggregation used to keep every FCT sample of every repetition in a
+// grow-forever vector (Percentile); at 1000 repetitions x hundreds of
+// rounds x hundreds of points that dominates the harness's memory. This
+// sketch replaces it for sweeps: values are counted in buckets whose
+// bounds grow geometrically by gamma = (1+a)/(1-a), which guarantees any
+// reported quantile is within relative error `a` of an exact order
+// statistic (the DDSketch bound). Memory is a fixed ~2400 x 8-byte bucket
+// array regardless of sample count, and merging two sketches is an
+// element-wise add — exactly what folding 1000-rep sweep points needs.
+//
+// Values below kMinTrackable (including zero and negatives — FCTs are
+// positive, this is belt and braces) are clamped into the lowest bucket;
+// exact min/max/sum/count are tracked on the side, so Min()/Max()/Mean()
+// stay exact and only interior quantiles are approximate.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace dctcpp {
+
+class QuantileSketch {
+ public:
+  /// `relative_error` a in (0, 0.5): reported quantiles are within a
+  /// factor [1-a, 1+a] of the exact order statistic.
+  explicit QuantileSketch(double relative_error = 0.01);
+
+  void Add(double x);
+
+  /// Folds `other` into this sketch. Both must use the same accuracy.
+  void Merge(const QuantileSketch& other);
+
+  std::size_t count() const { return count_; }
+  bool empty() const { return count_ == 0; }
+  double sum() const { return sum_; }
+
+  /// Quantile in [0, 1]; 0.0 on an empty sketch. Exact at the endpoints
+  /// (tracked min/max), within the configured relative error elsewhere.
+  double Quantile(double q) const;
+
+  double Median() const { return Quantile(0.5); }
+  double Mean() const { return count_ == 0 ? 0.0 : sum_ / count_; }
+  double Min() const { return count_ == 0 ? 0.0 : min_; }
+  double Max() const { return count_ == 0 ? 0.0 : max_; }
+
+  double relative_error() const { return relative_error_; }
+
+  /// Fixed bucket-array size (memory bound), for tests.
+  std::size_t BucketCount() const { return buckets_.size(); }
+
+ private:
+  // Trackable value range; outside values clamp to the edge buckets.
+  static constexpr double kMinTrackable = 1e-9;
+  static constexpr double kMaxTrackable = 1e12;
+
+  int BucketIndex(double x) const;
+  double BucketValue(int index) const;
+
+  double relative_error_;
+  double gamma_;
+  double inv_log_gamma_;
+  int index_lo_ = 0;  ///< bucket index of kMinTrackable
+  std::vector<std::uint64_t> buckets_;
+  std::size_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace dctcpp

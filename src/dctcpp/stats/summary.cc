@@ -58,8 +58,8 @@ void SummaryStats::Merge(const SummaryStats& other) {
 }
 
 double Percentile::Quantile(double q) const {
-  DCTCPP_ASSERT(!samples_.empty());
   DCTCPP_ASSERT(q >= 0.0 && q <= 1.0);
+  if (samples_.empty()) return 0.0;
   if (!sorted_) {
     std::sort(samples_.begin(), samples_.end());
     sorted_ = true;

@@ -48,7 +48,8 @@ class Percentile {
   bool empty() const { return samples_.empty(); }
 
   /// Quantile in [0, 1] by linear interpolation between order statistics
-  /// (the "R-7" definition used by numpy). Requires at least one sample.
+  /// (the "R-7" definition used by numpy). 0.0 on an empty sample set
+  /// (sweep points where no round ever completed).
   double Quantile(double q) const;
 
   double Median() const { return Quantile(0.5); }

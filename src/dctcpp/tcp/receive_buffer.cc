@@ -1,69 +1,10 @@
 #include "dctcpp/tcp/receive_buffer.h"
 
-#include <algorithm>
-
-#include "dctcpp/util/assert.h"
-
 namespace dctcpp {
 
-Bytes ReceiveBuffer::OnSegment(SeqNum seq, Bytes len) {
-  DCTCPP_ASSERT(len >= 0);
-  if (len == 0) return 0;
-
-  // Unwrap to linear offsets relative to the current in-order edge.
-  const std::int64_t start =
-      linear_rcv_nxt_ + seq.DistanceFrom(rcv_nxt_);
-  const std::int64_t end = start + len;
-
-  std::int64_t new_start = std::max(start, linear_rcv_nxt_);
-  if (new_start >= end) return 0;  // entirely duplicate
-
-  // Merge [new_start, end) into the out-of-order set.
-  auto it = ooo_.upper_bound(new_start);
-  if (it != ooo_.begin()) {
-    auto prev = std::prev(it);
-    if (prev->second >= new_start) {
-      // Overlaps/abuts the previous range: extend it instead.
-      new_start = prev->first;
-      it = prev;
-    }
-  }
-  std::int64_t merged_end = end;
-  while (it != ooo_.end() && it->first <= merged_end) {
-    merged_end = std::max(merged_end, it->second);
-    it = ooo_.erase(it);
-  }
-  ooo_[new_start] = merged_end;
-
-  // Advance the in-order edge over any now-contiguous prefix.
-  Bytes advanced = 0;
-  auto front = ooo_.begin();
-  if (front != ooo_.end() && front->first <= linear_rcv_nxt_) {
-    const std::int64_t new_edge = std::max(front->second, linear_rcv_nxt_);
-    advanced = new_edge - linear_rcv_nxt_;
-    linear_rcv_nxt_ = new_edge;
-    rcv_nxt_ += advanced;
-    ooo_.erase(front);
-  }
-  return advanced;
-}
-
-Bytes ReceiveBuffer::OutOfOrderBytes() const {
-  Bytes total = 0;
-  for (const auto& [start, end] : ooo_) total += end - start;
-  return total;
-}
-
-std::vector<ReceiveBuffer::SeqRange> ReceiveBuffer::SackRanges(
-    std::size_t max_blocks) const {
-  std::vector<SeqRange> out;
-  out.reserve(std::min(max_blocks, ooo_.size()));
-  for (const auto& [start, end] : ooo_) {
-    if (out.size() == max_blocks) break;
-    out.push_back(SeqRange{rcv_nxt_ + (start - linear_rcv_nxt_),
-                           rcv_nxt_ + (end - linear_rcv_nxt_)});
-  }
-  return out;
-}
+// The production instantiation, plus the map-backed oracle the scoreboard
+// differential test replays against.
+template class BasicReceiveBuffer<IntervalSet>;
+template class BasicReceiveBuffer<MapIntervalSet>;
 
 }  // namespace dctcpp

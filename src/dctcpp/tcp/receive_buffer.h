@@ -6,20 +6,28 @@
 // offsets: an arriving segment is positioned by its modular distance from
 // the current rcv_nxt (always < 2^31 for live data), so arbitrarily long
 // streams work across wraps while the interval bookkeeping stays linear.
+//
+// The out-of-order scoreboard is pluggable: production uses the flat
+// sorted-vector IntervalSet (no allocation per out-of-order segment); the
+// differential test instantiates the same logic over MapIntervalSet — the
+// original std::map representation — and asserts identical ACK/SACK
+// output on randomized arrival patterns.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
-#include <map>
 #include <vector>
 
 #include "dctcpp/tcp/seq.h"
+#include "dctcpp/util/interval_set.h"
 #include "dctcpp/util/units.h"
 
 namespace dctcpp {
 
-class ReceiveBuffer {
+template <typename IntervalSetT>
+class BasicReceiveBuffer {
  public:
-  explicit ReceiveBuffer(SeqNum initial_rcv_nxt = SeqNum(0))
+  explicit BasicReceiveBuffer(SeqNum initial_rcv_nxt = SeqNum(0))
       : rcv_nxt_(initial_rcv_nxt) {}
 
   /// Records the arrival of [seq, seq+len). Returns the number of bytes by
@@ -37,7 +45,7 @@ class ReceiveBuffer {
   bool HasGaps() const { return !ooo_.empty(); }
 
   std::size_t OutOfOrderRanges() const { return ooo_.size(); }
-  Bytes OutOfOrderBytes() const;
+  Bytes OutOfOrderBytes() const { return ooo_.TotalBytes(); }
 
   /// Up to `max_blocks` held out-of-order ranges as absolute sequence
   /// ranges, lowest first — the receiver's SACK option content.
@@ -51,8 +59,57 @@ class ReceiveBuffer {
   SeqNum rcv_nxt_;
   std::int64_t linear_rcv_nxt_ = 0;
   // Disjoint, non-adjacent out-of-order ranges in linear offsets:
-  // start -> end (exclusive), all > linear_rcv_nxt_.
-  std::map<std::int64_t, std::int64_t> ooo_;
+  // [start, end), all beyond linear_rcv_nxt_.
+  IntervalSetT ooo_;
 };
+
+template <typename IntervalSetT>
+Bytes BasicReceiveBuffer<IntervalSetT>::OnSegment(SeqNum seq, Bytes len) {
+  DCTCPP_ASSERT(len >= 0);
+  if (len == 0) return 0;
+
+  // Unwrap to linear offsets relative to the current in-order edge.
+  const std::int64_t start = linear_rcv_nxt_ + seq.DistanceFrom(rcv_nxt_);
+  const std::int64_t end = start + len;
+
+  const std::int64_t new_start = std::max(start, linear_rcv_nxt_);
+  if (new_start >= end) return 0;  // entirely duplicate
+
+  ooo_.Add(new_start, end);
+
+  // Advance the in-order edge over any now-contiguous prefix.
+  Bytes advanced = 0;
+  if (!ooo_.empty()) {
+    const Interval front = ooo_.front();
+    if (front.start <= linear_rcv_nxt_) {
+      const std::int64_t new_edge = std::max(front.end, linear_rcv_nxt_);
+      advanced = new_edge - linear_rcv_nxt_;
+      linear_rcv_nxt_ = new_edge;
+      rcv_nxt_ += advanced;
+      ooo_.PopFront();
+    }
+  }
+  return advanced;
+}
+
+template <typename IntervalSetT>
+std::vector<typename BasicReceiveBuffer<IntervalSetT>::SeqRange>
+BasicReceiveBuffer<IntervalSetT>::SackRanges(std::size_t max_blocks) const {
+  std::vector<SeqRange> out;
+  out.reserve(std::min(max_blocks, ooo_.size()));
+  ooo_.ForEach([&](const Interval& iv) {
+    if (out.size() == max_blocks) return false;
+    out.push_back(SeqRange{rcv_nxt_ + (iv.start - linear_rcv_nxt_),
+                           rcv_nxt_ + (iv.end - linear_rcv_nxt_)});
+    return true;
+  });
+  return out;
+}
+
+/// Production reassembly buffer: flat interval vector scoreboard.
+using ReceiveBuffer = BasicReceiveBuffer<IntervalSet>;
+
+extern template class BasicReceiveBuffer<IntervalSet>;
+extern template class BasicReceiveBuffer<MapIntervalSet>;
 
 }  // namespace dctcpp

@@ -173,14 +173,7 @@ void TcpSocket::ProcessAck(const Packet& pkt) {
     // snd_nxt never trails snd_una (relevant after an RTO rewind).
     stream_next_ = std::max(stream_next_, stream_acked_);
     // Trim the SACK scoreboard below the new cumulative edge.
-    while (!sacked_.empty() && sacked_.begin()->second <= stream_acked_) {
-      sacked_.erase(sacked_.begin());
-    }
-    if (!sacked_.empty() && sacked_.begin()->first < stream_acked_) {
-      auto node = sacked_.extract(sacked_.begin());
-      const std::int64_t end = node.mapped();
-      sacked_[stream_acked_] = end;
-    }
+    sacked_.TrimBelow(stream_acked_);
     sack_rtx_next_ = std::max(sack_rtx_next_, stream_acked_);
     if (fin_sent_ && linear_ack == app_bytes_queued_ + 1) fin_acked_ = true;
     ++progress_since_arm_;
@@ -294,36 +287,19 @@ void TcpSocket::ProcessSackBlocks(const Packet& pkt) {
 void TcpSocket::SackMarkRange(std::int64_t start, std::int64_t end) {
   if (end <= start) return;
   sack_high_ = std::max(sack_high_, end);
-  auto it = sacked_.upper_bound(start);
-  if (it != sacked_.begin()) {
-    auto prev = std::prev(it);
-    if (prev->second >= start) {
-      start = prev->first;
-      it = prev;
-    }
-  }
-  std::int64_t merged_end = end;
-  while (it != sacked_.end() && it->first <= merged_end) {
-    merged_end = std::max(merged_end, it->second);
-    it = sacked_.erase(it);
-  }
-  sacked_[std::min(start, end)] = merged_end;
+  sacked_.Add(start, end);
 }
 
 bool TcpSocket::IsSacked(std::int64_t offset) const {
-  auto it = sacked_.upper_bound(offset);
-  if (it == sacked_.begin()) return false;
-  return std::prev(it)->second > offset;
+  return sacked_.Contains(offset);
 }
 
 std::int64_t TcpSocket::NextHole(std::int64_t from) const {
   std::int64_t candidate = std::max(from, stream_acked_);
   while (candidate < sack_high_) {
-    auto it = sacked_.upper_bound(candidate);
-    if (it == sacked_.begin()) return candidate;  // hole before first range
-    auto prev = std::prev(it);
-    if (prev->second <= candidate) return candidate;  // in a gap
-    candidate = prev->second;  // inside a SACKed range: skip past it
+    const std::int64_t covered_to = sacked_.CoveringEnd(candidate);
+    if (covered_to < 0) return candidate;  // in a gap
+    candidate = covered_to;  // inside a SACKed range: skip past it
   }
   return -1;
 }
@@ -333,8 +309,8 @@ bool TcpSocket::RetransmitNextHole() {
   if (hole < 0 || hole >= app_bytes_queued_) return false;
   // Length bounded by the MSS, the end of the hole, and the stream.
   Bytes len = std::min<Bytes>(config_.mss, app_bytes_queued_ - hole);
-  auto it = sacked_.upper_bound(hole);
-  if (it != sacked_.end()) len = std::min<Bytes>(len, it->first - hole);
+  const std::int64_t next_start = sacked_.NextStartAfter(hole);
+  if (next_start >= 0) len = std::min<Bytes>(len, next_start - hole);
   SendDataSegment(hole, len, /*retransmit=*/true);
   sack_rtx_next_ = hole + len;
   return true;
@@ -468,19 +444,18 @@ void TcpSocket::TrySend() {
     if (sack_ok_ && stream_next_ < stream_max_sent_) {
       // Go-back retransmission region: never resend selectively
       // acknowledged data.
-      auto it = sacked_.upper_bound(stream_next_);
-      if (it != sacked_.begin() &&
-          std::prev(it)->second > stream_next_) {
-        stream_next_ = std::prev(it)->second;
+      const std::int64_t covered_to = sacked_.CoveringEnd(stream_next_);
+      if (covered_to > stream_next_) {
+        stream_next_ = covered_to;
         continue;
       }
     }
     Bytes len =
         std::min<Bytes>(config_.mss, app_bytes_queued_ - stream_next_);
     if (sack_ok_) {
-      auto it = sacked_.upper_bound(stream_next_);
-      if (it != sacked_.end()) {
-        len = std::min<Bytes>(len, it->first - stream_next_);
+      const std::int64_t next_start = sacked_.NextStartAfter(stream_next_);
+      if (next_start >= 0) {
+        len = std::min<Bytes>(len, next_start - stream_next_);
       }
     }
     if (len <= 0) break;  // defensive; cannot happen with a sane scoreboard

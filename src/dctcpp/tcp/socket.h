@@ -14,7 +14,6 @@
 
 #include <cstdint>
 #include <functional>
-#include <map>
 #include <memory>
 
 #include "dctcpp/net/host.h"
@@ -25,6 +24,7 @@
 #include "dctcpp/tcp/receive_buffer.h"
 #include "dctcpp/tcp/rto.h"
 #include "dctcpp/tcp/seq.h"
+#include "dctcpp/util/interval_set.h"
 
 namespace dctcpp {
 
@@ -227,9 +227,10 @@ class TcpSocket {
   std::int64_t recover_ = 0;  ///< NewReno recovery point (stream offset)
 
   // SACK: negotiated flag plus the sender scoreboard of selectively
-  // acknowledged ranges (disjoint, in linear stream offsets).
+  // acknowledged ranges (disjoint, in linear stream offsets; flat sorted
+  // interval vector — no per-range allocation).
   bool sack_ok_ = false;
-  std::map<std::int64_t, std::int64_t> sacked_;
+  IntervalSet sacked_;
   std::int64_t sack_high_ = 0;      ///< highest SACKed offset seen
   std::int64_t sack_rtx_next_ = 0;  ///< holes below this already resent
 

@@ -1,0 +1,218 @@
+// Disjoint-interval sets over linear (64-bit) byte offsets — the shared
+// representation of the receiver's out-of-order reassembly scoreboard and
+// the sender's SACK scoreboard.
+//
+// Two implementations with the same API:
+//
+//  - IntervalSet: a sorted flat vector of [start, end) ranges. Lookups are
+//    a binary search over contiguous memory and mutation is a memmove;
+//    with the handful of live ranges a TCP scoreboard holds this beats the
+//    node-per-range std::map it replaced (one allocation + pointer chase
+//    per out-of-order segment) by a wide margin.
+//  - MapIntervalSet: the original std::map<start, end> formulation, kept as
+//    the reference oracle for the differential tests.
+//
+// Both coalesce overlapping *and* abutting ranges, so a set never holds
+// [a, b) and [b, c) separately. All operations keep the ranges disjoint,
+// non-empty, and sorted by start.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "dctcpp/util/assert.h"
+
+namespace dctcpp {
+
+/// One [start, end) range; end is exclusive and start < end always holds
+/// for ranges stored in a set.
+struct Interval {
+  std::int64_t start = 0;
+  std::int64_t end = 0;
+
+  bool operator==(const Interval&) const = default;
+};
+
+/// Sorted flat vector of disjoint intervals.
+class IntervalSet {
+ public:
+  bool empty() const { return v_.empty(); }
+  std::size_t size() const { return v_.size(); }
+  void clear() { v_.clear(); }
+
+  /// The lowest range. Precondition: !empty().
+  const Interval& front() const {
+    DCTCPP_DASSERT(!v_.empty());
+    return v_.front();
+  }
+
+  /// Removes the lowest range. Precondition: !empty().
+  void PopFront() {
+    DCTCPP_DASSERT(!v_.empty());
+    v_.erase(v_.begin());
+  }
+
+  /// Inserts [start, end), coalescing with any overlapping or abutting
+  /// ranges. Empty input ranges are ignored.
+  void Add(std::int64_t start, std::int64_t end) {
+    if (end <= start) return;
+    // First range with start >= `start`.
+    auto it = std::lower_bound(
+        v_.begin(), v_.end(), start,
+        [](const Interval& iv, std::int64_t x) { return iv.start < x; });
+    if (it != v_.begin() && std::prev(it)->end >= start) {
+      --it;  // overlaps/abuts the previous range: extend it instead
+      start = it->start;
+    }
+    std::int64_t merged_end = end;
+    auto last = it;
+    while (last != v_.end() && last->start <= merged_end) {
+      merged_end = std::max(merged_end, last->end);
+      ++last;
+    }
+    if (it == last) {
+      v_.insert(it, Interval{start, merged_end});
+    } else {
+      it->start = start;
+      it->end = merged_end;
+      v_.erase(it + 1, last);
+    }
+  }
+
+  /// Removes all coverage below `offset`: ranges ending at or before it are
+  /// dropped and a range straddling it is truncated to start there.
+  void TrimBelow(std::int64_t offset) {
+    // Ends are strictly increasing (disjoint + sorted), so the drop prefix
+    // is found with one binary search on end.
+    auto keep = std::lower_bound(
+        v_.begin(), v_.end(), offset,
+        [](const Interval& iv, std::int64_t x) { return iv.end <= x; });
+    v_.erase(v_.begin(), keep);
+    if (!v_.empty() && v_.front().start < offset) v_.front().start = offset;
+  }
+
+  bool Contains(std::int64_t x) const { return CoveringEnd(x) >= 0; }
+
+  /// End of the range covering `x`, or -1 when `x` is uncovered.
+  std::int64_t CoveringEnd(std::int64_t x) const {
+    // Last range with start <= x.
+    auto it = std::upper_bound(
+        v_.begin(), v_.end(), x,
+        [](std::int64_t v, const Interval& iv) { return v < iv.start; });
+    if (it == v_.begin()) return -1;
+    --it;
+    return it->end > x ? it->end : -1;
+  }
+
+  /// Smallest range start strictly greater than `x`, or -1 when none.
+  std::int64_t NextStartAfter(std::int64_t x) const {
+    auto it = std::upper_bound(
+        v_.begin(), v_.end(), x,
+        [](std::int64_t v, const Interval& iv) { return v < iv.start; });
+    return it == v_.end() ? -1 : it->start;
+  }
+
+  std::int64_t TotalBytes() const {
+    std::int64_t total = 0;
+    for (const Interval& iv : v_) total += iv.end - iv.start;
+    return total;
+  }
+
+  /// Calls `fn(interval)` lowest-first; stops early when fn returns false.
+  template <typename F>
+  void ForEach(F&& fn) const {
+    for (const Interval& iv : v_) {
+      if (!fn(iv)) return;
+    }
+  }
+
+  const std::vector<Interval>& intervals() const { return v_; }
+
+ private:
+  std::vector<Interval> v_;
+};
+
+/// Reference implementation over std::map<start, end> — the scoreboard
+/// representation this repo used before the flat vector. API-identical to
+/// IntervalSet; the differential tests replay random workloads through
+/// both and assert equal observable state.
+class MapIntervalSet {
+ public:
+  bool empty() const { return m_.empty(); }
+  std::size_t size() const { return m_.size(); }
+  void clear() { m_.clear(); }
+
+  Interval front() const {
+    DCTCPP_DASSERT(!m_.empty());
+    return Interval{m_.begin()->first, m_.begin()->second};
+  }
+
+  void PopFront() {
+    DCTCPP_DASSERT(!m_.empty());
+    m_.erase(m_.begin());
+  }
+
+  void Add(std::int64_t start, std::int64_t end) {
+    if (end <= start) return;
+    auto it = m_.upper_bound(start);
+    if (it != m_.begin()) {
+      auto prev = std::prev(it);
+      if (prev->second >= start) {
+        start = prev->first;
+        it = prev;
+      }
+    }
+    std::int64_t merged_end = end;
+    while (it != m_.end() && it->first <= merged_end) {
+      merged_end = std::max(merged_end, it->second);
+      it = m_.erase(it);
+    }
+    m_[start] = merged_end;
+  }
+
+  void TrimBelow(std::int64_t offset) {
+    while (!m_.empty() && m_.begin()->second <= offset) {
+      m_.erase(m_.begin());
+    }
+    if (!m_.empty() && m_.begin()->first < offset) {
+      auto node = m_.extract(m_.begin());
+      const std::int64_t end = node.mapped();
+      m_[offset] = end;
+    }
+  }
+
+  bool Contains(std::int64_t x) const { return CoveringEnd(x) >= 0; }
+
+  std::int64_t CoveringEnd(std::int64_t x) const {
+    auto it = m_.upper_bound(x);
+    if (it == m_.begin()) return -1;
+    --it;
+    return it->second > x ? it->second : -1;
+  }
+
+  std::int64_t NextStartAfter(std::int64_t x) const {
+    auto it = m_.upper_bound(x);
+    return it == m_.end() ? -1 : it->first;
+  }
+
+  std::int64_t TotalBytes() const {
+    std::int64_t total = 0;
+    for (const auto& [start, end] : m_) total += end - start;
+    return total;
+  }
+
+  template <typename F>
+  void ForEach(F&& fn) const {
+    for (const auto& [start, end] : m_) {
+      if (!fn(Interval{start, end})) return;
+    }
+  }
+
+ private:
+  std::map<std::int64_t, std::int64_t> m_;
+};
+
+}  // namespace dctcpp

@@ -1,6 +1,7 @@
 #include "dctcpp/util/thread_pool.h"
 
 #include <algorithm>
+#include <atomic>
 
 namespace dctcpp {
 
@@ -23,6 +24,14 @@ ThreadPool::~ThreadPool() {
   for (auto& w : workers_) w.join();
 }
 
+void ThreadPool::Post(std::function<void()> fn) {
+  {
+    std::lock_guard lock(mu_);
+    queue_.push_back(std::move(fn));
+  }
+  cv_.notify_one();
+}
+
 void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
@@ -39,20 +48,52 @@ void ThreadPool::WorkerLoop() {
 
 void ParallelFor(ThreadPool& pool, std::size_t n,
                  const std::function<void(std::size_t)>& body) {
-  std::vector<std::future<void>> futures;
-  futures.reserve(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    futures.push_back(pool.Submit([i, &body] { body(i); }));
-  }
-  std::exception_ptr first_error;
-  for (auto& f : futures) {
-    try {
-      f.get();
-    } catch (...) {
-      if (!first_error) first_error = std::current_exception();
+  if (n == 0) return;
+
+  // Shared completion latch + claim counter. Lives on this stack frame;
+  // safe because this function does not return until every helper has
+  // dropped its `outstanding` count.
+  struct Shared {
+    std::atomic<std::size_t> next{0};
+    std::mutex mu;
+    std::condition_variable done_cv;
+    std::size_t outstanding = 0;
+    std::exception_ptr first_error;
+  } shared;
+
+  auto run_indices = [&shared, &body, n] {
+    for (;;) {
+      const std::size_t i =
+          shared.next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) return;
+      try {
+        body(i);
+      } catch (...) {
+        std::lock_guard lock(shared.mu);
+        if (!shared.first_error) {
+          shared.first_error = std::current_exception();
+        }
+      }
     }
+  };
+
+  // The caller claims indices too, so only min(pool, n-1) helpers can ever
+  // find work; posting more would be pure queue churn.
+  const std::size_t helpers = std::min(pool.size(), n - 1);
+  shared.outstanding = helpers;
+  for (std::size_t h = 0; h < helpers; ++h) {
+    pool.Post([&shared, &run_indices] {
+      run_indices();
+      std::lock_guard lock(shared.mu);
+      if (--shared.outstanding == 0) shared.done_cv.notify_one();
+    });
   }
-  if (first_error) std::rethrow_exception(first_error);
+
+  run_indices();
+
+  std::unique_lock lock(shared.mu);
+  shared.done_cv.wait(lock, [&shared] { return shared.outstanding == 0; });
+  if (shared.first_error) std::rethrow_exception(shared.first_error);
 }
 
 }  // namespace dctcpp

@@ -1,8 +1,12 @@
 // Fixed-size worker pool used by the experiment harness.
 //
 // Each (protocol, flow-count, repetition) point of a sweep is an independent
-// simulation, so sweeps parallelize embarrassingly: the harness submits one
-// closure per point and waits on the returned futures or uses ParallelFor.
+// simulation, so sweeps parallelize embarrassingly. ParallelFor dispatches
+// by a shared atomic index: the caller and min(pool, n) workers each loop
+// claiming the next undone index until the range is exhausted, so a sweep
+// pays one enqueue per *worker* instead of one mutex round-trip plus a
+// shared_ptr<packaged_task> allocation per *point* (the old Submit-per-task
+// scheme). Submit remains for callers that want a per-task future.
 #pragma once
 
 #include <condition_variable>
@@ -27,17 +31,17 @@ class ThreadPool {
 
   std::size_t size() const { return workers_.size(); }
 
+  /// Fire-and-forget enqueue: no future, no packaged_task, no shared_ptr.
+  /// The caller owns completion tracking (see ParallelFor).
+  void Post(std::function<void()> fn);
+
   /// Enqueues a task; the future resolves when it has run.
   template <typename F>
   std::future<void> Submit(F&& fn) {
     auto task =
         std::make_shared<std::packaged_task<void()>>(std::forward<F>(fn));
     std::future<void> fut = task->get_future();
-    {
-      std::lock_guard lock(mu_);
-      queue_.emplace_back([task] { (*task)(); });
-    }
-    cv_.notify_one();
+    Post([task] { (*task)(); });
     return fut;
   }
 
@@ -52,7 +56,11 @@ class ThreadPool {
 };
 
 /// Runs `body(i)` for i in [0, n) across `pool`, blocking until all finish.
-/// Exceptions from the body propagate (the first one encountered rethrows).
+/// The calling thread participates, so progress is guaranteed even on a
+/// saturated pool. Indices are claimed one at a time from a shared atomic
+/// counter (simulation runtimes vary wildly, so fine-grained claiming beats
+/// static chunking). Exceptions from the body propagate (the first one
+/// encountered rethrows after all indices have run).
 void ParallelFor(ThreadPool& pool, std::size_t n,
                  const std::function<void(std::size_t)>& body);
 

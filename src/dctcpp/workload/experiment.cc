@@ -10,7 +10,7 @@ void IncastSweepPoint::Merge(const IncastResult& r) {
   protocol = r.protocol;
   num_flows = r.num_flows;
   goodput_mbps.Add(r.goodput_mbps);
-  fct_ms.Merge(r.fct_ms);
+  for (double sample : r.fct_ms.samples()) fct_ms.Add(sample);
   cwnd_hist.Merge(r.cwnd_hist);
   rounds += r.rounds_completed;
   timeouts += r.timeouts;

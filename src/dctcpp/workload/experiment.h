@@ -5,6 +5,7 @@
 
 #include <vector>
 
+#include "dctcpp/stats/quantile_sketch.h"
 #include "dctcpp/stats/summary.h"
 #include "dctcpp/util/thread_pool.h"
 #include "dctcpp/workload/incast.h"
@@ -17,7 +18,10 @@ struct IncastSweepPoint {
   int num_flows = 0;
 
   SummaryStats goodput_mbps;  ///< one sample per repetition
-  Percentile fct_ms;          ///< all rounds of all repetitions
+  /// FCT distribution over all rounds of all repetitions. A bounded
+  /// streaming sketch, not a sample vector: a 1000-rep sweep folds
+  /// millions of rounds into a fixed-size bucket array per point.
+  QuantileSketch fct_ms;
   Histogram cwnd_hist{1, 16};
 
   std::uint64_t rounds = 0;

@@ -219,6 +219,7 @@ IncastResult RunIncast(const IncastConfig& config) {
   result.bottleneck_max_queue = bstats.max_occupancy;
 
   result.events = sim.events_executed();
+  result.packets_forwarded = sim.packets_forwarded();
   result.sim_seconds = ToSeconds(sim.Now());
   return result;
 }

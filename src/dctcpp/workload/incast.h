@@ -94,6 +94,8 @@ struct IncastResult {
   double flow_fairness = 0.0;
 
   std::uint64_t events = 0;
+  /// Packets accepted by any egress port over the run (datapath volume).
+  std::uint64_t packets_forwarded = 0;
   double sim_seconds = 0.0;
   bool hit_time_limit = false;
 

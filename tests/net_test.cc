@@ -108,7 +108,7 @@ TEST(QueueTest, CePreservedThroughQueue) {
 class CollectingSink : public PacketSink {
  public:
   explicit CollectingSink(Simulator& sim) : sim_(sim) {}
-  void Deliver(Packet pkt) override {
+  void Deliver(const Packet& pkt) override {
     arrivals.emplace_back(sim_.Now(), pkt);
   }
   std::vector<std::pair<Tick, Packet>> arrivals;

@@ -142,5 +142,60 @@ TEST_P(ReassemblyProperty, RandomPermutationReassembles) {
 INSTANTIATE_TEST_SUITE_P(Seeds, ReassemblyProperty,
                          ::testing::Range(0, 16));
 
+/// Scoreboard differential: replay randomized segment arrivals (loss,
+/// reordering, duplication, partial overlap) through the production flat
+/// interval-vector buffer and the std::map reference, asserting identical
+/// ACK (rcv_nxt, advanced bytes) and SACK output after every arrival.
+class ScoreboardDifferential : public ::testing::TestWithParam<int> {};
+
+TEST_P(ScoreboardDifferential, FlatVectorMatchesMapReference) {
+  std::uint64_t state =
+      static_cast<std::uint64_t>(GetParam()) * 0x9e3779b97f4a7c15ULL + 1;
+  auto next = [&state] {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    return state >> 11;
+  };
+
+  const SeqNum isn(0xfffffd00u);  // crosses the 32-bit wrap early on
+  BasicReceiveBuffer<IntervalSet> flat(isn);
+  BasicReceiveBuffer<MapIntervalSet> map(isn);
+
+  std::uint32_t stream_pos = 0;  // bytes the "sender" has produced
+  for (int arrival = 0; arrival < 4000; ++arrival) {
+    // Mostly fresh in-flight data near the frontier, with stale
+    // retransmission-like duplicates mixed in.
+    const bool duplicate = (next() % 10) == 0;
+    const std::uint32_t base = duplicate
+                                   ? static_cast<std::uint32_t>(
+                                         flat.DeliveredBytes() > 2000
+                                             ? flat.DeliveredBytes() - 2000
+                                             : 0)
+                                   : stream_pos;
+    const std::uint32_t offset =
+        base + static_cast<std::uint32_t>(next() % 4000);
+    const Bytes len = 1 + static_cast<Bytes>(next() % 1460);
+    if (!duplicate) stream_pos = std::max(stream_pos, offset);
+
+    const Bytes advanced_flat = flat.OnSegment(isn + offset, len);
+    const Bytes advanced_map = map.OnSegment(isn + offset, len);
+    ASSERT_EQ(advanced_flat, advanced_map);
+    ASSERT_EQ(flat.rcv_nxt(), map.rcv_nxt());
+    ASSERT_EQ(flat.DeliveredBytes(), map.DeliveredBytes());
+    ASSERT_EQ(flat.OutOfOrderRanges(), map.OutOfOrderRanges());
+    ASSERT_EQ(flat.OutOfOrderBytes(), map.OutOfOrderBytes());
+
+    const auto sack_flat = flat.SackRanges(3);
+    const auto sack_map = map.SackRanges(3);
+    ASSERT_EQ(sack_flat.size(), sack_map.size());
+    for (std::size_t i = 0; i < sack_flat.size(); ++i) {
+      ASSERT_EQ(sack_flat[i].start, sack_map[i].start);
+      ASSERT_EQ(sack_flat[i].end, sack_map[i].end);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ScoreboardDifferential,
+                         ::testing::Range(0, 8));
+
 }  // namespace
 }  // namespace dctcpp

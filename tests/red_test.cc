@@ -102,6 +102,62 @@ TEST(RedQueueTest, NonEctNeverMarked) {
   EXPECT_EQ(q.stats().marked, 0u);
 }
 
+TEST(RedQueueTest, MarkedCounterMatchesCeCodepointsInQueue) {
+  Rng rng(5);
+  DropTailEcnQueue q(16 * kMiB, 0);
+  RedConfig red;
+  red.min_th = 1;
+  red.max_th = 4 * 1514;
+  red.max_p = 1.0;
+  red.weight = 1.0;
+  q.EnableRed(red, &rng);
+  for (int i = 0; i < 200; ++i) ASSERT_TRUE(q.Enqueue(EctPacket()));
+  EXPECT_EQ(q.stats().enqueued, 200u);
+  // stats().marked is exactly the number of CE-stamped packets stored —
+  // the marking mutates the queue's slot, not the caller's copy.
+  std::uint64_t ce = 0;
+  while (!q.Empty()) {
+    if (q.Front().ecn == Ecn::kCe) ++ce;
+    q.PopFront();
+  }
+  EXPECT_GT(ce, 0u);
+  EXPECT_EQ(q.stats().marked, ce);
+}
+
+// Determinism invariant of the datapath rework: the RED EWMA and RNG
+// advance identically on every arrival whether or not the packet is
+// ECN-capable, so a mixed ECT/non-ECT workload cannot shift the marking
+// decisions seen by later arrivals.
+TEST(RedQueueTest, EwmaAndRngAdvancePerArrivalRegardlessOfEct) {
+  Rng rng_ect(99);
+  Rng rng_mixed(99);
+  DropTailEcnQueue ect(16 * kMiB, 0);
+  DropTailEcnQueue mixed(16 * kMiB, 0);
+  RedConfig red;
+  red.min_th = 1;
+  red.max_th = 20 * 1514;
+  red.max_p = 0.5;
+  red.weight = 0.1;
+  ect.EnableRed(red, &rng_ect);
+  mixed.EnableRed(red, &rng_mixed);
+  for (int i = 0; i < 500; ++i) {
+    Packet pkt = EctPacket();
+    ect.Enqueue(pkt);
+    if (i % 3 == 0) pkt.ecn = Ecn::kNotEct;
+    mixed.Enqueue(pkt);
+    if (i % 2 == 1) {
+      ect.PopFront();
+      mixed.PopFront();
+    }
+  }
+  EXPECT_DOUBLE_EQ(ect.AverageQueue(), mixed.AverageQueue());
+  // Both queues consumed the same number of random draws.
+  EXPECT_EQ(rng_ect.Next(), rng_mixed.Next());
+  // But the CE codepoint only ever lands on ECT packets.
+  EXPECT_GT(ect.stats().marked, mixed.stats().marked);
+  EXPECT_GT(mixed.stats().marked, 0u);
+}
+
 TEST(RedIntegrationTest, DctcpOverRedTransfers) {
   Simulator sim(1);
   Network net(sim);

@@ -7,6 +7,7 @@
 #include "dctcpp/stats/cdf.h"
 #include "dctcpp/stats/csv.h"
 #include "dctcpp/stats/histogram.h"
+#include "dctcpp/stats/quantile_sketch.h"
 #include "dctcpp/stats/summary.h"
 #include "dctcpp/stats/table.h"
 #include "dctcpp/stats/time_series.h"
@@ -347,6 +348,108 @@ TEST(TableTest, NumAndIntFormatters) {
   EXPECT_EQ(Table::Num(3.14159, 2), "3.14");
   EXPECT_EQ(Table::Num(2.0, 0), "2");
   EXPECT_EQ(Table::Int(-42), "-42");
+}
+
+// ---------------------------------------------------------------------------
+// Percentile edge cases and Histogram overflow safety
+
+TEST(PercentileTest, EmptyQuantileIsZeroNotUb) {
+  Percentile p;
+  EXPECT_DOUBLE_EQ(p.Quantile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(p.Quantile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(p.Quantile(1.0), 0.0);
+  EXPECT_DOUBLE_EQ(p.Median(), 0.0);
+}
+
+TEST(HistogramTest, AddSaturatesInsteadOfWrapping) {
+  Histogram h(1, 4);
+  const std::uint64_t huge = ~std::uint64_t{0} - 5;
+  h.Add(2, huge);
+  h.Add(2, 100);  // would wrap a plain uint64 add
+  EXPECT_EQ(h.CountAt(2), ~std::uint64_t{0});
+}
+
+TEST(HistogramTest, MergeSaturatesInsteadOfWrapping) {
+  Histogram a(1, 4);
+  Histogram b(1, 4);
+  a.Add(3, ~std::uint64_t{0} - 10);
+  b.Add(3, 1000);
+  a.Merge(b);
+  EXPECT_EQ(a.CountAt(3), ~std::uint64_t{0});
+  // Saturated counts still produce sane (clamped) fractions.
+  EXPECT_LE(a.CumulativeFraction(3), 1.0);
+}
+
+// ---------------------------------------------------------------------------
+// QuantileSketch
+
+TEST(QuantileSketchTest, EmptyIsZero) {
+  QuantileSketch s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_DOUBLE_EQ(s.Quantile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(s.Mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.Min(), 0.0);
+  EXPECT_DOUBLE_EQ(s.Max(), 0.0);
+}
+
+TEST(QuantileSketchTest, QuantilesWithinRelativeErrorBound) {
+  QuantileSketch s(0.01);
+  Percentile exact;
+  // Skewed FCT-like distribution spanning three orders of magnitude.
+  for (int i = 1; i <= 10000; ++i) {
+    const double v = 0.25 * i + (i % 97 == 0 ? 900.0 : 0.0);
+    s.Add(v);
+    exact.Add(v);
+  }
+  for (const double q : {0.1, 0.5, 0.9, 0.99}) {
+    const double want = exact.Quantile(q);
+    const double got = s.Quantile(q);
+    EXPECT_NEAR(got, want, want * 0.021)  // 2a: bucket + rank slack
+        << "q=" << q;
+  }
+  // Endpoints are tracked exactly.
+  EXPECT_DOUBLE_EQ(s.Min(), 0.25);
+  EXPECT_DOUBLE_EQ(s.Max(), exact.Quantile(1.0));
+}
+
+TEST(QuantileSketchTest, MergeMatchesSingleStream) {
+  QuantileSketch a(0.01);
+  QuantileSketch b(0.01);
+  QuantileSketch all(0.01);
+  for (int i = 1; i <= 1000; ++i) {
+    const double v = i * 0.5;
+    (i % 2 == 0 ? a : b).Add(v);
+    all.Add(v);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_DOUBLE_EQ(a.sum(), all.sum());
+  EXPECT_DOUBLE_EQ(a.Min(), all.Min());
+  EXPECT_DOUBLE_EQ(a.Max(), all.Max());
+  for (const double q : {0.25, 0.5, 0.75, 0.95}) {
+    EXPECT_DOUBLE_EQ(a.Quantile(q), all.Quantile(q));
+  }
+}
+
+TEST(QuantileSketchTest, MemoryIsBoundedRegardlessOfSampleCount) {
+  QuantileSketch s;
+  const std::size_t buckets_before = s.BucketCount();
+  for (int i = 0; i < 200000; ++i) s.Add(1e-6 + (i % 1000) * 3.7);
+  EXPECT_EQ(s.BucketCount(), buckets_before);
+  EXPECT_EQ(s.count(), 200000u);
+}
+
+TEST(QuantileSketchTest, OutOfRangeValuesClampToEdges) {
+  QuantileSketch s;
+  s.Add(-5.0);   // below trackable: clamps to the lowest bucket
+  s.Add(0.0);
+  s.Add(1e15);   // above trackable: clamps to the highest bucket
+  EXPECT_EQ(s.count(), 3u);
+  EXPECT_DOUBLE_EQ(s.Min(), -5.0);  // exact extremes still reported
+  EXPECT_DOUBLE_EQ(s.Max(), 1e15);
+  const double mid = s.Quantile(0.5);
+  EXPECT_GE(mid, 0.0);
+  EXPECT_LE(mid, 1e15);
 }
 
 }  // namespace

@@ -377,6 +377,17 @@ TEST(ThreadPoolTest, ParallelForPropagatesException) {
       std::runtime_error);
 }
 
+TEST(ThreadPoolTest, PostRunsAllTasksFireAndForget) {
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(3);
+    for (int i = 0; i < 200; ++i) {
+      pool.Post([&count] { ++count; });
+    }
+  }  // destructor joins after draining
+  EXPECT_EQ(count.load(), 200);
+}
+
 TEST(ThreadPoolTest, DrainsQueueOnDestruction) {
   std::atomic<int> count{0};
   {
