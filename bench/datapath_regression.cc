@@ -5,9 +5,11 @@
 // queues, link pipelines, and the TCP scoreboards.
 //
 // The headline scenario is the paper's canonical N=40 DCTCP incast, run
-// twice in the same process: once on the production datapath (PacketRing
-// FIFOs) and once in reference mode (the std::deque storage the repo used
-// before). Both runs must produce bit-identical simulation results —
+// three times in the same process: once on the production datapath
+// (PacketRing FIFOs + flat flow tables), once with the std::deque FIFO
+// reference, and once with the std::map flow-table oracle
+// (SetReferenceFlowTableForTest). All runs must produce bit-identical
+// simulation results —
 // goodput, timeout counts, event counts — which is the determinism gate;
 // the timing delta is the honest in-binary before/after for the container
 // swap. The recorded pre-PR baseline (the seed binary measured with
@@ -33,7 +35,11 @@
 #include <string>
 #include <vector>
 
+#include <unordered_map>
+
+#include "dctcpp/net/host.h"
 #include "dctcpp/net/packet_ring.h"
+#include "dctcpp/util/flow_table.h"
 #include "dctcpp/util/interval_set.h"
 #include "dctcpp/util/rng.h"
 #include "dctcpp/util/thread_pool.h"
@@ -54,6 +60,10 @@ double Now() {
 // dependent; the simulation outputs are part of the determinism contract.
 constexpr double kPrePrEventsPerSec = 5.72e6;
 constexpr double kPrePrPacketsPerSec = 2.80e6;
+
+// PR-2 binary (commit bd01566) on the same scenario/flags/machine: the
+// baseline the control-plane PR is gated against (>= 1.15x packets/sec).
+constexpr double kPr2PacketsPerSec = 5'463'007.0;
 
 struct IncastTiming {
   std::string mode;
@@ -78,12 +88,15 @@ IncastConfig CanonicalConfig(int rounds) {
   return config;
 }
 
-IncastTiming TimedIncast(const char* mode, bool reference_fifo, int rounds) {
+IncastTiming TimedIncast(const char* mode, bool reference_fifo, int rounds,
+                         bool reference_flowmap = false) {
   SetReferenceFifoForTest(reference_fifo);
+  SetReferenceFlowTableForTest(reference_flowmap);
   const double start = Now();
   const IncastResult r = RunIncast(CanonicalConfig(rounds));
   const double seconds = Now() - start;
   SetReferenceFifoForTest(false);
+  SetReferenceFlowTableForTest(false);
   return IncastTiming{mode,      seconds,           r.packets_forwarded,
                       r.events,  r.goodput_mbps,    r.timeouts,
                       r.rounds_completed};
@@ -145,6 +158,64 @@ MicroResult ScoreboardChurn(const char* name, std::uint64_t total) {
   return MicroResult{name, total, Now() - start};
 }
 
+/// Flow-table lookup shaped like steady-state demux: N live connections
+/// (the canonical incast's fan-in), lookups cycling over all of them plus
+/// an occasional miss, exactly the Host::Deliver probe sequence.
+template <typename TableT>
+MicroResult DemuxLookup(const char* name, int flows, std::uint64_t total) {
+  TableT table;
+  std::vector<std::uint64_t> keys;
+  Rng rng(11);
+  for (int i = 0; i < flows; ++i) {
+    const std::uint64_t key =
+        PackFlowKey(static_cast<PortNum>(10000 + i),
+                    static_cast<NodeId>(1 + i % 9),
+                    static_cast<PortNum>(5000 + i % 7));
+    table.Insert(key, static_cast<std::uint32_t>(i));
+    keys.push_back(key);
+  }
+  std::uint64_t checksum = 0;
+  const double start = Now();
+  for (std::uint64_t i = 0; i < total; ++i) {
+    const std::uint64_t key = (i & 63u) == 63u
+                                  ? PackFlowKey(9, 9, 9)  // miss -> listener
+                                  : keys[i % keys.size()];
+    if (const std::uint32_t* v = table.Find(key)) checksum += *v;
+  }
+  const double seconds = Now() - start;
+  if (checksum == ~0ull) std::fprintf(stderr, "impossible\n");
+  return MicroResult{name, total, seconds};
+}
+
+/// Switch forwarding decision: dense NodeId-indexed vector (the production
+/// routing table) vs the unordered_map it replaced.
+MicroResult RouteDense(std::uint64_t total, int nodes) {
+  std::vector<std::int32_t> routes(nodes);
+  for (int i = 0; i < nodes; ++i) routes[i] = i % 8;
+  std::uint64_t checksum = 0;
+  const double start = Now();
+  for (std::uint64_t i = 0; i < total; ++i) {
+    checksum += static_cast<std::uint64_t>(routes[i % nodes]);
+  }
+  const double seconds = Now() - start;
+  if (checksum == ~0ull) std::fprintf(stderr, "impossible\n");
+  return MicroResult{"route_dense_vector", total, seconds};
+}
+
+MicroResult RouteHashMap(std::uint64_t total, int nodes) {
+  std::unordered_map<NodeId, std::int32_t> routes;
+  for (int i = 0; i < nodes; ++i) routes[i] = i % 8;
+  std::uint64_t checksum = 0;
+  const double start = Now();
+  for (std::uint64_t i = 0; i < total; ++i) {
+    checksum += static_cast<std::uint64_t>(
+        routes.find(static_cast<NodeId>(i % nodes))->second);
+  }
+  const double seconds = Now() - start;
+  if (checksum == ~0ull) std::fprintf(stderr, "impossible\n");
+  return MicroResult{"route_unordered_map", total, seconds};
+}
+
 /// ParallelFor dispatch overhead: many tiny bodies, so the timing is the
 /// claim/complete machinery rather than the work.
 MicroResult DispatchOverhead(std::uint64_t tasks) {
@@ -197,13 +268,18 @@ int Main(int argc, char** argv) {
 
   const IncastTiming optimized = TimedIncast("ring", false, rounds);
   const IncastTiming reference = TimedIncast("reference_deque", true, rounds);
+  const IncastTiming ref_flowmap =
+      TimedIncast("reference_flowmap", false, rounds,
+                  /*reference_flowmap=*/true);
 
-  const bool deterministic =
-      optimized.goodput_mbps == reference.goodput_mbps &&
-      optimized.timeouts == reference.timeouts &&
-      optimized.events == reference.events &&
-      optimized.packets == reference.packets &&
-      optimized.rounds == reference.rounds;
+  const auto matches = [&optimized](const IncastTiming& other) {
+    return optimized.goodput_mbps == other.goodput_mbps &&
+           optimized.timeouts == other.timeouts &&
+           optimized.events == other.events &&
+           optimized.packets == other.packets &&
+           optimized.rounds == other.rounds;
+  };
+  const bool deterministic = matches(reference) && matches(ref_flowmap);
 
   std::vector<MicroResult> micro;
   micro.push_back(FifoPushPop("fifo_ring", false, micro_ops));
@@ -213,6 +289,16 @@ int Main(int argc, char** argv) {
   micro.push_back(
       ScoreboardChurn<MapIntervalSet>("scoreboard_map", micro_ops / 4));
   micro.push_back(DispatchOverhead(smoke ? 20'000 : 200'000));
+  micro.push_back(DemuxLookup<FlatFlowTable<std::uint32_t>>(
+      "demux_flat_n40", 40, micro_ops));
+  micro.push_back(DemuxLookup<MapFlowTable<std::uint32_t>>(
+      "demux_map_n40", 40, micro_ops));
+  micro.push_back(DemuxLookup<FlatFlowTable<std::uint32_t>>(
+      "demux_flat_n1400", 1400, micro_ops));
+  micro.push_back(DemuxLookup<MapFlowTable<std::uint32_t>>(
+      "demux_map_n1400", 1400, micro_ops));
+  micro.push_back(RouteDense(micro_ops, 64));
+  micro.push_back(RouteHashMap(micro_ops, 64));
 
   std::FILE* out = stdout;
   if (out_path != nullptr) {
@@ -227,7 +313,8 @@ int Main(int argc, char** argv) {
   std::fprintf(out, "  \"rounds\": %d,\n", rounds);
   std::fprintf(out, "  \"incast\": [\n");
   WriteIncast(out, optimized, ",");
-  WriteIncast(out, reference, "");
+  WriteIncast(out, reference, ",");
+  WriteIncast(out, ref_flowmap, "");
   std::fprintf(out, "  ],\n");
   std::fprintf(out,
                "  \"determinism\": {\"match\": %s, "
@@ -246,6 +333,13 @@ int Main(int argc, char** argv) {
                optimized.PacketsPerSec() / kPrePrPacketsPerSec);
   std::fprintf(out, "  \"speedup_events_vs_pre_pr\": %.2f,\n",
                optimized.EventsPerSec() / kPrePrEventsPerSec);
+  std::fprintf(out,
+               "  \"pr2_baseline\": {\"commit\": \"bd01566\", "
+               "\"packets_per_sec\": %.0f, \"note\": \"PR-2 binary, same "
+               "scenario/flags/machine; control-plane gate is >= 1.15x\"},\n",
+               kPr2PacketsPerSec);
+  std::fprintf(out, "  \"speedup_packets_vs_pr2\": %.2f,\n",
+               optimized.PacketsPerSec() / kPr2PacketsPerSec);
   std::fprintf(out, "  \"micro\": [\n");
   for (std::size_t i = 0; i < micro.size(); ++i) {
     const MicroResult& m = micro[i];

@@ -40,7 +40,7 @@ class MidAggregator {
             host, kMidPort,
             [protocol] { return MakeCongestionOps(protocol); },
             TcpSocket::Config{},
-            [this](std::unique_ptr<TcpSocket> s) { Accept(std::move(s)); }) {
+            [this](TcpSocket::Ptr s) { Accept(std::move(s)); }) {
     for (Host* leaf : leaves) {
       clients_.push_back(std::make_unique<AggregatorClient>(
           host, MakeCongestionOps(protocol), TcpSocket::Config{},
@@ -50,7 +50,7 @@ class MidAggregator {
   }
 
  private:
-  void Accept(std::unique_ptr<TcpSocket> socket) {
+  void Accept(TcpSocket::Ptr socket) {
     upstream_ = std::move(socket);
     upstream_->set_on_data([this](Bytes n) {
       pending_request_bytes_ += n;
@@ -74,7 +74,7 @@ class MidAggregator {
 
   Bytes leaf_bytes_;
   Bytes pending_request_bytes_ = 0;
-  std::unique_ptr<TcpSocket> upstream_;
+  TcpSocket::Ptr upstream_;
   std::vector<std::unique_ptr<AggregatorClient>> clients_;
   TcpListener listener_;
 };

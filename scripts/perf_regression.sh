@@ -18,8 +18,12 @@ build_dir="${1:-$repo_root/build}"
 # RelWithDebInfo, and an existing build dir keeps its configuration.
 cmake -S "$repo_root" -B "$build_dir" >/dev/null
 cmake --build "$build_dir" --target engine_regression datapath_regression \
-  -j >/dev/null
+  micro_demux -j >/dev/null
 "$build_dir/bench/engine_regression" "$repo_root/BENCH_engine.json"
 echo "Wrote $repo_root/BENCH_engine.json"
 "$build_dir/bench/datapath_regression" "$repo_root/BENCH_datapath.json"
 echo "Wrote $repo_root/BENCH_datapath.json"
+# Control-plane microbenchmarks (flat-vs-map demux, dense-vs-hash routing,
+# arena-vs-heap setup); console output only, the regression numbers of
+# record live in BENCH_datapath.json's micro section.
+"$build_dir/bench/micro_demux" --benchmark_min_time=0.05

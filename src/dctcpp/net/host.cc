@@ -17,51 +17,77 @@ void Host::Send(Packet pkt) {
   uplink_->Send(pkt);
 }
 
+void Host::MarkPortUsed(PortNum port) {
+  if (port_refs_.size() <= port) port_refs_.resize(port + std::size_t{1}, 0);
+  ++port_refs_[port];
+}
+
+void Host::MarkPortFree(PortNum port) {
+  DCTCPP_ASSERT(port < port_refs_.size() && port_refs_[port] != 0);
+  --port_refs_[port];
+}
+
 void Host::RegisterConnection(PortNum local_port, NodeId remote,
                               PortNum rport, PacketHandler handler) {
-  DCTCPP_ASSERT(handler != nullptr);
-  const ConnKey key{local_port, remote, rport};
-  DCTCPP_ASSERT(!connections_.contains(key));
-  connections_[key] = std::move(handler);
+  DCTCPP_ASSERT(static_cast<bool>(handler));
+  connections_.Insert(PackFlowKey(local_port, remote, rport), handler);
+  MarkPortUsed(local_port);
 }
 
 void Host::UnregisterConnection(PortNum local_port, NodeId remote,
                                 PortNum rport) {
-  connections_.erase(ConnKey{local_port, remote, rport});
+  if (connections_.Erase(PackFlowKey(local_port, remote, rport))) {
+    MarkPortFree(local_port);
+  }
 }
 
 void Host::Listen(PortNum local_port, PacketHandler handler) {
-  DCTCPP_ASSERT(handler != nullptr);
-  DCTCPP_ASSERT(!listeners_.contains(local_port));
-  listeners_[local_port] = std::move(handler);
+  DCTCPP_ASSERT(static_cast<bool>(handler));
+  listeners_.Insert(local_port, handler);
+  MarkPortUsed(local_port);
 }
 
 void Host::StopListening(PortNum local_port) {
-  listeners_.erase(local_port);
+  if (listeners_.Erase(local_port)) MarkPortFree(local_port);
 }
 
 PortNum Host::AllocatePort() {
-  DCTCPP_ASSERT(next_ephemeral_ < 65535);
-  return next_ephemeral_++;
+  // Wrap within the ephemeral range, skipping ports that still have a
+  // live registration. A full cycle without a free port means >55k
+  // concurrent registrations on one host — a genuine configuration bug.
+  for (int attempts = 0; attempts < 65535 - kEphemeralBase; ++attempts) {
+    const PortNum candidate = next_ephemeral_;
+    next_ephemeral_ = candidate + 1 == 65535
+                          ? kEphemeralBase
+                          : static_cast<PortNum>(candidate + 1);
+    if (!PortInUse(candidate)) return candidate;
+  }
+  DCTCPP_ASSERT(false && "ephemeral port range exhausted");
+  return 0;
 }
 
 void Host::Deliver(const Packet& pkt) {
   DCTCPP_ASSERT(pkt.dst == id_);
-  // Copy the handler before invoking: the callee may (un)register handlers.
-  const ConnKey key{pkt.tcp.dst_port, pkt.src, pkt.tcp.src_port};
-  if (auto it = connections_.find(key); it != connections_.end()) {
-    auto handler = it->second;
+  // Copy the handler before invoking: the callee may (un)register
+  // handlers (FinalizeClose, accept). InlineHandler is a small trivially
+  // copyable struct, so the copy is a couple of register moves.
+  if (const PacketHandler* h = connections_.Find(
+          PackFlowKey(pkt.tcp.dst_port, pkt.src, pkt.tcp.src_port))) {
+    const PacketHandler handler = *h;
     handler(pkt);
     return;
   }
-  if (auto it = listeners_.find(pkt.tcp.dst_port); it != listeners_.end()) {
-    auto handler = it->second;
+  if (const PacketHandler* h = listeners_.Find(pkt.tcp.dst_port)) {
+    const PacketHandler handler = *h;
     handler(pkt);
     return;
   }
   ++unmatched_;
-  DCTCPP_TRACE("host %s: unmatched %s", name_.c_str(),
-               pkt.Describe().c_str());
+  if (LogEnabled(LogLevel::kTrace)) {
+    char buf[Packet::kDescribeBufSize];
+    Log(LogLevel::kTrace, "host %s: unmatched %s", name_.c_str(),
+        pkt.DescribeTo(buf, sizeof buf));
+  }
 }
 
 }  // namespace dctcpp

@@ -4,23 +4,30 @@
 // 4-tuple; listeners register by local port and receive packets for which
 // no established connection matches (i.e. incoming SYNs). The Host knows
 // nothing about TCP itself, keeping net below tcp in the layering.
+//
+// Demux is the per-packet control-plane hot path: handlers are
+// trivially-copyable InlineHandler delegates stored in a flat
+// open-addressing FlowTable keyed by the packed 4-tuple (a std::map
+// oracle backend remains selectable via SetReferenceFlowTableForTest for
+// differential testing — see util/flow_table.h).
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <map>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "dctcpp/net/link.h"
 #include "dctcpp/net/packet.h"
 #include "dctcpp/sim/simulator.h"
+#include "dctcpp/util/flow_table.h"
+#include "dctcpp/util/inline_function.h"
 
 namespace dctcpp {
 
 class Host : public PacketSink {
  public:
-  using PacketHandler = std::function<void(const Packet&)>;
+  using PacketHandler = InlineHandler<void(const Packet&)>;
 
   Host(Simulator& sim, NodeId id, std::string name)
       : sim_(sim), id_(id), name_(std::move(name)) {}
@@ -48,7 +55,10 @@ class Host : public PacketSink {
   void Listen(PortNum local_port, PacketHandler handler);
   void StopListening(PortNum local_port);
 
-  /// Allocates an ephemeral source port (unique per host).
+  /// Allocates an ephemeral source port (unique among this host's live
+  /// registrations). Wraps within [10000, 65535) and skips ports still in
+  /// use, so long multi-round runs never exhaust the range as long as old
+  /// connections unregister.
   PortNum AllocatePort();
 
   void Deliver(const Packet& pkt) override;
@@ -57,20 +67,24 @@ class Host : public PacketSink {
   std::uint64_t unmatched_packets() const { return unmatched_; }
 
  private:
-  struct ConnKey {
-    PortNum local;
-    NodeId remote;
-    PortNum rport;
-    auto operator<=>(const ConnKey&) const = default;
-  };
+  static constexpr PortNum kEphemeralBase = 10000;
+
+  void MarkPortUsed(PortNum port);
+  void MarkPortFree(PortNum port);
+  bool PortInUse(PortNum port) const {
+    return port < port_refs_.size() && port_refs_[port] != 0;
+  }
 
   Simulator& sim_;
   NodeId id_;
   std::string name_;
   std::unique_ptr<EgressPort> uplink_;
-  std::map<ConnKey, PacketHandler> connections_;
-  std::map<PortNum, PacketHandler> listeners_;
-  PortNum next_ephemeral_ = 10000;
+  FlowTable<PacketHandler> connections_;  // keyed by PackFlowKey(...)
+  FlowTable<PacketHandler> listeners_;    // keyed by local port
+  // Per-port registration counts (connections + listeners), sized lazily.
+  // Multiple connections share one local port on servers, hence counts.
+  std::vector<std::uint32_t> port_refs_;
+  PortNum next_ephemeral_ = kEphemeralBase;
   std::uint64_t unmatched_ = 0;
   std::uint64_t next_packet_uid_ = 1;
 };

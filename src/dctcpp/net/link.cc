@@ -10,7 +10,13 @@ EgressPort::EgressPort(Simulator& sim, const LinkConfig& config,
     : sim_(sim),
       config_(config),
       peer_(peer),
-      queue_(config.buffer_bytes, config.ecn_threshold) {
+      queue_(config.buffer_bytes, config.ecn_threshold),
+      finish_ev_(
+          sim, [](void* p) { static_cast<EgressPort*>(p)->FinishTransmission(); },
+          this),
+      deliver_ev_(
+          sim, [](void* p) { static_cast<EgressPort*>(p)->DeliverHead(); },
+          this) {
   if (config.red) queue_.EnableRed(config.red_config, &sim.rng());
 }
 
@@ -18,13 +24,19 @@ void EgressPort::Send(const Packet& pkt) {
   if (config_.random_loss > 0.0 &&
       sim_.rng().Chance(config_.random_loss)) {
     ++random_losses_;
-    DCTCPP_TRACE("random loss at %s: %s", FormatTick(sim_.Now()).c_str(),
-                 pkt.Describe().c_str());
+    if (LogEnabled(LogLevel::kTrace)) {
+      char buf[Packet::kDescribeBufSize];
+      Log(LogLevel::kTrace, "random loss at %s: %s",
+          FormatTick(sim_.Now()).c_str(), pkt.DescribeTo(buf, sizeof buf));
+    }
     return;
   }
   if (!queue_.Enqueue(pkt)) {
-    DCTCPP_TRACE("drop at %s: %s", FormatTick(sim_.Now()).c_str(),
-                 pkt.Describe().c_str());
+    if (LogEnabled(LogLevel::kTrace)) {
+      char buf[Packet::kDescribeBufSize];
+      Log(LogLevel::kTrace, "drop at %s: %s",
+          FormatTick(sim_.Now()).c_str(), pkt.DescribeTo(buf, sizeof buf));
+    }
     return;
   }
   sim_.CountForwardedPacket();
@@ -38,16 +50,22 @@ void EgressPort::StartTransmission() {
   queue_.PopFront();
   in_flight_bytes_ = on_wire_.WireSize();
   const Tick tx = config_.rate.TransmissionTime(in_flight_bytes_);
-  sim_.Schedule(tx, [this] { FinishTransmission(); });
+  finish_ev_.ArmIn(tx);
 }
 
 void EgressPort::FinishTransmission() {
   transmitting_ = false;
   in_flight_bytes_ = 0;
   // Propagation: the packet arrives at the peer `delay` after the last bit
-  // leaves the wire.
+  // leaves the wire. The delivery event only tracks the head; finish times
+  // are strictly increasing, so `due_` stays FIFO-ordered.
+  const Tick due = sim_.Now() + config_.propagation_delay;
   propagating_.PushBack(on_wire_);
-  sim_.Schedule(config_.propagation_delay, [this] { DeliverHead(); });
+  due_.PushBack(due);
+  if (!deliver_armed_) {
+    deliver_armed_ = true;
+    deliver_ev_.ArmAt(due);
+  }
   StartTransmission();
 }
 
@@ -57,6 +75,12 @@ void EgressPort::DeliverHead() {
   // so `propagating_` cannot grow or reallocate under this reference.
   peer_.Deliver(propagating_.Front());
   propagating_.PopFront();
+  due_.PopFront();
+  if (!due_.Empty()) {
+    deliver_ev_.ArmAt(due_.Front());
+  } else {
+    deliver_armed_ = false;
+  }
 }
 
 }  // namespace dctcpp

@@ -8,12 +8,16 @@
 // overflow.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
+#include <vector>
 
 #include "dctcpp/net/packet.h"
 #include "dctcpp/net/packet_ring.h"
 #include "dctcpp/net/queue.h"
+#include "dctcpp/sim/pinned_event.h"
 #include "dctcpp/sim/simulator.h"
+#include "dctcpp/util/assert.h"
 #include "dctcpp/util/units.h"
 
 namespace dctcpp {
@@ -70,6 +74,42 @@ class EgressPort {
   std::uint64_t random_losses() const { return random_losses_; }
 
  private:
+  /// Flat power-of-two ring of absolute delivery times, same FIFO order as
+  /// `propagating_`. No steady-state allocation.
+  class TickFifo {
+   public:
+    TickFifo() : buf_(64) {}
+    bool Empty() const { return size_ == 0; }
+    Tick Front() const {
+      DCTCPP_DASSERT(size_ > 0);
+      return buf_[head_];
+    }
+    void PushBack(Tick t) {
+      if (size_ == buf_.size()) Grow();
+      buf_[(head_ + size_) & (buf_.size() - 1)] = t;
+      ++size_;
+    }
+    void PopFront() {
+      DCTCPP_DASSERT(size_ > 0);
+      head_ = (head_ + 1) & (buf_.size() - 1);
+      --size_;
+    }
+
+   private:
+    void Grow() {
+      std::vector<Tick> bigger(buf_.size() * 2);
+      for (std::size_t i = 0; i < size_; ++i) {
+        bigger[i] = buf_[(head_ + i) & (buf_.size() - 1)];
+      }
+      buf_ = std::move(bigger);
+      head_ = 0;
+    }
+
+    std::vector<Tick> buf_;
+    std::size_t head_ = 0;
+    std::size_t size_ = 0;
+  };
+
   void StartTransmission();
   void FinishTransmission();
   void DeliverHead();
@@ -81,12 +121,18 @@ class EgressPort {
   bool transmitting_ = false;
   Bytes in_flight_bytes_ = 0;
   std::uint64_t random_losses_ = 0;
-  // Event callbacks capture only `this` (so they fit InlineAction's inline
-  // buffer): the serializing packet and the packets in flight on the wire
-  // live here instead of in the closures. Propagation delay is constant
-  // per port, so deliveries leave `propagating_` in FIFO order.
+  // The serializing packet and the packets in flight on the wire live here
+  // instead of in event closures. Propagation delay is constant per port,
+  // so deliveries leave `propagating_` in FIFO order: one pinned delivery
+  // event tracks the head's due time (`due_`), re-arming itself as packets
+  // drain — each port owns exactly two wheel nodes for its lifetime
+  // however many packets it carries.
   Packet on_wire_;
   PacketFifo propagating_;
+  TickFifo due_;
+  PinnedEvent finish_ev_;
+  PinnedEvent deliver_ev_;
+  bool deliver_armed_ = false;
 };
 
 }  // namespace dctcpp

@@ -4,10 +4,9 @@
 
 namespace dctcpp {
 
-std::string Packet::Describe() const {
-  char buf[160];
+const char* Packet::DescribeTo(char* buf, std::size_t size) const {
   std::snprintf(
-      buf, sizeof buf,
+      buf, size,
       "pkt#%llu %d:%u->%d:%u seq=%u ack=%u len=%lld%s%s%s%s%s%s",
       static_cast<unsigned long long>(uid), src, tcp.src_port, dst,
       tcp.dst_port, tcp.seq, tcp.ack, static_cast<long long>(payload),
@@ -15,6 +14,11 @@ std::string Packet::Describe() const {
       tcp.ack_flag ? " ACK" : "", tcp.ece ? " ECE" : "",
       tcp.cwr ? " CWR" : "", ecn == Ecn::kCe ? " CE" : "");
   return buf;
+}
+
+std::string Packet::Describe() const {
+  char buf[kDescribeBufSize];
+  return DescribeTo(buf, sizeof buf);
 }
 
 }  // namespace dctcpp

@@ -71,7 +71,16 @@ struct Packet {
 
   bool IsData() const { return payload > 0; }
 
-  /// Short human-readable rendering for trace logs.
+  /// Buffer size that always fits a DescribeTo rendering.
+  static constexpr std::size_t kDescribeBufSize = 160;
+
+  /// Renders a short human-readable form into `buf` and returns it.
+  /// Allocation-free: trace callers keep the buffer on the stack and only
+  /// call this under a LogEnabled guard.
+  const char* DescribeTo(char* buf, std::size_t size) const;
+
+  /// Short human-readable rendering for trace logs. Convenience wrapper
+  /// over DescribeTo that builds a std::string — not for hot paths.
   std::string Describe() const;
 };
 

@@ -11,12 +11,10 @@ int Switch::AddPort(const LinkConfig& config, PacketSink& peer) {
 
 void Switch::SetRoute(NodeId dst, int port) {
   DCTCPP_ASSERT(port >= 0 && port < PortCount());
-  routes_[dst] = port;
-}
-
-int Switch::RouteTo(NodeId dst) const {
-  auto it = routes_.find(dst);
-  return it == routes_.end() ? -1 : it->second;
+  DCTCPP_ASSERT(dst >= 0);
+  const auto idx = static_cast<std::size_t>(dst);
+  if (routes_.size() <= idx) routes_.resize(idx + 1, -1);
+  routes_[idx] = port;
 }
 
 void Switch::Deliver(const Packet& pkt) {

@@ -3,16 +3,11 @@
 namespace dctcpp {
 
 std::uint64_t Simulator::RunUntil(Tick deadline) {
-  std::uint64_t executed = 0;
   stopped_ = false;
-  while (!stopped_ && !scheduler_.Empty()) {
-    const Tick next = scheduler_.NextTime();
-    if (next > deadline) break;
-    DCTCPP_ASSERT(next >= now_);
-    now_ = next;
-    scheduler_.RunNext();
-    ++executed;
-  }
+  // The loop itself lives in the scheduler's translation unit so the
+  // per-event path is one inlined frame (see TimerWheelScheduler::RunLoop).
+  const std::uint64_t executed =
+      scheduler_.RunLoop(deadline, &stopped_, &now_);
   // If we stopped because of the deadline, advance the clock to it so that
   // repeated RunUntil calls observe monotonic time.
   if (!stopped_ && deadline != kTickMax && now_ < deadline &&

@@ -9,6 +9,7 @@
 #include <functional>
 
 #include "dctcpp/sim/scheduler.h"
+#include "dctcpp/util/arena.h"
 #include "dctcpp/util/rng.h"
 #include "dctcpp/util/time.h"
 
@@ -28,6 +29,13 @@ class Simulator {
   Rng& rng() { return rng_; }
 
   Scheduler& scheduler() { return scheduler_; }
+
+  /// Per-simulation slab arena for control-plane objects whose lifetime is
+  /// the whole run (sockets, per-connection app state, probes). Declared
+  /// before the scheduler so it is destroyed after everything that might
+  /// reference arena objects during teardown. See util/arena.h for the
+  /// lifetime rules.
+  Arena& arena() { return arena_; }
 
   /// Schedules `action` to run `delay` from now (delay >= 0).
   EventId Schedule(Tick delay, Scheduler::Action action) {
@@ -67,6 +75,7 @@ class Simulator {
   Tick now_ = 0;
   bool stopped_ = false;
   std::uint64_t packets_forwarded_ = 0;
+  Arena arena_;
   Scheduler scheduler_;
   Rng rng_;
 };

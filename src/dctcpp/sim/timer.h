@@ -6,11 +6,23 @@
 // the timer's pending events or cancel in its destructor — Timer cancels
 // itself on destruction, so embedding a Timer by value in the owner is the
 // safe pattern.
+//
+// The scheduler side is a single pinned event (see pinned_event.h), so a
+// timer costs one wheel-node allocation for its whole life, and arming
+// never moves a callable. Re-arming is additionally lazy: pushing the
+// deadline *out* while an event is pending keeps the old arming in place
+// instead of paying an unlink+re-home pair; when the stale arming pops
+// early, Fire() sees the true deadline still lies ahead and re-homes
+// itself once. A sender that re-arms its RTO timer on every ACK (RFC 6298
+// 5.3) therefore touches the wheel once per expiry window, not once per
+// ACK — the callback still runs exactly at the most recent deadline,
+// never early and never late.
 #pragma once
 
 #include <utility>
 
 #include "dctcpp/sim/inline_action.h"
+#include "dctcpp/sim/pinned_event.h"
 #include "dctcpp/sim/simulator.h"
 
 namespace dctcpp {
@@ -22,43 +34,60 @@ class Timer {
   using Callback = InlineAction;
 
   Timer(Simulator& sim, Callback cb)
-      : sim_(sim), callback_(std::move(cb)) {}
-
-  ~Timer() { Cancel(); }
+      : sim_(sim),
+        callback_(std::move(cb)),
+        ev_(sim, [](void* p) { static_cast<Timer*>(p)->Fire(); }, this) {}
 
   Timer(const Timer&) = delete;
   Timer& operator=(const Timer&) = delete;
 
-  /// Arms the timer `delay` from now. Re-arming while pending reschedules.
+  /// Arms the timer `delay` from now. Re-arming while pending reschedules
+  /// (lazily when the deadline only moves out — see the header comment).
   void Schedule(Tick delay) {
-    Cancel();
+    armed_ = true;
     expires_at_ = sim_.Now() + delay;
-    id_ = sim_.Schedule(delay, [this] { Fire(); });
+    if (event_pending_ && event_at_ <= expires_at_) return;  // Fire() defers
+    event_pending_ = true;
+    event_at_ = expires_at_;
+    ev_.ArmAt(expires_at_);
   }
 
   /// Disarms; no-op if not pending.
   void Cancel() {
-    if (id_.valid()) {
-      sim_.Cancel(id_);
-      id_ = EventId{};
+    armed_ = false;
+    if (event_pending_) {
+      event_pending_ = false;
+      ev_.Cancel();
     }
   }
 
-  bool IsPending() const { return id_.valid(); }
+  bool IsPending() const { return armed_; }
 
   /// Absolute expiry of the current arming (meaningful while pending).
   Tick expires_at() const { return expires_at_; }
 
  private:
   void Fire() {
-    id_ = EventId{};
+    event_pending_ = false;
+    if (!armed_) return;
+    if (sim_.Now() < expires_at_) {
+      // Stale pop from a lazy re-arm: home at the true deadline.
+      event_pending_ = true;
+      event_at_ = expires_at_;
+      ev_.ArmAt(expires_at_);
+      return;
+    }
+    armed_ = false;
     callback_();
   }
 
   Simulator& sim_;
   Callback callback_;
-  EventId id_{};
+  bool armed_ = false;
+  bool event_pending_ = false;
   Tick expires_at_ = 0;
+  Tick event_at_ = 0;  ///< where the pending arming actually sits
+  PinnedEvent ev_;     ///< last member: released before callback_ dies
 };
 
 }  // namespace dctcpp

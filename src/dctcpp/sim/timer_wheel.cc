@@ -214,9 +214,67 @@ void TimerWheelScheduler::Cancel(EventId id) {
   --live_count_;
 }
 
+std::uint32_t TimerWheelScheduler::CreatePinned(PinnedFn fn, void* ctx) {
+  DCTCPP_ASSERT(fn != nullptr);
+  const std::uint32_t idx = AllocNode();
+  Node& n = NodeAt(idx);
+  n.pin_fn = fn;
+  n.pin_ctx = ctx;
+  n.loc = kLocParked;
+  return idx;
+}
+
+void TimerWheelScheduler::DestroyPinned(std::uint32_t idx) {
+  Node& n = NodeAt(idx);
+  DCTCPP_DASSERT(n.pin_fn != nullptr);
+  CancelPinned(idx);
+  n.pin_fn = nullptr;
+  n.pin_ctx = nullptr;
+  FreeNode(n, idx);
+}
+
+void TimerWheelScheduler::ArmPinnedAt(std::uint32_t idx, Tick at) {
+  DCTCPP_ASSERT(at >= now_);
+  Node& n = NodeAt(idx);
+  DCTCPP_DASSERT(n.pin_fn != nullptr);
+  if (n.loc != kLocParked) CancelPinned(idx);
+  n.at = at;
+  n.seq = next_seq_++;
+  Place(idx, n);
+  ++live_count_;
+  if (cached_valid_ && at < cached_at_) {
+    cached_at_ = at;
+    cached_seq_ = n.seq;
+    cached_idx_ = idx;
+    cached_from_heap_ = (n.loc == kLocHeap);
+  }
+}
+
+void TimerWheelScheduler::CancelPinned(std::uint32_t idx) {
+  Node& n = NodeAt(idx);
+  DCTCPP_DASSERT(n.pin_fn != nullptr);
+  if (n.loc == kLocParked) return;
+  if (n.loc == kLocWheel) {
+    Unlink(idx, n);
+  } else {
+    DCTCPP_DASSERT(n.loc == kLocHeap);
+    ++n.gen;  // stale-ifies the HeapEntry left behind; dropped on pop
+  }
+  n.loc = kLocParked;
+  if (cached_valid_ && cached_idx_ == idx) cached_valid_ = false;
+  --live_count_;
+}
+
 void TimerWheelScheduler::AdvanceTo(Tick t) {
   DCTCPP_DASSERT(t >= now_);
-  if (t == now_) return;
+  if (((now_ ^ t) >> kL0Bits) == 0) {
+    // Same level-1 position: no upper-level window boundary was crossed,
+    // so nothing can cascade (this also covers t == now_). Datapath
+    // events advance time by a few microseconds, so this is the
+    // overwhelmingly common case.
+    now_ = t;
+    return;
+  }
   // Level 0 needs no work when time advances: t is never past a pending
   // event, so every one-tick slot in [now_, t) is already empty and its
   // occupancy bits were cleared as the events popped.
@@ -350,11 +408,19 @@ Tick TimerWheelScheduler::RunNext() {
   }
   const std::int8_t level = n.level;
   const std::int16_t slot = n.slot;
-  // Move the action out and recycle the node *before* running it, so the
-  // callback may freely schedule (and even land on this node's id with a
-  // fresh generation).
-  InlineAction action = std::move(n.action);
-  FreeNode(n, idx);
+  // Pinned nodes just park (their callback is a bare fn+ctx pair, loaded
+  // below before dispatch). One-shot nodes move the action out and recycle
+  // *before* running it, so the callback may freely schedule (and even
+  // land on this node's id with a fresh generation).
+  const PinnedFn pin_fn = n.pin_fn;
+  void* const pin_ctx = n.pin_ctx;
+  InlineAction action;
+  if (pin_fn != nullptr) {
+    n.loc = kLocParked;
+  } else {
+    action = std::move(n.action);
+    FreeNode(n, idx);
+  }
   --live_count_;
   ++executed_;
   cached_valid_ = false;
@@ -372,8 +438,25 @@ Tick TimerWheelScheduler::RunNext() {
     cached_idx_ = head0_[slot];
     cached_from_heap_ = false;
   }
-  action();
+  if (pin_fn != nullptr) {
+    pin_fn(pin_ctx);  // may re-arm (or destroy) its own node
+  } else {
+    action();
+  }
   return t;
+}
+
+std::uint64_t TimerWheelScheduler::RunLoop(Tick deadline, const bool* stop,
+                                           Tick* sim_now) {
+  std::uint64_t count = 0;
+  while (!*stop && live_count_ != 0) {
+    EnsureNext();
+    if (cached_at_ > deadline) break;
+    *sim_now = cached_at_;
+    RunNext();  // same-TU: inlines, and its EnsureNext re-check is cached
+    ++count;
+  }
+  return count;
 }
 
 std::size_t TimerWheelScheduler::OverflowCount() const {

@@ -63,6 +63,30 @@ class TimerWheelScheduler {
   /// cancelled, or the handle is stale (generation-checked).
   void Cancel(EventId id);
 
+  // -------------------------------------------------------------------------
+  // Pinned events: a node allocated once and re-armed many times, for
+  // callers that fire the same callback over and over (a port's
+  // transmit/deliver continuations, a socket's timers). Arming is just
+  // re-homing the node — no pool traffic, no callable moves, no handle
+  // generation churn. The callback is a bare function pointer + context,
+  // so firing touches no object with a lifetime: the callback may re-arm
+  // or even destroy its own pinned event.
+
+  using PinnedFn = void (*)(void*);
+
+  /// Allocates a parked pinned node bound to `fn(ctx)` for its lifetime.
+  std::uint32_t CreatePinned(PinnedFn fn, void* ctx);
+  /// Returns the node to the pool (cancelling any pending arming).
+  void DestroyPinned(std::uint32_t idx);
+  /// (Re-)arms at absolute time `at` (>= the clock); a pending arming is
+  /// replaced, and the firing order is as if freshly scheduled now.
+  void ArmPinnedAt(std::uint32_t idx, Tick at);
+  /// Disarms; no-op when parked.
+  void CancelPinned(std::uint32_t idx);
+  bool PinnedArmed(std::uint32_t idx) const {
+    return NodeAt(idx).loc != kLocParked;
+  }
+
   bool Empty() const { return live_count_ == 0; }
   std::size_t PendingCount() const { return live_count_; }
 
@@ -72,6 +96,14 @@ class TimerWheelScheduler {
   /// Pops and runs the earliest event. Returns its timestamp.
   /// Precondition: !Empty().
   Tick RunNext();
+
+  /// Runs events in order while the earliest is at or before `deadline`
+  /// and `*stop` stays false, mirroring each event's timestamp into
+  /// `*sim_now` before invoking it. Behaves exactly like the
+  /// NextTime()/RunNext() loop it replaces, but lives in one translation
+  /// unit so the whole pop path (scan, unlink, recycle, dispatch) inlines
+  /// into a single frame. Returns the number of events executed.
+  std::uint64_t RunLoop(Tick deadline, const bool* stop, Tick* sim_now);
 
   /// Total events ever executed (for instrumentation).
   std::uint64_t executed() const { return executed_; }
@@ -97,18 +129,29 @@ class TimerWheelScheduler {
     return kL0Bits + kLevelBits * (k - 1);
   }
 
-  enum Location : std::int8_t { kLocFree = 0, kLocWheel = 1, kLocHeap = 2 };
+  enum Location : std::int8_t {
+    kLocFree = 0,
+    kLocWheel = 1,
+    kLocHeap = 2,
+    kLocParked = 3,  // pinned node, currently disarmed
+  };
 
+  // Field order is deliberate: everything the wheel machinery touches
+  // (placement, slot-list links, cascades, the scan) sits in the first 48
+  // bytes — one cache line per node — with the action buffer, only read at
+  // dispatch, last.
   struct Node {
     Tick at = 0;
     std::uint64_t seq = 0;
-    InlineAction action;
+    PinnedFn pin_fn = nullptr;  // set <=> pinned node
+    void* pin_ctx = nullptr;
     std::uint32_t gen = 0;
     std::uint32_t next = kNil;
     std::uint32_t prev = kNil;
     std::int8_t loc = kLocFree;
     std::int8_t level = -1;
     std::int16_t slot = -1;
+    InlineAction action;
   };
 
   struct HeapEntry {

@@ -645,7 +645,8 @@ TcpListener::~TcpListener() { host_.StopListening(port_); }
 
 void TcpListener::OnPacket(const Packet& pkt) {
   if (!pkt.tcp.syn || pkt.tcp.ack_flag) return;  // only fresh SYNs
-  auto socket = std::make_unique<TcpSocket>(host_, cc_factory_(), config_);
+  TcpSocket::Ptr socket = MakeArena<TcpSocket>(host_.sim().arena(), host_,
+                                               cc_factory_(), config_);
   socket->AcceptFrom(pkt);
   on_accept_(std::move(socket));
 }

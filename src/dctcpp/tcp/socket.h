@@ -24,6 +24,8 @@
 #include "dctcpp/tcp/receive_buffer.h"
 #include "dctcpp/tcp/rto.h"
 #include "dctcpp/tcp/seq.h"
+#include "dctcpp/util/arena.h"
+#include "dctcpp/util/inline_function.h"
 #include "dctcpp/util/interval_set.h"
 
 namespace dctcpp {
@@ -62,13 +64,28 @@ class TcpSocket {
     kLastAck,    ///< peer closed, our FIN sent, awaiting its ACK
   };
 
-  using DataCallback = std::function<void(Bytes)>;
-  using Callback = std::function<void()>;
+  // Per-delivery callbacks are allocation-free InlineFunction delegates:
+  // the usual [this]/[this, conn] captures store inline, and invoking is
+  // one indirect call with no std::function machinery.
+  using DataCallback = InlineFunction<void(Bytes)>;
+  using Callback = InlineFunction<void()>;
+
+  /// Owning handle for sockets allocated from the simulation's arena
+  /// (accepted sockets live there; see util/arena.h for lifetime rules).
+  using Ptr = ArenaPtr<TcpSocket>;
 
   /// Creates a closed socket bound to `host`. `cc` must be non-null.
   TcpSocket(Host& host, std::unique_ptr<CongestionOps> cc,
             const Config& config);
   ~TcpSocket();
+
+  /// Arena-allocates a socket from `host`'s simulation arena — the normal
+  /// way to create client sockets (lifetime: the whole simulation).
+  static Ptr Create(Host& host, std::unique_ptr<CongestionOps> cc,
+                    const Config& config) {
+    return MakeArena<TcpSocket>(host.sim().arena(), host, std::move(cc),
+                                config);
+  }
 
   TcpSocket(const TcpSocket&) = delete;
   TcpSocket& operator=(const TcpSocket&) = delete;
@@ -272,7 +289,8 @@ class TcpListener {
   using CcFactory = std::function<std::unique_ptr<CongestionOps>()>;
   /// Receives ownership of the accepted socket immediately on SYN arrival,
   /// before the handshake completes, so callbacks can be attached in time.
-  using AcceptCallback = std::function<void(std::unique_ptr<TcpSocket>)>;
+  /// Accepted sockets are allocated from the host's simulation arena.
+  using AcceptCallback = std::function<void(TcpSocket::Ptr)>;
 
   TcpListener(Host& host, PortNum port, CcFactory cc_factory,
               TcpSocket::Config config, AcceptCallback on_accept);

@@ -1,0 +1,129 @@
+// Per-simulation slab arena.
+//
+// A full incast simulation allocates thousands of small control-plane
+// objects — sockets, per-connection app state, probes — whose lifetime is
+// "until the simulation ends". Allocating each from the global heap
+// scatters them across the address space and pays a malloc/free pair per
+// object; the arena instead bump-allocates out of large slabs owned by the
+// Simulator, so setup does a handful of big allocations, same-flow state
+// lands adjacent in memory, and teardown frees O(slabs) blocks instead of
+// O(objects).
+//
+// Lifetime rules:
+//  - Arena memory is never recycled per-object. ArenaPtr runs the object's
+//    destructor at the usual time (so sockets still unregister handlers
+//    and cancel timers deterministically), but the bytes stay reserved
+//    until the arena is destroyed. This is the right trade for simulation
+//    state that lives for the run; do NOT arena-allocate objects that
+//    churn per-packet.
+//  - Objects must not outlive the arena. The Simulator owns its arena and
+//    is destroyed after the network graph it serves, so anything owned by
+//    the simulation graph is safe.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <utility>
+#include <vector>
+
+#include "dctcpp/util/assert.h"
+
+namespace dctcpp {
+
+class Arena {
+ public:
+  static constexpr std::size_t kDefaultSlabBytes = 256 * 1024;
+
+  explicit Arena(std::size_t slab_bytes = kDefaultSlabBytes)
+      : slab_bytes_(slab_bytes) {}
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Returns `size` bytes aligned to `align`. `align` must be a power of
+  /// two no larger than alignof(std::max_align_t) — simulation objects
+  /// are not over-aligned.
+  void* Allocate(std::size_t size, std::size_t align) {
+    DCTCPP_ASSERT(align != 0 && (align & (align - 1)) == 0);
+    DCTCPP_ASSERT(align <= alignof(std::max_align_t));
+    if (!slabs_.empty()) {
+      const std::size_t offset = (offset_ + align - 1) & ~(align - 1);
+      if (offset + size <= slabs_.back().capacity) {
+        offset_ = offset + size;
+        bytes_used_ += size;
+        return slabs_.back().mem.get() + offset;
+      }
+    }
+    // Oversize requests get an exactly-sized dedicated slab, kept
+    // second-from-back so small allocations keep filling the bump slab.
+    if (size > slab_bytes_) {
+      Slab slab = MakeSlab(size);
+      unsigned char* p = slab.mem.get();
+      if (slabs_.empty()) {
+        slabs_.push_back(std::move(slab));
+        offset_ = slabs_.back().capacity;  // full
+      } else {
+        slabs_.insert(slabs_.end() - 1, std::move(slab));
+      }
+      bytes_used_ += size;
+      return p;
+    }
+    slabs_.push_back(MakeSlab(slab_bytes_));
+    offset_ = size;
+    bytes_used_ += size;
+    return slabs_.back().mem.get();
+  }
+
+  /// Constructs a T in the arena. Pair with ArenaPtr/MakeArena for
+  /// destructor management, or leak deliberately for trivially
+  /// destructible data.
+  template <typename T, typename... A>
+  T* New(A&&... args) {
+    void* p = Allocate(sizeof(T), alignof(T));
+    return ::new (p) T(std::forward<A>(args)...);
+  }
+
+  std::size_t bytes_used() const { return bytes_used_; }
+  std::size_t bytes_reserved() const { return bytes_reserved_; }
+  std::size_t slab_count() const { return slabs_.size(); }
+
+ private:
+  struct Slab {
+    std::unique_ptr<unsigned char[]> mem;
+    std::size_t capacity = 0;
+  };
+
+  Slab MakeSlab(std::size_t cap) {
+    Slab slab;
+    // operator new guarantees max_align_t alignment for the slab base.
+    slab.mem.reset(new unsigned char[cap]);
+    slab.capacity = cap;
+    bytes_reserved_ += cap;
+    return slab;
+  }
+
+  std::size_t slab_bytes_;
+  std::vector<Slab> slabs_;
+  std::size_t offset_ = 0;  // bump offset within slabs_.back()
+  std::size_t bytes_used_ = 0;
+  std::size_t bytes_reserved_ = 0;
+};
+
+/// Deleter that runs the destructor but returns no memory — the arena
+/// reclaims the bytes at teardown.
+template <typename T>
+struct ArenaDelete {
+  void operator()(T* p) const noexcept { p->~T(); }
+};
+
+/// Owning pointer for arena-constructed objects: destructor at the usual
+/// time, storage reclaimed when the arena dies.
+template <typename T>
+using ArenaPtr = std::unique_ptr<T, ArenaDelete<T>>;
+
+template <typename T, typename... A>
+ArenaPtr<T> MakeArena(Arena& arena, A&&... args) {
+  return ArenaPtr<T>(arena.New<T>(std::forward<A>(args)...));
+}
+
+}  // namespace dctcpp

@@ -1,0 +1,16 @@
+#include "dctcpp/util/flow_table.h"
+
+namespace dctcpp {
+namespace {
+
+bool g_reference_flow_table = false;
+
+}  // namespace
+
+void SetReferenceFlowTableForTest(bool enabled) {
+  g_reference_flow_table = enabled;
+}
+
+bool ReferenceFlowTableEnabled() { return g_reference_flow_table; }
+
+}  // namespace dctcpp

@@ -1,12 +1,15 @@
 #include "dctcpp/util/log.h"
 
-#include <atomic>
 #include <cstdio>
 
 namespace dctcpp {
-namespace {
+namespace internal {
 
-std::atomic<int> g_level{static_cast<int>(LogLevel::kWarn)};
+std::atomic<int> g_log_level{static_cast<int>(LogLevel::kWarn)};
+
+}  // namespace internal
+
+namespace {
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -22,16 +25,13 @@ const char* LevelName(LogLevel level) {
 }  // namespace
 
 void SetLogLevel(LogLevel level) {
-  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+  internal::g_log_level.store(static_cast<int>(level),
+                              std::memory_order_relaxed);
 }
 
 LogLevel GetLogLevel() {
-  return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed));
-}
-
-bool LogEnabled(LogLevel level) {
-  return static_cast<int>(level) >=
-         g_level.load(std::memory_order_relaxed);
+  return static_cast<LogLevel>(
+      internal::g_log_level.load(std::memory_order_relaxed));
 }
 
 void LogV(LogLevel level, const char* fmt, std::va_list ap) {

@@ -5,18 +5,29 @@
 // hot path must not pay iostream costs when disabled.
 #pragma once
 
+#include <atomic>
 #include <cstdarg>
 
 namespace dctcpp {
 
 enum class LogLevel : int { kTrace = 0, kDebug, kInfo, kWarn, kError };
 
+namespace internal {
+/// Storage for the global minimum level; use Set/GetLogLevel/LogEnabled.
+extern std::atomic<int> g_log_level;
+}  // namespace internal
+
 /// Sets the global minimum level that will be emitted.
 void SetLogLevel(LogLevel level);
 LogLevel GetLogLevel();
 
 /// True if a message at `level` would be emitted (guard expensive args).
-bool LogEnabled(LogLevel level);
+/// Inline so per-packet trace guards cost one relaxed load and compare —
+/// no function call on the untraced hot path.
+inline bool LogEnabled(LogLevel level) {
+  return static_cast<int>(level) >=
+         internal::g_log_level.load(std::memory_order_relaxed);
+}
 
 /// Emits one formatted line ("[level] msg\n") to stderr.
 void LogV(LogLevel level, const char* fmt, std::va_list ap);

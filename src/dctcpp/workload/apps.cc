@@ -12,15 +12,13 @@ WorkerServer::WorkerServer(Host& host, TcpListener::CcFactory cc_factory,
                            Config config)
     : config_(std::move(config)),
       listener_(host, config_.port, std::move(cc_factory), socket_config,
-                [this](std::unique_ptr<TcpSocket> s) {
-                  OnAccept(std::move(s));
-                }) {
+                [this](TcpSocket::Ptr s) { OnAccept(std::move(s)); }) {
   DCTCPP_ASSERT(config_.request_size > 0);
   DCTCPP_ASSERT(config_.response_size != nullptr);
 }
 
-void WorkerServer::OnAccept(std::unique_ptr<TcpSocket> socket) {
-  auto conn = std::make_unique<Conn>();
+void WorkerServer::OnAccept(TcpSocket::Ptr socket) {
+  ArenaPtr<Conn> conn = MakeArena<Conn>(socket->sim().arena());
   conn->socket = std::move(socket);
   Conn* c = conn.get();
   c->socket->set_on_data([this, c](Bytes n) {
@@ -51,19 +49,19 @@ AggregatorClient::AggregatorClient(Host& host,
     : request_size_(request_size),
       server_(server),
       server_port_(server_port),
-      socket_(std::make_unique<TcpSocket>(host, std::move(cc),
-                                          socket_config)) {
+      socket_(MakeArena<TcpSocket>(host.sim().arena(), host, std::move(cc),
+                                   socket_config)) {
   DCTCPP_ASSERT(request_size_ > 0);
   socket_->set_on_data([this](Bytes n) { OnData(n); });
 }
 
-void AggregatorClient::Connect(std::function<void()> on_connected) {
+void AggregatorClient::Connect(TcpSocket::Callback on_connected) {
   socket_->set_on_connected(std::move(on_connected));
   socket_->Connect(server_, server_port_);
 }
 
 void AggregatorClient::Request(Bytes response_bytes,
-                               std::function<void()> on_response) {
+                               TcpSocket::Callback on_response) {
   DCTCPP_ASSERT(response_bytes > 0);
   pending_.push_back(Pending{response_bytes, std::move(on_response)});
   socket_->Send(request_size_);
@@ -93,12 +91,10 @@ SinkServer::SinkServer(Host& host, PortNum port,
                        FlowCallback on_flow_complete)
     : on_flow_complete_(std::move(on_flow_complete)),
       listener_(host, port, std::move(cc_factory), socket_config,
-                [this](std::unique_ptr<TcpSocket> s) {
-                  OnAccept(std::move(s));
-                }) {}
+                [this](TcpSocket::Ptr s) { OnAccept(std::move(s)); }) {}
 
-void SinkServer::OnAccept(std::unique_ptr<TcpSocket> socket) {
-  auto conn = std::make_unique<Conn>();
+void SinkServer::OnAccept(TcpSocket::Ptr socket) {
+  ArenaPtr<Conn> conn = MakeArena<Conn>(socket->sim().arena());
   conn->socket = std::move(socket);
   Conn* c = conn.get();
   c->socket->set_on_data([this, c](Bytes n) {
@@ -121,11 +117,11 @@ BulkSender::BulkSender(Host& host, std::unique_ptr<CongestionOps> cc,
                        PortNum dst_port)
     : dst_(dst),
       dst_port_(dst_port),
-      socket_(std::make_unique<TcpSocket>(host, std::move(cc),
-                                          socket_config)) {}
+      socket_(MakeArena<TcpSocket>(host.sim().arena(), host, std::move(cc),
+                                   socket_config)) {}
 
 void BulkSender::Start(Bytes size, bool close_when_done,
-                       std::function<void()> on_complete) {
+                       TcpSocket::Callback on_complete) {
   DCTCPP_ASSERT(size > 0);
   size_ = size;
   close_when_done_ = close_when_done;

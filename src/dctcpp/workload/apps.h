@@ -1,15 +1,21 @@
 // Application building blocks used by the experiments and examples:
 // request/response endpoints (the partition/aggregate pattern), byte sinks,
 // and bulk senders (background long flows).
+//
+// All per-connection state (accepted sockets, Conn records, client
+// sockets) is allocated from the simulation's arena: setup touches the
+// allocator a handful of times, same-flow state sits adjacent in memory,
+// and teardown is O(slabs). Completion callbacks are allocation-free
+// InlineFunction delegates (large captures still box transparently).
 #pragma once
 
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <memory>
 #include <vector>
 
 #include "dctcpp/tcp/socket.h"
+#include "dctcpp/util/arena.h"
 
 namespace dctcpp {
 
@@ -43,15 +49,15 @@ class WorkerServer {
 
  private:
   struct Conn {
-    std::unique_ptr<TcpSocket> socket;
+    TcpSocket::Ptr socket;
     Bytes request_bytes_pending = 0;
   };
 
-  void OnAccept(std::unique_ptr<TcpSocket> socket);
+  void OnAccept(TcpSocket::Ptr socket);
 
   Config config_;
   Bytes total_responded_ = 0;
-  std::vector<std::unique_ptr<Conn>> conns_;
+  std::vector<ArenaPtr<Conn>> conns_;
   TcpListener listener_;
 };
 
@@ -65,11 +71,11 @@ class AggregatorClient {
                    PortNum server_port, Bytes request_size);
 
   /// Opens the connection; `on_connected` fires when established.
-  void Connect(std::function<void()> on_connected);
+  void Connect(TcpSocket::Callback on_connected);
 
   /// Issues one request expecting `response_bytes` back. Requests on one
   /// connection are served FIFO.
-  void Request(Bytes response_bytes, std::function<void()> on_response);
+  void Request(Bytes response_bytes, TcpSocket::Callback on_response);
 
   TcpSocket& socket() { return *socket_; }
   bool Connected() const { return socket_->Established(); }
@@ -80,7 +86,7 @@ class AggregatorClient {
 
   struct Pending {
     Bytes remaining;
-    std::function<void()> on_response;
+    TcpSocket::Callback on_response;
   };
 
   Bytes request_size_;
@@ -88,7 +94,7 @@ class AggregatorClient {
   PortNum server_port_;
   Bytes total_received_ = 0;
   std::deque<Pending> pending_;
-  std::unique_ptr<TcpSocket> socket_;
+  TcpSocket::Ptr socket_;
 };
 
 /// Accepts connections and counts the bytes each delivers. When the peer
@@ -108,16 +114,16 @@ class SinkServer {
 
  private:
   struct Conn {
-    std::unique_ptr<TcpSocket> socket;
+    TcpSocket::Ptr socket;
     Bytes received = 0;
   };
 
-  void OnAccept(std::unique_ptr<TcpSocket> socket);
+  void OnAccept(TcpSocket::Ptr socket);
 
   Bytes total_received_ = 0;
   std::uint64_t flows_completed_ = 0;
   FlowCallback on_flow_complete_;
-  std::vector<std::unique_ptr<Conn>> conns_;
+  std::vector<ArenaPtr<Conn>> conns_;
   TcpListener listener_;
 };
 
@@ -132,7 +138,7 @@ class BulkSender {
   /// Starts the transfer. `on_complete` fires when all `size` bytes are
   /// acknowledged (and the FIN sent, when `close_when_done`).
   void Start(Bytes size, bool close_when_done,
-             std::function<void()> on_complete);
+             TcpSocket::Callback on_complete);
 
   TcpSocket& socket() { return *socket_; }
   Bytes acked_bytes() const { return socket_->StreamAcked(); }
@@ -147,8 +153,8 @@ class BulkSender {
   bool close_when_done_ = false;
   bool completed_ = false;
   Tick started_at_ = 0;
-  std::function<void()> on_complete_;
-  std::unique_ptr<TcpSocket> socket_;
+  TcpSocket::Callback on_complete_;
+  TcpSocket::Ptr socket_;
 };
 
 }  // namespace dctcpp

@@ -1,7 +1,5 @@
 #include "dctcpp/workload/experiment.h"
 
-#include <mutex>
-
 #include "dctcpp/util/assert.h"
 
 namespace dctcpp {
@@ -53,9 +51,12 @@ std::vector<IncastSweepPoint> RunIncastSweep(
     }
   }
 
-  std::vector<IncastSweepPoint> points(protocols.size() *
-                                       flow_counts.size());
-  std::mutex merge_mu;
+  // Run every job into its own slot, then merge sequentially in job
+  // order. Merging under a mutex in completion order would make the
+  // floating-point accumulation (SummaryStats, sketches) depend on thread
+  // scheduling; this way the sweep's statistics are bit-identical for any
+  // pool size — see SweepDeterminismAcrossPoolSizes in experiment_test.
+  std::vector<IncastResult> results(jobs.size());
   ParallelFor(pool, jobs.size(), [&](std::size_t j) {
     const Job& job = jobs[j];
     IncastConfig config = base;
@@ -64,7 +65,13 @@ std::vector<IncastSweepPoint> RunIncastSweep(
     config.seed = base.seed + static_cast<std::uint64_t>(job.rep) +
                   0x9e3779b97f4a7c15ULL *
                       static_cast<std::uint64_t>(job.num_flows);
-    const IncastResult result = RunIncast(config);
+    results[j] = RunIncast(config);
+  });
+
+  std::vector<IncastSweepPoint> points(protocols.size() *
+                                       flow_counts.size());
+  for (std::size_t j = 0; j < jobs.size(); ++j) {
+    const Job& job = jobs[j];
     // Point index: protocol-major, flow-count-minor.
     std::size_t pi = 0, ni = 0;
     for (std::size_t i = 0; i < protocols.size(); ++i) {
@@ -73,9 +80,8 @@ std::vector<IncastSweepPoint> RunIncastSweep(
     for (std::size_t i = 0; i < flow_counts.size(); ++i) {
       if (flow_counts[i] == job.num_flows) ni = i;
     }
-    std::lock_guard lock(merge_mu);
-    points[pi * flow_counts.size() + ni].Merge(result);
-  });
+    points[pi * flow_counts.size() + ni].Merge(results[j]);
+  }
   return points;
 }
 

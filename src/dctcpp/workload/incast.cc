@@ -53,45 +53,50 @@ IncastResult RunIncast(const IncastConfig& config) {
     return MakeCongestionOps(config.protocol, config.options);
   };
 
+  // All per-flow control-plane state — probes, servers, clients, long
+  // flows — lives in the simulation's arena: allocated once at setup,
+  // adjacent in memory, reclaimed wholesale when `sim` dies.
+  Arena& arena = sim.arena();
+
   // Worker-side probes: one per accepted sender socket; the first accepted
   // connection is the "randomly selected" tracked flow of the paper.
-  std::vector<std::unique_ptr<RecordingProbe>> probes;
-  auto accept_hook = [&probes](TcpSocket& sk) {
-    probes.push_back(std::make_unique<RecordingProbe>());
+  std::vector<ArenaPtr<RecordingProbe>> probes;
+  auto accept_hook = [&probes, &arena](TcpSocket& sk) {
+    probes.push_back(MakeArena<RecordingProbe>(arena));
     sk.set_probe(probes.back().get());
   };
 
-  std::vector<std::unique_ptr<WorkerServer>> servers;
+  std::vector<ArenaPtr<WorkerServer>> servers;
   for (int w = 0; w < config.num_workers; ++w) {
     WorkerServer::Config wc;
     wc.port = kWorkerPort;
     wc.request_size = config.request_size;
     wc.response_size = [per_flow] { return per_flow; };
     wc.on_accept_hook = accept_hook;
-    servers.push_back(std::make_unique<WorkerServer>(
-        *topo.workers[w], cc_factory, socket_config, std::move(wc)));
+    servers.push_back(MakeArena<WorkerServer>(
+        arena, *topo.workers[w], cc_factory, socket_config, std::move(wc)));
   }
 
   // Aggregator clients, one per concurrent flow, spread round-robin over
   // the worker hosts (the paper's multithreaded benchmark).
-  std::vector<std::unique_ptr<AggregatorClient>> clients;
+  std::vector<ArenaPtr<AggregatorClient>> clients;
   for (int i = 0; i < config.num_flows; ++i) {
     Host* worker = topo.workers[i % config.num_workers];
-    clients.push_back(std::make_unique<AggregatorClient>(
-        *topo.aggregator, cc_factory(), socket_config, worker->id(),
+    clients.push_back(MakeArena<AggregatorClient>(
+        arena, *topo.aggregator, cc_factory(), socket_config, worker->id(),
         kWorkerPort, config.request_size));
   }
 
   // Optional background long flows through the same bottleneck (Fig 10).
-  std::unique_ptr<SinkServer> sink;
-  std::vector<std::unique_ptr<BulkSender>> long_flows;
+  ArenaPtr<SinkServer> sink;
+  std::vector<ArenaPtr<BulkSender>> long_flows;
   if (config.background_flows > 0) {
-    sink = std::make_unique<SinkServer>(*topo.aggregator, kSinkPort,
-                                        cc_factory, socket_config);
+    sink = MakeArena<SinkServer>(arena, *topo.aggregator, kSinkPort,
+                                 cc_factory, socket_config);
     for (int i = 0; i < config.background_flows; ++i) {
       Host* src = topo.workers[i % config.num_workers];
-      long_flows.push_back(std::make_unique<BulkSender>(
-          *src, cc_factory(), socket_config, topo.aggregator->id(),
+      long_flows.push_back(MakeArena<BulkSender>(
+          arena, *src, cc_factory(), socket_config, topo.aggregator->id(),
           kSinkPort));
       long_flows.back()->Start(kLongFlowBytes, /*close_when_done=*/false,
                                nullptr);

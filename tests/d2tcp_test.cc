@@ -32,14 +32,15 @@ TEST(D2tcpUnitTest, NamesAndFactory) {
 class DeadlineGateFixture : public ::testing::Test {
  protected:
   void SetUp() override {
+    net.reset();  // ports hold pinned scheduler events: drop before the sim
     sim = std::make_unique<Simulator>(1);
     net = std::make_unique<Network>(*sim);
     topo = TwoTierTopology::Build(*net, 2, LinkConfig{});
     listener = std::make_unique<TcpListener>(
         *topo.aggregator, PortNum{5000},
         [] { return std::make_unique<D2tcpCc>(); }, TcpSocket::Config{},
-        [this](std::unique_ptr<TcpSocket> s) { server = std::move(s); });
-    client = std::make_unique<TcpSocket>(
+        [this](TcpSocket::Ptr s) { server = std::move(s); });
+    client = TcpSocket::Create(
         *topo.workers[0], std::make_unique<D2tcpCc>(), TcpSocket::Config{});
     client->Connect(topo.aggregator->id(), 5000);
     sim->RunUntil(100_ms);
@@ -55,8 +56,8 @@ class DeadlineGateFixture : public ::testing::Test {
   std::unique_ptr<Network> net;
   TwoTierTopology topo;
   std::unique_ptr<TcpListener> listener;
-  std::unique_ptr<TcpSocket> client;
-  std::unique_ptr<TcpSocket> server;
+  TcpSocket::Ptr client;
+  TcpSocket::Ptr server;
 };
 
 TEST_F(DeadlineGateFixture, NoDeadlineMeansUnitImminence) {

@@ -68,6 +68,7 @@ TEST(ProtocolFactoryTest, PartialVariantDisablesRandomization) {
 class DctcpPlusFixture : public ::testing::Test {
  protected:
   void Build(Bytes threshold) {
+    net.reset();  // ports hold pinned scheduler events: drop before the sim
     sim = std::make_unique<Simulator>(1);
     net = std::make_unique<Network>(*sim);
     Switch& sw = net->AddSwitch("sw");
@@ -86,11 +87,11 @@ class DctcpPlusFixture : public ::testing::Test {
     listener = std::make_unique<TcpListener>(
         *b, PortNum{5000},
         [cc_config] { return std::make_unique<DctcpPlusCc>(cc_config); },
-        TcpSocket::Config{}, [this](std::unique_ptr<TcpSocket> s) {
+        TcpSocket::Config{}, [this](TcpSocket::Ptr s) {
           server = std::move(s);
           server->set_on_data([this](Bytes n) { received += n; });
         });
-    client = std::make_unique<TcpSocket>(
+    client = TcpSocket::Create(
         *a, std::make_unique<DctcpPlusCc>(cc_config), TcpSocket::Config{});
     client->Connect(b->id(), 5000);
     sim->RunUntil(sim->Now() + 100_ms);
@@ -104,8 +105,8 @@ class DctcpPlusFixture : public ::testing::Test {
   Host* a = nullptr;
   Host* b = nullptr;
   std::unique_ptr<TcpListener> listener;
-  std::unique_ptr<TcpSocket> client;
-  std::unique_ptr<TcpSocket> server;
+  TcpSocket::Ptr client;
+  TcpSocket::Ptr server;
   Bytes received = 0;
 };
 
@@ -166,6 +167,7 @@ TEST_F(DctcpPlusFixture, SlowerThanUnpacedUnderMarkingButCompletes) {
 
 TEST_F(DctcpPlusFixture, TimeoutEngagesRegulator) {
   // No marking, tiny buffer: losses and RTOs are the congestion signal.
+  net.reset();  // ports hold pinned scheduler events: drop before the sim
   sim = std::make_unique<Simulator>(1);
   net = std::make_unique<Network>(*sim);
   Switch& sw = net->AddSwitch("sw");
@@ -184,11 +186,11 @@ TEST_F(DctcpPlusFixture, TimeoutEngagesRegulator) {
   listener = std::make_unique<TcpListener>(
       *b, PortNum{5000},
       [] { return std::make_unique<DctcpPlusCc>(); }, socket_config,
-      [this](std::unique_ptr<TcpSocket> s) {
+      [this](TcpSocket::Ptr s) {
         server = std::move(s);
         server->set_on_data([this](Bytes n) { received += n; });
       });
-  client = std::make_unique<TcpSocket>(*a, std::make_unique<DctcpPlusCc>(),
+  client = TcpSocket::Create(*a, std::make_unique<DctcpPlusCc>(),
                                        socket_config);
   client->Connect(b->id(), 5000);
   sim->RunUntil(sim->Now() + 100_ms);

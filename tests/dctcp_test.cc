@@ -20,6 +20,7 @@ class DctcpFixture : public ::testing::Test {
   /// a -> sw at 10 Gbps, sw -> b at 1 Gbps: the b-side port is a real
   /// bottleneck with the configured buffer and marking threshold.
   void Build(Bytes buffer = 128 * kKiB, Bytes threshold = 32 * kKiB) {
+    net.reset();  // ports hold pinned scheduler events: drop before the sim
     sim = std::make_unique<Simulator>(1);
     net = std::make_unique<Network>(*sim);
     Switch& sw = net->AddSwitch("sw");
@@ -40,11 +41,11 @@ class DctcpFixture : public ::testing::Test {
     listener = std::make_unique<TcpListener>(
         *b, PortNum{5000},
         [cc_config] { return std::make_unique<DctcpCc>(cc_config); },
-        TcpSocket::Config{}, [this](std::unique_ptr<TcpSocket> s) {
+        TcpSocket::Config{}, [this](TcpSocket::Ptr s) {
           server = std::move(s);
           server->set_on_data([this](Bytes n) { received += n; });
         });
-    client = std::make_unique<TcpSocket>(
+    client = TcpSocket::Create(
         *a, std::make_unique<DctcpCc>(cc_config), TcpSocket::Config{});
     client->Connect(b->id(), 5000);
     sim->RunUntil(sim->Now() + 100_ms);
@@ -59,8 +60,8 @@ class DctcpFixture : public ::testing::Test {
   Host* b = nullptr;
   EgressPort* bottleneck = nullptr;
   std::unique_ptr<TcpListener> listener;
-  std::unique_ptr<TcpSocket> client;
-  std::unique_ptr<TcpSocket> server;
+  TcpSocket::Ptr client;
+  TcpSocket::Ptr server;
   Bytes received = 0;
 };
 

@@ -173,10 +173,10 @@ TEST(RedIntegrationTest, DctcpOverRedTransfers) {
   net.InstallRoutes();
 
   Bytes received = 0;
-  std::unique_ptr<TcpSocket> server;
+  TcpSocket::Ptr server;
   TcpListener listener(
       b, 5000, [] { return MakeCongestionOps(Protocol::kDctcp); },
-      TcpSocket::Config{}, [&](std::unique_ptr<TcpSocket> s) {
+      TcpSocket::Config{}, [&](TcpSocket::Ptr s) {
         server = std::move(s);
         server->set_on_data([&](Bytes n) { received += n; });
       });

@@ -51,11 +51,11 @@ TEST_P(LossyPathTest, TransferSurvivesRandomLoss) {
   socket_config.rto.min_rto = 10_ms;
 
   Bytes received = 0;
-  std::unique_ptr<TcpSocket> server;
+  TcpSocket::Ptr server;
   TcpListener listener(
       b, 5000,
       [&param] { return MakeCongestionOps(param.protocol); }, socket_config,
-      [&](std::unique_ptr<TcpSocket> s) {
+      [&](TcpSocket::Ptr s) {
         server = std::move(s);
         server->set_on_data([&](Bytes n) { received += n; });
       });

@@ -51,6 +51,7 @@ TEST(SackRangesTest, WorksAcrossWrap) {
 class SackFixture : public ::testing::Test {
  protected:
   void Build(Bytes buffer, Tick delay = 10_us) {
+    net.reset();  // ports hold pinned scheduler events: drop before the sim
     sim = std::make_unique<Simulator>(1);
     net = std::make_unique<Network>(*sim);
     Switch& sw = net->AddSwitch("sw");
@@ -77,11 +78,11 @@ class SackFixture : public ::testing::Test {
     listener = std::make_unique<TcpListener>(
         *b, PortNum{5000},
         [] { return std::make_unique<NewRenoCc>(NewRenoCc::Config{}); },
-        server_config, [this](std::unique_ptr<TcpSocket> s) {
+        server_config, [this](TcpSocket::Ptr s) {
           server = std::move(s);
           server->set_on_data([this](Bytes n) { received += n; });
         });
-    client = std::make_unique<TcpSocket>(
+    client = TcpSocket::Create(
         *a, std::make_unique<NewRenoCc>(NewRenoCc::Config{}),
         client_config);
     client->Connect(b->id(), 5000);
@@ -94,8 +95,8 @@ class SackFixture : public ::testing::Test {
   Host* a = nullptr;
   Host* b = nullptr;
   std::unique_ptr<TcpListener> listener;
-  std::unique_ptr<TcpSocket> client;
-  std::unique_ptr<TcpSocket> server;
+  TcpSocket::Ptr client;
+  TcpSocket::Ptr server;
   Bytes received = 0;
 };
 

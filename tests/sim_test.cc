@@ -11,6 +11,7 @@
 #include <utility>
 #include <vector>
 
+#include "dctcpp/sim/pinned_event.h"
 #include "dctcpp/sim/scheduler.h"
 #include "dctcpp/sim/simulator.h"
 #include "dctcpp/sim/timer.h"
@@ -360,6 +361,198 @@ TEST(TimerTest, DestructionCancelsPendingEvent) {
   }
   sim.Run();
   EXPECT_EQ(fired, 0);
+}
+
+// ---------------------------------------------------------------------------
+// Pinned events (one wheel node re-armed for a lifetime)
+
+TEST(PinnedEventTest, FiresAtArmedTime) {
+  Simulator sim;
+  std::vector<Tick> fires;
+  struct Ctx {
+    Simulator* sim;
+    std::vector<Tick>* fires;
+  } ctx{&sim, &fires};
+  PinnedEvent ev(
+      sim, [](void* p) {
+        auto* c = static_cast<Ctx*>(p);
+        c->fires->push_back(c->sim->Now());
+      },
+      &ctx);
+  EXPECT_FALSE(ev.armed());
+  ev.ArmAt(25);
+  EXPECT_TRUE(ev.armed());
+  sim.Run();
+  EXPECT_FALSE(ev.armed());
+  EXPECT_EQ(fires, (std::vector<Tick>{25}));
+}
+
+TEST(PinnedEventTest, ReArmReplacesPendingArming) {
+  Simulator sim;
+  std::vector<Tick> fires;
+  struct Ctx {
+    Simulator* sim;
+    std::vector<Tick>* fires;
+  } ctx{&sim, &fires};
+  PinnedEvent ev(
+      sim, [](void* p) {
+        auto* c = static_cast<Ctx*>(p);
+        c->fires->push_back(c->sim->Now());
+      },
+      &ctx);
+  ev.ArmAt(50);
+  ev.ArmAt(10);  // pull in
+  sim.Run();
+  ev.ArmAt(sim.Now() + 5);
+  ev.ArmAt(sim.Now() + 90);  // push out
+  sim.Run();
+  EXPECT_EQ(fires, (std::vector<Tick>{10, 100}));
+}
+
+TEST(PinnedEventTest, CancelDisarmsAndIsIdempotent) {
+  Simulator sim;
+  int fired = 0;
+  struct Ctx {
+    int* fired;
+  } ctx{&fired};
+  PinnedEvent ev(
+      sim, [](void* p) { ++*static_cast<Ctx*>(p)->fired; }, &ctx);
+  ev.ArmAt(10);
+  ev.Cancel();
+  ev.Cancel();  // no-op on a parked node
+  EXPECT_FALSE(ev.armed());
+  sim.Run();
+  EXPECT_EQ(fired, 0);
+  // The node is still usable after cancellation.
+  ev.ArmAt(sim.Now() + 3);
+  sim.Run();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(PinnedEventTest, CallbackMayReArmItsOwnNode) {
+  Simulator sim;
+  struct Ctx {
+    Simulator* sim;
+    PinnedEvent* ev;
+    int count = 0;
+  } ctx{&sim, nullptr};
+  PinnedEvent ev(
+      sim, [](void* p) {
+        auto* c = static_cast<Ctx*>(p);
+        if (++c->count < 5) c->ev->ArmAt(c->sim->Now() + 10);
+      },
+      &ctx);
+  ctx.ev = &ev;
+  ev.ArmAt(10);
+  sim.Run();
+  EXPECT_EQ(ctx.count, 5);
+  EXPECT_EQ(sim.Now(), 50);
+}
+
+TEST(PinnedEventTest, FarFutureArmTransitsOverflowHeap) {
+  Simulator sim;
+  int fired = 0;
+  struct Ctx {
+    int* fired;
+  } ctx{&fired};
+  PinnedEvent ev(
+      sim, [](void* p) { ++*static_cast<Ctx*>(p)->fired; }, &ctx);
+  // Far beyond the wheel span (2^50 ticks): homes in the overflow heap.
+  const Tick far = (Tick(1) << 51) + 7;
+  ev.ArmAt(far);
+  EXPECT_EQ(sim.scheduler().OverflowCount(), 1u);
+  // Cancelling a heap-resident pinned node leaves a stale entry that must
+  // not fire and must not block a fresh arming of the same node.
+  ev.Cancel();
+  EXPECT_FALSE(ev.armed());
+  ev.ArmAt(far + 1);
+  sim.Run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.Now(), far + 1);
+}
+
+TEST(PinnedEventTest, InterleavesWithRegularEventsInSeqOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  struct Ctx {
+    std::vector<int>* order;
+  } ctx{&order};
+  PinnedEvent ev(
+      sim, [](void* p) { static_cast<Ctx*>(p)->order->push_back(1); }, &ctx);
+  sim.ScheduleAt(10, [&] { order.push_back(0); });
+  ev.ArmAt(10);  // armed after: fires after among equal timestamps
+  sim.ScheduleAt(10, [&] { order.push_back(2); });
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+// ---------------------------------------------------------------------------
+// Timer lazy re-arm (deadline pushed out without touching the wheel)
+
+TEST(TimerTest, DeadlinePushedOutFiresOnceAtLatestDeadline) {
+  Simulator sim;
+  std::vector<Tick> fires;
+  Timer t(sim, [&] { fires.push_back(sim.Now()); });
+  // The RFC 6298 pattern: re-arm on every "ACK", each pushing the expiry
+  // out. The stale armings must be absorbed, firing exactly once at the
+  // final deadline.
+  t.Schedule(100);
+  for (Tick at : {Tick{20}, Tick{40}, Tick{60}}) {
+    sim.ScheduleAt(at, [&] { t.Schedule(100); });
+  }
+  sim.Run();
+  EXPECT_EQ(fires, (std::vector<Tick>{160}));
+  EXPECT_FALSE(t.IsPending());
+}
+
+TEST(TimerTest, ExpiresAtTracksLogicalDeadlineWhileArmingIsLazy) {
+  Simulator sim;
+  Timer t(sim, [] {});
+  t.Schedule(50);
+  sim.ScheduleAt(10, [&] {
+    t.Schedule(200);  // deadline out to 210; physical arming stays at 50
+    EXPECT_EQ(t.expires_at(), 210);
+    EXPECT_TRUE(t.IsPending());
+  });
+  // At t=50 the stale arming pops and silently re-homes to 210.
+  sim.ScheduleAt(100, [&] { EXPECT_TRUE(t.IsPending()); });
+  sim.Run();
+  EXPECT_EQ(sim.Now(), 210);
+  EXPECT_FALSE(t.IsPending());
+}
+
+TEST(TimerTest, CancelDuringStalePendingArmingNeverFires) {
+  Simulator sim;
+  int fired = 0;
+  Timer t(sim, [&] { ++fired; });
+  t.Schedule(30);
+  sim.ScheduleAt(10, [&] { t.Schedule(100); });  // lazy: arming stays at 30
+  sim.ScheduleAt(50, [&] { t.Cancel(); });       // after the stale pop
+  sim.Run();
+  EXPECT_EQ(fired, 0);
+  EXPECT_FALSE(t.IsPending());
+}
+
+TEST(TimerTest, PullInReplacesArmingEagerly) {
+  Simulator sim;
+  std::vector<Tick> fires;
+  Timer t(sim, [&] { fires.push_back(sim.Now()); });
+  t.Schedule(100);
+  sim.ScheduleAt(10, [&] { t.Schedule(20); });  // earlier: must re-home now
+  sim.Run();
+  EXPECT_EQ(fires, (std::vector<Tick>{30}));
+}
+
+TEST(TimerTest, ReArmAfterStaleRehomeStillLazy) {
+  Simulator sim;
+  std::vector<Tick> fires;
+  Timer t(sim, [&] { fires.push_back(sim.Now()); });
+  // Two generations of lazy push-out with a stale re-home in between.
+  t.Schedule(10);
+  sim.ScheduleAt(5, [&] { t.Schedule(50); });    // pops stale at 10, re-homes
+  sim.ScheduleAt(30, [&] { t.Schedule(100); });  // pops stale at 55, re-homes
+  sim.Run();
+  EXPECT_EQ(fires, (std::vector<Tick>{130}));
 }
 
 }  // namespace

@@ -49,10 +49,10 @@ TEST(TcpPlusTest, HeavyLossTransferCompletes) {
   TcpSocket::Config socket_config;
   socket_config.rto.min_rto = 10_ms;
   Bytes received = 0;
-  std::unique_ptr<TcpSocket> server;
+  TcpSocket::Ptr server;
   TcpListener listener(
       b, 5000, [] { return std::make_unique<TcpPlusCc>(); }, socket_config,
-      [&](std::unique_ptr<TcpSocket> s) {
+      [&](TcpSocket::Ptr s) {
         server = std::move(s);
         server->set_on_data([&](Bytes n) { received += n; });
       });
@@ -73,11 +73,11 @@ TEST(TcpPlusTest, TimeoutEngagesRegulator) {
   TwoTierTopology topo = TwoTierTopology::Build(net, 2, LinkConfig{});
   TcpSocket::Config socket_config;
   socket_config.rto.min_rto = 10_ms;
-  std::unique_ptr<TcpSocket> server;
+  TcpSocket::Ptr server;
   TcpListener listener(
       *topo.aggregator, 5000, [] { return std::make_unique<TcpPlusCc>(); },
       socket_config,
-      [&](std::unique_ptr<TcpSocket> s) { server = std::move(s); });
+      [&](TcpSocket::Ptr s) { server = std::move(s); });
   TcpSocket client(*topo.workers[0], std::make_unique<TcpPlusCc>(),
                    socket_config);
   client.Connect(topo.aggregator->id(), 5000);
@@ -96,10 +96,10 @@ TEST(TcpPlusTest, StaysNormalOnCleanPath) {
   Network net(sim);
   TwoTierTopology topo = TwoTierTopology::Build(net, 2, LinkConfig{});
   Bytes received = 0;
-  std::unique_ptr<TcpSocket> server;
+  TcpSocket::Ptr server;
   TcpListener listener(
       *topo.aggregator, 5000, [] { return std::make_unique<TcpPlusCc>(); },
-      TcpSocket::Config{}, [&](std::unique_ptr<TcpSocket> s) {
+      TcpSocket::Config{}, [&](TcpSocket::Ptr s) {
         server = std::move(s);
         server->set_on_data([&](Bytes n) { received += n; });
       });

@@ -24,6 +24,7 @@ class TcpFixture : public ::testing::Test {
   /// 1 Gbps port toward b is a genuine bottleneck whose queue (with the
   /// given buffer and marking threshold) actually builds.
   void Build(Bytes ab_buffer = 128 * kKiB, Bytes ecn_threshold = 32 * kKiB) {
+    net.reset();  // ports hold pinned scheduler events: drop before the sim
     sim = std::make_unique<Simulator>(1);
     net = std::make_unique<Network>(*sim);
     sw = &net->AddSwitch("sw");
@@ -46,11 +47,11 @@ class TcpFixture : public ::testing::Test {
     listener = std::make_unique<TcpListener>(
         *b, PortNum{5000},
         [cc_config] { return std::make_unique<NewRenoCc>(cc_config); },
-        socket_config, [this](std::unique_ptr<TcpSocket> s) {
+        socket_config, [this](TcpSocket::Ptr s) {
           server = std::move(s);
           server->set_on_data([this](Bytes n) { server_received += n; });
         });
-    client = std::make_unique<TcpSocket>(
+    client = TcpSocket::Create(
         *a, std::make_unique<NewRenoCc>(cc_config), socket_config);
     client->set_on_data([this](Bytes n) { client_received += n; });
     bool connected = false;
@@ -67,8 +68,8 @@ class TcpFixture : public ::testing::Test {
   Host* a = nullptr;
   Host* b = nullptr;
   std::unique_ptr<TcpListener> listener;
-  std::unique_ptr<TcpSocket> client;
-  std::unique_ptr<TcpSocket> server;
+  TcpSocket::Ptr client;
+  TcpSocket::Ptr server;
   Bytes server_received = 0;
   Bytes client_received = 0;
 };
@@ -284,7 +285,7 @@ TEST_F(TcpFixture, SynRetransmissionSurvivesLoss) {
   Build();
   TcpSocket::Config config;
   config.rto.min_rto = 10_ms;
-  client = std::make_unique<TcpSocket>(
+  client = TcpSocket::Create(
       *a, std::make_unique<NewRenoCc>(NewRenoCc::Config{}), config);
   bool connected = false;
   client->set_on_connected([&] { connected = true; });
@@ -293,7 +294,7 @@ TEST_F(TcpFixture, SynRetransmissionSurvivesLoss) {
     listener = std::make_unique<TcpListener>(
         *b, PortNum{5000},
         [] { return std::make_unique<NewRenoCc>(NewRenoCc::Config{}); },
-        config, [this](std::unique_ptr<TcpSocket> s) {
+        config, [this](TcpSocket::Ptr s) {
           server = std::move(s);
         });
   });
@@ -315,12 +316,12 @@ TEST_F(TcpFixture, DeterministicGivenSeed) {
     net.ConnectHost(b, sw, lossy, Network::NicConfig(LinkConfig{}));
     net.InstallRoutes();
     Bytes received = 0;
-    std::vector<std::unique_ptr<TcpSocket>> accepted;
+    std::vector<TcpSocket::Ptr> accepted;
     TcpListener listener(
         b, 5000,
         [] { return std::make_unique<NewRenoCc>(NewRenoCc::Config{}); },
         TcpSocket::Config{},
-        [&](std::unique_ptr<TcpSocket> s) {
+        [&](TcpSocket::Ptr s) {
           s->set_on_data([&received](Bytes n) { received += n; });
           accepted.push_back(std::move(s));
         });

@@ -53,10 +53,10 @@ TEST_P(TransferProperty, ExactInOrderDelivery) {
 
   Bytes received = 0;
   Bytes deliveries = 0;
-  std::unique_ptr<TcpSocket> server;
+  TcpSocket::Ptr server;
   TcpListener listener(
       b, 5000, [&param] { return MakeCongestionOps(param.protocol); },
-      socket_config, [&](std::unique_ptr<TcpSocket> s) {
+      socket_config, [&](TcpSocket::Ptr s) {
         server = std::move(s);
         server->set_on_data([&](Bytes n) {
           ASSERT_GT(n, 0);  // in-order deliveries are always positive

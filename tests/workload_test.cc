@@ -25,6 +25,7 @@ TcpListener::CcFactory TcpFactory() {
 class AppsFixture : public ::testing::Test {
  protected:
   void SetUp() override {
+    net.reset();  // ports hold pinned scheduler events: drop before the sim
     sim = std::make_unique<Simulator>(1);
     net = std::make_unique<Network>(*sim);
     topo = TwoTierTopology::Build(*net, 4, LinkConfig{});
