@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
-# Builds and runs both fixed-workload performance harnesses:
+# Builds and runs the fixed-workload performance harnesses:
 #   - engine_regression   -> BENCH_engine.json   (scheduler core)
 #   - datapath_regression -> BENCH_datapath.json (per-packet datapath)
+#   - soak_impairment     -> BENCH_soak.json     (fault-profile sweep)
 # Numbers feed DESIGN.md's "Engine performance" and "Datapath performance"
 # sections and the acceptance gates (>=2x wheel-vs-heap, >=1.5x datapath
 # packets/sec vs the pre-PR baseline). datapath_regression exits nonzero
@@ -18,11 +19,16 @@ build_dir="${1:-$repo_root/build}"
 # RelWithDebInfo, and an existing build dir keeps its configuration.
 cmake -S "$repo_root" -B "$build_dir" >/dev/null
 cmake --build "$build_dir" --target engine_regression datapath_regression \
-  micro_demux -j >/dev/null
+  soak_impairment micro_demux -j >/dev/null
 "$build_dir/bench/engine_regression" "$repo_root/BENCH_engine.json"
 echo "Wrote $repo_root/BENCH_engine.json"
 "$build_dir/bench/datapath_regression" "$repo_root/BENCH_datapath.json"
 echo "Wrote $repo_root/BENCH_datapath.json"
+# Full impairment matrix with the invariant checker armed; exits nonzero
+# (failing this script) on any invariant violation or if the same seed is
+# not bit-identical across 1/2/8-thread pools.
+"$build_dir/bench/soak_impairment" "$repo_root/BENCH_soak.json"
+echo "Wrote $repo_root/BENCH_soak.json"
 # Control-plane microbenchmarks (flat-vs-map demux, dense-vs-hash routing,
 # arena-vs-heap setup); console output only, the regression numbers of
 # record live in BENCH_datapath.json's micro section.

@@ -14,6 +14,9 @@ void Host::Send(Packet pkt) {
   DCTCPP_ASSERT(uplink_ != nullptr);
   DCTCPP_ASSERT(pkt.src == id_);
   pkt.uid = (static_cast<std::uint64_t>(id_) + 1) << 40 | next_packet_uid_++;
+  // Birth record in the conservation ledger, before the NIC gets a chance
+  // to drop it: every originated packet must retire exactly once.
+  sim_.invariants().CountOriginated();
   uplink_->Send(pkt);
 }
 
@@ -62,12 +65,32 @@ PortNum Host::AllocatePort() {
                           : static_cast<PortNum>(candidate + 1);
     if (!PortInUse(candidate)) return candidate;
   }
+  Log(LogLevel::kError,
+      "host %s: ephemeral port range [%u, 65535) exhausted — all %d ports "
+      "have live registrations; connections are leaking or the workload "
+      "needs more client hosts",
+      name_.c_str(), static_cast<unsigned>(kEphemeralBase),
+      65535 - kEphemeralBase);
   DCTCPP_ASSERT(false && "ephemeral port range exhausted");
   return 0;
 }
 
 void Host::Deliver(const Packet& pkt) {
   DCTCPP_ASSERT(pkt.dst == id_);
+  if (pkt.corrupted) {
+    // The TCP checksum fails verification: the segment is discarded here,
+    // before demux, exactly as a real stack drops a bad-checksum segment
+    // without any protocol reaction.
+    ++checksum_drops_;
+    sim_.invariants().CountChecksumDiscard();
+    if (LogEnabled(LogLevel::kTrace)) {
+      char buf[Packet::kDescribeBufSize];
+      Log(LogLevel::kTrace, "host %s: checksum discard %s", name_.c_str(),
+          pkt.DescribeTo(buf, sizeof buf));
+    }
+    return;
+  }
+  sim_.invariants().CountDelivered();
   // Copy the handler before invoking: the callee may (un)register
   // handlers (FinalizeClose, accept). InlineHandler is a small trivially
   // copyable struct, so the copy is a couple of register moves.

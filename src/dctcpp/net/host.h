@@ -66,6 +66,10 @@ class Host : public PacketSink {
   /// Packets that matched neither a connection nor a listener.
   std::uint64_t unmatched_packets() const { return unmatched_; }
 
+  /// Segments discarded because impairment corrupted them in transit (the
+  /// modelled TCP checksum failed on arrival).
+  std::uint64_t checksum_drops() const { return checksum_drops_; }
+
  private:
   static constexpr PortNum kEphemeralBase = 10000;
 
@@ -86,6 +90,7 @@ class Host : public PacketSink {
   std::vector<std::uint32_t> port_refs_;
   PortNum next_ephemeral_ = kEphemeralBase;
   std::uint64_t unmatched_ = 0;
+  std::uint64_t checksum_drops_ = 0;
   std::uint64_t next_packet_uid_ = 1;
 };
 

@@ -1,0 +1,169 @@
+#include "dctcpp/net/impairment.h"
+
+#include <algorithm>
+
+#include "dctcpp/net/link.h"
+#include "dctcpp/util/log.h"
+
+namespace dctcpp {
+
+Tick ReorderBuffer::NextRelease() const {
+  DCTCPP_ASSERT(!heap_.empty());
+  return heap_.front().release_at;
+}
+
+void ReorderBuffer::Hold(const Packet& pkt, Tick release_at) {
+  heap_.push_back(Held{release_at, next_order_++, pkt});
+  std::push_heap(heap_.begin(), heap_.end(), Later);
+}
+
+void ReorderBuffer::PopTop() {
+  std::pop_heap(heap_.begin(), heap_.end(), Later);
+  heap_.pop_back();
+}
+
+namespace {
+
+bool MatchesOrdinal(const std::vector<std::uint64_t>& ordinals,
+                    std::uint64_t n) {
+  for (std::uint64_t o : ordinals) {
+    if (o == n) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+ImpairmentStage::ImpairmentStage(Simulator& sim,
+                                 const ImpairmentConfig& config,
+                                 EgressPort& port)
+    : sim_(sim),
+      config_(config),
+      port_(port),
+      rng_(sim.StreamRng(sim.NextImpairmentStream())),
+      release_ev_(
+          sim, [](void* p) { static_cast<ImpairmentStage*>(p)->OnRelease(); },
+          this) {
+  for (std::size_t i = 0; i + 1 < config_.flaps.size(); ++i) {
+    DCTCPP_ASSERT(config_.flaps[i].up_at <= config_.flaps[i + 1].down_at &&
+                  "flap schedule must be sorted and non-overlapping");
+  }
+  for (const LinkFlap& f : config_.flaps) {
+    DCTCPP_ASSERT(f.down_at < f.up_at);
+  }
+}
+
+void ImpairmentStage::UpdateLinkState(Tick now) {
+  while (next_flap_ < config_.flaps.size() &&
+         now >= config_.flaps[next_flap_].up_at) {
+    ++next_flap_;
+  }
+  link_up_ = !(next_flap_ < config_.flaps.size() &&
+               now >= config_.flaps[next_flap_].down_at);
+}
+
+void ImpairmentStage::CountDrop(std::uint64_t* counter, const char* site,
+                                const Packet& pkt) {
+  ++*counter;
+  sim_.invariants().CountDropped();
+  if (LogEnabled(LogLevel::kTrace)) {
+    char buf[Packet::kDescribeBufSize];
+    Log(LogLevel::kTrace, "impairment %s drop at %s: %s", site,
+        FormatTick(sim_.Now()).c_str(), pkt.DescribeTo(buf, sizeof buf));
+  }
+}
+
+bool ImpairmentStage::Process(Packet& pkt, bool* duplicate) {
+  *duplicate = false;
+  ++stats_.submitted;
+  const Tick now = sim_.Now();
+  UpdateLinkState(now);
+  if (!link_up_) {
+    CountDrop(&stats_.link_down_losses, "link-down", pkt);
+    return false;
+  }
+
+  // Forced ordinal drops consume no randomness (pure test hook).
+  if (pkt.IsData()) {
+    ++data_seen_;
+    if (MatchesOrdinal(config_.drop_data_nth, data_seen_)) {
+      CountDrop(&stats_.forced_losses, "forced-data", pkt);
+      return false;
+    }
+  } else if (pkt.tcp.ack_flag && !pkt.tcp.syn && !pkt.tcp.fin) {
+    ++acks_seen_;
+    if (MatchesOrdinal(config_.drop_ack_nth, acks_seen_)) {
+      CountDrop(&stats_.forced_losses, "forced-ack", pkt);
+      return false;
+    }
+  }
+
+  if (config_.ge_p_good_to_bad > 0.0) {
+    // Advance the Gilbert–Elliott chain one step, then sample loss from
+    // the new state.
+    if (ge_bad_) {
+      if (rng_.Chance(config_.ge_p_bad_to_good)) ge_bad_ = false;
+    } else {
+      if (rng_.Chance(config_.ge_p_good_to_bad)) ge_bad_ = true;
+    }
+    const double loss = ge_bad_ ? config_.ge_loss_bad : config_.ge_loss_good;
+    if (loss > 0.0 && rng_.Chance(loss)) {
+      CountDrop(&stats_.burst_losses, "burst", pkt);
+      return false;
+    }
+  }
+
+  if (config_.random_loss > 0.0 && rng_.Chance(config_.random_loss)) {
+    CountDrop(&stats_.random_losses, "random", pkt);
+    return false;
+  }
+
+  if (config_.corrupt_prob > 0.0 && rng_.Chance(config_.corrupt_prob)) {
+    // Delivered, but flagged: switches forward it (end-to-end checksum
+    // model) and the destination host's checksum verification discards it.
+    pkt.corrupted = true;
+    ++stats_.corruptions;
+  }
+
+  if (config_.reorder_prob > 0.0 && rng_.Chance(config_.reorder_prob)) {
+    const Tick span = config_.reorder_delay_max - config_.reorder_delay_min;
+    DCTCPP_ASSERT(span >= 0);
+    const Tick delay = config_.reorder_delay_min + rng_.UniformTick(span);
+    held_.Hold(pkt, now + delay);
+    ++stats_.reordered;
+    ArmRelease();
+    return false;
+  }
+
+  if (config_.duplicate_prob > 0.0 && rng_.Chance(config_.duplicate_prob)) {
+    *duplicate = true;
+    ++stats_.duplicates;
+    sim_.invariants().CountDuplicated();
+  }
+  return true;
+}
+
+void ImpairmentStage::ArmRelease() {
+  // Always re-home the release event at the heap minimum: a fresh hold can
+  // be due before everything already buffered.
+  if (!held_.Empty()) release_ev_.ArmAt(held_.NextRelease());
+}
+
+void ImpairmentStage::OnRelease() {
+  const Tick now = sim_.Now();
+  UpdateLinkState(now);
+  held_.ReleaseDue(now, [&](const Packet& pkt) {
+    ++stats_.released;
+    if (!link_up_) {
+      // The link went down while the packet sat in the hold buffer.
+      CountDrop(&stats_.link_down_losses, "link-down", pkt);
+      return;
+    }
+    // Re-enters behind packets submitted during the hold — that is the
+    // reordering. Held packets are not re-impaired.
+    port_.InjectReleased(pkt);
+  });
+  ArmRelease();
+}
+
+}  // namespace dctcpp

@@ -1,0 +1,199 @@
+// Deterministic per-link network impairment.
+//
+// An ImpairmentStage sits at the entrance of an EgressPort and subjects
+// every submitted packet to a configurable fault pipeline: scheduled link
+// down/up flaps, deterministic forced drops (test hooks), Gilbert–Elliott
+// burst loss, independent random loss (the old `LinkConfig::random_loss`,
+// migrated here), payload corruption (the packet is delivered but flagged,
+// and the receiving host's checksum discards it), duplication, and
+// reordering (the packet is held for a jittered delay and re-enters the
+// queue behind later arrivals).
+//
+// Determinism contract: each stage owns a private RNG stream derived from
+// (simulator seed, link stream id) — see Simulator::StreamRng. Stream ids
+// are claimed in construction order, which the deterministic topology
+// builders fix, so a given link's fault pattern is a pure function of the
+// run seed and the link's position in the topology: bit-identical across
+// thread-pool sizes, across repeated runs, and unchanged when impairment
+// is toggled on *other* links.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dctcpp/net/packet.h"
+#include "dctcpp/sim/pinned_event.h"
+#include "dctcpp/sim/simulator.h"
+#include "dctcpp/util/rng.h"
+#include "dctcpp/util/time.h"
+
+namespace dctcpp {
+
+class EgressPort;
+
+/// One scheduled outage: the link drops everything submitted in
+/// [down_at, up_at). Flaps must be sorted and non-overlapping.
+struct LinkFlap {
+  Tick down_at = 0;
+  Tick up_at = 0;
+};
+
+/// Per-link fault model. All probabilities are per submitted packet; every
+/// random decision draws from the link's private stream.
+struct ImpairmentConfig {
+  // --- Gilbert–Elliott burst loss --------------------------------------
+  // Two-state Markov chain advanced once per submitted packet: Good
+  // drops with `ge_loss_good`, Bad with `ge_loss_bad`. Mean burst length
+  // is 1/ge_p_bad_to_good packets; stationary Bad fraction is
+  // p_gb / (p_gb + p_bg). Enabled when ge_p_good_to_bad > 0.
+  double ge_p_good_to_bad = 0.0;
+  double ge_p_bad_to_good = 0.0;
+  double ge_loss_good = 0.0;
+  double ge_loss_bad = 1.0;
+
+  /// Independent per-packet loss (i.i.d.; the classic `random_loss` knob).
+  double random_loss = 0.0;
+
+  /// Per-packet probability of delivering one extra copy, enqueued
+  /// immediately behind the original.
+  double duplicate_prob = 0.0;
+
+  /// Per-packet probability of flipping payload/header bits. The packet
+  /// still traverses the network (switches forward it — the model is an
+  /// end-to-end TCP checksum, not a per-hop FCS) and is discarded by the
+  /// destination host's checksum verification.
+  double corrupt_prob = 0.0;
+
+  // --- reordering -------------------------------------------------------
+  /// Per-packet probability of being held for a uniform extra delay in
+  /// [reorder_delay_min, reorder_delay_max] before entering the queue,
+  /// letting later submissions overtake it.
+  double reorder_prob = 0.0;
+  Tick reorder_delay_min = 50 * kMicrosecond;
+  Tick reorder_delay_max = 500 * kMicrosecond;
+
+  /// Scheduled outages (sorted, non-overlapping).
+  std::vector<LinkFlap> flaps;
+
+  // --- deterministic test hooks ----------------------------------------
+  /// Drop the nth data packet (payload > 0) / nth pure ACK (no payload,
+  /// ACK flag, not SYN/FIN) submitted to this link; 1-based ordinals.
+  /// These consume no randomness, so they do not perturb the stream.
+  std::vector<std::uint64_t> drop_data_nth;
+  std::vector<std::uint64_t> drop_ack_nth;
+
+  /// True when any knob is active (a stage needs to be instantiated).
+  bool Any() const {
+    return ge_p_good_to_bad > 0.0 || random_loss > 0.0 ||
+           duplicate_prob > 0.0 || corrupt_prob > 0.0 ||
+           reorder_prob > 0.0 || !flaps.empty() || !drop_data_nth.empty() ||
+           !drop_ack_nth.empty();
+  }
+};
+
+/// Hold buffer for reordered packets: each entry is released no earlier
+/// than its release tick; entries sharing a release tick leave in
+/// submission order. Standalone so the property test can drive it with
+/// randomized schedules (see tests/impairment_test.cc).
+class ReorderBuffer {
+ public:
+  bool Empty() const { return heap_.empty(); }
+  std::size_t Size() const { return heap_.size(); }
+
+  /// Earliest release tick. Precondition: !Empty().
+  Tick NextRelease() const;
+
+  /// Holds a copy of `pkt` until `release_at`.
+  void Hold(const Packet& pkt, Tick release_at);
+
+  /// Pops every entry due at or before `now` — in (release tick,
+  /// submission order) — invoking `fn(packet)` for each.
+  template <typename F>
+  void ReleaseDue(Tick now, F&& fn) {
+    while (!heap_.empty() && heap_.front().release_at <= now) {
+      Held held = std::move(heap_.front());
+      PopTop();
+      fn(held.pkt);
+    }
+  }
+
+ private:
+  struct Held {
+    Tick release_at;
+    std::uint64_t order;  ///< submission counter: FIFO within one tick
+    Packet pkt;
+  };
+
+  static bool Later(const Held& a, const Held& b) {
+    if (a.release_at != b.release_at) return a.release_at > b.release_at;
+    return a.order > b.order;  // min-heap on (release_at, order)
+  }
+
+  void PopTop();
+
+  std::vector<Held> heap_;  // binary min-heap via std::push_heap/pop_heap
+  std::uint64_t next_order_ = 0;
+};
+
+/// The per-link fault pipeline. Owned by an EgressPort; consulted once per
+/// submitted packet, before the queue.
+class ImpairmentStage {
+ public:
+  struct Stats {
+    std::uint64_t submitted = 0;      ///< packets entering the stage
+    std::uint64_t random_losses = 0;  ///< i.i.d. loss drops
+    std::uint64_t burst_losses = 0;   ///< Gilbert–Elliott drops
+    std::uint64_t link_down_losses = 0;
+    std::uint64_t forced_losses = 0;  ///< drop_data_nth / drop_ack_nth
+    std::uint64_t duplicates = 0;
+    std::uint64_t corruptions = 0;
+    std::uint64_t reordered = 0;  ///< packets held by the reorder buffer
+    std::uint64_t released = 0;   ///< held packets re-injected so far
+
+    std::uint64_t TotalDropped() const {
+      return random_losses + burst_losses + link_down_losses + forced_losses;
+    }
+  };
+
+  /// `port` must outlive the stage (the stage is a member of the port).
+  /// Claims the next impairment stream id from `sim`.
+  ImpairmentStage(Simulator& sim, const ImpairmentConfig& config,
+                  EgressPort& port);
+
+  ImpairmentStage(const ImpairmentStage&) = delete;
+  ImpairmentStage& operator=(const ImpairmentStage&) = delete;
+
+  /// Runs one packet through the pipeline. Returns true when the (possibly
+  /// corrupted) packet should enter the queue now; false when the stage
+  /// consumed it (dropped, or held for later re-injection). `*duplicate`
+  /// is set when one extra copy must be enqueued behind the original.
+  bool Process(Packet& pkt, bool* duplicate);
+
+  bool link_up() const { return link_up_; }
+  const Stats& stats() const { return stats_; }
+  std::size_t held_packets() const { return held_.Size(); }
+
+ private:
+  /// Advances the flap cursor to `now` and refreshes `link_up_`. The flap
+  /// schedule is a pure function of time, so link state needs no events of
+  /// its own — it is recomputed whenever a packet passes through.
+  void UpdateLinkState(Tick now);
+  void OnRelease();
+  void ArmRelease();
+  void CountDrop(std::uint64_t* counter, const char* site, const Packet& pkt);
+
+  Simulator& sim_;
+  ImpairmentConfig config_;
+  EgressPort& port_;
+  Rng rng_;              ///< private per-link stream
+  bool ge_bad_ = false;  ///< Gilbert–Elliott state
+  bool link_up_ = true;
+  std::size_t next_flap_ = 0;
+  std::uint64_t data_seen_ = 0;
+  std::uint64_t acks_seen_ = 0;
+  ReorderBuffer held_;
+  Stats stats_;
+  PinnedEvent release_ev_;
+};
+
+}  // namespace dctcpp

@@ -5,6 +5,21 @@
 
 namespace dctcpp {
 
+namespace {
+
+/// Folds the legacy `LinkConfig::random_loss` knob into the impairment
+/// config. Both knobs set means two independent loss sources.
+ImpairmentConfig EffectiveImpairment(const LinkConfig& config) {
+  ImpairmentConfig eff = config.impairment;
+  if (config.random_loss > 0.0) {
+    eff.random_loss =
+        1.0 - (1.0 - eff.random_loss) * (1.0 - config.random_loss);
+  }
+  return eff;
+}
+
+}  // namespace
+
 EgressPort::EgressPort(Simulator& sim, const LinkConfig& config,
                        PacketSink& peer)
     : sim_(sim),
@@ -18,20 +33,29 @@ EgressPort::EgressPort(Simulator& sim, const LinkConfig& config,
           sim, [](void* p) { static_cast<EgressPort*>(p)->DeliverHead(); },
           this) {
   if (config.red) queue_.EnableRed(config.red_config, &sim.rng());
+  const ImpairmentConfig eff = EffectiveImpairment(config);
+  if (eff.Any()) {
+    impairment_ = std::make_unique<ImpairmentStage>(sim, eff, *this);
+  }
 }
 
+EgressPort::~EgressPort() { AuditQueueBytes(); }
+
 void EgressPort::Send(const Packet& pkt) {
-  if (config_.random_loss > 0.0 &&
-      sim_.rng().Chance(config_.random_loss)) {
-    ++random_losses_;
-    if (LogEnabled(LogLevel::kTrace)) {
-      char buf[Packet::kDescribeBufSize];
-      Log(LogLevel::kTrace, "random loss at %s: %s",
-          FormatTick(sim_.Now()).c_str(), pkt.DescribeTo(buf, sizeof buf));
-    }
+  if (impairment_ != nullptr) {
+    Packet copy = pkt;
+    bool duplicate = false;
+    if (!impairment_->Process(copy, &duplicate)) return;
+    EnqueueForTransmit(copy);
+    if (duplicate) EnqueueForTransmit(copy);
     return;
   }
+  EnqueueForTransmit(pkt);
+}
+
+void EgressPort::EnqueueForTransmit(const Packet& pkt) {
   if (!queue_.Enqueue(pkt)) {
+    sim_.invariants().CountDropped();
     if (LogEnabled(LogLevel::kTrace)) {
       char buf[Packet::kDescribeBufSize];
       Log(LogLevel::kTrace, "drop at %s: %s",
@@ -40,6 +64,9 @@ void EgressPort::Send(const Packet& pkt) {
     return;
   }
   sim_.CountForwardedPacket();
+  if ((queue_.stats().enqueued & (kByteAuditPeriod - 1)) == 0) {
+    AuditQueueBytes();
+  }
   if (!transmitting_) StartTransmission();
 }
 
@@ -76,10 +103,41 @@ void EgressPort::DeliverHead() {
   peer_.Deliver(propagating_.Front());
   propagating_.PopFront();
   due_.PopFront();
+  ++delivered_;
+  CheckConservation();
   if (!due_.Empty()) {
     deliver_ev_.ArmAt(due_.Front());
   } else {
     deliver_armed_ = false;
+  }
+}
+
+void EgressPort::CheckConservation() {
+  // Every packet the queue ever accepted must be exactly one of:
+  // delivered, waiting in the queue, serializing, or on the wire.
+  const std::uint64_t resident = queue_.PacketCount() +
+                                 (transmitting_ ? 1u : 0u) +
+                                 propagating_.Size();
+  if (queue_.stats().enqueued != delivered_ + resident) {
+    sim_.invariants().Violate(
+        "port-conservation",
+        "accepted=%llu != delivered=%llu + queued=%zu + serializing=%u + "
+        "propagating=%zu",
+        static_cast<unsigned long long>(queue_.stats().enqueued),
+        static_cast<unsigned long long>(delivered_), queue_.PacketCount(),
+        transmitting_ ? 1u : 0u, propagating_.Size());
+  }
+}
+
+void EgressPort::AuditQueueBytes() {
+  const Bytes actual = queue_.ComputeOccupancyBytes();
+  if (actual != queue_.OccupancyBytes()) {
+    sim_.invariants().Violate(
+        "queue-bytes",
+        "occupancy counter %lld != %lld bytes actually resident "
+        "(%zu packets)",
+        static_cast<long long>(queue_.OccupancyBytes()),
+        static_cast<long long>(actual), queue_.PacketCount());
   }
 }
 

@@ -12,6 +12,9 @@
 #include <cstdint>
 #include <vector>
 
+#include <memory>
+
+#include "dctcpp/net/impairment.h"
 #include "dctcpp/net/packet.h"
 #include "dctcpp/net/packet_ring.h"
 #include "dctcpp/net/queue.h"
@@ -37,19 +40,25 @@ struct LinkConfig {
   Tick propagation_delay = 10 * kMicrosecond;
   Bytes buffer_bytes = 128 * kKiB;
   Bytes ecn_threshold = 32 * kKiB;  ///< K; <= 0 disables marking
-  /// Independent per-packet corruption/drop probability, applied before
-  /// enqueue. 0 disables. Used for failure-injection tests and for
-  /// studying the protocols off the congestive-loss path.
+  /// Independent per-packet drop probability, applied before enqueue.
+  /// 0 disables. Legacy alias for `impairment.random_loss` — the draw now
+  /// comes from the link's private RNG stream, so enabling loss on one
+  /// link no longer perturbs randomness anywhere else. When both knobs
+  /// are set, the losses compose as independent sources.
   double random_loss = 0.0;
   /// Replace the instantaneous-K marking with classic RED (the AQM the
   /// DCTCP line of work compares against); see RedConfig.
   bool red = false;
   RedConfig red_config;
+  /// Full per-link fault model (burst loss, reordering, duplication,
+  /// corruption, flaps, forced drops); see net/impairment.h.
+  ImpairmentConfig impairment;
 };
 
 class EgressPort {
  public:
   EgressPort(Simulator& sim, const LinkConfig& config, PacketSink& peer);
+  ~EgressPort();
 
   EgressPort(const EgressPort&) = delete;
   EgressPort& operator=(const EgressPort&) = delete;
@@ -71,9 +80,19 @@ class EgressPort {
   bool Transmitting() const { return transmitting_; }
 
   /// Packets dropped by the random-loss injector (not buffer overflow).
-  std::uint64_t random_losses() const { return random_losses_; }
+  std::uint64_t random_losses() const {
+    return impairment_ ? impairment_->stats().random_losses : 0;
+  }
+
+  /// The fault pipeline, or nullptr when this link is unimpaired.
+  const ImpairmentStage* impairment() const { return impairment_.get(); }
+
+  /// Packets this port handed to its peer.
+  std::uint64_t delivered() const { return delivered_; }
 
  private:
+  friend class ImpairmentStage;
+
   /// Flat power-of-two ring of absolute delivery times, same FIFO order as
   /// `propagating_`. No steady-state allocation.
   class TickFifo {
@@ -110,17 +129,38 @@ class EgressPort {
     std::size_t size_ = 0;
   };
 
+  /// Shared tail of Send/InjectReleased: queue admission (counting
+  /// overflow drops in the ledger), the amortized byte audit, and the
+  /// transmitter kick.
+  void EnqueueForTransmit(const Packet& pkt);
+
+  /// Re-entry point for packets the impairment stage held for reordering:
+  /// straight into the queue, skipping re-impairment.
+  void InjectReleased(const Packet& pkt) { EnqueueForTransmit(pkt); }
+
   void StartTransmission();
   void FinishTransmission();
   void DeliverHead();
+
+  /// O(1) per-delivery conservation check: every packet the queue ever
+  /// accepted is delivered, still queued, serializing, or propagating.
+  void CheckConservation();
+
+  /// O(n) audit that the queue's occupancy counter matches the wire sizes
+  /// of the packets it actually holds; run every `kByteAuditPeriod`-th
+  /// enqueue and at teardown.
+  void AuditQueueBytes();
+
+  static constexpr std::uint64_t kByteAuditPeriod = 1024;  // power of two
 
   Simulator& sim_;
   LinkConfig config_;
   PacketSink& peer_;
   DropTailEcnQueue queue_;
+  std::unique_ptr<ImpairmentStage> impairment_;
   bool transmitting_ = false;
   Bytes in_flight_bytes_ = 0;
-  std::uint64_t random_losses_ = 0;
+  std::uint64_t delivered_ = 0;
   // The serializing packet and the packets in flight on the wire live here
   // instead of in event closures. Propagation delay is constant per port,
   // so deliveries leave `propagating_` in FIFO order: one pinned delivery

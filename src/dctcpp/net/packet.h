@@ -65,6 +65,11 @@ struct Packet {
   Ecn ecn = Ecn::kNotEct;
   Bytes payload = 0;       ///< TCP payload bytes
   std::uint64_t uid = 0;   ///< unique per-simulation id, for tracing
+  /// Set by the impairment layer when payload/header bits were flipped in
+  /// transit. Switches still forward the packet (the model is an
+  /// end-to-end TCP checksum, not a per-hop FCS); the destination host's
+  /// checksum verification discards it instead of delivering it upward.
+  bool corrupted = false;
 
   /// Bytes this packet occupies on the wire and in switch buffers.
   Bytes WireSize() const { return payload + kHeaderBytes; }

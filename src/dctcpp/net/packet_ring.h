@@ -59,6 +59,15 @@ class PacketRing {
     --count_;
   }
 
+  /// Visits every resident packet in FIFO order (audit walks only — the
+  /// datapath itself never iterates).
+  template <typename F>
+  void ForEach(F&& fn) const {
+    for (std::size_t i = 0; i < count_; ++i) {
+      fn(slots_[(head_ + i) & (slots_.size() - 1)]);
+    }
+  }
+
  private:
   void Grow() {
     std::vector<Packet> bigger(slots_.size() * 2);
@@ -109,6 +118,16 @@ class PacketFifo {
       deque_.pop_front();
     } else {
       ring_.PopFront();
+    }
+  }
+
+  /// Visits every resident packet in FIFO order (audit walks only).
+  template <typename F>
+  void ForEach(F&& fn) const {
+    if (reference_) {
+      for (const Packet& pkt : deque_) fn(pkt);
+    } else {
+      ring_.ForEach(fn);
     }
   }
 

@@ -66,6 +66,15 @@ class DropTailEcnQueue {
   bool Empty() const { return queue_.Empty(); }
   std::size_t PacketCount() const { return queue_.Size(); }
   Bytes OccupancyBytes() const { return occupancy_; }
+
+  /// Recomputes occupancy by walking the resident packets — the ground
+  /// truth the incrementally-maintained `OccupancyBytes()` must match.
+  /// O(n); used by the egress port's amortized buffer-accounting audit.
+  Bytes ComputeOccupancyBytes() const {
+    Bytes total = 0;
+    queue_.ForEach([&](const Packet& pkt) { total += pkt.WireSize(); });
+    return total;
+  }
   Bytes capacity() const { return capacity_; }
   Bytes ecn_threshold() const { return ecn_threshold_; }
 

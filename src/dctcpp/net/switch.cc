@@ -20,6 +20,10 @@ void Switch::SetRoute(NodeId dst, int port) {
 void Switch::Deliver(const Packet& pkt) {
   const int out = RouteTo(pkt.dst);
   DCTCPP_ASSERT(out >= 0);  // unroutable: topology bug
+  // Corrupted packets are forwarded, not dropped: the fault model is an
+  // end-to-end TCP checksum (verified by the destination host), not a
+  // per-hop Ethernet FCS. The switch just counts them passing through.
+  if (pkt.corrupted) ++corrupted_forwarded_;
   ports_[static_cast<std::size_t>(out)]->Send(pkt);
 }
 

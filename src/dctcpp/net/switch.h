@@ -51,12 +51,17 @@ class Switch : public PacketSink {
     return idx < routes_.size() ? routes_[idx] : -1;
   }
 
+  /// Corrupted packets forwarded (the end-to-end checksum model means the
+  /// switch passes them through for the destination host to discard).
+  std::uint64_t corrupted_forwarded() const { return corrupted_forwarded_; }
+
  private:
   Simulator& sim_;
   NodeId id_;
   std::string name_;
   std::vector<std::unique_ptr<EgressPort>> ports_;
   std::vector<std::int32_t> routes_;  // dense, indexed by NodeId; -1 unset
+  std::uint64_t corrupted_forwarded_ = 0;
 };
 
 }  // namespace dctcpp

@@ -10,6 +10,7 @@
 
 #include "dctcpp/sim/scheduler.h"
 #include "dctcpp/util/arena.h"
+#include "dctcpp/util/invariants.h"
 #include "dctcpp/util/rng.h"
 #include "dctcpp/util/time.h"
 
@@ -17,7 +18,7 @@ namespace dctcpp {
 
 class Simulator {
  public:
-  explicit Simulator(std::uint64_t seed = 1) : rng_(seed) {}
+  explicit Simulator(std::uint64_t seed = 1) : seed_(seed), rng_(seed) {}
 
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
@@ -27,6 +28,30 @@ class Simulator {
 
   /// The run's random stream. All model randomness must come from here.
   Rng& rng() { return rng_; }
+
+  /// The seed this world was constructed with.
+  std::uint64_t seed() const { return seed_; }
+
+  /// Derives an independent RNG stream from the run seed and a stream id.
+  /// Unlike `rng().Fork()`, the result depends only on (seed, id) — never
+  /// on how many draws other components made — so consumers with their own
+  /// stream (per-link impairment) stay bit-identical when unrelated
+  /// randomness is added or removed elsewhere in the configuration.
+  Rng StreamRng(std::uint64_t stream_id) const {
+    std::uint64_t state = seed_ ^ (0xa0761d6478bd642fULL * (stream_id + 1));
+    return Rng(SplitMix64(state));
+  }
+
+  /// Allocates the next impairment stream id. Links claim one at
+  /// construction; topology building is deterministic, so link K of a
+  /// given setup always receives the same stream.
+  std::uint64_t NextImpairmentStream() { return next_impairment_stream_++; }
+
+  /// The always-on invariant recorder (see util/invariants.h). Datapath
+  /// and transport components report violations and maintain the packet
+  /// ledger here; harnesses assert `invariants().violations() == 0`.
+  NetworkInvariants& invariants() { return invariants_; }
+  const NetworkInvariants& invariants() const { return invariants_; }
 
   Scheduler& scheduler() { return scheduler_; }
 
@@ -74,7 +99,10 @@ class Simulator {
  private:
   Tick now_ = 0;
   bool stopped_ = false;
+  std::uint64_t seed_ = 1;
+  std::uint64_t next_impairment_stream_ = 0;
   std::uint64_t packets_forwarded_ = 0;
+  NetworkInvariants invariants_;
   Arena arena_;
   Scheduler scheduler_;
   Rng rng_;

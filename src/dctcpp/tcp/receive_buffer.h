@@ -20,6 +20,7 @@
 
 #include "dctcpp/tcp/seq.h"
 #include "dctcpp/util/interval_set.h"
+#include "dctcpp/util/invariants.h"
 #include "dctcpp/util/units.h"
 
 namespace dctcpp {
@@ -54,6 +55,34 @@ class BasicReceiveBuffer {
     SeqNum end;  // exclusive
   };
   std::vector<SeqRange> SackRanges(std::size_t max_blocks) const;
+
+  /// Structural audit for the invariant checker: every out-of-order range
+  /// must be non-empty, sorted, mutually disjoint and non-adjacent, and lie
+  /// strictly beyond the in-order edge (anything touching the edge should
+  /// already have advanced rcv_nxt). O(live ranges); reports to `inv`.
+  void CheckConsistent(NetworkInvariants& inv) const {
+    std::int64_t prev_end = linear_rcv_nxt_;
+    ooo_.ForEach([&](const Interval& iv) {
+      if (iv.end <= iv.start) {
+        inv.Violate("rx-scoreboard", "empty out-of-order range [%lld, %lld)",
+                    static_cast<long long>(iv.start),
+                    static_cast<long long>(iv.end));
+        return false;
+      }
+      if (iv.start <= prev_end) {
+        inv.Violate("rx-scoreboard",
+                    "range [%lld, %lld) overlaps/abuts predecessor ending at "
+                    "%lld (in-order edge %lld)",
+                    static_cast<long long>(iv.start),
+                    static_cast<long long>(iv.end),
+                    static_cast<long long>(prev_end),
+                    static_cast<long long>(linear_rcv_nxt_));
+        return false;
+      }
+      prev_end = iv.end;
+      return true;
+    });
+  }
 
  private:
   SeqNum rcv_nxt_;

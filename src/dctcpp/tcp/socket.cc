@@ -13,9 +13,17 @@ TcpSocket::TcpSocket(Host& host, std::unique_ptr<CongestionOps> cc,
       cc_(std::move(cc)),
       config_(config),
       rto_(config.rto),
-      rto_timer_(host.sim(), [this] { OnRetransmissionTimeout(); }),
-      delack_timer_(host.sim(), [this] { SendAckNow(ReceiverEce()); }),
-      pace_timer_(host.sim(), [this] { TrySend(); }) {
+      rto_timer_(host.sim(),
+                 [this] {
+                   if (TimerAlive("rto")) OnRetransmissionTimeout();
+                 }),
+      delack_timer_(host.sim(),
+                    [this] {
+                      if (TimerAlive("delack")) SendAckNow(ReceiverEce());
+                    }),
+      pace_timer_(host.sim(), [this] {
+        if (TimerAlive("pace")) TrySend();
+      }) {
   DCTCPP_ASSERT(cc_ != nullptr);
   DCTCPP_ASSERT(config_.mss > 0);
   cwnd_ = config_.initial_cwnd > 0 ? config_.initial_cwnd
@@ -147,6 +155,51 @@ void TcpSocket::OnPacket(const Packet& pkt) {
   if (pkt.tcp.ack_flag) ProcessAck(pkt);
   if (state_ == State::kClosed) return;  // ACK processing may finalize
   if (pkt.payload > 0 || pkt.tcp.fin) ProcessPayload(pkt);
+  CheckInvariants();
+}
+
+// ---------------------------------------------------------------------------
+// Invariant checking
+
+bool TcpSocket::TimerAlive(const char* which) {
+  if (state_ != State::kClosed) return true;
+  sim().invariants().Violate(
+      "timer-dead-flow", "%s timer fired on closed socket %u -> %d:%u",
+      which, static_cast<unsigned>(local_port_), static_cast<int>(remote_),
+      static_cast<unsigned>(remote_port_));
+  return false;
+}
+
+void TcpSocket::CheckInvariants() {
+  NetworkInvariants& inv = sim().invariants();
+  const bool seq_ok = 0 <= stream_acked_ && stream_acked_ <= stream_next_ &&
+                      stream_next_ <= stream_max_sent_ &&
+                      stream_max_sent_ <= app_bytes_queued_;
+  if (!seq_ok) {
+    inv.Violate("tcp-seq",
+                "sender offsets inconsistent: acked=%lld next=%lld "
+                "max_sent=%lld queued=%lld",
+                static_cast<long long>(stream_acked_),
+                static_cast<long long>(stream_next_),
+                static_cast<long long>(stream_max_sent_),
+                static_cast<long long>(app_bytes_queued_));
+  }
+  if (sack_ok_) {
+    if (sack_high_ > stream_max_sent_) {
+      inv.Violate("tcp-sack",
+                  "scoreboard high mark %lld beyond snd_max %lld",
+                  static_cast<long long>(sack_high_),
+                  static_cast<long long>(stream_max_sent_));
+    }
+    if (!sacked_.empty() && sacked_.front().start < stream_acked_) {
+      inv.Violate("tcp-sack",
+                  "scoreboard range starting at %lld below cumulative "
+                  "edge %lld",
+                  static_cast<long long>(sacked_.front().start),
+                  static_cast<long long>(stream_acked_));
+    }
+  }
+  if (irs_valid_) rx_.CheckConsistent(inv);
 }
 
 void TcpSocket::ProcessAck(const Packet& pkt) {

@@ -203,6 +203,16 @@ class TcpSocket {
   void EstablishCommon();
   void FinalizeClose();
 
+  // --- invariant checking (util/invariants.h) ---------------------------
+  /// Timer-callback guard: a timer must never fire for a dead (closed)
+  /// flow — FinalizeClose cancels all three. Returns whether the callback
+  /// may proceed; a firing on a closed socket is recorded as a violation.
+  bool TimerAlive(const char* which);
+  /// Sequence-space conservation (stream_acked_ <= stream_next_ <=
+  /// stream_max_sent_ <= queued), SACK scoreboard bounds, and receive
+  /// scoreboard structure. Called after every ingress packet.
+  void CheckInvariants();
+
   SeqNum SeqOfStream(std::int64_t offset) const {
     return iss_ + 1 + offset;
   }

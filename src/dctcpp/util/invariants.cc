@@ -1,0 +1,37 @@
+#include "dctcpp/util/invariants.h"
+
+#include <cstdarg>
+#include <cstdio>
+
+#include "dctcpp/util/log.h"
+
+namespace dctcpp {
+
+void NetworkInvariants::Violate(const char* check, const char* fmt, ...) {
+  ++violations_;
+  char msg[512];
+  std::va_list ap;
+  va_start(ap, fmt);
+  std::vsnprintf(msg, sizeof msg, fmt, ap);
+  va_end(ap);
+  if (first_violation_.empty()) {
+    first_violation_ = std::string(check) + ": " + msg;
+  }
+  DCTCPP_WARN("invariant violated [%s]: %s", check, msg);
+}
+
+void NetworkInvariants::CheckDrained() {
+  const std::int64_t resident = PacketsInNetwork();
+  if (resident != 0) {
+    Violate("packet-conservation",
+            "%lld packets unaccounted for after the network drained "
+            "(originated=%llu duplicated=%llu delivered=%llu dropped=%llu)",
+            static_cast<long long>(resident),
+            static_cast<unsigned long long>(ledger_.originated),
+            static_cast<unsigned long long>(ledger_.duplicated),
+            static_cast<unsigned long long>(ledger_.delivered),
+            static_cast<unsigned long long>(ledger_.dropped));
+  }
+}
+
+}  // namespace dctcpp

@@ -1,0 +1,111 @@
+// Always-on network invariant checking.
+//
+// One `NetworkInvariants` instance per Simulator records violations of the
+// structural invariants the datapath and the TCP stack maintain:
+//
+//  - packet conservation: every packet a host originates is eventually
+//    delivered to a host, dropped at a named drop site (buffer overflow,
+//    impairment, checksum discard), or still resident in a queue / on a
+//    wire — never duplicated or lost silently (per-port conservation is
+//    checked on every delivery in EgressPort; the global ledger lives
+//    here);
+//  - switch buffer-byte accounting: a queue's occupancy counter equals the
+//    sum of the wire sizes of the packets it actually holds (audited by
+//    DropTailEcnQueue on an amortized schedule);
+//  - sequence-space conservation and receive-buffer/SACK scoreboard
+//    consistency (checked by TcpSocket / ReceiveBuffer);
+//  - no timer fires for a dead (closed) flow (checked by TcpSocket's
+//    timer guards).
+//
+// Checks report here instead of aborting so a soak run can complete the
+// whole sweep and report every violation at once; tests and the soak
+// harness assert `violations() == 0`. The recorder is cheap when nothing
+// is wrong: recording sites only call in on failure, and the per-packet
+// ledger is a handful of counter increments.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace dctcpp {
+
+class NetworkInvariants {
+ public:
+  /// Global packet ledger, maintained by the datapath: a packet is
+  /// originated once (Host::Send), possibly duplicated by impairment, and
+  /// retired exactly once — delivered to its destination host, or dropped
+  /// at a named site. originated + duplicated - delivered - dropped is the
+  /// packet population still inside the network.
+  struct Ledger {
+    std::uint64_t originated = 0;
+    std::uint64_t duplicated = 0;   ///< extra copies minted by impairment
+    std::uint64_t delivered = 0;    ///< reached their destination host
+    std::uint64_t dropped = 0;      ///< all drop sites combined
+    std::uint64_t checksum_discards = 0;  ///< subset of dropped
+  };
+
+  NetworkInvariants() = default;
+  NetworkInvariants(const NetworkInvariants&) = delete;
+  NetworkInvariants& operator=(const NetworkInvariants&) = delete;
+
+  /// Records one violation of the named check. The first violation's
+  /// rendered message is kept verbatim (later ones only count) and a
+  /// warning is logged.
+  void Violate(const char* check, const char* fmt, ...)
+      __attribute__((format(printf, 3, 4)));
+
+  std::uint64_t violations() const { return violations_; }
+  const std::string& first_violation() const { return first_violation_; }
+
+  // --- packet ledger (datapath call sites) ------------------------------
+  void CountOriginated() { ++ledger_.originated; }
+  void CountDuplicated() { ++ledger_.duplicated; }
+  void CountDropped() { ++ledger_.dropped; CheckLedger(); }
+  void CountChecksumDiscard() {
+    ++ledger_.checksum_discards;
+    ++ledger_.dropped;
+    CheckLedger();
+  }
+  void CountDelivered() { ++ledger_.delivered; CheckLedger(); }
+
+  const Ledger& ledger() const { return ledger_; }
+
+  /// Packets currently inside the network (queued, serializing, on the
+  /// wire, or held by an impairment reorder buffer).
+  std::int64_t PacketsInNetwork() const {
+    return static_cast<std::int64_t>(ledger_.originated +
+                                     ledger_.duplicated) -
+           static_cast<std::int64_t>(ledger_.delivered + ledger_.dropped);
+  }
+
+  /// End-of-run check for workloads that ran to completion (event queue
+  /// drained, no time limit hit): every packet must be retired. Runs that
+  /// stop mid-flight (Simulator::Stop, deadline) legitimately leave
+  /// packets resident and must not call this.
+  void CheckDrained();
+
+ private:
+  /// Retirements can never outnumber the packets that exist. Called on
+  /// every retirement; one compare on the hot path. Only meaningful once a
+  /// host has originated traffic — unit tests that drive an EgressPort
+  /// directly inject packets the ledger never saw born, and are exempt.
+  void CheckLedger() {
+    if (ledger_.originated == 0) return;
+    if (ledger_.delivered + ledger_.dropped >
+        ledger_.originated + ledger_.duplicated) {
+      Violate("packet-ledger",
+              "more packets retired than originated: delivered=%llu "
+              "dropped=%llu originated=%llu duplicated=%llu",
+              static_cast<unsigned long long>(ledger_.delivered),
+              static_cast<unsigned long long>(ledger_.dropped),
+              static_cast<unsigned long long>(ledger_.originated),
+              static_cast<unsigned long long>(ledger_.duplicated));
+    }
+  }
+
+  Ledger ledger_;
+  std::uint64_t violations_ = 0;
+  std::string first_violation_;
+};
+
+}  // namespace dctcpp

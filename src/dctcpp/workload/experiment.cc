@@ -18,6 +18,13 @@ void IncastSweepPoint::Merge(const IncastResult& r) {
   tracked_rounds_with_timeout += r.tracked_rounds_with_timeout;
   tracked_floss += r.tracked_floss;
   tracked_lack += r.tracked_lack;
+  events += r.events;
+  packets_forwarded += r.packets_forwarded;
+  invariant_violations += r.invariant_violations;
+  packets_originated += r.packets_originated;
+  packets_dropped += r.packets_dropped;
+  packets_duplicated += r.packets_duplicated;
+  checksum_discards += r.checksum_discards;
   hit_time_limit = hit_time_limit || r.hit_time_limit;
 }
 

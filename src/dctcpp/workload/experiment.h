@@ -34,6 +34,19 @@ struct IncastSweepPoint {
   std::uint64_t tracked_floss = 0;
   std::uint64_t tracked_lack = 0;
 
+  /// Exact event/packet totals across the repetitions — the integers the
+  /// determinism gates compare bitwise across thread-pool sizes.
+  std::uint64_t events = 0;
+  std::uint64_t packets_forwarded = 0;
+
+  /// Invariant-checker totals across the repetitions (see
+  /// util/invariants.h); harnesses assert invariant_violations == 0.
+  std::uint64_t invariant_violations = 0;
+  std::uint64_t packets_originated = 0;
+  std::uint64_t packets_dropped = 0;
+  std::uint64_t packets_duplicated = 0;
+  std::uint64_t checksum_discards = 0;
+
   bool hit_time_limit = false;
 
   /// Folds one repetition's result into this point.

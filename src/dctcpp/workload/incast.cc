@@ -226,6 +226,23 @@ IncastResult RunIncast(const IncastConfig& config) {
   result.events = sim.events_executed();
   result.packets_forwarded = sim.packets_forwarded();
   result.sim_seconds = ToSeconds(sim.Now());
+
+  // No CheckDrained here: Stop() fires the instant the final response byte
+  // lands, while ACKs for it are legitimately still in flight. The ledger
+  // totals are exported for the harness; the population must simply be
+  // non-negative (CheckLedger enforces that on every retirement).
+  result.invariant_violations = sim.invariants().violations();
+  const auto& ledger = sim.invariants().ledger();
+  result.packets_originated = ledger.originated;
+  result.packets_dropped = ledger.dropped;
+  result.packets_duplicated = ledger.duplicated;
+  result.checksum_discards = ledger.checksum_discards;
+  if (result.invariant_violations > 0) {
+    DCTCPP_WARN("incast %s N=%d: %llu invariant violations (first: %s)",
+                ToString(config.protocol), config.num_flows,
+                static_cast<unsigned long long>(result.invariant_violations),
+                sim.invariants().first_violation().c_str());
+  }
   return result;
 }
 

@@ -99,6 +99,15 @@ struct IncastResult {
   double sim_seconds = 0.0;
   bool hit_time_limit = false;
 
+  // Always-on invariant checking (util/invariants.h): violation count and
+  // the global packet ledger at the end of the run. Soaks and tests assert
+  // invariant_violations == 0.
+  std::uint64_t invariant_violations = 0;
+  std::uint64_t packets_originated = 0;
+  std::uint64_t packets_dropped = 0;
+  std::uint64_t packets_duplicated = 0;
+  std::uint64_t checksum_discards = 0;
+
   /// Bytes each round delivers (for reporting).
   Bytes per_flow_bytes = 0;
 };

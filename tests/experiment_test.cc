@@ -60,6 +60,13 @@ void ExpectPointsIdentical(const IncastSweepPoint& a,
   EXPECT_EQ(a.tracked_rounds_with_timeout, b.tracked_rounds_with_timeout);
   EXPECT_EQ(a.tracked_floss, b.tracked_floss);
   EXPECT_EQ(a.tracked_lack, b.tracked_lack);
+  EXPECT_EQ(a.events, b.events);
+  EXPECT_EQ(a.packets_forwarded, b.packets_forwarded);
+  EXPECT_EQ(a.invariant_violations, b.invariant_violations);
+  EXPECT_EQ(a.packets_originated, b.packets_originated);
+  EXPECT_EQ(a.packets_dropped, b.packets_dropped);
+  EXPECT_EQ(a.packets_duplicated, b.packets_duplicated);
+  EXPECT_EQ(a.checksum_discards, b.checksum_discards);
   EXPECT_EQ(a.hit_time_limit, b.hit_time_limit);
 }
 
@@ -96,6 +103,35 @@ TEST(ExperimentTest, FullSweepDeterministicAcrossPoolSizes) {
     SCOPED_TRACE(i);
     ExpectPointsIdentical(serial[i], wide[i]);
   }
+}
+
+TEST(ExperimentTest, ImpairedSweepDeterministicAcrossPoolSizes) {
+  // The full fault pipeline active at once: per-link RNG streams must keep
+  // an impaired sweep bit-identical (including exact event and packet
+  // counts) for any thread-pool size.
+  IncastConfig config = TinyIncast(Protocol::kDctcp, 8);
+  config.min_rto = 10 * kMillisecond;
+  config.link.random_loss = 0.002;
+  config.link.impairment.ge_p_good_to_bad = 0.001;
+  config.link.impairment.ge_p_bad_to_good = 0.3;
+  config.link.impairment.reorder_prob = 0.01;
+  config.link.impairment.duplicate_prob = 0.005;
+  config.link.impairment.corrupt_prob = 0.002;
+  constexpr int kReps = 5;
+
+  ThreadPool pool1(1);
+  ThreadPool pool2(2);
+  ThreadPool pool8(8);
+  const IncastSweepPoint serial = RunIncastPoint(config, kReps, pool1);
+  const IncastSweepPoint two = RunIncastPoint(config, kReps, pool2);
+  const IncastSweepPoint eight = RunIncastPoint(config, kReps, pool8);
+
+  ASSERT_EQ(serial.goodput_mbps.count(), static_cast<std::size_t>(kReps));
+  EXPECT_EQ(serial.invariant_violations, 0u);
+  EXPECT_GT(serial.packets_dropped, 0u);       // impairment actually bit
+  EXPECT_GT(serial.checksum_discards, 0u);
+  ExpectPointsIdentical(serial, two);
+  ExpectPointsIdentical(serial, eight);
 }
 
 TEST(ExperimentTest, RepeatedRunsBitIdentical) {

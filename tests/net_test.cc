@@ -256,6 +256,29 @@ TEST(HostTest, EphemeralPortsAreUnique) {
   EXPECT_NE(a, b);
 }
 
+TEST(HostTest, AllocatePortSkipsLivePorts) {
+  Simulator sim;
+  Host host(sim, 1, "h");
+  // Pin down the next two candidates; allocation must skip both.
+  const PortNum first = host.AllocatePort();
+  host.Listen(static_cast<PortNum>(first + 1), [](const Packet&) {});
+  host.Listen(static_cast<PortNum>(first + 2), [](const Packet&) {});
+  EXPECT_EQ(host.AllocatePort(), static_cast<PortNum>(first + 3));
+}
+
+TEST(HostDeathTest, AllocatePortFailsLoudlyWhenRangeExhausted) {
+  Simulator sim;
+  Host host(sim, 1, "h");
+  // Register a listener on every ephemeral port: [10000, 65535) fully
+  // live. The next allocation has nowhere to go and must abort with a
+  // diagnosable message, not loop or hand out a duplicate.
+  for (int port = 10000; port < 65535; ++port) {
+    host.Listen(static_cast<PortNum>(port), [](const Packet&) {});
+  }
+  EXPECT_DEATH_IF_SUPPORTED(host.AllocatePort(),
+                            "ephemeral port range .*exhausted");
+}
+
 // ---------------------------------------------------------------------------
 // Topology
 

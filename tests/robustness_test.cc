@@ -9,6 +9,7 @@
 #include "dctcpp/core/protocol.h"
 #include "dctcpp/net/topology.h"
 #include "dctcpp/sim/simulator.h"
+#include "dctcpp/tcp/probe.h"
 #include "dctcpp/tcp/socket.h"
 #include "dctcpp/workload/incast.h"
 
@@ -112,6 +113,108 @@ INSTANTIATE_TEST_SUITE_P(
       }
       return name;
     });
+
+// --- timeout taxonomy under forced, surgical drops -------------------------
+//
+// The impairment layer's ordinal drop hooks make the two timeout classes of
+// the paper's Table I reproducible on demand: dropping the entire initial
+// window produces an FLoss-TO (zero feedback), while dropping one data
+// segment plus the third duplicate ACK leaves the sender two dupacks short
+// of fast retransmit — an LAck-TO.
+
+struct TaxonomyRig {
+  Simulator sim{11};
+  Network net{sim};
+  Switch* sw = nullptr;
+  Host* a = nullptr;
+  Host* b = nullptr;
+
+  /// Wires a -- sw -- b with the given impairments on the host NICs.
+  TaxonomyRig(const ImpairmentConfig& a_nic_impairment,
+              const ImpairmentConfig& b_nic_impairment) {
+    sw = &net.AddSwitch("sw");
+    a = &net.AddHost("a");
+    b = &net.AddHost("b");
+    LinkConfig clean;
+    LinkConfig a_nic = Network::NicConfig(clean);
+    a_nic.impairment = a_nic_impairment;
+    LinkConfig b_nic = Network::NicConfig(clean);
+    b_nic.impairment = b_nic_impairment;
+    net.ConnectHost(*a, *sw, clean, a_nic);
+    net.ConnectHost(*b, *sw, clean, b_nic);
+    net.InstallRoutes();
+  }
+};
+
+TEST(TimeoutTaxonomyTest, FullWindowDropClassifiesAsFLoss) {
+  // Drop data segments 1 and 2 leaving the sender's NIC: with
+  // initial_cwnd = 2 that is the whole outstanding window, so the sender
+  // hears nothing until RTO.
+  ImpairmentConfig a_imp;
+  a_imp.drop_data_nth = {1, 2};
+  TaxonomyRig rig(a_imp, ImpairmentConfig{});
+
+  TcpSocket::Config socket_config;
+  socket_config.rto.min_rto = 10_ms;
+  socket_config.initial_cwnd = 2;
+
+  Bytes received = 0;
+  TcpSocket::Ptr server;
+  TcpListener listener(
+      *rig.b, 5000, [] { return MakeCongestionOps(Protocol::kTcp); },
+      socket_config, [&](TcpSocket::Ptr s) {
+        server = std::move(s);
+        server->set_on_data([&](Bytes n) { received += n; });
+      });
+  RecordingProbe probe;
+  TcpSocket client(*rig.a, MakeCongestionOps(Protocol::kTcp), socket_config);
+  client.set_probe(&probe);
+  client.set_on_connected([&] { client.Send(2 * kMss); });
+  client.Connect(rig.b->id(), 5000);
+  rig.sim.RunUntil(30 * kSecond);
+
+  EXPECT_EQ(received, 2 * kMss);  // recovered after the timeout
+  EXPECT_EQ(probe.floss_timeouts(), 1u);
+  EXPECT_EQ(probe.lack_timeouts(), 0u);
+  EXPECT_EQ(rig.a->uplink().impairment()->stats().forced_losses, 2u);
+  EXPECT_EQ(rig.sim.invariants().violations(), 0u);
+}
+
+TEST(TimeoutTaxonomyTest, AckPathDropClassifiesAsLAck) {
+  // Drop the first data segment; the receiver dup-ACKs segments 2..4, but
+  // the third duplicate is dropped on the receiver's ACK path — two
+  // dupacks is feedback, yet not enough for fast retransmit.
+  ImpairmentConfig a_imp;
+  a_imp.drop_data_nth = {1};
+  ImpairmentConfig b_imp;
+  b_imp.drop_ack_nth = {3};
+  TaxonomyRig rig(a_imp, b_imp);
+
+  TcpSocket::Config socket_config;
+  socket_config.rto.min_rto = 10_ms;
+  socket_config.initial_cwnd = 4;
+
+  Bytes received = 0;
+  TcpSocket::Ptr server;
+  TcpListener listener(
+      *rig.b, 5000, [] { return MakeCongestionOps(Protocol::kTcp); },
+      socket_config, [&](TcpSocket::Ptr s) {
+        server = std::move(s);
+        server->set_on_data([&](Bytes n) { received += n; });
+      });
+  RecordingProbe probe;
+  TcpSocket client(*rig.a, MakeCongestionOps(Protocol::kTcp), socket_config);
+  client.set_probe(&probe);
+  client.set_on_connected([&] { client.Send(4 * kMss); });
+  client.Connect(rig.b->id(), 5000);
+  rig.sim.RunUntil(30 * kSecond);
+
+  EXPECT_EQ(received, 4 * kMss);
+  EXPECT_EQ(probe.lack_timeouts(), 1u);
+  EXPECT_EQ(probe.floss_timeouts(), 0u);
+  EXPECT_EQ(probe.fast_retransmits(), 0u);
+  EXPECT_EQ(rig.sim.invariants().violations(), 0u);
+}
 
 TEST(LossInjectionTest, CounterTracksDrops) {
   Simulator sim(3);
