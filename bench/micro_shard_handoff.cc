@@ -1,0 +1,99 @@
+// Microbenchmarks for the conservative-parallel engine's two overheads:
+// the mailbox merge (cross-shard packets entering a peer's arrival
+// calendar) and the window-gang barrier (dispatch + join per window).
+// These bound the price of sharding: a window is profitable when the
+// events it runs cost more than one barrier plus its handoff merges.
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "dctcpp/net/parallel.h"
+#include "dctcpp/util/rng.h"
+#include "dctcpp/util/thread_pool.h"
+
+namespace dctcpp {
+namespace {
+
+CalendarEntry MakeEntry(Rng& rng, Tick base) {
+  CalendarEntry e;
+  e.at = base + static_cast<Tick>(rng.Next() % 64);
+  e.key = rng.Next();
+  e.sink = nullptr;
+  return e;
+}
+
+/// Per-packet cost of the arrival calendar: push a window's worth of
+/// handoffs, then drain them in canonical order — exactly the work
+/// MergeOutboxes plus the next window's delivery loop do per packet.
+void BM_MailboxMergeAndDrain(benchmark::State& state) {
+  const int per_window = static_cast<int>(state.range(0));
+  Rng rng(42);
+  ArrivalCalendar calendar;
+  std::vector<CalendarEntry> outbox;
+  outbox.reserve(per_window);
+  Tick base = 0;
+  std::uint64_t drained = 0;
+  for (auto _ : state) {
+    outbox.clear();
+    for (int i = 0; i < per_window; ++i) {
+      outbox.push_back(MakeEntry(rng, base));
+    }
+    for (const CalendarEntry& e : outbox) calendar.Push(e);
+    while (!calendar.Empty()) {
+      benchmark::DoNotOptimize(calendar.PopEarliest().key);
+      ++drained;
+    }
+    base += 64;  // windows advance; ticks never repeat across iterations
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(drained));
+  state.counters["ns_per_handoff"] = benchmark::Counter(
+      static_cast<double>(drained), benchmark::Counter::kIsRate |
+                                        benchmark::Counter::kInvert);
+}
+BENCHMARK(BM_MailboxMergeAndDrain)->Arg(4)->Arg(16)->Arg(64)->Arg(256);
+
+/// Barrier overhead per window: dispatch S no-op shard tasks to the gang
+/// and join. This is the fixed cost every multi-shard window pays before
+/// any simulation work happens.
+void BM_WindowGangBarrier(benchmark::State& state) {
+  const int shards = static_cast<int>(state.range(0));
+  ThreadPool pool(shards - 1);  // caller runs one shard itself
+  std::atomic<std::uint64_t> sink{0};
+  WindowGang gang(pool, shards - 1, [&sink](int t) {
+    sink.fetch_add(static_cast<std::uint64_t>(t) + 1,
+                   std::memory_order_relaxed);
+  });
+  for (auto _ : state) {
+    gang.Run(shards);
+  }
+  benchmark::DoNotOptimize(sink.load());
+  state.SetItemsProcessed(state.iterations());
+  state.counters["ns_per_window"] = benchmark::Counter(
+      static_cast<double>(state.iterations()),
+      benchmark::Counter::kIsRate | benchmark::Counter::kInvert);
+}
+BENCHMARK(BM_WindowGangBarrier)->Arg(2)->Arg(4)->Arg(8);
+
+/// The serial alternative the gang competes with: the same S tasks run
+/// inline on the caller. The gap between this and BM_WindowGangBarrier is
+/// what a window's real event work must amortize.
+void BM_InlineWindowDispatch(benchmark::State& state) {
+  const int shards = static_cast<int>(state.range(0));
+  std::atomic<std::uint64_t> sink{0};
+  for (auto _ : state) {
+    for (int t = 0; t < shards; ++t) {
+      sink.fetch_add(static_cast<std::uint64_t>(t) + 1,
+                     std::memory_order_relaxed);
+    }
+  }
+  benchmark::DoNotOptimize(sink.load());
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_InlineWindowDispatch)->Arg(2)->Arg(4)->Arg(8);
+
+}  // namespace
+}  // namespace dctcpp
+
+BENCHMARK_MAIN();

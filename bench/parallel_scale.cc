@@ -1,0 +1,300 @@
+// Parallel-engine scale harness: wall-clock for the same large-N incast
+// run at 1 shard (serial, inline dispatch) versus multiple shards on a
+// thread pool, plus the shard-count determinism gate. The headline number
+// is the N = 1400 speedup of 4 shards over 1 — the acceptance bar is 2x.
+//
+// Determinism gate (exit nonzero on failure): for a matrix of small
+// configurations — clean and impaired — the run fingerprint must be
+// bit-identical at shards {1, 2, 4, 8} across different pool sizes, and
+// at every measured N the 1-shard and 4-shard fingerprints must match.
+// This is the same invariance the ShardDeterminismTest suite asserts, run
+// here under Release flags on the actual benchmark workloads.
+//
+// Usage: parallel_scale [--smoke] [output.json]
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "dctcpp/stats/table.h"
+#include "dctcpp/util/thread_pool.h"
+#include "dctcpp/workload/incast.h"
+
+namespace dctcpp {
+namespace {
+
+double Now() {
+  using clock = std::chrono::steady_clock;
+  return std::chrono::duration<double>(clock::now().time_since_epoch())
+      .count();
+}
+
+// --- run fingerprint -------------------------------------------------------
+
+std::uint64_t Fnv(std::uint64_t h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xff;
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+std::uint64_t FnvDouble(std::uint64_t h, double d) {
+  std::uint64_t bits;
+  std::memcpy(&bits, &d, sizeof bits);
+  return Fnv(h, bits);
+}
+
+/// Order-sensitive hash over every deterministic field of the result,
+/// doubles by bit pattern. Equal fingerprints == bit-identical summaries.
+std::uint64_t Fingerprint(const IncastResult& r) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  h = Fnv(h, r.rounds_completed);
+  h = FnvDouble(h, r.goodput_mbps);
+  h = Fnv(h, r.fct_ms.count());
+  for (double s : r.fct_ms.samples()) h = FnvDouble(h, s);
+  for (std::int64_t b = r.cwnd_hist.lo(); b <= r.cwnd_hist.hi(); ++b) {
+    h = Fnv(h, r.cwnd_hist.CountAt(b));
+  }
+  h = Fnv(h, r.cwnd_hist.underflow());
+  h = Fnv(h, r.cwnd_hist.overflow());
+  h = Fnv(h, r.timeouts);
+  h = Fnv(h, r.floss_timeouts);
+  h = Fnv(h, r.lack_timeouts);
+  h = Fnv(h, r.fast_retransmits);
+  h = Fnv(h, r.tracked_rounds_at_min_ece);
+  h = Fnv(h, r.tracked_rounds_with_timeout);
+  h = Fnv(h, r.tracked_floss);
+  h = Fnv(h, r.tracked_lack);
+  h = Fnv(h, r.bottleneck_drops);
+  h = Fnv(h, r.bottleneck_marks);
+  h = Fnv(h, static_cast<std::uint64_t>(r.bottleneck_max_queue));
+  h = FnvDouble(h, r.flow_fairness);
+  h = Fnv(h, r.events);
+  h = Fnv(h, r.packets_forwarded);
+  h = FnvDouble(h, r.sim_seconds);
+  h = Fnv(h, r.invariant_violations);
+  h = Fnv(h, r.packets_originated);
+  h = Fnv(h, r.packets_dropped);
+  h = Fnv(h, r.packets_duplicated);
+  h = Fnv(h, r.checksum_discards);
+  return h;
+}
+
+// --- determinism gate ------------------------------------------------------
+
+IncastConfig GateConfig(Protocol protocol, std::uint64_t seed,
+                        bool impaired) {
+  IncastConfig config;
+  config.protocol = protocol;
+  config.num_flows = 96;
+  config.num_workers = 9;
+  config.per_flow_bytes = 8 * 1024;
+  config.rounds = 4;
+  config.min_rto = 10 * kMillisecond;
+  config.seed = seed;
+  if (impaired) {
+    config.link.impairment.random_loss = 0.003;
+    config.link.impairment.reorder_prob = 0.01;
+    config.link.impairment.duplicate_prob = 0.002;
+    config.link.impairment.corrupt_prob = 0.001;
+  }
+  return config;
+}
+
+bool RunGate() {
+  ThreadPool pool_a(2);
+  ThreadPool pool_b(6);
+  const struct {
+    int shards;
+    ThreadPool* pool;
+  } variants[] = {{1, nullptr}, {2, &pool_b}, {4, &pool_a}, {8, &pool_b}};
+  const struct {
+    Protocol protocol;
+    std::uint64_t seed;
+    bool impaired;
+  } cases[] = {{Protocol::kDctcpPlus, 1, false},
+               {Protocol::kDctcp, 9, true}};
+  bool ok = true;
+  for (const auto& c : cases) {
+    std::uint64_t reference = 0;
+    bool have_reference = false;
+    for (const auto& v : variants) {
+      IncastConfig config = GateConfig(c.protocol, c.seed, c.impaired);
+      config.shards = v.shards;
+      config.shard_pool = v.pool;
+      const IncastResult r = RunIncast(config);
+      const std::uint64_t fp = Fingerprint(r);
+      if (r.invariant_violations != 0) {
+        std::fprintf(stderr,
+                     "parallel_scale: GATE FAIL %s seed=%llu shards=%d: "
+                     "%llu invariant violations\n",
+                     ToString(c.protocol),
+                     static_cast<unsigned long long>(c.seed), v.shards,
+                     static_cast<unsigned long long>(r.invariant_violations));
+        ok = false;
+      }
+      if (!have_reference) {
+        reference = fp;
+        have_reference = true;
+      } else if (fp != reference) {
+        std::fprintf(stderr,
+                     "parallel_scale: GATE FAIL %s seed=%llu: shards=%d "
+                     "fingerprint %016llx != shards=1 %016llx\n",
+                     ToString(c.protocol),
+                     static_cast<unsigned long long>(c.seed), v.shards,
+                     static_cast<unsigned long long>(fp),
+                     static_cast<unsigned long long>(reference));
+        ok = false;
+      }
+    }
+  }
+  return ok;
+}
+
+// --- timing ----------------------------------------------------------------
+
+struct TimedRun {
+  double wall_seconds = 0.0;
+  std::uint64_t fingerprint = 0;
+  std::uint64_t events = 0;
+  std::uint64_t rounds = 0;
+  double goodput_mbps = 0.0;
+  /// total / max-shard event share: the speedup the partition admits on
+  /// enough cores (wall-clock speedup is additionally capped by the
+  /// machine — see "hardware_threads" in the JSON).
+  double balance_bound = 0.0;
+};
+
+TimedRun RunTimed(int n, int rounds, int shards, ThreadPool* pool) {
+  IncastConfig config;
+  config.protocol = Protocol::kDctcpPlus;
+  config.num_flows = n;
+  config.per_flow_bytes = 8 * 1024;
+  config.rounds = rounds;
+  config.min_rto = 10 * kMillisecond;
+  config.seed = 1;
+  config.time_limit = 120 * kSecond;
+  config.shards = shards;
+  config.shard_pool = pool;
+  const double start = Now();
+  const IncastResult r = RunIncast(config);
+  TimedRun t;
+  t.wall_seconds = Now() - start;
+  t.fingerprint = Fingerprint(r);
+  t.events = r.events;
+  t.rounds = r.rounds_completed;
+  t.goodput_mbps = r.goodput_mbps;
+  if (!r.shard_events.empty()) {
+    std::uint64_t max_share = 0;
+    for (std::uint64_t e : r.shard_events) max_share = std::max(max_share, e);
+    if (max_share > 0) {
+      t.balance_bound =
+          static_cast<double>(r.events) / static_cast<double>(max_share);
+    }
+  }
+  return t;
+}
+
+struct ScaleRow {
+  int num_flows = 0;
+  double serial_s = 0.0;
+  double parallel_s = 0.0;
+  double speedup = 0.0;
+  double balance_bound = 0.0;
+  std::uint64_t events = 0;
+};
+
+int Main(int argc, char** argv) {
+  bool smoke = false;
+  const char* out_path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else {
+      out_path = argv[i];
+    }
+  }
+
+  std::printf("shard determinism gate (shards 1/2/4/8, mixed pools)...\n");
+  bool ok = RunGate();
+  std::printf("gate: %s\n", ok ? "identical" : "DIVERGED");
+
+  const int kShards = 4;
+  ThreadPool pool(kShards - 1);  // caller participates in each window
+  const std::vector<int> flow_counts =
+      smoke ? std::vector<int>{200} : std::vector<int>{400, 700, 1400};
+  const int rounds = smoke ? 2 : 10;
+
+  const unsigned hw_threads = std::thread::hardware_concurrency();
+  std::vector<ScaleRow> rows;
+  Table table({"N", "serial_s", "parallel_s", "speedup", "balance_bound",
+               "events"});
+  for (const int n : flow_counts) {
+    const TimedRun serial = RunTimed(n, rounds, 1, nullptr);
+    const TimedRun parallel = RunTimed(n, rounds, kShards, &pool);
+    if (serial.fingerprint != parallel.fingerprint) {
+      std::fprintf(stderr,
+                   "parallel_scale: GATE FAIL N=%d: 1-shard and %d-shard "
+                   "runs diverged\n",
+                   n, kShards);
+      ok = false;
+    }
+    ScaleRow row;
+    row.num_flows = n;
+    row.serial_s = serial.wall_seconds;
+    row.parallel_s = parallel.wall_seconds;
+    row.speedup = serial.wall_seconds / parallel.wall_seconds;
+    row.balance_bound = parallel.balance_bound;
+    row.events = serial.events;
+    rows.push_back(row);
+    table.AddRow({std::to_string(n), Table::Num(row.serial_s, 3),
+                  Table::Num(row.parallel_s, 3), Table::Num(row.speedup, 2),
+                  Table::Num(row.balance_bound, 2),
+                  std::to_string(row.events)});
+  }
+  table.Print();
+  if (hw_threads < static_cast<unsigned>(kShards)) {
+    std::printf(
+        "note: only %u hardware thread(s) — wall-clock speedup is capped "
+        "by the machine; balance_bound is the partition's limit.\n",
+        hw_threads);
+  }
+
+  if (out_path != nullptr) {
+    std::FILE* out = std::fopen(out_path, "w");
+    if (!out) {
+      std::perror("parallel_scale: fopen");
+      return 1;
+    }
+    std::fprintf(out, "{\n  \"shards\": %d,\n  \"rounds\": %d,\n", kShards,
+                 rounds);
+    std::fprintf(out, "  \"hardware_threads\": %u,\n", hw_threads);
+    std::fprintf(out, "  \"determinism_gate\": \"%s\",\n",
+                 ok ? "pass" : "FAIL");
+    std::fprintf(out, "  \"points\": [\n");
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      const ScaleRow& r = rows[i];
+      std::fprintf(out,
+                   "    {\"n\": %d, \"serial_seconds\": %.3f, "
+                   "\"parallel_seconds\": %.3f, \"speedup\": %.2f, "
+                   "\"balance_bound\": %.2f, \"events\": %llu}%s\n",
+                   r.num_flows, r.serial_s, r.parallel_s, r.speedup,
+                   r.balance_bound,
+                   static_cast<unsigned long long>(r.events),
+                   i + 1 < rows.size() ? "," : "");
+    }
+    std::fprintf(out, "  ],\n  \"smoke\": %s\n}\n", smoke ? "true" : "false");
+    std::fclose(out);
+  }
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace dctcpp
+
+int main(int argc, char** argv) { return dctcpp::Main(argc, argv); }

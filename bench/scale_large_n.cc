@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "dctcpp/stats/table.h"
+#include "dctcpp/util/thread_pool.h"
 #include "dctcpp/workload/incast.h"
 
 namespace dctcpp {
@@ -44,19 +45,26 @@ struct ScalePoint {
   double wall_seconds = 0.0;
   std::uint64_t events = 0;
   std::uint64_t packets = 0;
+  int shards = 0;  ///< 0 = legacy engine, > 0 = parallel engine
 
   double EventsPerSec() const { return events / wall_seconds; }
   double PacketsPerSec() const { return packets / wall_seconds; }
 };
 
-ScalePoint RunPoint(Protocol protocol, int n, int rounds) {
+ScalePoint RunPoint(Protocol protocol, int n, int rounds, int shards,
+                    ThreadPool* pool) {
   IncastConfig config;
   config.protocol = protocol;
   config.num_flows = n;
   config.per_flow_bytes = 8 * 1024;  // fixed SRU: burst grows with N
   config.rounds = rounds;
   config.seed = 1;
-  config.time_limit = 120 * kSecond;
+  // Large-N rounds take minutes of simulated time once goodput collapses
+  // (40 MB per round at a few Mbps); give the sharded points room to
+  // finish instead of reporting a truncated zero.
+  config.time_limit = (shards > 0 ? 900 : 120) * kSecond;
+  config.shards = shards;
+  config.shard_pool = pool;
 
   const double start = Now();
   const IncastResult r = RunIncast(config);
@@ -71,6 +79,7 @@ ScalePoint RunPoint(Protocol protocol, int n, int rounds) {
   p.wall_seconds = Now() - start;
   p.events = r.events;
   p.packets = r.packets_forwarded;
+  p.shards = shards;
   return p;
 }
 
@@ -85,10 +94,18 @@ int Main(int argc, char** argv) {
     }
   }
 
+  // Past 1400 flows the runs move to the sharded engine — this is what
+  // it exists for: one run spread over kShards cores. Fewer rounds keep
+  // the largest points tractable; same fixed 8 KB SRU throughout.
   const std::vector<int> flow_counts =
       smoke ? std::vector<int>{40, 200}
             : std::vector<int>{40, 100, 200, 400, 700, 1000, 1400};
+  const std::vector<int> large_counts =
+      smoke ? std::vector<int>{} : std::vector<int>{2000, 3500, 5000};
   const int rounds = smoke ? 3 : 10;
+  const int large_rounds = 5;
+  constexpr int kShards = 4;
+  ThreadPool pool(kShards - 1);
   const std::vector<Protocol> protocols = {
       Protocol::kTcp, Protocol::kDctcp, Protocol::kDctcpPlus};
 
@@ -97,7 +114,16 @@ int Main(int argc, char** argv) {
                "timeouts", "wall_s", "events_per_sec"});
   for (const Protocol protocol : protocols) {
     for (const int n : flow_counts) {
-      const ScalePoint p = RunPoint(protocol, n, rounds);
+      const ScalePoint p = RunPoint(protocol, n, rounds, 0, nullptr);
+      points.push_back(p);
+      table.AddRow({ToString(protocol), std::to_string(n),
+                    Table::Num(p.goodput_mbps, 1), Table::Num(p.fct_p50_ms, 2),
+                    Table::Num(p.fct_p99_ms, 2), std::to_string(p.timeouts),
+                    Table::Num(p.wall_seconds, 2),
+                    Table::Num(p.EventsPerSec(), 0)});
+    }
+    for (const int n : large_counts) {
+      const ScalePoint p = RunPoint(protocol, n, large_rounds, kShards, &pool);
       points.push_back(p);
       table.AddRow({ToString(protocol), std::to_string(n),
                     Table::Num(p.goodput_mbps, 1), Table::Num(p.fct_p50_ms, 2),
@@ -120,11 +146,13 @@ int Main(int argc, char** argv) {
       const ScalePoint& p = points[i];
       std::fprintf(
           out,
-          "    {\"protocol\": \"%s\", \"n\": %d, \"goodput_mbps\": %.1f, "
+          "    {\"protocol\": \"%s\", \"n\": %d, \"shards\": %d, "
+          "\"goodput_mbps\": %.1f, "
           "\"fct_p50_ms\": %.2f, \"fct_p99_ms\": %.2f, \"timeouts\": %llu, "
           "\"rounds\": %llu, \"wall_seconds\": %.3f, "
           "\"events_per_sec\": %.0f, \"packets_per_sec\": %.0f}%s\n",
-          ToString(p.protocol), p.num_flows, p.goodput_mbps, p.fct_p50_ms,
+          ToString(p.protocol), p.num_flows, p.shards, p.goodput_mbps,
+          p.fct_p50_ms,
           p.fct_p99_ms, static_cast<unsigned long long>(p.timeouts),
           static_cast<unsigned long long>(p.rounds), p.wall_seconds,
           p.EventsPerSec(), p.PacketsPerSec(),

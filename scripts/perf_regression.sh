@@ -3,11 +3,15 @@
 #   - engine_regression   -> BENCH_engine.json   (scheduler core)
 #   - datapath_regression -> BENCH_datapath.json (per-packet datapath)
 #   - soak_impairment     -> BENCH_soak.json     (fault-profile sweep)
-# Numbers feed DESIGN.md's "Engine performance" and "Datapath performance"
-# sections and the acceptance gates (>=2x wheel-vs-heap, >=1.5x datapath
-# packets/sec vs the pre-PR baseline). datapath_regression exits nonzero
-# if its ring-vs-reference determinism check fails, which fails this
-# script too.
+#   - parallel_scale      -> BENCH_parallel.json (sharded engine)
+# and records one manifest row per bench — wall-clock seconds and peak
+# RSS — in BENCH_manifest.json, so a perf regression in *any* harness
+# (time or memory) shows up in a single diffable file. Numbers feed
+# DESIGN.md's performance sections and the acceptance gates (>=2x
+# wheel-vs-heap, >=1.5x datapath packets/sec vs the pre-PR baseline,
+# shard determinism). datapath_regression, soak_impairment, and
+# parallel_scale exit nonzero when their determinism gates fail, which
+# fails this script too.
 #
 # Usage: scripts/perf_regression.sh [build_dir]
 set -euo pipefail
@@ -19,17 +23,92 @@ build_dir="${1:-$repo_root/build}"
 # RelWithDebInfo, and an existing build dir keeps its configuration.
 cmake -S "$repo_root" -B "$build_dir" >/dev/null
 cmake --build "$build_dir" --target engine_regression datapath_regression \
-  soak_impairment micro_demux -j >/dev/null
-"$build_dir/bench/engine_regression" "$repo_root/BENCH_engine.json"
+  soak_impairment parallel_scale micro_demux micro_shard_handoff \
+  -j >/dev/null
+
+python_bin=""
+if command -v python3 >/dev/null 2>&1; then
+  python_bin="python3"
+fi
+
+manifest_rows=()
+
+# run_bench <name> <cmd...>: runs the bench, appending a manifest row with
+# wall-clock and peak RSS. Peak RSS (ru_maxrss of the child, KiB) needs a
+# python3; without one the column records -1 and only wall time is kept.
+run_bench() {
+  local name="$1"
+  shift
+  local wall rss
+  if [ -n "$python_bin" ]; then
+    local metrics
+    metrics="$(mktemp)"
+    "$python_bin" - "$metrics" "$@" <<'EOF'
+import resource
+import subprocess
+import sys
+import time
+
+metrics_path = sys.argv[1]
+t0 = time.monotonic()
+rc = subprocess.call(sys.argv[2:])
+wall = time.monotonic() - t0
+rss_kib = resource.getrusage(resource.RUSAGE_CHILDREN).ru_maxrss
+with open(metrics_path, "w") as f:
+    f.write(f"{wall:.3f} {rss_kib}\n")
+sys.exit(rc)
+EOF
+    read -r wall rss <"$metrics"
+    rm -f "$metrics"
+  else
+    local t0=$SECONDS
+    "$@"
+    wall=$((SECONDS - t0))
+    rss=-1
+  fi
+  manifest_rows+=("    {\"bench\": \"$name\", \"wall_seconds\": $wall, \"peak_rss_kib\": $rss}")
+  echo "[$name] wall=${wall}s peak_rss=${rss}KiB"
+}
+
+run_bench engine_regression \
+  "$build_dir/bench/engine_regression" "$repo_root/BENCH_engine.json"
 echo "Wrote $repo_root/BENCH_engine.json"
-"$build_dir/bench/datapath_regression" "$repo_root/BENCH_datapath.json"
+run_bench datapath_regression \
+  "$build_dir/bench/datapath_regression" "$repo_root/BENCH_datapath.json"
 echo "Wrote $repo_root/BENCH_datapath.json"
 # Full impairment matrix with the invariant checker armed; exits nonzero
-# (failing this script) on any invariant violation or if the same seed is
-# not bit-identical across 1/2/8-thread pools.
-"$build_dir/bench/soak_impairment" "$repo_root/BENCH_soak.json"
+# (failing this script) on any invariant violation, or if the same seed is
+# not bit-identical across 1/2/8-thread pools or across 1/2/4/8 shards.
+run_bench soak_impairment \
+  "$build_dir/bench/soak_impairment" "$repo_root/BENCH_soak.json"
 echo "Wrote $repo_root/BENCH_soak.json"
+# Sharded engine: serial-vs-parallel wall clock, partition balance bound,
+# and the shard-count determinism gate on the benchmark workloads.
+run_bench parallel_scale \
+  "$build_dir/bench/parallel_scale" "$repo_root/BENCH_parallel.json"
+echo "Wrote $repo_root/BENCH_parallel.json"
 # Control-plane microbenchmarks (flat-vs-map demux, dense-vs-hash routing,
 # arena-vs-heap setup); console output only, the regression numbers of
 # record live in BENCH_datapath.json's micro section.
-"$build_dir/bench/micro_demux" --benchmark_min_time=0.05
+run_bench micro_demux "$build_dir/bench/micro_demux" --benchmark_min_time=0.05
+# Parallel-engine overheads: mailbox merge cost per handoff and gang
+# barrier latency per window.
+run_bench micro_shard_handoff \
+  "$build_dir/bench/micro_shard_handoff" --benchmark_min_time=0.05
+
+manifest="$repo_root/BENCH_manifest.json"
+{
+  echo "{"
+  echo "  \"hardware_threads\": $(nproc),"
+  echo "  \"benches\": ["
+  for i in "${!manifest_rows[@]}"; do
+    if [ "$i" -lt $((${#manifest_rows[@]} - 1)) ]; then
+      echo "${manifest_rows[$i]},"
+    else
+      echo "${manifest_rows[$i]}"
+    fi
+  done
+  echo "  ]"
+  echo "}"
+} >"$manifest"
+echo "Wrote $manifest"

@@ -31,7 +31,7 @@ void DctcpPlusCc::OnAck(TcpSocket& sk, const AckContext& ctx) {
   const bool at_min = sk.cwnd() <= MinCwnd();
   if (ctx.ece) {
     window_saw_congestion_ = true;
-    regulator_.Evolve(/*congested=*/true, at_min, sk.sim().rng(),
+    regulator_.Evolve(/*congested=*/true, at_min, sk.rng(),
                       sk.srtt());
   }
 
@@ -42,7 +42,7 @@ void DctcpPlusCc::OnAck(TcpSocket& sk, const AckContext& ctx) {
   }
   if (sk.StreamAcked() >= decay_window_end_) {
     if (!window_saw_congestion_) {
-      regulator_.Evolve(/*congested=*/false, at_min, sk.sim().rng(),
+      regulator_.Evolve(/*congested=*/false, at_min, sk.rng(),
                         sk.srtt());
     }
     window_saw_congestion_ = false;
@@ -56,7 +56,7 @@ void DctcpPlusCc::OnRetransmissionTimeout(TcpSocket& sk) {
   // loss window is at or below the floor).
   window_saw_congestion_ = true;
   regulator_.Evolve(/*congested=*/true, /*cwnd_at_min=*/true,
-                    sk.sim().rng(), sk.srtt());
+                    sk.rng(), sk.srtt());
 }
 
 void DctcpPlusCc::OnFastRetransmit(TcpSocket& sk) {
@@ -64,7 +64,7 @@ void DctcpPlusCc::OnFastRetransmit(TcpSocket& sk) {
   window_saw_congestion_ = true;
   regulator_.Evolve(/*congested=*/true,
                     /*cwnd_at_min=*/sk.cwnd() <= MinCwnd() + 3,
-                    sk.sim().rng(), sk.srtt());
+                    sk.rng(), sk.srtt());
 }
 
 Tick DctcpPlusCc::PacingDelay(TcpSocket& sk, Rng& rng) {

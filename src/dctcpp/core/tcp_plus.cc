@@ -27,7 +27,7 @@ void TcpPlusCc::OnAck(TcpSocket& sk, const AckContext& ctx) {
     const bool at_min = sk.InRecovery()
                             ? sk.ssthresh() <= MinCwnd() + 1
                             : sk.cwnd() <= MinCwnd();
-    regulator_.Evolve(/*congested=*/true, at_min, sk.sim().rng(),
+    regulator_.Evolve(/*congested=*/true, at_min, sk.rng(),
                       sk.srtt());
   }
 
@@ -40,7 +40,7 @@ void TcpPlusCc::OnAck(TcpSocket& sk, const AckContext& ctx) {
     if (!window_saw_loss_) {
       regulator_.Evolve(/*congested=*/false,
                         /*cwnd_at_min=*/sk.cwnd() <= MinCwnd(),
-                        sk.sim().rng(), sk.srtt());
+                        sk.rng(), sk.srtt());
     }
     window_saw_loss_ = false;
     window_end_ = sk.StreamAcked() + sk.FlightSize();
@@ -51,7 +51,7 @@ void TcpPlusCc::OnRetransmissionTimeout(TcpSocket& sk) {
   NewRenoCc::OnRetransmissionTimeout(sk);
   window_saw_loss_ = true;
   regulator_.Evolve(/*congested=*/true, /*cwnd_at_min=*/true,
-                    sk.sim().rng(), sk.srtt());
+                    sk.rng(), sk.srtt());
 }
 
 void TcpPlusCc::OnFastRetransmit(TcpSocket& sk) {
@@ -59,7 +59,7 @@ void TcpPlusCc::OnFastRetransmit(TcpSocket& sk) {
   window_saw_loss_ = true;
   regulator_.Evolve(/*congested=*/true,
                     /*cwnd_at_min=*/sk.cwnd() <= MinCwnd() + 3,
-                    sk.sim().rng(), sk.srtt());
+                    sk.rng(), sk.srtt());
 }
 
 Tick TcpPlusCc::PacingDelay(TcpSocket& sk, Rng& rng) {

@@ -5,9 +5,10 @@
 
 namespace dctcpp {
 
-void Host::AttachUplink(const LinkConfig& config, PacketSink& peer) {
+void Host::AttachUplink(const LinkConfig& config, PacketSink& peer,
+                        Simulator* peer_sim) {
   DCTCPP_ASSERT(uplink_ == nullptr);
-  uplink_ = std::make_unique<EgressPort>(sim_, config, peer);
+  uplink_ = std::make_unique<EgressPort>(sim_, config, peer, peer_sim);
 }
 
 void Host::Send(Packet pkt) {

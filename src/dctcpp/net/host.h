@@ -36,8 +36,11 @@ class Host : public PacketSink {
   const std::string& name() const { return name_; }
   Simulator& sim() { return sim_; }
 
-  /// Installs the NIC; called once by the topology builder.
-  void AttachUplink(const LinkConfig& config, PacketSink& peer);
+  /// Installs the NIC; called once by the topology builder. `peer_sim`
+  /// (the simulator owning `peer`) only matters in sharded mode, where
+  /// the NIC port must know its peer's shard.
+  void AttachUplink(const LinkConfig& config, PacketSink& peer,
+                    Simulator* peer_sim = nullptr);
   bool HasUplink() const { return uplink_ != nullptr; }
   EgressPort& uplink() { return *uplink_; }
 
@@ -70,6 +73,19 @@ class Host : public PacketSink {
   /// modelled TCP checksum failed on arrival).
   std::uint64_t checksum_drops() const { return checksum_drops_; }
 
+  /// Stable per-host socket stream id: sockets draw their randomness
+  /// (ISS, pacing jitter, slow-time evolution) from a private stream
+  /// derived from (run seed, this id) so draw order never couples
+  /// unrelated flows — the property sharded execution depends on, and a
+  /// reproducibility win in its own right. Host ids and per-host creation
+  /// order are fixed by the deterministic builders, so the id is
+  /// shard-count-invariant.
+  std::uint64_t NextSocketStreamId() {
+    DCTCPP_ASSERT(next_socket_serial_ < (1ULL << 24));
+    return (1ULL << 40) | (static_cast<std::uint64_t>(id_) << 24) |
+           next_socket_serial_++;
+  }
+
  private:
   static constexpr PortNum kEphemeralBase = 10000;
 
@@ -92,6 +108,7 @@ class Host : public PacketSink {
   std::uint64_t unmatched_ = 0;
   std::uint64_t checksum_drops_ = 0;
   std::uint64_t next_packet_uid_ = 1;
+  std::uint64_t next_socket_serial_ = 0;
 };
 
 }  // namespace dctcpp

@@ -1,5 +1,6 @@
 #include "dctcpp/net/link.h"
 
+#include "dctcpp/net/parallel.h"
 #include "dctcpp/util/assert.h"
 #include "dctcpp/util/log.h"
 
@@ -18,10 +19,15 @@ ImpairmentConfig EffectiveImpairment(const LinkConfig& config) {
   return eff;
 }
 
+/// Stream-id base for per-port RED randomness in sharded mode, disjoint
+/// from the impairment stream ids (dense from 0) and the per-socket base
+/// (1 << 40 | ...).
+constexpr std::uint64_t kRedStreamBase = 1ULL << 41;
+
 }  // namespace
 
 EgressPort::EgressPort(Simulator& sim, const LinkConfig& config,
-                       PacketSink& peer)
+                       PacketSink& peer, Simulator* peer_sim)
     : sim_(sim),
       config_(config),
       peer_(peer),
@@ -32,7 +38,24 @@ EgressPort::EgressPort(Simulator& sim, const LinkConfig& config,
       deliver_ev_(
           sim, [](void* p) { static_cast<EgressPort*>(p)->DeliverHead(); },
           this) {
-  if (config.red) queue_.EnableRed(config.red_config, &sim.rng());
+  if (sim.parallel() != nullptr) {
+    psim_ = sim.parallel();
+    src_shard_ = sim.shard_id();
+    dst_shard_ = peer_sim != nullptr ? peer_sim->shard_id() : src_shard_;
+    // Every port claims a gid (whether or not it crosses shards) so the
+    // calendar key space depends only on topology-construction order.
+    port_gid_ = sim.NextPortId();
+    // A zero-delay link would make the conservative lookahead zero.
+    DCTCPP_ASSERT(config.propagation_delay > 0);
+  }
+  if (config.red) {
+    if (psim_ != nullptr) {
+      red_rng_ = sim.StreamRng(kRedStreamBase + port_gid_);
+      queue_.EnableRed(config.red_config, &red_rng_);
+    } else {
+      queue_.EnableRed(config.red_config, &sim.rng());
+    }
+  }
   const ImpairmentConfig eff = EffectiveImpairment(config);
   if (eff.Any()) {
     impairment_ = std::make_unique<ImpairmentStage>(sim, eff, *this);
@@ -84,9 +107,21 @@ void EgressPort::FinishTransmission() {
   transmitting_ = false;
   in_flight_bytes_ = 0;
   // Propagation: the packet arrives at the peer `delay` after the last bit
-  // leaves the wire. The delivery event only tracks the head; finish times
-  // are strictly increasing, so `due_` stays FIFO-ordered.
+  // leaves the wire.
   const Tick due = sim_.Now() + config_.propagation_delay;
+  if (psim_ != nullptr) {
+    // Sharded mode: the wire is the destination shard's arrival calendar.
+    // (port gid, wire seq) makes the delivery key unique and canonical —
+    // the same packet sorts to the same place whatever the shard count.
+    const std::uint64_t key = (port_gid_ << 32) | (wire_seq_++ & 0xffffffffu);
+    ++handed_off_;
+    psim_->Handoff(src_shard_, dst_shard_, due, key, &peer_, on_wire_);
+    CheckConservation();
+    StartTransmission();
+    return;
+  }
+  // The delivery event only tracks the head; finish times are strictly
+  // increasing, so `due_` stays FIFO-ordered.
   propagating_.PushBack(on_wire_);
   due_.PushBack(due);
   if (!deliver_armed_) {
@@ -114,7 +149,23 @@ void EgressPort::DeliverHead() {
 
 void EgressPort::CheckConservation() {
   // Every packet the queue ever accepted must be exactly one of:
-  // delivered, waiting in the queue, serializing, or on the wire.
+  // delivered, waiting in the queue, serializing, or on the wire. In
+  // sharded mode "on the wire" is the peer's calendar, whose contents
+  // this side must not read; the handoff counter takes the role of
+  // delivered + propagating on the source side.
+  if (psim_ != nullptr) {
+    const std::uint64_t resident =
+        queue_.PacketCount() + (transmitting_ ? 1u : 0u);
+    if (queue_.stats().enqueued != handed_off_ + resident) {
+      sim_.invariants().Violate(
+          "port-conservation",
+          "accepted=%llu != handed_off=%llu + queued=%zu + serializing=%u",
+          static_cast<unsigned long long>(queue_.stats().enqueued),
+          static_cast<unsigned long long>(handed_off_), queue_.PacketCount(),
+          transmitting_ ? 1u : 0u);
+    }
+    return;
+  }
   const std::uint64_t resident = queue_.PacketCount() +
                                  (transmitting_ ? 1u : 0u) +
                                  propagating_.Size();

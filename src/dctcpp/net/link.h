@@ -55,9 +55,16 @@ struct LinkConfig {
   ImpairmentConfig impairment;
 };
 
+class ParallelSimulation;
+
 class EgressPort {
  public:
-  EgressPort(Simulator& sim, const LinkConfig& config, PacketSink& peer);
+  /// `peer_sim` is the Simulator owning the peer node; only consulted in
+  /// sharded mode (sim.parallel() != nullptr), where it selects the
+  /// destination shard of this port's deliveries. Defaults to the port's
+  /// own world.
+  EgressPort(Simulator& sim, const LinkConfig& config, PacketSink& peer,
+             Simulator* peer_sim = nullptr);
   ~EgressPort();
 
   EgressPort(const EgressPort&) = delete;
@@ -87,8 +94,12 @@ class EgressPort {
   /// The fault pipeline, or nullptr when this link is unimpaired.
   const ImpairmentStage* impairment() const { return impairment_.get(); }
 
-  /// Packets this port handed to its peer.
-  std::uint64_t delivered() const { return delivered_; }
+  /// Packets this port handed to its peer (in sharded mode: deposited
+  /// into the peer shard's arrival calendar — the peer-side delivery is
+  /// counted by the destination shard).
+  std::uint64_t delivered() const {
+    return psim_ != nullptr ? handed_off_ : delivered_;
+  }
 
  private:
   friend class ImpairmentStage;
@@ -158,6 +169,19 @@ class EgressPort {
   PacketSink& peer_;
   DropTailEcnQueue queue_;
   std::unique_ptr<ImpairmentStage> impairment_;
+  // Sharded-mode state (see net/parallel.h). When psim_ is set the
+  // propagation stage is replaced by a calendar handoff: FinishTransmission
+  // deposits (due, port gid << 32 | wire seq) into the peer shard and the
+  // pinned delivery event never arms. RED then draws from the port's
+  // private stream instead of the (shard-local, draw-order-fragile) run
+  // RNG.
+  ParallelSimulation* psim_ = nullptr;
+  int src_shard_ = 0;
+  int dst_shard_ = 0;
+  std::uint64_t port_gid_ = 0;
+  std::uint64_t wire_seq_ = 0;
+  std::uint64_t handed_off_ = 0;
+  Rng red_rng_{0};
   bool transmitting_ = false;
   Bytes in_flight_bytes_ = 0;
   std::uint64_t delivered_ = 0;

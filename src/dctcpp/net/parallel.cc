@@ -1,0 +1,335 @@
+#include "dctcpp/net/parallel.h"
+
+#include <algorithm>
+#include <thread>
+#include <utility>
+
+#include "dctcpp/util/assert.h"
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#endif
+
+namespace dctcpp {
+
+namespace {
+
+/// Busy-wait hint: cheap pause for the first spins, yield once the wait
+/// clearly spans more than a window's worth of work so an oversubscribed
+/// machine still makes progress.
+inline void SpinWait(int iteration) {
+  if (iteration < 1024) {
+#if defined(__x86_64__) || defined(__i386__)
+    _mm_pause();
+#else
+    std::this_thread::yield();
+#endif
+  } else {
+    std::this_thread::yield();
+  }
+}
+
+}  // namespace
+
+// --- ArrivalCalendar ------------------------------------------------------
+
+CalendarEntry ArrivalCalendar::PopEarliest() {
+  DCTCPP_DASSERT(!heap_.empty());
+  CalendarEntry top = heap_.front();
+  heap_.front() = heap_.back();
+  heap_.pop_back();
+  if (!heap_.empty()) SiftDown(0);
+  return top;
+}
+
+void ArrivalCalendar::SiftUp(std::size_t i) {
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / 2;
+    if (!Before(heap_[i], heap_[parent])) return;
+    std::swap(heap_[i], heap_[parent]);
+    i = parent;
+  }
+}
+
+void ArrivalCalendar::SiftDown(std::size_t i) {
+  const std::size_t n = heap_.size();
+  for (;;) {
+    std::size_t best = i;
+    const std::size_t l = 2 * i + 1;
+    const std::size_t r = 2 * i + 2;
+    if (l < n && Before(heap_[l], heap_[best])) best = l;
+    if (r < n && Before(heap_[r], heap_[best])) best = r;
+    if (best == i) return;
+    std::swap(heap_[i], heap_[best]);
+    i = best;
+  }
+}
+
+// --- WindowGang -----------------------------------------------------------
+
+WindowGang::WindowGang(ThreadPool& pool, int helpers, Task task)
+    : state_(std::make_shared<State>()), task_(std::move(task)) {
+  for (int h = 0; h < helpers; ++h) {
+    // Helpers capture only the shared state and a copy of the task: once
+    // `exit` is raised they return without touching either again, so the
+    // gang (and whatever the task references) may die while a helper is
+    // still draining out of its spin loop.
+    pool.Post([state = state_, task = task_] {
+      std::uint64_t seen = 0;
+      for (int spin = 0;; ++spin) {
+        const std::uint64_t v = state->seq.load(std::memory_order_acquire);
+        if (v == seen) {
+          SpinWait(spin);
+          continue;
+        }
+        if (state->exit.load(std::memory_order_acquire)) return;
+        seen = v;
+        spin = 0;
+        ClaimLoop(*state, v, task);
+      }
+    });
+  }
+}
+
+WindowGang::~WindowGang() {
+  state_->exit.store(true, std::memory_order_release);
+  state_->seq.fetch_add(1, std::memory_order_release);
+}
+
+void WindowGang::ClaimLoop(State& s, std::uint64_t my_seq, const Task& task) {
+  for (;;) {
+    std::uint64_t c = s.claim.load(std::memory_order_relaxed);
+    if ((c >> 32) != my_seq) return;  // stale window: nothing left for us
+    const auto t = static_cast<std::uint32_t>(c & 0xffffffffu);
+    // Bounds-check against *this window's* count slot: a helper parked on
+    // the terminal claim (my_seq, n) while the caller starts the next
+    // window must keep seeing n here, not the next window's count, or it
+    // could claim a dead slot below before the new epoch is published.
+    if (static_cast<int>(t) >=
+        s.count[my_seq & 1].load(std::memory_order_relaxed)) {
+      return;
+    }
+    // CAS (not fetch_add) so a laggard from the previous window can never
+    // consume a slot of this one: its epoch check above fails before it
+    // ever modifies the counter.
+    if (!s.claim.compare_exchange_weak(c, c + 1, std::memory_order_relaxed,
+                                       std::memory_order_relaxed)) {
+      continue;
+    }
+    task(static_cast<int>(t));
+    s.done.fetch_add(1, std::memory_order_release);
+  }
+}
+
+void WindowGang::Run(int n) {
+  DCTCPP_DASSERT(n >= 0);
+  if (n == 0) return;
+  State& s = *state_;
+  const std::uint64_t seq = ++next_seq_;
+  s.count[seq & 1].store(n, std::memory_order_relaxed);
+  s.done.store(0, std::memory_order_relaxed);
+  s.claim.store(seq << 32, std::memory_order_relaxed);
+  s.seq.store(seq, std::memory_order_release);
+  ClaimLoop(s, seq, task_);
+  // Gather: every claimed task reports exactly once; acquire pairs with
+  // the workers' release so their shard writes are visible afterwards.
+  for (int spin = 0;
+       s.done.load(std::memory_order_acquire) != static_cast<std::uint32_t>(n);
+       ++spin) {
+    SpinWait(spin);
+  }
+}
+
+// --- ParallelSimulation ---------------------------------------------------
+
+ParallelSimulation::ParallelSimulation(std::uint64_t seed, int shards)
+    : seed_(seed) {
+  DCTCPP_ASSERT(shards >= 1);
+  shards_.reserve(static_cast<std::size_t>(shards));
+  for (int i = 0; i < shards; ++i) {
+    auto sh = std::make_unique<Shard>(seed);
+    sh->outbox.resize(static_cast<std::size_t>(shards));
+    sh->sim.BindShard(this, i, &sequences_, &stop_);
+    shards_.push_back(std::move(sh));
+  }
+}
+
+void ParallelSimulation::Handoff(int src, int dst, Tick at, std::uint64_t key,
+                                 PacketSink* sink, const Packet& pkt) {
+  DCTCPP_DASSERT(src >= 0 && src < shard_count());
+  DCTCPP_DASSERT(dst >= 0 && dst < shard_count());
+  CalendarEntry e;
+  e.at = at;
+  e.key = key;
+  e.sink = sink;
+  e.pkt = pkt;
+  Shard& source = *shards_[static_cast<std::size_t>(src)];
+  if (src == dst) {
+    // The calling thread owns this shard for the duration of the window.
+    source.calendar.Push(e);
+  } else {
+    source.outbox[static_cast<std::size_t>(dst)].push_back(e);
+    ++source.cross_deposits;
+  }
+}
+
+void ParallelSimulation::RunShardWindow(int idx, Tick end) {
+  Shard& sh = *shards_[static_cast<std::size_t>(idx)];
+  Simulator& sim = sh.sim;
+  for (;;) {
+    const Tick tc = sh.calendar.NextTime();
+    const Tick tw = sim.scheduler().NextTime();
+    if (std::min(tc, tw) >= end) return;
+    if (tc <= tw) {
+      // All arrivals due at tick tc deliver before any wheel event at tc,
+      // in (at, key) order — the canonical tie-break shared by every
+      // shard count. Deliveries may schedule wheel work at tc (handled
+      // next iteration, after the batch) and may hand off new arrivals,
+      // but those land >= tc + W (one full lookahead away), never here.
+      sim.SetNow(tc);
+      do {
+        const CalendarEntry e = sh.calendar.PopEarliest();
+        e.sink->Deliver(e.pkt);
+        ++sh.delivered;
+      } while (!sh.calendar.Empty() && sh.calendar.NextTime() == tc);
+    } else {
+      // Wheel events strictly before the next arrival (and window end).
+      sim.RunWindow(std::min(tc, end));
+    }
+  }
+}
+
+void ParallelSimulation::MergeOutboxes() {
+  for (auto& src : shards_) {
+    for (std::size_t dst = 0; dst < src->outbox.size(); ++dst) {
+      auto& box = src->outbox[dst];
+      if (box.empty()) continue;
+      ArrivalCalendar& cal = shards_[dst]->calendar;
+      for (const CalendarEntry& e : box) cal.Push(e);
+      box.clear();
+    }
+  }
+}
+
+std::uint64_t ParallelSimulation::RunUntil(Tick deadline, ThreadPool* pool) {
+  DCTCPP_ASSERT(deadline >= 0);
+  const Tick dp1 = SatAddTick(deadline, 1);
+  const int s = shard_count();
+  const int helpers =
+      pool != nullptr
+          ? static_cast<int>(std::min<std::size_t>(
+                pool->size(), static_cast<std::size_t>(s - 1)))
+          : 0;
+  std::unique_ptr<WindowGang> gang;
+  if (helpers > 0) {
+    gang = std::make_unique<WindowGang>(*pool, helpers, [this](int t) {
+      RunShardWindow(active_[static_cast<std::size_t>(t)], window_end_);
+    });
+  }
+
+  std::uint64_t windows = 0;
+  std::vector<Tick> next(static_cast<std::size_t>(s), kTickMax);
+  for (;;) {
+    // Stop lands here and only here: the flag was raised by an event
+    // inside the window just completed — the same event, in the same
+    // window, for every shard count — so every S executes the identical
+    // set of windows.
+    if (stop_.load(std::memory_order_acquire)) {
+      stopped_ = true;
+      break;
+    }
+    Tick gn = kTickMax;
+    for (int i = 0; i < s; ++i) {
+      next[static_cast<std::size_t>(i)] =
+          ShardNext(*shards_[static_cast<std::size_t>(i)]);
+      gn = std::min(gn, next[static_cast<std::size_t>(i)]);
+    }
+    if (gn >= dp1) break;  // drained, or nothing left before the deadline
+    const Tick we = std::min(SatAddTick(gn, lookahead_), dp1);
+    active_.clear();
+    for (int i = 0; i < s; ++i) {
+      if (next[static_cast<std::size_t>(i)] < we) active_.push_back(i);
+    }
+    window_end_ = we;
+    ++windows;
+    if (gang != nullptr && active_.size() > 1) {
+      ++gang_windows_;
+      gang->Run(static_cast<int>(active_.size()));
+    } else {
+      // One busy shard (the common sparse phase) — or no pool at all —
+      // runs inline with zero synchronization traffic.
+      for (const int idx : active_) RunShardWindow(idx, we);
+    }
+    MergeOutboxes();
+  }
+  windows_ += windows;
+
+  if (!stopped_ && deadline != kTickMax) {
+    // Mirror Simulator::RunUntil: a drained/deadline-bounded run leaves
+    // every clock at the deadline.
+    for (auto& sh : shards_) {
+      if (sh->sim.Now() < deadline) sh->sim.SetNow(deadline);
+    }
+  }
+  return windows;
+}
+
+std::uint64_t ParallelSimulation::events_executed() const {
+  std::uint64_t total = 0;
+  for (const auto& sh : shards_) {
+    total += sh->sim.events_executed() + sh->delivered;
+  }
+  return total;
+}
+
+std::uint64_t ParallelSimulation::packets_forwarded() const {
+  std::uint64_t total = 0;
+  for (const auto& sh : shards_) total += sh->sim.packets_forwarded();
+  return total;
+}
+
+std::uint64_t ParallelSimulation::calendar_deliveries() const {
+  std::uint64_t total = 0;
+  for (const auto& sh : shards_) total += sh->delivered;
+  return total;
+}
+
+std::uint64_t ParallelSimulation::cross_shard_handoffs() const {
+  std::uint64_t total = 0;
+  for (const auto& sh : shards_) total += sh->cross_deposits;
+  return total;
+}
+
+NetworkInvariants::Ledger ParallelSimulation::MergedLedger() const {
+  NetworkInvariants::Ledger merged;
+  for (const auto& sh : shards_) {
+    const auto& l = sh->sim.invariants().ledger();
+    merged.originated += l.originated;
+    merged.duplicated += l.duplicated;
+    merged.delivered += l.delivered;
+    merged.dropped += l.dropped;
+    merged.checksum_discards += l.checksum_discards;
+  }
+  return merged;
+}
+
+std::uint64_t ParallelSimulation::invariant_violations() const {
+  std::uint64_t total = 0;
+  for (const auto& sh : shards_) total += sh->sim.invariants().violations();
+  if (!NetworkInvariants::LedgerConsistent(MergedLedger())) ++total;
+  return total;
+}
+
+std::string ParallelSimulation::first_violation() const {
+  for (const auto& sh : shards_) {
+    if (!sh->sim.invariants().first_violation().empty()) {
+      return sh->sim.invariants().first_violation();
+    }
+  }
+  if (!NetworkInvariants::LedgerConsistent(MergedLedger())) {
+    return "merged packet ledger inconsistent";
+  }
+  return std::string();
+}
+
+}  // namespace dctcpp

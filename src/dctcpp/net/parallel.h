@@ -1,0 +1,269 @@
+// Conservative time-windowed parallel execution of one simulated world.
+//
+// A `ParallelSimulation` splits a topology into S shards, each a full
+// `Simulator` (own wheel, arena, invariant recorder) holding a subset of
+// the hosts and switches. The only interaction between nodes is packet
+// propagation over links, and every link imposes a positive propagation
+// delay, so the minimum delay over all links is a *lookahead* W: an event
+// executed anywhere at time t cannot influence another node before t + W.
+// The coordinator exploits this the classic conservative-PDES way — run
+// every shard independently over the half-open window [gn, gn + W), where
+// gn is the globally earliest pending event, then exchange cross-shard
+// packets at a barrier and repeat.
+//
+// Determinism is the design center: a run with S shards is bit-identical
+// to the same run with 1 shard. The ingredients, each individually
+// shard-count-invariant:
+//
+//  - Window sequence. Every window is [gn, min(gn + W, deadline + 1))
+//    with gn the global minimum next-event time. gn is a property of the
+//    simulation state (inductively identical across S), W is the minimum
+//    over ALL links (observed during construction, independent of the
+//    partition), so all S execute the identical window sequence.
+//  - Delivery order. In sharded mode every packet delivery — cross-shard
+//    AND intra-shard — goes through the destination shard's arrival
+//    calendar, keyed (arrival tick, port id << 32 | per-port wire
+//    sequence). Port ids come from a shared construction-time sequence
+//    (Simulator::NextPortId) fixed by topology-build order; wire sequence
+//    is the per-port FIFO position. At any tick, calendar deliveries run
+//    before wheel events in ascending key order — a total order that
+//    mentions nothing about shards.
+//  - Stop. Simulator::Stop() from inside a shard sets a shared flag that
+//    the coordinator honors only between windows, so the stopping window
+//    — raised by the same event in the same window everywhere — is the
+//    last window for every S.
+//  - Per-entity randomness. Sockets and RED-enabled ports draw from
+//    private streams derived from (seed, stable entity id), never from a
+//    shared run RNG whose draw order would depend on thread interleaving.
+//
+// Wheel interleaving within a shard needs no special care: a node's own
+// events keep their relative insertion order whatever else shares the
+// wheel (the scheduler's (time, insertion-seq) contract), nodes touch no
+// common state except through the calendar, and cross-node counters are
+// commutative sums.
+//
+// Note the promise is S-vs-S invariance, not equality with the legacy
+// single-Simulator path: at equal-tick collisions the legacy engine orders
+// deliveries by wheel insertion while the calendar orders by port id, so
+// the two engines are separately deterministic.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dctcpp/net/link.h"
+#include "dctcpp/sim/simulator.h"
+#include "dctcpp/util/invariants.h"
+#include "dctcpp/util/thread_pool.h"
+#include "dctcpp/util/time.h"
+
+namespace dctcpp {
+
+/// Saturating tick addition (deadlines may be kTickMax).
+inline Tick SatAddTick(Tick a, Tick b) {
+  return a > kTickMax - b ? kTickMax : a + b;
+}
+
+/// One packet handed from an egress port to a (possibly remote) shard:
+/// due at `at`, delivered to `sink` in ascending (at, key) order.
+struct CalendarEntry {
+  Tick at = 0;
+  std::uint64_t key = 0;  ///< port gid << 32 | per-port wire sequence
+  PacketSink* sink = nullptr;
+  Packet pkt;
+};
+
+/// Min-heap of pending arrivals for one shard, ordered by (at, key). Keys
+/// are unique (per-port sequences never repeat), so the order is total
+/// and independent of insertion order — mailbox merges can append in any
+/// order without affecting delivery order.
+class ArrivalCalendar {
+ public:
+  bool Empty() const { return heap_.empty(); }
+  std::size_t Size() const { return heap_.size(); }
+
+  /// Earliest due tick, or kTickMax when empty.
+  Tick NextTime() const { return heap_.empty() ? kTickMax : heap_[0].at; }
+
+  void Push(const CalendarEntry& e) {
+    heap_.push_back(e);
+    SiftUp(heap_.size() - 1);
+  }
+
+  /// Removes and returns the earliest entry. Precondition: !Empty().
+  CalendarEntry PopEarliest();
+
+ private:
+  static bool Before(const CalendarEntry& a, const CalendarEntry& b) {
+    if (a.at != b.at) return a.at < b.at;
+    return a.key < b.key;
+  }
+  void SiftUp(std::size_t i);
+  void SiftDown(std::size_t i);
+
+  std::vector<CalendarEntry> heap_;
+};
+
+/// Spin-synchronized gang that fans a window's shard list over pool
+/// helpers plus the calling thread. Built for windows a handful of
+/// microseconds of work wide: publishing a window is one release store,
+/// helpers spin (pause, then yield) between windows instead of taking a
+/// mutex, and task claiming is an epoch-tagged CAS so a laggard from the
+/// previous window can never steal or double-run a task. The caller
+/// participates in every window, so completion never depends on the pool
+/// actually scheduling the helpers.
+class WindowGang {
+ public:
+  using Task = std::function<void(int)>;
+
+  /// Posts `helpers` long-lived spinner tasks onto `pool`; each window's
+  /// task indices are passed to `task`.
+  WindowGang(ThreadPool& pool, int helpers, Task task);
+
+  /// Releases the helpers (they exit their spin loops promptly; the pool
+  /// joins them at its own destruction).
+  ~WindowGang();
+
+  WindowGang(const WindowGang&) = delete;
+  WindowGang& operator=(const WindowGang&) = delete;
+
+  /// Runs task indices [0, n) across the gang; returns when all n have
+  /// completed. All writes made by the caller before Run are visible to
+  /// every task; all writes made by tasks are visible to the caller after
+  /// Run returns.
+  void Run(int n);
+
+ private:
+  struct State {
+    std::atomic<std::uint64_t> seq{0};    ///< published window number
+    std::atomic<std::uint64_t> claim{0};  ///< seq << 32 | next task index
+    std::atomic<std::uint32_t> done{0};   ///< tasks completed this window
+    std::atomic<bool> exit{false};
+    /// Task count, double-buffered by window parity. A helper parked on
+    /// the finished window w's terminal claim (w, n) must keep reading
+    /// *w's* count after the caller started window w+1 — a single slot
+    /// would let it pass the bounds check with w+1's larger count and
+    /// CAS-claim a slot of the dead window before the new epoch lands.
+    std::atomic<int> count[2] = {0, 0};
+  };
+
+  static void ClaimLoop(State& s, std::uint64_t my_seq, const Task& task);
+
+  // Heap-shared with the helper lambdas: a helper that outlives this
+  // object (still spinning when the destructor's exit bump lands) touches
+  // only the State, never the gang or its owner.
+  std::shared_ptr<State> state_;
+  Task task_;
+  std::uint64_t next_seq_ = 0;
+};
+
+/// Coordinator owning the S shard Simulators of one world. Topology
+/// construction goes through Network(ParallelSimulation&), which assigns
+/// nodes to shards and reports every link's propagation delay here; the
+/// workload then drives the run with RunUntil.
+class ParallelSimulation {
+ public:
+  /// All shards share `seed` (stream ids, not draw interleaving, separate
+  /// consumers) and the construction-time id sequences.
+  ParallelSimulation(std::uint64_t seed, int shards);
+
+  ParallelSimulation(const ParallelSimulation&) = delete;
+  ParallelSimulation& operator=(const ParallelSimulation&) = delete;
+
+  int shard_count() const { return static_cast<int>(shards_.size()); }
+  Simulator& shard(int i) { return shards_[static_cast<std::size_t>(i)]->sim; }
+
+  /// Called by the topology builder for every link direction; the minimum
+  /// becomes the synchronization window W. Zero-delay links would destroy
+  /// the lookahead and are rejected in sharded mode.
+  void ObserveLinkDelay(Tick propagation_delay) {
+    DCTCPP_ASSERT(propagation_delay > 0);
+    if (propagation_delay < lookahead_) lookahead_ = propagation_delay;
+  }
+  Tick lookahead() const { return lookahead_; }
+
+  /// Deposits a packet due at `at` into shard `dst`'s arrival calendar
+  /// (directly when src == dst — single-threaded owner — else via the
+  /// source shard's outbox, merged by the coordinator at the barrier).
+  /// Called by EgressPort::FinishTransmission on the shard's thread.
+  void Handoff(int src, int dst, Tick at, std::uint64_t key,
+               PacketSink* sink, const Packet& pkt);
+
+  /// Runs every shard to `deadline` (inclusive, as Simulator::RunUntil)
+  /// in lockstep lookahead windows. Windows with more than one active
+  /// shard are fanned over `pool` (nullptr or empty pool: coordinator
+  /// runs everything inline). Returns the number of windows executed.
+  std::uint64_t RunUntil(Tick deadline, ThreadPool* pool = nullptr);
+
+  /// True once a shard called Simulator::Stop() and the coordinator
+  /// honored it at a window boundary.
+  bool stopped() const { return stopped_; }
+
+  // --- merged run statistics -------------------------------------------
+  /// Wheel events plus calendar deliveries across all shards.
+  std::uint64_t events_executed() const;
+  std::uint64_t packets_forwarded() const;
+  NetworkInvariants::Ledger MergedLedger() const;
+  /// Per-shard violations summed, plus one if the merged ledger fails the
+  /// consistency check that per-shard recorders must defer (a packet is
+  /// born on one shard and retired on another).
+  std::uint64_t invariant_violations() const;
+  std::string first_violation() const;
+
+  // Window-loop instrumentation (micro_shard_handoff / parallel_scale).
+  std::uint64_t windows_run() const { return windows_; }
+  std::uint64_t gang_windows() const { return gang_windows_; }
+  std::uint64_t calendar_deliveries() const;
+  std::uint64_t cross_shard_handoffs() const;
+  /// Events (wheel + calendar) executed by shard `i`. The maximum share
+  /// bounds the achievable parallel speedup: total / max.
+  std::uint64_t shard_events(int i) {
+    Shard& sh = *shards_[static_cast<std::size_t>(i)];
+    return sh.sim.scheduler().executed() + sh.delivered;
+  }
+
+  SharedSequences& sequences() { return sequences_; }
+
+ private:
+  struct Shard {
+    explicit Shard(std::uint64_t seed) : sim(seed) {}
+    Simulator sim;
+    ArrivalCalendar calendar;
+    /// Cross-shard deposits made during the current window, one vector
+    /// per destination shard; written only by this shard's runner,
+    /// drained only by the coordinator between windows.
+    std::vector<std::vector<CalendarEntry>> outbox;
+    std::uint64_t delivered = 0;       ///< calendar deliveries executed
+    std::uint64_t cross_deposits = 0;  ///< entries that left this shard
+  };
+
+  /// Earliest pending work (wheel or calendar) of one shard.
+  Tick ShardNext(Shard& sh) {
+    return std::min(sh.sim.scheduler().NextTime(), sh.calendar.NextTime());
+  }
+
+  /// Runs one shard's slice of the window [*, end): wheel events and
+  /// calendar deliveries interleaved in canonical order, deliveries first
+  /// at equal ticks.
+  void RunShardWindow(int idx, Tick end);
+
+  /// Drains every shard's outbox into the destination calendars.
+  void MergeOutboxes();
+
+  std::uint64_t seed_;
+  Tick lookahead_ = kTickMax;
+  SharedSequences sequences_;
+  std::atomic<bool> stop_{false};
+  bool stopped_ = false;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::vector<int> active_;  ///< shard ids of the window being dispatched
+  Tick window_end_ = 0;
+  std::uint64_t windows_ = 0;
+  std::uint64_t gang_windows_ = 0;
+};
+
+}  // namespace dctcpp

@@ -4,8 +4,10 @@
 
 namespace dctcpp {
 
-int Switch::AddPort(const LinkConfig& config, PacketSink& peer) {
-  ports_.push_back(std::make_unique<EgressPort>(sim_, config, peer));
+int Switch::AddPort(const LinkConfig& config, PacketSink& peer,
+                    Simulator* peer_sim) {
+  ports_.push_back(
+      std::make_unique<EgressPort>(sim_, config, peer, peer_sim));
   return static_cast<int>(ports_.size()) - 1;
 }
 

@@ -28,9 +28,13 @@ class Switch : public PacketSink {
 
   NodeId id() const { return id_; }
   const std::string& name() const { return name_; }
+  Simulator& sim() { return sim_; }
 
-  /// Adds an output port facing `peer`; returns its index.
-  int AddPort(const LinkConfig& config, PacketSink& peer);
+  /// Adds an output port facing `peer`; returns its index. `peer_sim`
+  /// (the simulator owning `peer`) only matters in sharded mode, where
+  /// the port must know its peer's shard.
+  int AddPort(const LinkConfig& config, PacketSink& peer,
+              Simulator* peer_sim = nullptr);
 
   /// Routes every packet destined to host `dst` out of port `port`.
   void SetRoute(NodeId dst, int port);

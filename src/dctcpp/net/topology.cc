@@ -2,17 +2,40 @@
 
 #include <queue>
 
+#include "dctcpp/net/parallel.h"
 #include "dctcpp/util/assert.h"
 
 namespace dctcpp {
 
-Host& Network::AddHost(const std::string& name) {
-  hosts_.push_back(std::make_unique<Host>(sim_, next_id_++, name));
+Network::Network(ParallelSimulation& parallel)
+    : parallel_(&parallel), default_sim_(&parallel.shard(0)) {}
+
+int Network::shard_count() const {
+  return parallel_ != nullptr ? parallel_->shard_count() : 1;
+}
+
+Simulator& Network::SimForShard(int shard) {
+  if (parallel_ == nullptr) {
+    DCTCPP_ASSERT(shard <= 0);
+    return *default_sim_;
+  }
+  if (shard < 0) {
+    shard = next_auto_shard_;
+    next_auto_shard_ = (next_auto_shard_ + 1) % parallel_->shard_count();
+  }
+  DCTCPP_ASSERT(shard < parallel_->shard_count());
+  return parallel_->shard(shard);
+}
+
+Host& Network::AddHost(const std::string& name, int shard) {
+  hosts_.push_back(
+      std::make_unique<Host>(SimForShard(shard), next_id_++, name));
   return *hosts_.back();
 }
 
-Switch& Network::AddSwitch(const std::string& name) {
-  switches_.push_back(std::make_unique<Switch>(sim_, next_id_++, name));
+Switch& Network::AddSwitch(const std::string& name, int shard) {
+  switches_.push_back(
+      std::make_unique<Switch>(SimForShard(shard), next_id_++, name));
   return *switches_.back();
 }
 
@@ -26,16 +49,23 @@ Switch* Network::SwitchById(NodeId id) {
 void Network::ConnectHost(Host& host, Switch& sw,
                           const LinkConfig& switch_side,
                           const LinkConfig& host_side) {
-  host.AttachUplink(host_side, sw);
-  const int sw_port = sw.AddPort(switch_side, host);
+  host.AttachUplink(host_side, sw, &sw.sim());
+  const int sw_port = sw.AddPort(switch_side, host, &host.sim());
   edges_.push_back(Edge{host.id(), sw.id(), -1, sw_port});
+  if (parallel_ != nullptr) {
+    parallel_->ObserveLinkDelay(switch_side.propagation_delay);
+    parallel_->ObserveLinkDelay(host_side.propagation_delay);
+  }
 }
 
 void Network::ConnectSwitches(Switch& a, Switch& b,
                               const LinkConfig& config) {
-  const int a_port = a.AddPort(config, b);
-  const int b_port = b.AddPort(config, a);
+  const int a_port = a.AddPort(config, b, &b.sim());
+  const int b_port = b.AddPort(config, a, &a.sim());
   edges_.push_back(Edge{a.id(), b.id(), a_port, b_port});
+  if (parallel_ != nullptr) {
+    parallel_->ObserveLinkDelay(config.propagation_delay);
+  }
 }
 
 void Network::InstallRoutes() {
@@ -99,13 +129,35 @@ TwoTierTopology TwoTierTopology::Build(Network& net, int workers,
   DCTCPP_ASSERT(workers >= 1);
   DCTCPP_ASSERT(hosts_per_leaf >= 1);
   TwoTierTopology topo;
-  topo.root = &net.AddSwitch("root");
+
+  // Shard placement (only consulted when `net` is sharded). The incast
+  // fan-in makes the aggregator by far the busiest node, so it gets a
+  // shard to itself; every other node goes greedy-least-loaded over the
+  // remaining shards using coarse event-share weights (the leaf feeding
+  // the aggregator and the root forward almost all traffic, the rest are
+  // light). The plan depends only on (S, node counts), never on runtime
+  // state, so placement is as deterministic as the topology itself.
+  const int num_shards = net.shard_count();
+  const int agg_shard = num_shards > 1 ? num_shards - 1 : 0;
+  std::vector<long> shard_load(
+      static_cast<std::size_t>(num_shards > 1 ? num_shards - 1 : 1), 0);
+  auto place = [&shard_load](int weight) {
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < shard_load.size(); ++i) {
+      if (shard_load[i] < shard_load[best]) best = i;
+    }
+    shard_load[best] += weight;
+    return static_cast<int>(best);
+  };
+
+  topo.root = &net.AddSwitch("root", place(3));
 
   const int total_hosts = workers + 1;
   const int num_leaves =
       (total_hosts + hosts_per_leaf - 1) / hosts_per_leaf;
   for (int i = 0; i < num_leaves; ++i) {
-    Switch& leaf = net.AddSwitch("switch" + std::to_string(i + 1));
+    Switch& leaf =
+        net.AddSwitch("switch" + std::to_string(i + 1), place(i == 0 ? 3 : 1));
     net.ConnectSwitches(*topo.root, leaf, config);
     topo.leaves.push_back(&leaf);
   }
@@ -114,10 +166,10 @@ TwoTierTopology TwoTierTopology::Build(Network& net, int workers,
   // Aggregator takes the first slot on Switch 1; workers fill the leaves
   // round-robin so the fan-in converges through the root, as on the
   // testbed.
-  topo.aggregator = &net.AddHost("aggregator");
+  topo.aggregator = &net.AddHost("aggregator", agg_shard);
   net.ConnectHost(*topo.aggregator, *topo.switch1, config);
   for (int i = 0; i < workers; ++i) {
-    Host& w = net.AddHost("worker" + std::to_string(i));
+    Host& w = net.AddHost("worker" + std::to_string(i), place(1));
     Switch& leaf = *topo.leaves[static_cast<std::size_t>((i + 1) %
                                                          num_leaves)];
     net.ConnectHost(w, leaf, config);

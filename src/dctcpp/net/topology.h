@@ -18,13 +18,25 @@ namespace dctcpp {
 /// BFS from every host to fill the switch forwarding tables.
 class Network {
  public:
-  explicit Network(Simulator& sim) : sim_(sim) {}
+  explicit Network(Simulator& sim) : default_sim_(&sim) {}
+
+  /// Sharded construction: every node lands on one of the coordinator's
+  /// shard Simulators (explicitly via the `shard` argument of
+  /// AddHost/AddSwitch, else round-robin in creation order), links report
+  /// their delay as lookahead, and ports learn their peers' shards.
+  explicit Network(ParallelSimulation& parallel);
 
   Network(const Network&) = delete;
   Network& operator=(const Network&) = delete;
 
-  Host& AddHost(const std::string& name);
-  Switch& AddSwitch(const std::string& name);
+  /// `shard` >= 0 pins the node (sharded networks only); -1 auto-assigns
+  /// (round-robin over shards; always shard 0 in single-Simulator mode).
+  Host& AddHost(const std::string& name, int shard = -1);
+  Switch& AddSwitch(const std::string& name, int shard = -1);
+
+  /// Shards available for placement (1 in single-Simulator mode).
+  int shard_count() const;
+  ParallelSimulation* parallel() { return parallel_; }
 
   /// Wires a host to a switch. `switch_side` configures the switch's
   /// egress port toward the host (the shallow marking buffer);
@@ -52,7 +64,8 @@ class Network {
   std::size_t SwitchCount() const { return switches_.size(); }
   Host& host(std::size_t i) { return *hosts_.at(i); }
   Switch& switch_at(std::size_t i) { return *switches_.at(i); }
-  Simulator& sim() { return sim_; }
+  /// The single-Simulator world, or shard 0 of a sharded one.
+  Simulator& sim() { return *default_sim_; }
 
   /// The switch port whose egress queue feeds `host` (e.g. Switch 1's port
   /// toward the aggregator, sampled for Figs 9/14). Asserts it exists.
@@ -71,11 +84,16 @@ class Network {
 
   Switch* SwitchById(NodeId id);
 
-  Simulator& sim_;
+  /// Resolves a placement request to a shard Simulator (-1 = round-robin).
+  Simulator& SimForShard(int shard);
+
+  ParallelSimulation* parallel_ = nullptr;
+  Simulator* default_sim_;
   std::vector<std::unique_ptr<Host>> hosts_;
   std::vector<std::unique_ptr<Switch>> switches_;
   std::vector<Edge> edges_;
   NodeId next_id_ = 0;
+  int next_auto_shard_ = 0;
 };
 
 /// The paper's testbed (Fig 5/10): a canonical 2-tier tree built from

@@ -3,8 +3,17 @@
 // One `Simulator` instance is one independent simulated world. Nothing in
 // the library uses global mutable state, so many Simulators can run
 // concurrently on different threads (the experiment harness relies on this).
+//
+// A Simulator can also be one *shard* of a larger world: the conservative
+// parallel engine (net/parallel.h) builds S Simulators over the same seed,
+// gives them shared construction-time id sequences (so stream and port ids
+// are assigned identically regardless of S), and drives each shard's wheel
+// through bounded time windows from its own run loop. The hooks that mode
+// needs — BindShard, RunWindow, SetNow — are inert in ordinary
+// single-Simulator runs.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 
@@ -15,6 +24,17 @@
 #include "dctcpp/util/time.h"
 
 namespace dctcpp {
+
+class ParallelSimulation;
+
+/// Construction-time id counters shared by every shard of a parallel
+/// simulation (and trivially private in the single-Simulator case). Kept
+/// outside the RNG so id assignment depends only on construction order —
+/// which the deterministic topology builders fix — never on shard count.
+struct SharedSequences {
+  std::uint64_t next_impairment_stream = 0;
+  std::uint64_t next_port_id = 0;
+};
 
 class Simulator {
  public:
@@ -45,7 +65,13 @@ class Simulator {
   /// Allocates the next impairment stream id. Links claim one at
   /// construction; topology building is deterministic, so link K of a
   /// given setup always receives the same stream.
-  std::uint64_t NextImpairmentStream() { return next_impairment_stream_++; }
+  std::uint64_t NextImpairmentStream() {
+    return sequences_->next_impairment_stream++;
+  }
+
+  /// Allocates the next global egress-port id (the shard-count-invariant
+  /// half of the canonical calendar delivery key; see net/parallel.h).
+  std::uint64_t NextPortId() { return sequences_->next_port_id++; }
 
   /// The always-on invariant recorder (see util/invariants.h). Datapath
   /// and transport components report violations and maintain the packet
@@ -83,8 +109,18 @@ class Simulator {
   /// Runs until the event queue drains or `Stop()` is called.
   std::uint64_t Run() { return RunUntil(kTickMax); }
 
-  /// Requests the run loop to return after the current event.
-  void Stop() { stopped_ = true; }
+  /// Requests the run loop to return after the current event. In a shard,
+  /// the request is forwarded to the parallel coordinator, which honors it
+  /// at the next window barrier — after *every* shard has finished the
+  /// current window — so the set of windows executed, and therefore every
+  /// counter, stays shard-count-invariant.
+  void Stop() {
+    if (shard_stop_ != nullptr) {
+      shard_stop_->store(true, std::memory_order_release);
+    } else {
+      stopped_ = true;
+    }
+  }
 
   bool stopped() const { return stopped_; }
 
@@ -96,12 +132,54 @@ class Simulator {
   void CountForwardedPacket() { ++packets_forwarded_; }
   std::uint64_t packets_forwarded() const { return packets_forwarded_; }
 
+  // --- shard hooks (driven by net/parallel.h) ---------------------------
+
+  /// Marks this Simulator as shard `shard_id` of `parallel`: construction
+  /// ids come from the shared sequences, Stop() is routed to `stop_flag`,
+  /// and per-shard ledger checking is relaxed (see
+  /// NetworkInvariants::DisableLedgerCheck).
+  void BindShard(ParallelSimulation* parallel, int shard_id,
+                 SharedSequences* sequences, std::atomic<bool>* stop_flag) {
+    parallel_ = parallel;
+    shard_id_ = shard_id;
+    sequences_ = sequences;
+    shard_stop_ = stop_flag;
+    invariants_.DisableLedgerCheck();
+  }
+
+  /// The coordinator when this Simulator is a shard, else nullptr.
+  ParallelSimulation* parallel() const { return parallel_; }
+  int shard_id() const { return shard_id_; }
+
+  /// Runs every pending wheel event with timestamp strictly before
+  /// `end` (ignoring Stop — a shard always completes its window). Returns
+  /// the number of events executed. The clock mirrors each event's
+  /// timestamp exactly as in RunUntil but is NOT advanced to `end`
+  /// afterwards: windows are half-open and the next window's events may
+  /// land at any tick >= the last executed one.
+  std::uint64_t RunWindow(Tick end) {
+    if (end <= 0) return 0;
+    bool no_stop = false;
+    return scheduler_.RunLoop(end - 1, &no_stop, &now_);
+  }
+
+  /// Advances the clock without running events (calendar deliveries and
+  /// final deadline alignment in sharded runs). Monotonic only.
+  void SetNow(Tick t) {
+    DCTCPP_ASSERT(t >= now_);
+    now_ = t;
+  }
+
  private:
   Tick now_ = 0;
   bool stopped_ = false;
   std::uint64_t seed_ = 1;
-  std::uint64_t next_impairment_stream_ = 0;
   std::uint64_t packets_forwarded_ = 0;
+  SharedSequences own_sequences_;
+  SharedSequences* sequences_ = &own_sequences_;
+  ParallelSimulation* parallel_ = nullptr;
+  int shard_id_ = 0;
+  std::atomic<bool>* shard_stop_ = nullptr;
   NetworkInvariants invariants_;
   Arena arena_;
   Scheduler scheduler_;

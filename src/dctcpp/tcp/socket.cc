@@ -12,6 +12,7 @@ TcpSocket::TcpSocket(Host& host, std::unique_ptr<CongestionOps> cc,
     : host_(host),
       cc_(std::move(cc)),
       config_(config),
+      rng_(host.sim().StreamRng(host.NextSocketStreamId())),
       rto_(config.rto),
       rto_timer_(host.sim(),
                  [this] {
@@ -47,7 +48,7 @@ void TcpSocket::Connect(NodeId remote, PortNum remote_port) {
   host_.RegisterConnection(local_port_, remote_, remote_port_,
                            [this](const Packet& p) { OnPacket(p); });
   registered_ = true;
-  iss_ = SeqNum(static_cast<std::uint32_t>(sim().rng().Next()));
+  iss_ = SeqNum(static_cast<std::uint32_t>(rng_.Next()));
   state_ = State::kSynSent;
   SendControl(/*syn=*/true, /*fin=*/false, /*ack=*/false);
   ArmRtoTimer();
@@ -62,7 +63,7 @@ void TcpSocket::AcceptFrom(const Packet& syn) {
   host_.RegisterConnection(local_port_, remote_, remote_port_,
                            [this](const Packet& p) { OnPacket(p); });
   registered_ = true;
-  iss_ = SeqNum(static_cast<std::uint32_t>(sim().rng().Next()));
+  iss_ = SeqNum(static_cast<std::uint32_t>(rng_.Next()));
   rx_ = ReceiveBuffer(SeqNum(syn.tcp.seq) + 1);
   irs_valid_ = true;
   // RFC 3168 negotiation: SYN carries ECE+CWR; agree if we are capable too.
@@ -519,7 +520,7 @@ void TcpSocket::TrySend() {
     // segment -- including the first after idle and post-timeout
     // retransmissions -- waits slow_time before entering the network.
     // `pace_armed_` marks a reserved slot not yet consumed by a send.
-    const Tick delay = cc_->PacingDelay(*this, sim().rng());
+    const Tick delay = cc_->PacingDelay(*this, rng_);
     if (delay > 0) {
       if (!pace_armed_) {
         pace_until_ = now + delay;

@@ -128,6 +128,12 @@ class TcpSocket {
   const RtoEstimator& rto_estimator() const { return rto_; }
   Simulator& sim() const { return host_.sim(); }
   Host& host() { return host_; }
+  /// This socket's private random stream (ISS, pacing jitter, slow-time
+  /// evolution), derived from (run seed, host id, per-host socket serial).
+  /// Private streams keep draw order decoupled across flows — adding or
+  /// removing one flow's randomness cannot shift another's — which is
+  /// what lets sharded runs stay bit-identical at any shard count.
+  Rng& rng() { return rng_; }
   NodeId remote() const { return remote_; }
   PortNum local_port() const { return local_port_; }
   PortNum remote_port() const { return remote_port_; }
@@ -220,6 +226,7 @@ class TcpSocket {
   Host& host_;
   std::unique_ptr<CongestionOps> cc_;
   Config config_;
+  Rng rng_;
   TcpProbe* probe_ = nullptr;
 
   Callback on_connected_;

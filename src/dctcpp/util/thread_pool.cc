@@ -47,8 +47,10 @@ void ThreadPool::WorkerLoop() {
 }
 
 void ParallelFor(ThreadPool& pool, std::size_t n,
-                 const std::function<void(std::size_t)>& body) {
+                 const std::function<void(std::size_t)>& body,
+                 std::size_t grain) {
   if (n == 0) return;
+  if (grain == 0) grain = 1;
 
   // Shared completion latch + claim counter. Lives on this stack frame;
   // safe because this function does not return until every helper has
@@ -61,25 +63,30 @@ void ParallelFor(ThreadPool& pool, std::size_t n,
     std::exception_ptr first_error;
   } shared;
 
-  auto run_indices = [&shared, &body, n] {
+  auto run_indices = [&shared, &body, n, grain] {
     for (;;) {
-      const std::size_t i =
-          shared.next.fetch_add(1, std::memory_order_relaxed);
-      if (i >= n) return;
-      try {
-        body(i);
-      } catch (...) {
-        std::lock_guard lock(shared.mu);
-        if (!shared.first_error) {
-          shared.first_error = std::current_exception();
+      const std::size_t start =
+          shared.next.fetch_add(grain, std::memory_order_relaxed);
+      if (start >= n) return;
+      const std::size_t end = std::min(start + grain, n);
+      for (std::size_t i = start; i < end; ++i) {
+        try {
+          body(i);
+        } catch (...) {
+          std::lock_guard lock(shared.mu);
+          if (!shared.first_error) {
+            shared.first_error = std::current_exception();
+          }
         }
       }
     }
   };
 
-  // The caller claims indices too, so only min(pool, n-1) helpers can ever
-  // find work; posting more would be pure queue churn.
-  const std::size_t helpers = std::min(pool.size(), n - 1);
+  // The caller claims chunks too, so only enough helpers to take the
+  // remaining chunks can ever find work; posting more would be pure queue
+  // churn.
+  const std::size_t chunks = (n + grain - 1) / grain;
+  const std::size_t helpers = std::min(pool.size(), chunks - 1);
   shared.outstanding = helpers;
   for (std::size_t h = 0; h < helpers; ++h) {
     pool.Post([&shared, &run_indices] {

@@ -57,11 +57,17 @@ class ThreadPool {
 
 /// Runs `body(i)` for i in [0, n) across `pool`, blocking until all finish.
 /// The calling thread participates, so progress is guaranteed even on a
-/// saturated pool. Indices are claimed one at a time from a shared atomic
-/// counter (simulation runtimes vary wildly, so fine-grained claiming beats
-/// static chunking). Exceptions from the body propagate (the first one
-/// encountered rethrows after all indices have run).
+/// saturated pool. Indices are claimed `grain` at a time from a shared
+/// atomic counter: the default grain of 1 suits sweep-sized work items
+/// whose runtimes vary wildly (fine-grained claiming beats static
+/// chunking), while cheap uniform items — shard-sized slices, per-element
+/// transforms — pass a larger grain so the fetch_add and the dispatch
+/// indirection amortize over a whole chunk instead of taxing every index.
+/// A claimed chunk [i, min(i+grain, n)) always runs in index order on one
+/// thread. Exceptions from the body propagate (the first one encountered
+/// rethrows after all indices have run).
 void ParallelFor(ThreadPool& pool, std::size_t n,
-                 const std::function<void(std::size_t)>& body);
+                 const std::function<void(std::size_t)>& body,
+                 std::size_t grain = 1);
 
 }  // namespace dctcpp

@@ -11,6 +11,7 @@
 
 #include "dctcpp/core/protocol.h"
 #include "dctcpp/net/topology.h"
+#include "dctcpp/util/thread_pool.h"
 #include "dctcpp/stats/histogram.h"
 #include "dctcpp/stats/summary.h"
 #include "dctcpp/stats/time_series.h"
@@ -47,6 +48,14 @@ struct IncastConfig {
   /// Socket knobs shared by every endpoint; the RTO floor is overwritten
   /// from `min_rto`.
   TcpSocket::Config socket;
+  /// > 0 runs the conservative-parallel engine (net/parallel.h) with this
+  /// many shards. Results are bit-identical for every shard count; the
+  /// sharded path does not (yet) support background flows or queue
+  /// sampling. 0 = the classic single-Simulator engine.
+  int shards = 0;
+  /// Worker threads for multi-shard windows (nullptr: run shards inline
+  /// on the calling thread — still deterministic, just not parallel).
+  ThreadPool* shard_pool = nullptr;
 };
 
 struct IncastResult {
@@ -94,6 +103,9 @@ struct IncastResult {
   double flow_fairness = 0.0;
 
   std::uint64_t events = 0;
+  /// Sharded runs only: events executed per shard. max/total bounds the
+  /// achievable parallel speedup; empty on the legacy engine.
+  std::vector<std::uint64_t> shard_events;
   /// Packets accepted by any egress port over the run (datapath volume).
   std::uint64_t packets_forwarded = 0;
   double sim_seconds = 0.0;

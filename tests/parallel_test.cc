@@ -1,0 +1,278 @@
+// Tests for the conservative-parallel engine (net/parallel.h): arrival
+// calendar ordering, the window gang's epoch protocol, and the load-bearing
+// property of the whole design — an incast run is bit-identical at every
+// shard count, whatever thread pool runs the windows.
+#include <atomic>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "dctcpp/net/parallel.h"
+#include "dctcpp/util/rng.h"
+#include "dctcpp/util/thread_pool.h"
+#include "dctcpp/workload/incast.h"
+
+namespace dctcpp {
+namespace {
+
+TEST(ArrivalCalendarTest, OrdersByTickThenKey) {
+  ArrivalCalendar cal;
+  EXPECT_TRUE(cal.Empty());
+  EXPECT_EQ(cal.NextTime(), kTickMax);
+
+  // Insert in scrambled order; expect (at, key) order out.
+  Rng rng(7);
+  std::vector<CalendarEntry> entries;
+  for (int i = 0; i < 200; ++i) {
+    CalendarEntry e;
+    e.at = static_cast<Tick>(rng.Next() % 16);  // force many tick ties
+    e.key = rng.Next();
+    entries.push_back(e);
+  }
+  for (const auto& e : entries) cal.Push(e);
+  ASSERT_EQ(cal.Size(), entries.size());
+
+  Tick prev_at = -1;
+  std::uint64_t prev_key = 0;
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    EXPECT_EQ(cal.NextTime(), cal.NextTime());
+    const CalendarEntry e = cal.PopEarliest();
+    if (e.at == prev_at) {
+      EXPECT_GT(e.key, prev_key);
+    } else {
+      EXPECT_GT(e.at, prev_at);
+    }
+    prev_at = e.at;
+    prev_key = e.key;
+  }
+  EXPECT_TRUE(cal.Empty());
+}
+
+TEST(ArrivalCalendarTest, InsertionOrderOfTiedTicksIsIrrelevant) {
+  // Two calendars fed the same entries in opposite order must drain
+  // identically — the property mailbox merges rely on.
+  std::vector<CalendarEntry> entries;
+  for (int i = 0; i < 32; ++i) {
+    CalendarEntry e;
+    e.at = 5;
+    e.key = static_cast<std::uint64_t>(31 - i);
+    entries.push_back(e);
+  }
+  ArrivalCalendar fwd;
+  ArrivalCalendar rev;
+  for (const auto& e : entries) fwd.Push(e);
+  for (auto it = entries.rbegin(); it != entries.rend(); ++it) rev.Push(*it);
+  while (!fwd.Empty()) {
+    ASSERT_FALSE(rev.Empty());
+    EXPECT_EQ(fwd.PopEarliest().key, rev.PopEarliest().key);
+  }
+  EXPECT_TRUE(rev.Empty());
+}
+
+TEST(WindowGangTest, EveryTaskRunsExactlyOncePerWindow) {
+  constexpr int kTasks = 5;
+  constexpr int kWindows = 20000;  // enough to expose epoch races
+  ThreadPool pool(3);
+  std::atomic<std::uint64_t> counts[kTasks] = {};
+  {
+    WindowGang gang(pool, /*helpers=*/3, [&counts](int t) {
+      counts[t].fetch_add(1, std::memory_order_relaxed);
+    });
+    for (int w = 0; w < kWindows; ++w) {
+      // Window sizes vary, exercising the count re-publish.
+      gang.Run(1 + w % kTasks);
+    }
+  }
+  std::uint64_t expected[kTasks] = {};
+  for (int w = 0; w < kWindows; ++w) {
+    for (int t = 0; t < 1 + w % kTasks; ++t) ++expected[t];
+  }
+  for (int t = 0; t < kTasks; ++t) {
+    EXPECT_EQ(counts[t].load(), expected[t]) << "task " << t;
+  }
+}
+
+TEST(WindowGangTest, CallerAloneCompletesWhenPoolIsBusy) {
+  // Saturate the one-thread pool so the helper can never start: the
+  // caller must still finish every window on its own.
+  ThreadPool pool(1);
+  std::atomic<bool> release{false};
+  pool.Post([&release] {
+    while (!release.load()) std::this_thread::yield();
+  });
+  std::atomic<int> ran{0};
+  {
+    WindowGang gang(pool, /*helpers=*/1,
+                    [&ran](int) { ran.fetch_add(1); });
+    for (int w = 0; w < 100; ++w) gang.Run(3);
+    release.store(true);
+  }
+  EXPECT_EQ(ran.load(), 300);
+}
+
+// --- shard-count determinism ---------------------------------------------
+
+/// Every field of an IncastResult rendered byte-exactly: integers in
+/// decimal, doubles in C99 hex-float ("%a" — no rounding). Two runs are
+/// "bit-identical" iff these strings match.
+std::string Canonical(const IncastResult& r) {
+  std::string out;
+  char buf[64];
+  auto add_u = [&](const char* k, std::uint64_t v) {
+    std::snprintf(buf, sizeof buf, "%s=%llu\n", k,
+                  static_cast<unsigned long long>(v));
+    out += buf;
+  };
+  auto add_d = [&](const char* k, double v) {
+    std::snprintf(buf, sizeof buf, "%s=%a\n", k, v);
+    out += buf;
+  };
+  add_u("rounds", r.rounds_completed);
+  add_d("goodput", r.goodput_mbps);
+  add_u("fct_n", r.fct_ms.count());
+  for (double s : r.fct_ms.samples()) add_d("fct", s);
+  for (std::int64_t b = r.cwnd_hist.lo(); b <= r.cwnd_hist.hi(); ++b) {
+    add_u("cwnd", r.cwnd_hist.CountAt(b));
+  }
+  add_u("cwnd_under", r.cwnd_hist.underflow());
+  add_u("cwnd_over", r.cwnd_hist.overflow());
+  add_u("timeouts", r.timeouts);
+  add_u("floss", r.floss_timeouts);
+  add_u("lack", r.lack_timeouts);
+  add_u("fastrtx", r.fast_retransmits);
+  add_u("tr_atmin", r.tracked_rounds_at_min_ece);
+  add_u("tr_to", r.tracked_rounds_with_timeout);
+  add_u("tr_floss", r.tracked_floss);
+  add_u("tr_lack", r.tracked_lack);
+  add_u("bn_drops", r.bottleneck_drops);
+  add_u("bn_marks", r.bottleneck_marks);
+  add_u("bn_maxq", static_cast<std::uint64_t>(r.bottleneck_max_queue));
+  add_d("fairness", r.flow_fairness);
+  add_u("events", r.events);
+  add_u("pkts_fwd", r.packets_forwarded);
+  add_d("sim_s", r.sim_seconds);
+  add_u("limit", r.hit_time_limit ? 1 : 0);
+  add_u("violations", r.invariant_violations);
+  add_u("originated", r.packets_originated);
+  add_u("dropped", r.packets_dropped);
+  add_u("duplicated", r.packets_duplicated);
+  add_u("checksum", r.checksum_discards);
+  return out;
+}
+
+/// Runs `base` at shards {1, 2, 4, 8} with deliberately mismatched pools
+/// (including none at all) and requires byte-identical summaries. The
+/// ledger is part of Canonical(), so the NetworkInvariants merge is
+/// covered by the same comparison.
+void ExpectShardCountInvariant(IncastConfig base, const char* tag) {
+  ThreadPool small_pool(2);
+  ThreadPool big_pool(7);
+  struct Variant {
+    int shards;
+    ThreadPool* pool;
+  };
+  const Variant variants[] = {
+      {1, nullptr},          // degenerate sharding, pure inline
+      {2, &big_pool},        // more helpers than shards
+      {4, &small_pool},      // fewer helpers than shards
+      {8, &big_pool},
+  };
+  std::string reference;
+  int reference_shards = 0;
+  for (const Variant& v : variants) {
+    base.shards = v.shards;
+    base.shard_pool = v.pool;
+    const IncastResult r = RunIncast(base);
+    EXPECT_EQ(r.invariant_violations, 0u)
+        << tag << " shards=" << v.shards;
+    EXPECT_GT(r.rounds_completed, 0u) << tag << " shards=" << v.shards;
+    const std::string canon = Canonical(r);
+    if (reference.empty()) {
+      reference = canon;
+      reference_shards = v.shards;
+    } else {
+      EXPECT_EQ(canon, reference)
+          << tag << ": shards=" << v.shards << " diverged from shards="
+          << reference_shards;
+    }
+  }
+}
+
+IncastConfig BaseConfig(Protocol protocol, std::uint64_t seed) {
+  IncastConfig config;
+  config.protocol = protocol;
+  config.num_flows = 48;
+  config.num_workers = 9;
+  config.per_flow_bytes = 8 * 1024;
+  config.rounds = 4;
+  config.min_rto = 10 * kMillisecond;
+  config.seed = seed;
+  return config;
+}
+
+TEST(ShardDeterminismTest, CleanDctcpPlus) {
+  ExpectShardCountInvariant(BaseConfig(Protocol::kDctcpPlus, 1), "clean+");
+}
+
+TEST(ShardDeterminismTest, CleanDctcpOtherSeed) {
+  ExpectShardCountInvariant(BaseConfig(Protocol::kDctcp, 42), "clean");
+}
+
+TEST(ShardDeterminismTest, ImpairedLinks) {
+  // Full fault model in play: loss bursts, reordering, duplication,
+  // corruption. Exercises impairment streams, the ledger's duplicated /
+  // checksum columns, and retransmission paths across shard boundaries.
+  IncastConfig config = BaseConfig(Protocol::kDctcpPlus, 7);
+  config.link.impairment.random_loss = 0.005;
+  config.link.impairment.ge_p_good_to_bad = 0.002;
+  config.link.impairment.ge_p_bad_to_good = 0.3;
+  config.link.impairment.ge_loss_bad = 0.8;
+  config.link.impairment.reorder_prob = 0.01;
+  config.link.impairment.reorder_delay_min = 20 * kMicrosecond;
+  config.link.impairment.reorder_delay_max = 60 * kMicrosecond;
+  config.link.impairment.duplicate_prob = 0.002;
+  config.link.impairment.corrupt_prob = 0.001;
+  ExpectShardCountInvariant(config, "impaired");
+}
+
+TEST(ShardDeterminismTest, RedMarkingAndStagger) {
+  // RED draws randomness per mark decision — in sharded mode from the
+  // port's private stream — and the stagger spreads the round's requests.
+  IncastConfig config = BaseConfig(Protocol::kTcp, 3);
+  config.link.red = true;
+  config.request_stagger = 20 * kMicrosecond;
+  ExpectShardCountInvariant(config, "red");
+}
+
+TEST(ShardDeterminismTest, RepeatedRunIsBitIdentical) {
+  // Same config, same shard count, same pool: the engine must also be
+  // deterministic against itself (thread scheduling must not leak in).
+  ThreadPool pool(4);
+  IncastConfig config = BaseConfig(Protocol::kDctcpPlus, 11);
+  config.shards = 4;
+  config.shard_pool = &pool;
+  const std::string a = Canonical(RunIncast(config));
+  const std::string b = Canonical(RunIncast(config));
+  EXPECT_EQ(a, b);
+}
+
+TEST(ShardedIncastTest, ProducesSaneResults) {
+  ThreadPool pool(4);
+  IncastConfig config = BaseConfig(Protocol::kDctcpPlus, 5);
+  config.rounds = 6;
+  config.shards = 4;
+  config.shard_pool = &pool;
+  const IncastResult r = RunIncast(config);
+  EXPECT_EQ(r.rounds_completed, 6u);
+  EXPECT_FALSE(r.hit_time_limit);
+  EXPECT_GT(r.goodput_mbps, 0.0);
+  EXPECT_GT(r.flow_fairness, 0.5);
+  EXPECT_EQ(r.invariant_violations, 0u);
+  EXPECT_GT(r.packets_forwarded, 0u);
+  EXPECT_GT(r.events, 0u);
+}
+
+}  // namespace
+}  // namespace dctcpp

@@ -1,8 +1,10 @@
 // Unit tests for dctcpp/util: time, units, RNG, flags, thread pool.
 #include <gtest/gtest.h>
 
+#include <array>
 #include <atomic>
 #include <cmath>
+#include <cstdint>
 #include <set>
 #include <stdexcept>
 #include <vector>
@@ -365,6 +367,44 @@ TEST(ThreadPoolTest, ParallelForCoversAllIndices) {
 TEST(ThreadPoolTest, ParallelForZeroIterations) {
   ThreadPool pool(2);
   ParallelFor(pool, 0, [](std::size_t) { FAIL(); });
+}
+
+TEST(ThreadPoolTest, ParallelForGrainCoversChunkBoundaries) {
+  // n deliberately not a multiple of grain: the last chunk is short, and
+  // every index — first/last of each chunk included — must run exactly
+  // once whatever thread claims which chunk.
+  ThreadPool pool(3);
+  for (std::size_t grain : {1u, 3u, 7u, 16u, 100u}) {
+    constexpr std::size_t kN = 53;
+    std::vector<std::atomic<int>> hits(kN);
+    ParallelFor(
+        pool, kN, [&hits](std::size_t i) { ++hits[i]; }, grain);
+    for (std::size_t i = 0; i < kN; ++i) {
+      EXPECT_EQ(hits[i].load(), 1) << "grain=" << grain << " i=" << i;
+    }
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForGrainPreservesIntraChunkOrder) {
+  // Within one chunk the body runs sequentially in index order on a
+  // single thread; record (thread, sequence) and check each grain-sized
+  // chunk saw strictly increasing indices.
+  ThreadPool pool(4);
+  constexpr std::size_t kN = 64;
+  constexpr std::size_t kGrain = 8;
+  std::array<std::atomic<std::uint32_t>, kN> order{};
+  std::atomic<std::uint32_t> ticket{0};
+  ParallelFor(
+      pool, kN,
+      [&](std::size_t i) {
+        order[i].store(ticket.fetch_add(1), std::memory_order_relaxed);
+      },
+      kGrain);
+  for (std::size_t chunk = 0; chunk < kN; chunk += kGrain) {
+    for (std::size_t i = chunk + 1; i < chunk + kGrain && i < kN; ++i) {
+      EXPECT_LT(order[i - 1].load(), order[i].load()) << "i=" << i;
+    }
+  }
 }
 
 TEST(ThreadPoolTest, ParallelForPropagatesException) {
