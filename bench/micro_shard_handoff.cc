@@ -1,8 +1,23 @@
-// Microbenchmarks for the conservative-parallel engine's two overheads:
-// the mailbox merge (cross-shard packets entering a peer's arrival
-// calendar) and the window-gang barrier (dispatch + join per window).
+// Microbenchmarks breaking a parallel window's overhead into its parts:
+//
+//   publish + spin  BM_WindowGangBarrier — one gang publish, helpers wake
+//                   from the escalating backoff, claim, join. The cost a
+//                   batched window pays ONCE per concurrent phase and the
+//                   fixed-W oracle pays per causality barrier.
+//   sub-round sync  BM_BatchSubRoundSync — the claim-CAS / done-increment
+//                   / round-republish cycle a resident participant pays
+//                   per sub-round INSIDE a batched window (no re-publish,
+//                   no helper wake).
+//   drain           BM_StagingAppendDrain — SoA outbox staging: append a
+//                   window's handoffs, walk them, clear.
+//   merge           BM_MailboxMergeAndDrain (per-entry Push) and
+//                   BM_CalendarBulkMerge (AppendRaw + FinishBulk) — the
+//                   closer's cost of folding staged handoffs into peer
+//                   arrival calendars.
+//
 // These bound the price of sharding: a window is profitable when the
-// events it runs cost more than one barrier plus its handoff merges.
+// events it runs cost more than one barrier plus its handoff merges, and
+// the publish-vs-sub-round gap is exactly what batched wide windows save.
 #include <benchmark/benchmark.h>
 
 #include <atomic>
@@ -75,6 +90,102 @@ void BM_WindowGangBarrier(benchmark::State& state) {
       benchmark::Counter::kIsRate | benchmark::Counter::kInvert);
 }
 BENCHMARK(BM_WindowGangBarrier)->Arg(2)->Arg(4)->Arg(8);
+
+/// Sub-round synchronization inside a batched window: every shard run
+/// costs one claim CAS plus one done increment, and the sub-round's
+/// closer republishes the next round with one release store. Measured
+/// single-threaded — the protocol's instruction cost without contention —
+/// this is the floor a resident participant pays per sub-round, to
+/// compare against ns_per_window in BM_WindowGangBarrier (what the
+/// fixed-W oracle pays for the same barrier).
+void BM_BatchSubRoundSync(benchmark::State& state) {
+  const int shards = static_cast<int>(state.range(0));
+  std::atomic<std::uint64_t> round{0};
+  std::atomic<std::uint64_t> claim{0};
+  std::atomic<int> done{0};
+  std::uint64_t sink = 0;
+  for (auto _ : state) {
+    const std::uint64_t r = round.load(std::memory_order_acquire);
+    for (int t = 0; t < shards; ++t) {
+      std::uint64_t c = claim.load(std::memory_order_relaxed);
+      while (!claim.compare_exchange_weak(c, c + 1,
+                                          std::memory_order_acquire,
+                                          std::memory_order_relaxed)) {
+      }
+      sink += c;
+      done.fetch_add(1, std::memory_order_acq_rel);
+    }
+    done.store(0, std::memory_order_relaxed);
+    claim.store(((r + 1) & 0xffffffffu) << 32, std::memory_order_relaxed);
+    round.store(r + 1, std::memory_order_release);
+  }
+  benchmark::DoNotOptimize(sink);
+  state.SetItemsProcessed(state.iterations());
+  state.counters["ns_per_subround"] = benchmark::Counter(
+      static_cast<double>(state.iterations()),
+      benchmark::Counter::kIsRate | benchmark::Counter::kInvert);
+}
+BENCHMARK(BM_BatchSubRoundSync)->Arg(2)->Arg(4)->Arg(8);
+
+/// The drain half of a shard run: handoffs accumulate in the SoA staging
+/// buffer during the window (branch-light appends into five flat
+/// vectors), then the closer walks them once and clears. Per-handoff cost
+/// of staging without the calendar.
+void BM_StagingAppendDrain(benchmark::State& state) {
+  const int per_window = static_cast<int>(state.range(0));
+  Rng rng(7);
+  OutboxStaging staging;
+  Packet pkt;
+  Tick base = 0;
+  std::uint64_t drained = 0;
+  for (auto _ : state) {
+    for (int i = 0; i < per_window; ++i) {
+      staging.Append(base + static_cast<Tick>(i), rng.Next(),
+                     static_cast<int>(rng.Next() & 3), nullptr, pkt);
+    }
+    std::uint64_t acc = 0;
+    for (std::size_t i = 0; i < staging.Size(); ++i) {
+      acc += static_cast<std::uint64_t>(staging.at[i]) ^ staging.key[i];
+    }
+    benchmark::DoNotOptimize(acc);
+    drained += staging.Size();
+    staging.Clear();
+    base += 64;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(drained));
+  state.counters["ns_per_handoff"] = benchmark::Counter(
+      static_cast<double>(drained), benchmark::Counter::kIsRate |
+                                        benchmark::Counter::kInvert);
+}
+BENCHMARK(BM_StagingAppendDrain)->Arg(4)->Arg(16)->Arg(64)->Arg(256);
+
+/// Bulk merge path the closer actually uses: AppendRaw a batch into the
+/// calendar, FinishBulk once (sift small suffixes, heapify big ones),
+/// then drain. Compare per-handoff cost with BM_MailboxMergeAndDrain's
+/// per-entry Push.
+void BM_CalendarBulkMerge(benchmark::State& state) {
+  const int per_window = static_cast<int>(state.range(0));
+  Rng rng(42);
+  ArrivalCalendar calendar;
+  Tick base = 0;
+  std::uint64_t drained = 0;
+  for (auto _ : state) {
+    for (int i = 0; i < per_window; ++i) {
+      calendar.AppendRaw(MakeEntry(rng, base));
+    }
+    calendar.FinishBulk();
+    while (!calendar.Empty()) {
+      benchmark::DoNotOptimize(calendar.PopEarliest().key);
+      ++drained;
+    }
+    base += 64;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(drained));
+  state.counters["ns_per_handoff"] = benchmark::Counter(
+      static_cast<double>(drained), benchmark::Counter::kIsRate |
+                                        benchmark::Counter::kInvert);
+}
+BENCHMARK(BM_CalendarBulkMerge)->Arg(4)->Arg(16)->Arg(64)->Arg(256);
 
 /// The serial alternative the gang competes with: the same S tasks run
 /// inline on the caller. The gap between this and BM_WindowGangBarrier is

@@ -61,8 +61,11 @@ ScalePoint RunPoint(Protocol protocol, int n, int rounds, int shards,
   config.seed = 1;
   // Large-N rounds take minutes of simulated time once goodput collapses
   // (40 MB per round at a few Mbps); give the sharded points room to
-  // finish instead of reporting a truncated zero.
-  config.time_limit = (shards > 0 ? 900 : 120) * kSecond;
+  // finish instead of reporting a truncated zero. Past N=5000 a single
+  // round is ~100 MB of burst at collapsed goodput, so those points get a
+  // wider window still (and fewer rounds, below).
+  config.time_limit =
+      (shards > 0 ? (n > 5000 ? 2400 : 900) : 120) * kSecond;
   config.shards = shards;
   config.shard_pool = pool;
 
@@ -101,9 +104,9 @@ int Main(int argc, char** argv) {
       smoke ? std::vector<int>{40, 200}
             : std::vector<int>{40, 100, 200, 400, 700, 1000, 1400};
   const std::vector<int> large_counts =
-      smoke ? std::vector<int>{} : std::vector<int>{2000, 3500, 5000};
+      smoke ? std::vector<int>{}
+            : std::vector<int>{2000, 3500, 5000, 8000, 12000};
   const int rounds = smoke ? 3 : 10;
-  const int large_rounds = 5;
   constexpr int kShards = 4;
   ThreadPool pool(kShards - 1);
   const std::vector<Protocol> protocols = {
@@ -123,6 +126,10 @@ int Main(int argc, char** argv) {
                     Table::Num(p.EventsPerSec(), 0)});
     }
     for (const int n : large_counts) {
+      // Fewer rounds past N=5000: each round is a 64-96 MB burst and the
+      // collapsed protocols need several hundred simulated seconds per
+      // round, so three rounds already dominates the harness wall-clock.
+      const int large_rounds = n > 5000 ? 3 : 5;
       const ScalePoint p = RunPoint(protocol, n, large_rounds, kShards, &pool);
       points.push_back(p);
       table.AddRow({ToString(protocol), std::to_string(n),

@@ -96,10 +96,21 @@ run_bench micro_demux "$build_dir/bench/micro_demux" --benchmark_min_time=0.05
 run_bench micro_shard_handoff \
   "$build_dir/bench/micro_shard_handoff" --benchmark_min_time=0.05
 
+# Machine identity for honest cross-run comparison: a timing diff between
+# two manifests only means something when cores, CPU model, and frequency
+# governor match. Both probes are best-effort (containers often hide
+# cpufreq; non-x86 may lack "model name").
+cpu_model="$(awk -F': ' '/model name/{print $2; exit}' /proc/cpuinfo 2>/dev/null || true)"
+[ -n "$cpu_model" ] || cpu_model="unknown"
+governor="$(cat /sys/devices/system/cpu/cpu0/cpufreq/scaling_governor 2>/dev/null || true)"
+[ -n "$governor" ] || governor="unknown"
+
 manifest="$repo_root/BENCH_manifest.json"
 {
   echo "{"
   echo "  \"hardware_threads\": $(nproc),"
+  echo "  \"cpu_model\": \"$cpu_model\","
+  echo "  \"cpu_governor\": \"$governor\","
   echo "  \"benches\": ["
   for i in "${!manifest_rows[@]}"; do
     if [ "$i" -lt $((${#manifest_rows[@]} - 1)) ]; then

@@ -1,6 +1,7 @@
 #include "dctcpp/net/parallel.h"
 
 #include <algorithm>
+#include <chrono>
 #include <thread>
 #include <utility>
 
@@ -14,18 +15,25 @@ namespace dctcpp {
 
 namespace {
 
-/// Busy-wait hint: cheap pause for the first spins, yield once the wait
-/// clearly spans more than a window's worth of work so an oversubscribed
-/// machine still makes progress.
+/// Escalating wait for gang spins: cheap pauses while the window is
+/// likely mid-flight, a bounded stretch of yields once the wait spans a
+/// scheduling quantum, then short sleeps doubling 16 us -> 256 us so an
+/// oversubscribed gang (more helpers than cores) parks its idle helpers
+/// instead of burning a core each. Helpers in the sleep stage cost up to
+/// one sleep period of dispatch latency — acceptable exactly when waits
+/// are this long (sparse single-shard phases, or no spare core anyway).
 inline void SpinWait(int iteration) {
-  if (iteration < 1024) {
+  if (iteration < 256) {
 #if defined(__x86_64__) || defined(__i386__)
     _mm_pause();
 #else
     std::this_thread::yield();
 #endif
-  } else {
+  } else if (iteration < 4096) {
     std::this_thread::yield();
+  } else {
+    const int stage = std::min(4, (iteration - 4096) >> 10);
+    std::this_thread::sleep_for(std::chrono::microseconds(16 << stage));
   }
 }
 
@@ -35,11 +43,27 @@ inline void SpinWait(int iteration) {
 
 CalendarEntry ArrivalCalendar::PopEarliest() {
   DCTCPP_DASSERT(!heap_.empty());
+  DCTCPP_DASSERT(staged_ == 0);
   CalendarEntry top = heap_.front();
   heap_.front() = heap_.back();
   heap_.pop_back();
   if (!heap_.empty()) SiftDown(0);
   return top;
+}
+
+void ArrivalCalendar::FinishBulk() {
+  if (staged_ == 0) return;
+  const std::size_t n = heap_.size();
+  if (staged_ >= n / 4) {
+    // Batch is a sizable fraction of the heap: one O(n) rebuild beats
+    // staged_ * log(n) sifts.
+    for (std::size_t i = n / 2; i-- > 0;) SiftDown(i);
+  } else {
+    // Sift the appended suffix in append order — each sift sees a valid
+    // heap above it, exactly as a sequence of Push calls would.
+    for (std::size_t i = n - staged_; i < n; ++i) SiftUp(i);
+  }
+  staged_ = 0;
 }
 
 void ArrivalCalendar::SiftUp(std::size_t i) {
@@ -145,12 +169,60 @@ void WindowGang::Run(int n) {
 ParallelSimulation::ParallelSimulation(std::uint64_t seed, int shards)
     : seed_(seed) {
   DCTCPP_ASSERT(shards >= 1);
-  shards_.reserve(static_cast<std::size_t>(shards));
+  const auto s = static_cast<std::size_t>(shards);
+  shards_.reserve(s);
   for (int i = 0; i < shards; ++i) {
     auto sh = std::make_unique<Shard>(seed);
-    sh->outbox.resize(static_cast<std::size_t>(shards));
     sh->sim.BindShard(this, i, &sequences_, &stop_);
     shards_.push_back(std::move(sh));
+  }
+  channel_min_.assign(s * s, kTickMax);
+  influence_.assign(s * s, kTickMax);
+  window_ends_.assign(s, 0);
+}
+
+void ParallelSimulation::ObserveChannel(int src, int dst,
+                                        Tick propagation_delay) {
+  DCTCPP_ASSERT(propagation_delay > 0);
+  DCTCPP_DASSERT(src >= 0 && src < shard_count());
+  DCTCPP_DASSERT(dst >= 0 && dst < shard_count());
+  if (src == dst) {
+    // Intra-shard channel: bounds how deep the shard's own wheel may run
+    // before re-reading its calendar (see RunShardWindow), but plays no
+    // part in the cross-shard closure.
+    Shard& sh = *shards_[static_cast<std::size_t>(src)];
+    sh.self_delay = std::min(sh.self_delay, propagation_delay);
+    return;
+  }
+  Tick& slot = channel_min_[static_cast<std::size_t>(src) *
+                                static_cast<std::size_t>(shard_count()) +
+                            static_cast<std::size_t>(dst)];
+  slot = std::min(slot, propagation_delay);
+}
+
+void ParallelSimulation::ComputeInfluenceClosure() {
+  // Min-plus closure of the channel graph over paths with >= 1 hop: seed
+  // with the direct channels (diagonal stays kTickMax, NOT 0 — influence
+  // needs at least one link) and relax Floyd-Warshall style. All weights
+  // are positive, so shortest walks are simple-ish and the closure obeys
+  // the triangle inequality R[k][i] + R[i][j] >= R[k][j] — the property
+  // behind both window safety and clock monotonicity (DESIGN.md Sec. 10).
+  // Intra-shard links are irrelevant as intermediate hops: a path through
+  // a node of shard i enters and leaves i over cross-shard channels, and
+  // inserting intra-shard hops only adds positive delay.
+  const auto s = static_cast<std::size_t>(shard_count());
+  influence_ = channel_min_;
+  for (std::size_t k = 0; k < s; ++k) {
+    for (std::size_t i = 0; i < s; ++i) {
+      const Tick ik = influence_[i * s + k];
+      if (ik == kTickMax) continue;
+      for (std::size_t j = 0; j < s; ++j) {
+        const Tick kj = influence_[k * s + j];
+        if (kj == kTickMax) continue;
+        Tick& ij = influence_[i * s + j];
+        ij = std::min(ij, SatAddTick(ik, kj));
+      }
+    }
   }
 }
 
@@ -158,17 +230,17 @@ void ParallelSimulation::Handoff(int src, int dst, Tick at, std::uint64_t key,
                                  PacketSink* sink, const Packet& pkt) {
   DCTCPP_DASSERT(src >= 0 && src < shard_count());
   DCTCPP_DASSERT(dst >= 0 && dst < shard_count());
-  CalendarEntry e;
-  e.at = at;
-  e.key = key;
-  e.sink = sink;
-  e.pkt = pkt;
   Shard& source = *shards_[static_cast<std::size_t>(src)];
   if (src == dst) {
     // The calling thread owns this shard for the duration of the window.
+    CalendarEntry e;
+    e.at = at;
+    e.key = key;
+    e.sink = sink;
+    e.pkt = pkt;
     source.calendar.Push(e);
   } else {
-    source.outbox[static_cast<std::size_t>(dst)].push_back(e);
+    source.staging.Append(at, key, dst, sink, pkt);
     ++source.cross_deposits;
   }
 }
@@ -184,8 +256,8 @@ void ParallelSimulation::RunShardWindow(int idx, Tick end) {
       // All arrivals due at tick tc deliver before any wheel event at tc,
       // in (at, key) order — the canonical tie-break shared by every
       // shard count. Deliveries may schedule wheel work at tc (handled
-      // next iteration, after the batch) and may hand off new arrivals,
-      // but those land >= tc + W (one full lookahead away), never here.
+      // next iteration, after the batch); handoffs they trigger go
+      // through the wheel first, never straight back into the calendar.
       sim.SetNow(tc);
       do {
         const CalendarEntry e = sh.calendar.PopEarliest();
@@ -193,21 +265,157 @@ void ParallelSimulation::RunShardWindow(int idx, Tick end) {
         ++sh.delivered;
       } while (!sh.calendar.Empty() && sh.calendar.NextTime() == tc);
     } else {
-      // Wheel events strictly before the next arrival (and window end).
-      sim.RunWindow(std::min(tc, end));
+      // Wheel events up to the intra-shard lookahead horizon: an event at
+      // u >= tw may deposit an arrival into this shard's own calendar due
+      // u + self_delay at the earliest, so every wheel tick before
+      // tw + self_delay is safe to run blind — but no further, because
+      // adaptive windows are wider than intra-shard link delays (the
+      // fixed-W engine never noticed: its windows were narrower than any
+      // link delay, so in-window deposits always landed beyond `end`).
+      sim.RunWindow(std::min({tc, end, SatAddTick(tw, sh.self_delay)}));
     }
   }
 }
 
-void ParallelSimulation::MergeOutboxes() {
+void ParallelSimulation::MergeStaging() {
   for (auto& src : shards_) {
-    for (std::size_t dst = 0; dst < src->outbox.size(); ++dst) {
-      auto& box = src->outbox[dst];
-      if (box.empty()) continue;
-      ArrivalCalendar& cal = shards_[dst]->calendar;
-      for (const CalendarEntry& e : box) cal.Push(e);
-      box.clear();
+    OutboxStaging& st = src->staging;
+    const std::size_t n = st.Size();
+    for (std::size_t i = 0; i < n; ++i) {
+      Shard& dst = *shards_[static_cast<std::size_t>(st.dst[i])];
+      // Always-on causality check: a deposit due before the horizon its
+      // destination already ran to would have been delivered in the past.
+      // Window safety (DESIGN.md Sec. 10) proves this cannot happen; if
+      // it ever does, the run is flagged rather than silently wrong.
+      if (st.at[i] < dst.ran_to) ++merge_causality_violations_;
+      CalendarEntry e;
+      e.at = st.at[i];
+      e.key = st.key[i];
+      e.sink = st.sink[i];
+      e.pkt = st.pkt[i];
+      dst.calendar.AppendRaw(e);
     }
+    st.Clear();
+  }
+  for (auto& sh : shards_) sh->calendar.FinishBulk();
+}
+
+Tick ParallelSimulation::RefreshNext() {
+  const int s = shard_count();
+  Tick gn = kTickMax;
+  for (int i = 0; i < s; ++i) {
+    next_[static_cast<std::size_t>(i)] =
+        ShardNext(*shards_[static_cast<std::size_t>(i)]);
+    gn = std::min(gn, next_[static_cast<std::size_t>(i)]);
+  }
+  return gn;
+}
+
+void ParallelSimulation::ComputeHorizons(Tick dp1) {
+  // Per-shard channel clocks: shard j may run until the earliest
+  // cross-shard influence still possible, C_j = min over i of
+  // next_i + R[i][j] (including i == j: a round trip through another
+  // shard can bounce j's own packet back). C_j > gn always holds — R is
+  // positive — so the gn-shard is always active and every sub-round makes
+  // progress even when all channels are busy.
+  const int s = shard_count();
+  const auto su = static_cast<std::size_t>(s);
+  active_.clear();
+  for (int j = 0; j < s; ++j) {
+    Shard& sh = *shards_[static_cast<std::size_t>(j)];
+    Tick cj = dp1;
+    for (int i = 0; i < s; ++i) {
+      const Tick r = influence_[static_cast<std::size_t>(i) * su +
+                                static_cast<std::size_t>(j)];
+      if (r == kTickMax) continue;
+      cj = std::min(cj, SatAddTick(next_[static_cast<std::size_t>(i)], r));
+    }
+    // Always-on monotonicity check: channel clocks never regress (next_i
+    // only grows between sub-rounds and R obeys the triangle inequality —
+    // DESIGN.md Sec. 10). A regression is counted and clamped away so a
+    // bug can never shrink a horizon a shard already ran under.
+    if (cj < sh.clock) {
+      ++lookahead_regressions_;
+      cj = sh.clock;
+    }
+    sh.clock = cj;
+    window_ends_[static_cast<std::size_t>(j)] = cj;
+    sh.ran_to = std::max(sh.ran_to, cj);
+    if (next_[static_cast<std::size_t>(j)] < cj) active_.push_back(j);
+  }
+}
+
+void ParallelSimulation::CloseSubRound(std::uint64_t r, Tick dp1) {
+  // Serial step: only the participant whose done-increment completed the
+  // sub-round gets here, and successive closers are ordered by the round
+  // publish/acquire chain, so the coordinator's non-atomic state is safe.
+  MergeStaging();
+  const Tick gn = RefreshNext();
+  bool more = gn < dp1;
+  if (more) {
+    ComputeHorizons(dp1);
+    quiet_rounds_ =
+        active_.size() <= 1 ? quiet_rounds_ + 1 : 0;
+    // A concurrent phase that collapsed to a sequential relay for a
+    // while hands control back to the inline path, parking the helpers.
+    if (quiet_rounds_ >= kQuietRoundsToClose) more = false;
+  }
+  BatchState& b = batch_;
+  if (!more) {
+    b.window_over.store(true, std::memory_order_relaxed);
+    b.round.fetch_add(1, std::memory_order_release);
+    return;
+  }
+  ++sync_rounds_;
+  const std::uint64_t nr = r + 1;
+  b.count[nr & 1].store(static_cast<int>(active_.size()),
+                        std::memory_order_relaxed);
+  b.done.store(0, std::memory_order_relaxed);
+  b.claim.store((nr & 0xffffffffu) << 32, std::memory_order_relaxed);
+  b.round.store(nr, std::memory_order_release);
+}
+
+void ParallelSimulation::RunBatchWindow(Tick dp1) {
+  BatchState& b = batch_;
+  int spin = 0;
+  for (;;) {
+    const std::uint64_t r = b.round.load(std::memory_order_acquire);
+    if (b.window_over.load(std::memory_order_acquire)) return;
+    const auto r32 = static_cast<std::uint32_t>(r & 0xffffffffu);
+    std::uint64_t c = b.claim.load(std::memory_order_relaxed);
+    while ((c >> 32) == r32) {
+      const auto t = static_cast<std::uint32_t>(c & 0xffffffffu);
+      // Same epoch/parity reasoning as WindowGang::ClaimLoop: the count
+      // slot is only trusted while the claim word still carries this
+      // sub-round's epoch, and a stale CAS can never succeed because the
+      // claim word never returns to an old epoch.
+      if (static_cast<int>(t) >=
+          b.count[r & 1].load(std::memory_order_relaxed)) {
+        break;
+      }
+      if (!b.claim.compare_exchange_weak(c, c + 1, std::memory_order_acquire,
+                                         std::memory_order_relaxed)) {
+        continue;
+      }
+      const int idx = active_[t];
+      RunShardWindow(idx, window_ends_[static_cast<std::size_t>(idx)]);
+      const int n = b.count[r & 1].load(std::memory_order_relaxed);
+      // acq_rel: the closer's increment acquires every earlier runner's
+      // release, so CloseSubRound sees all shard writes of the sub-round.
+      if (static_cast<int>(
+              b.done.fetch_add(1, std::memory_order_acq_rel)) +
+              1 ==
+          n) {
+        CloseSubRound(r, dp1);
+      }
+      spin = 0;
+      c = b.claim.load(std::memory_order_relaxed);
+    }
+    if (b.round.load(std::memory_order_acquire) != r) {
+      spin = 0;
+      continue;
+    }
+    SpinWait(spin++);
   }
 }
 
@@ -220,49 +428,109 @@ std::uint64_t ParallelSimulation::RunUntil(Tick deadline, ThreadPool* pool) {
           ? static_cast<int>(std::min<std::size_t>(
                 pool->size(), static_cast<std::size_t>(s - 1)))
           : 0;
-  std::unique_ptr<WindowGang> gang;
-  if (helpers > 0) {
-    gang = std::make_unique<WindowGang>(*pool, helpers, [this](int t) {
-      RunShardWindow(active_[static_cast<std::size_t>(t)], window_end_);
-    });
-  }
+  next_.assign(static_cast<std::size_t>(s), kTickMax);
+  const std::uint64_t windows_before = windows_;
 
-  std::uint64_t windows = 0;
-  std::vector<Tick> next(static_cast<std::size_t>(s), kTickMax);
-  for (;;) {
-    // Stop lands here and only here: the flag was raised by an event
-    // inside the window just completed — the same event, in the same
-    // window, for every shard count — so every S executes the identical
-    // set of windows.
-    if (stop_.load(std::memory_order_acquire)) {
-      stopped_ = true;
-      break;
+  // Note the stop flag never breaks these loops: a shard's Stop() only
+  // marks the run stopped, and windows keep going until the world drains
+  // (gn reaching dp1). Shards overshoot a mid-window stop by
+  // partition-dependent amounts, so cutting execution off at the stopping
+  // window would make the executed event set — and every counter derived
+  // from it — depend on the shard count and lookahead mode. Running to
+  // quiescence makes it "every reachable event", identical for all
+  // partitions and both modes.
+  if (mode_ == LookaheadMode::kFixedWindow) {
+    // PR-5 oracle: one global window of the topology-wide min delay per
+    // barrier, one gang publish per window. Kept verbatim as the runtime
+    // reference both for results (bit-identical) and for overhead (this
+    // is the publish-per-barrier cost the batched path amortizes).
+    std::unique_ptr<WindowGang> gang;
+    if (helpers > 0) {
+      gang = std::make_unique<WindowGang>(*pool, helpers, [this](int t) {
+        const int idx = active_[static_cast<std::size_t>(t)];
+        RunShardWindow(idx, window_ends_[static_cast<std::size_t>(idx)]);
+      });
     }
-    Tick gn = kTickMax;
-    for (int i = 0; i < s; ++i) {
-      next[static_cast<std::size_t>(i)] =
-          ShardNext(*shards_[static_cast<std::size_t>(i)]);
-      gn = std::min(gn, next[static_cast<std::size_t>(i)]);
+    for (;;) {
+      const Tick gn = RefreshNext();
+      if (gn >= dp1) break;
+      const Tick we = std::min(SatAddTick(gn, lookahead_), dp1);
+      active_.clear();
+      for (int i = 0; i < s; ++i) {
+        Shard& sh = *shards_[static_cast<std::size_t>(i)];
+        window_ends_[static_cast<std::size_t>(i)] = we;
+        sh.ran_to = std::max(sh.ran_to, we);
+        if (next_[static_cast<std::size_t>(i)] < we) active_.push_back(i);
+      }
+      ++windows_;
+      ++sync_rounds_;
+      if (gang != nullptr && active_.size() > 1) {
+        ++gang_windows_;
+        gang->Run(static_cast<int>(active_.size()));
+      } else {
+        for (const int idx : active_) {
+          RunShardWindow(idx, window_ends_[static_cast<std::size_t>(idx)]);
+        }
+      }
+      MergeStaging();
     }
-    if (gn >= dp1) break;  // drained, or nothing left before the deadline
-    const Tick we = std::min(SatAddTick(gn, lookahead_), dp1);
-    active_.clear();
-    for (int i = 0; i < s; ++i) {
-      if (next[static_cast<std::size_t>(i)] < we) active_.push_back(i);
+  } else {
+    ComputeInfluenceClosure();
+    std::unique_ptr<WindowGang> gang;
+    if (helpers > 0) {
+      gang = std::make_unique<WindowGang>(
+          *pool, helpers, [this](int) { RunBatchWindow(batch_dp1_); });
     }
-    window_end_ = we;
-    ++windows;
-    if (gang != nullptr && active_.size() > 1) {
-      ++gang_windows_;
-      gang->Run(static_cast<int>(active_.size()));
-    } else {
-      // One busy shard (the common sparse phase) — or no pool at all —
-      // runs inline with zero synchronization traffic.
-      for (const int idx : active_) RunShardWindow(idx, we);
+    // Participant slots per batched window: the caller plus every helper,
+    // but never more than could run distinct shards at once.
+    const int participants = std::min(helpers + 1, s);
+    for (;;) {
+      Tick gn = RefreshNext();
+      if (gn >= dp1) break;
+      ComputeHorizons(dp1);
+      ++windows_;
+      if (active_.size() <= 1) {
+        // Sequential relay segment: one influence chain hopping between
+        // shards (straggler recovery, connect handshakes). Run it as one
+        // window with zero synchronization traffic — each hop is a
+        // shard run plus a single-threaded merge, no publish, no gang.
+        do {
+          ++sync_rounds_;
+          const int idx = active_[0];
+          RunShardWindow(idx, window_ends_[static_cast<std::size_t>(idx)]);
+          MergeStaging();
+          gn = RefreshNext();
+          if (gn >= dp1) break;
+          ComputeHorizons(dp1);
+        } while (active_.size() <= 1);
+        continue;
+      }
+      // Concurrent phase: publish ONE wide window and run sub-rounds
+      // inside it until the phase dies down (kQuietRoundsToClose) or the
+      // world drains. Helpers stay resident across sub-rounds; the
+      // per-sub-round cost is one claim/done cycle plus the closer's
+      // serial merge, with no re-publish and no helper re-wake.
+      ++sync_rounds_;
+      quiet_rounds_ = 0;
+      batch_dp1_ = dp1;
+      BatchState& b = batch_;
+      const std::uint64_t r = b.round.load(std::memory_order_relaxed);
+      b.count[r & 1].store(static_cast<int>(active_.size()),
+                           std::memory_order_relaxed);
+      b.done.store(0, std::memory_order_relaxed);
+      b.claim.store((r & 0xffffffffu) << 32, std::memory_order_relaxed);
+      b.window_over.store(false, std::memory_order_relaxed);
+      if (gang != nullptr) {
+        // The gang publish is the release fence that makes the batch
+        // state above visible to helpers.
+        ++gang_windows_;
+        gang->Run(participants);
+      } else {
+        RunBatchWindow(dp1);
+      }
     }
-    MergeOutboxes();
   }
-  windows_ += windows;
+  stopped_ = stop_.load(std::memory_order_acquire);
 
   if (!stopped_ && deadline != kTickMax) {
     // Mirror Simulator::RunUntil: a drained/deadline-bounded run leaves
@@ -271,7 +539,7 @@ std::uint64_t ParallelSimulation::RunUntil(Tick deadline, ThreadPool* pool) {
       if (sh->sim.Now() < deadline) sh->sim.SetNow(deadline);
     }
   }
-  return windows;
+  return windows_ - windows_before;
 }
 
 std::uint64_t ParallelSimulation::events_executed() const {
@@ -317,6 +585,8 @@ std::uint64_t ParallelSimulation::invariant_violations() const {
   std::uint64_t total = 0;
   for (const auto& sh : shards_) total += sh->sim.invariants().violations();
   if (!NetworkInvariants::LedgerConsistent(MergedLedger())) ++total;
+  total += merge_causality_violations_;
+  total += lookahead_regressions_;
   return total;
 }
 
@@ -328,6 +598,12 @@ std::string ParallelSimulation::first_violation() const {
   }
   if (!NetworkInvariants::LedgerConsistent(MergedLedger())) {
     return "merged packet ledger inconsistent";
+  }
+  if (merge_causality_violations_ > 0) {
+    return "cross-shard merge behind destination run horizon";
+  }
+  if (lookahead_regressions_ > 0) {
+    return "channel clock regressed between windows";
   }
   return std::string();
 }

@@ -4,22 +4,52 @@
 // `Simulator` (own wheel, arena, invariant recorder) holding a subset of
 // the hosts and switches. The only interaction between nodes is packet
 // propagation over links, and every link imposes a positive propagation
-// delay, so the minimum delay over all links is a *lookahead* W: an event
-// executed anywhere at time t cannot influence another node before t + W.
-// The coordinator exploits this the classic conservative-PDES way — run
-// every shard independently over the half-open window [gn, gn + W), where
-// gn is the globally earliest pending event, then exchange cross-shard
-// packets at a barrier and repeat.
+// delay, so cross-shard influence is bounded below by link delays: an
+// event executed on shard i at time t cannot affect shard j before
+// t + (the cheapest delay of any i->j influence path). The coordinator
+// exploits this the classic conservative-PDES way — run every shard
+// independently over a window it cannot be influenced within, then
+// exchange cross-shard packets at a barrier and repeat.
 //
-// Determinism is the design center: a run with S shards is bit-identical
-// to the same run with 1 shard. The ingredients, each individually
-// shard-count-invariant:
+// Two lookahead modes share the loop:
 //
-//  - Window sequence. Every window is [gn, min(gn + W, deadline + 1))
-//    with gn the global minimum next-event time. gn is a property of the
-//    simulation state (inductively identical across S), W is the minimum
-//    over ALL links (observed during construction, independent of the
-//    partition), so all S execute the identical window sequence.
+//  - kChannelClock (default). Each directed shard pair carries a channel
+//    whose weight is the minimum propagation delay of any link crossing
+//    it; R = the min-plus transitive closure of that channel graph over
+//    paths with >= 1 hop (so R[j][j] is the cheapest round trip through
+//    other shards, not 0). At a barrier where shard i's earliest pending
+//    work is next_i, shard j's incoming channel clock is
+//        C_j = min(deadline + 1, min over all i of next_i + R[i][j])
+//    and j may run every event with tick < C_j. Windows widen from "one
+//    min-link-delay" to "until the next cross-shard arrival actually
+//    possible", collapsing thousands of near-empty windows when traffic
+//    is sparse (timeout lulls, connection stagger). C_j is provably
+//    non-decreasing across windows (see DESIGN.md Sec. 10); the engine
+//    checks that, plus merge causality, on every window.
+//  - kFixedWindow. The PR-5 oracle: one global window [gn, gn + W) with
+//    W = min link delay over the whole topology. Kept as a runtime
+//    reference mode; tests and benches assert the two modes are
+//    bit-identical.
+//
+// Execution is batched in kChannelClock mode: horizons cannot reduce the
+// number of causality barriers during a concurrent phase (the hop cadence
+// binds both modes), but they let the coordinator publish ONE WindowGang
+// window spanning the whole phase. Helpers stay resident inside it and
+// sub-rounds advance via a closer protocol (BatchState below): per shard
+// run one claim-CAS + one done-increment, per sub-round one serial merge
+// + one release store — no re-publish, no helper wake. Stretches with
+// <= 1 active shard run inline as relay segments with zero atomics.
+// windows_run counts publishes/segments; sync_rounds counts barriers.
+//
+// Determinism is the design center: a run is bit-identical across shard
+// counts AND lookahead modes. The ingredients:
+//
+//  - Executed set. Windows only chunk each shard's canonical event
+//    sequence; they never reorder it (wheel events pop in (time, seq)
+//    order, calendar deliveries in (tick, key) order, deliveries before
+//    wheel events at equal ticks). The run always ends at the same
+//    canonical point — the queues drain or the deadline passes — so the
+//    executed set is identical however execution was chunked.
 //  - Delivery order. In sharded mode every packet delivery — cross-shard
 //    AND intra-shard — goes through the destination shard's arrival
 //    calendar, keyed (arrival tick, port id << 32 | per-port wire
@@ -27,11 +57,16 @@
 //    (Simulator::NextPortId) fixed by topology-build order; wire sequence
 //    is the per-port FIFO position. At any tick, calendar deliveries run
 //    before wheel events in ascending key order — a total order that
-//    mentions nothing about shards.
-//  - Stop. Simulator::Stop() from inside a shard sets a shared flag that
-//    the coordinator honors only between windows, so the stopping window
-//    — raised by the same event in the same window everywhere — is the
-//    last window for every S.
+//    mentions nothing about shards or windows.
+//  - Stop = quiesce. Simulator::Stop() from inside a shard marks the run
+//    stopped, but the coordinator keeps windowing until the world drains
+//    (or the deadline passes). Shards overshoot a mid-window stop by
+//    partition-dependent amounts; running to quiescence makes the final
+//    executed set "every reachable event" — partition-independent — at
+//    the cost of a short deterministic tail (in-flight ACKs, one delayed
+//    ACK per receiver). Workloads that stop must therefore quiesce once
+//    no new work is issued; endless background flows would drain forever
+//    and stay unsupported in sharded mode.
 //  - Per-entity randomness. Sockets and RED-enabled ports draw from
 //    private streams derived from (seed, stable entity id), never from a
 //    shared run RNG whose draw order would depend on thread interleaving.
@@ -42,10 +77,11 @@
 // common state except through the calendar, and cross-node counters are
 // commutative sums.
 //
-// Note the promise is S-vs-S invariance, not equality with the legacy
-// single-Simulator path: at equal-tick collisions the legacy engine orders
-// deliveries by wheel insertion while the calendar orders by port id, so
-// the two engines are separately deterministic.
+// Note the promise is invariance across {shard count, mode, pool}, not
+// equality with the legacy single-Simulator path: at equal-tick collisions
+// the legacy engine orders deliveries by wheel insertion while the
+// calendar orders by port id, so the two engines are separately
+// deterministic.
 #pragma once
 
 #include <atomic>
@@ -90,9 +126,24 @@ class ArrivalCalendar {
   Tick NextTime() const { return heap_.empty() ? kTickMax : heap_[0].at; }
 
   void Push(const CalendarEntry& e) {
+    DCTCPP_DASSERT(staged_ == 0);
     heap_.push_back(e);
     SiftUp(heap_.size() - 1);
   }
+
+  /// Bulk-insert half 1: appends without restoring heap order. Must be
+  /// followed by FinishBulk() before any NextTime/PopEarliest. The merge
+  /// barrier uses this so a window's worth of cross-shard handoffs costs
+  /// one heap repair instead of one sift per packet.
+  void AppendRaw(const CalendarEntry& e) {
+    heap_.push_back(e);
+    ++staged_;
+  }
+
+  /// Bulk-insert half 2: restores the heap invariant — k sift-ups when
+  /// the batch is small against the heap, one O(n) rebuild when it is a
+  /// sizable fraction of it.
+  void FinishBulk();
 
   /// Removes and returns the earliest entry. Precondition: !Empty().
   CalendarEntry PopEarliest();
@@ -106,16 +157,52 @@ class ArrivalCalendar {
   void SiftDown(std::size_t i);
 
   std::vector<CalendarEntry> heap_;
+  std::size_t staged_ = 0;  ///< trailing entries awaiting FinishBulk
+};
+
+/// Cross-shard deposits made by one shard during the current window,
+/// struct-of-arrays: the handoff hot path appends to dense parallel
+/// columns (no per-entry allocation once warm; vectors keep capacity
+/// across windows), and the coordinator's merge is a branch-light linear
+/// scan over the columns it needs before it ever touches a Packet.
+struct OutboxStaging {
+  std::vector<Tick> at;
+  std::vector<std::uint64_t> key;
+  std::vector<std::int32_t> dst;
+  std::vector<PacketSink*> sink;
+  std::vector<Packet> pkt;
+
+  std::size_t Size() const { return at.size(); }
+  bool Empty() const { return at.empty(); }
+
+  void Append(Tick t, std::uint64_t k, int d, PacketSink* s,
+              const Packet& p) {
+    at.push_back(t);
+    key.push_back(k);
+    dst.push_back(static_cast<std::int32_t>(d));
+    sink.push_back(s);
+    pkt.push_back(p);
+  }
+
+  void Clear() {
+    at.clear();
+    key.clear();
+    dst.clear();
+    sink.clear();
+    pkt.clear();
+  }
 };
 
 /// Spin-synchronized gang that fans a window's shard list over pool
 /// helpers plus the calling thread. Built for windows a handful of
 /// microseconds of work wide: publishing a window is one release store,
-/// helpers spin (pause, then yield) between windows instead of taking a
-/// mutex, and task claiming is an epoch-tagged CAS so a laggard from the
-/// previous window can never steal or double-run a task. The caller
-/// participates in every window, so completion never depends on the pool
-/// actually scheduling the helpers.
+/// helpers wait between windows with an escalating backoff (pause, then
+/// bounded yields, then short sleeps — so an oversubscribed gang degrades
+/// to sleeping helpers instead of burning a core each) and task claiming
+/// is an epoch-tagged CAS so a laggard from the previous window can never
+/// steal or double-run a task. The caller participates in every window,
+/// so completion never depends on the pool actually scheduling the
+/// helpers.
 class WindowGang {
  public:
   using Task = std::function<void(int)>;
@@ -161,6 +248,12 @@ class WindowGang {
   std::uint64_t next_seq_ = 0;
 };
 
+/// Lookahead strategy of the coordinator's window loop; see file header.
+enum class LookaheadMode {
+  kChannelClock,  ///< per-shard adaptive horizons (production)
+  kFixedWindow,   ///< global [gn, gn + min-link-delay) windows (oracle)
+};
+
 /// Coordinator owning the S shard Simulators of one world. Topology
 /// construction goes through Network(ParallelSimulation&), which assigns
 /// nodes to shards and reports every link's propagation delay here; the
@@ -177,19 +270,30 @@ class ParallelSimulation {
   int shard_count() const { return static_cast<int>(shards_.size()); }
   Simulator& shard(int i) { return shards_[static_cast<std::size_t>(i)]->sim; }
 
+  void set_lookahead_mode(LookaheadMode mode) { mode_ = mode; }
+  LookaheadMode lookahead_mode() const { return mode_; }
+
   /// Called by the topology builder for every link direction; the minimum
-  /// becomes the synchronization window W. Zero-delay links would destroy
-  /// the lookahead and are rejected in sharded mode.
+  /// becomes the fixed-window mode's synchronization window W. Zero-delay
+  /// links would destroy the lookahead and are rejected in sharded mode.
   void ObserveLinkDelay(Tick propagation_delay) {
     DCTCPP_ASSERT(propagation_delay > 0);
     if (propagation_delay < lookahead_) lookahead_ = propagation_delay;
   }
   Tick lookahead() const { return lookahead_; }
 
+  /// Called by EgressPort construction for every link whose endpoints sit
+  /// on different shards: the (src, dst) channel's minimum delay feeds the
+  /// channel-clock influence closure. Intra-shard links are irrelevant
+  /// here — their deliveries stay inside one shard's in-order window run,
+  /// and as intermediate hops they only lengthen a cross-shard path.
+  void ObserveChannel(int src, int dst, Tick propagation_delay);
+
   /// Deposits a packet due at `at` into shard `dst`'s arrival calendar
   /// (directly when src == dst — single-threaded owner — else via the
-  /// source shard's outbox, merged by the coordinator at the barrier).
-  /// Called by EgressPort::FinishTransmission on the shard's thread.
+  /// source shard's SoA staging buffer, merged by the coordinator at the
+  /// barrier). Called by EgressPort::FinishTransmission on the shard's
+  /// thread.
   void Handoff(int src, int dst, Tick at, std::uint64_t key,
                PacketSink* sink, const Packet& pkt);
 
@@ -199,8 +303,9 @@ class ParallelSimulation {
   /// runs everything inline). Returns the number of windows executed.
   std::uint64_t RunUntil(Tick deadline, ThreadPool* pool = nullptr);
 
-  /// True once a shard called Simulator::Stop() and the coordinator
-  /// honored it at a window boundary.
+  /// True once a shard called Simulator::Stop() during the run. The
+  /// coordinator still drains the world to quiescence first — see the
+  /// "Stop = quiesce" note in the file header.
   bool stopped() const { return stopped_; }
 
   // --- merged run statistics -------------------------------------------
@@ -210,15 +315,40 @@ class ParallelSimulation {
   NetworkInvariants::Ledger MergedLedger() const;
   /// Per-shard violations summed, plus one if the merged ledger fails the
   /// consistency check that per-shard recorders must defer (a packet is
-  /// born on one shard and retired on another).
+  /// born on one shard and retired on another), plus any coordinator
+  /// violations: a merge that lands behind a shard's run horizon, or a
+  /// channel clock that regressed.
   std::uint64_t invariant_violations() const;
   std::string first_violation() const;
 
   // Window-loop instrumentation (micro_shard_handoff / parallel_scale).
+  /// Windows dispatched by the coordinator. In adaptive mode a window is
+  /// one published execution segment — a gang publish spanning a whole
+  /// concurrent phase (many sub-rounds), or one inline sequential relay
+  /// segment — so this counts how often the engine had to start a fresh
+  /// dispatch, not how many causality barriers it crossed (sync_rounds()
+  /// keeps that). In fixed-window mode every barrier is its own publish,
+  /// PR-5 style, which is exactly the overhead the adaptive engine
+  /// amortizes away. Deterministic: depends on simulation data only,
+  /// never on the pool or thread timing.
   std::uint64_t windows_run() const { return windows_; }
   std::uint64_t gang_windows() const { return gang_windows_; }
+  /// Causality barriers crossed: one per sub-round of a batched window,
+  /// per relay hop, and per fixed-mode window. This is the PR-5
+  /// windows_run equivalent — the honest "how many times did shards have
+  /// to exchange and re-extend horizons" count, bounded below by the
+  /// simulation's sequential influence-chain length.
+  std::uint64_t sync_rounds() const { return sync_rounds_; }
   std::uint64_t calendar_deliveries() const;
   std::uint64_t cross_shard_handoffs() const;
+  /// Coordinator-level causality checks (always on, expected 0): merges
+  /// behind a shard's horizon / channel-clock regressions.
+  std::uint64_t merge_causality_violations() const {
+    return merge_causality_violations_;
+  }
+  std::uint64_t lookahead_regressions() const {
+    return lookahead_regressions_;
+  }
   /// Events (wheel + calendar) executed by shard `i`. The maximum share
   /// bounds the achievable parallel speedup: total / max.
   std::uint64_t shard_events(int i) {
@@ -233,37 +363,109 @@ class ParallelSimulation {
     explicit Shard(std::uint64_t seed) : sim(seed) {}
     Simulator sim;
     ArrivalCalendar calendar;
-    /// Cross-shard deposits made during the current window, one vector
-    /// per destination shard; written only by this shard's runner,
-    /// drained only by the coordinator between windows.
-    std::vector<std::vector<CalendarEntry>> outbox;
+    /// Cross-shard deposits made during the current window; written only
+    /// by this shard's runner, drained only by the coordinator between
+    /// windows.
+    OutboxStaging staging;
     std::uint64_t delivered = 0;       ///< calendar deliveries executed
     std::uint64_t cross_deposits = 0;  ///< entries that left this shard
+    /// Highest window end this shard was ever released to run under; a
+    /// merged arrival below it would be a causality violation.
+    Tick ran_to = 0;
+    /// Last incoming channel clock (adaptive mode) for the monotonicity
+    /// check.
+    Tick clock = 0;
+    /// Minimum propagation delay of any link with both endpoints on this
+    /// shard: how far the wheel may run blind before an event could have
+    /// deposited a new arrival into this shard's own calendar.
+    Tick self_delay = kTickMax;
   };
+
+  /// Sub-round synchronization of one batched (wide) window. The same
+  /// epoch-tagged protocol as WindowGang, one level down: `round` is the
+  /// published sub-round, `claim` packs (round's low 32 bits << 32 | next
+  /// active-shard index), `count` is double-buffered by round parity. The
+  /// participant that completes a sub-round's last shard run becomes the
+  /// closer: it merges staging, recomputes horizons, and either publishes
+  /// the next sub-round or raises window_over. No participant ever
+  /// blocks on another — a lone caller can drain every sub-round itself
+  /// — so helpers are an acceleration, never a liveness requirement.
+  struct BatchState {
+    std::atomic<std::uint64_t> round{0};
+    std::atomic<std::uint64_t> claim{0};
+    std::atomic<std::uint32_t> done{0};
+    std::atomic<int> count[2] = {0, 0};
+    std::atomic<bool> window_over{false};
+  };
+
+  /// Consecutive <= 1-active sub-rounds before a batched window closes
+  /// and hands the run back to the inline relay path (hysteresis so a
+  /// one-sub-round activity dip doesn't churn publish/close cycles).
+  static constexpr int kQuietRoundsToClose = 8;
 
   /// Earliest pending work (wheel or calendar) of one shard.
   Tick ShardNext(Shard& sh) {
     return std::min(sh.sim.scheduler().NextTime(), sh.calendar.NextTime());
   }
 
+  /// Recomputes next_[i] for every shard; returns the global minimum.
+  Tick RefreshNext();
+
+  /// From next_, fills window_ends_ and active_ for one sub-round under
+  /// the adaptive channel-clock rule, maintaining the per-shard clock
+  /// monotonicity check and ran_to horizons. Idempotent for a given
+  /// next_ (recomputing without running in between changes nothing).
+  void ComputeHorizons(Tick dp1);
+
   /// Runs one shard's slice of the window [*, end): wheel events and
   /// calendar deliveries interleaved in canonical order, deliveries first
   /// at equal ticks.
   void RunShardWindow(int idx, Tick end);
 
-  /// Drains every shard's outbox into the destination calendars.
-  void MergeOutboxes();
+  /// Participant body of a batched window: claim active-shard slots of
+  /// the current sub-round, run them, close the sub-round if last, wait
+  /// for the next sub-round otherwise, until window_over. Executed by
+  /// the caller and (as the adaptive gang task) by pool helpers.
+  void RunBatchWindow(Tick dp1);
+
+  /// Serial step run by the sub-round's closer (single-threaded by
+  /// construction; successive closers are ordered by the round
+  /// publish/acquire chain, so non-atomic coordinator state is safe).
+  void CloseSubRound(std::uint64_t r, Tick dp1);
+
+  /// Drains every shard's staging buffer into the destination calendars
+  /// (bulk heap repair per calendar), checking each entry against the
+  /// destination's run horizon.
+  void MergeStaging();
+
+  /// Rebuilds influence_ = min-plus closure of the cross-shard channel
+  /// graph over paths with >= 1 hop. O(S^3), run once per RunUntil.
+  void ComputeInfluenceClosure();
 
   std::uint64_t seed_;
   Tick lookahead_ = kTickMax;
+  LookaheadMode mode_ = LookaheadMode::kChannelClock;
   SharedSequences sequences_;
   std::atomic<bool> stop_{false};
   bool stopped_ = false;
   std::vector<std::unique_ptr<Shard>> shards_;
-  std::vector<int> active_;  ///< shard ids of the window being dispatched
-  Tick window_end_ = 0;
+  /// Row-major S x S minimum delay of any single link crossing (i, j),
+  /// kTickMax where no link does; diagonal unused.
+  std::vector<Tick> channel_min_;
+  /// Row-major S x S closure: cheapest >= 1-hop influence path i -> j
+  /// (diagonal = cheapest round trip through other shards).
+  std::vector<Tick> influence_;
+  std::vector<int> active_;  ///< shard ids of the sub-round being run
+  std::vector<Tick> window_ends_;  ///< per-shard end of the current window
+  std::vector<Tick> next_;  ///< per-shard earliest pending, per sub-round
+  BatchState batch_;
+  Tick batch_dp1_ = 0;    ///< deadline + 1 of the window being batched
+  int quiet_rounds_ = 0;  ///< consecutive <= 1-active sub-rounds (closer)
   std::uint64_t windows_ = 0;
   std::uint64_t gang_windows_ = 0;
+  std::uint64_t sync_rounds_ = 0;
+  std::uint64_t merge_causality_violations_ = 0;
+  std::uint64_t lookahead_regressions_ = 0;
 };
 
 }  // namespace dctcpp

@@ -3,7 +3,53 @@
 #include <algorithm>
 #include <atomic>
 
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
+
 namespace dctcpp {
+
+namespace {
+
+#if defined(__linux__)
+bool PinHandle(pthread_t handle, int core) {
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  const unsigned target = static_cast<unsigned>(core) % hw;
+  if (target >= CPU_SETSIZE) return false;
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(target, &set);
+  return pthread_setaffinity_np(handle, sizeof set, &set) == 0;
+}
+#endif
+
+}  // namespace
+
+int ThreadPool::PinThreads(int first_core) {
+#if defined(__linux__)
+  int pinned = 0;
+  for (std::size_t i = 0; i < workers_.size(); ++i) {
+    if (PinHandle(workers_[i].native_handle(),
+                  first_core + static_cast<int>(i))) {
+      ++pinned;
+    }
+  }
+  return pinned;
+#else
+  (void)first_core;
+  return 0;
+#endif
+}
+
+bool ThreadPool::PinCurrentThread(int core) {
+#if defined(__linux__)
+  return PinHandle(pthread_self(), core);
+#else
+  (void)core;
+  return false;
+#endif
+}
 
 ThreadPool::ThreadPool(std::size_t threads) {
   if (threads == 0) {

@@ -35,6 +35,19 @@ class ThreadPool {
   /// The caller owns completion tracking (see ParallelFor).
   void Post(std::function<void()> fn);
 
+  /// Best-effort: pins worker i to core (first_core + i) mod
+  /// hardware_concurrency, for benches that want helpers resident on
+  /// their own cores (pair with PinCurrentThread(0) for the caller).
+  /// Returns the number of workers actually pinned — 0 on platforms
+  /// without thread affinity (everything but Linux) or when the kernel
+  /// refuses (restricted cpusets). Callers must treat 0 as "measurement
+  /// runs unpinned", not as an error.
+  int PinThreads(int first_core = 1);
+
+  /// Pins the calling thread to `core` (mod hardware_concurrency).
+  /// Returns false where unsupported or refused.
+  static bool PinCurrentThread(int core);
+
   /// Enqueues a task; the future resolves when it has run.
   template <typename F>
   std::future<void> Submit(F&& fn) {

@@ -51,6 +51,9 @@ IncastResult RunIncastSharded(const IncastConfig& config) {
                 "sharded incast does not support queue sampling yet");
 
   ParallelSimulation psim(config.seed, config.shards);
+  psim.set_lookahead_mode(config.fixed_window_lookahead
+                              ? LookaheadMode::kFixedWindow
+                              : LookaheadMode::kChannelClock);
   Network net(psim);
   TwoTierTopology topo =
       TwoTierTopology::Build(net, config.num_workers, config.link);
@@ -232,6 +235,10 @@ IncastResult RunIncastSharded(const IncastConfig& config) {
     result.shard_events.push_back(psim.shard_events(s));
   }
   result.packets_forwarded = psim.packets_forwarded();
+  result.windows_run = psim.windows_run();
+  result.gang_windows = psim.gang_windows();
+  result.sync_rounds = psim.sync_rounds();
+  result.cross_shard_handoffs = psim.cross_shard_handoffs();
   result.sim_seconds = ToSeconds(end_tick);
 
   result.invariant_violations = psim.invariant_violations();

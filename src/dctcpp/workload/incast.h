@@ -56,6 +56,12 @@ struct IncastConfig {
   /// Worker threads for multi-shard windows (nullptr: run shards inline
   /// on the calling thread — still deterministic, just not parallel).
   ThreadPool* shard_pool = nullptr;
+  /// Sharded runs only: use the PR-5 fixed-W lookahead (one global
+  /// window of the topology-wide min link delay per barrier) instead of
+  /// adaptive channel clocks. Results are bit-identical either way —
+  /// tests and benches run both as a differential oracle; the fixed mode
+  /// just pays far more barriers.
+  bool fixed_window_lookahead = false;
 };
 
 struct IncastResult {
@@ -106,6 +112,14 @@ struct IncastResult {
   /// Sharded runs only: events executed per shard. max/total bounds the
   /// achievable parallel speedup; empty on the legacy engine.
   std::vector<std::uint64_t> shard_events;
+  // Sharded runs only: coordinator window-loop statistics. These depend
+  // on the shard count and lookahead mode by design (adaptive mode exists
+  // to shrink windows_run), so they are deliberately NOT part of the
+  // bit-identical surface that tests/benches fingerprint.
+  std::uint64_t windows_run = 0;         ///< published windows / relay segments
+  std::uint64_t gang_windows = 0;        ///< windows fanned over the pool
+  std::uint64_t sync_rounds = 0;         ///< causality barriers (sub-rounds)
+  std::uint64_t cross_shard_handoffs = 0;
   /// Packets accepted by any egress port over the run (datapath volume).
   std::uint64_t packets_forwarded = 0;
   double sim_seconds = 0.0;

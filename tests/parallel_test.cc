@@ -94,6 +94,31 @@ TEST(WindowGangTest, EveryTaskRunsExactlyOncePerWindow) {
   }
 }
 
+TEST(WindowGangTest, OversubscribedGangCompletesEveryWindow) {
+  // Far more helpers than this machine plausibly has cores: the backoff
+  // (pause -> yield -> short sleep) must degrade to parked helpers, not
+  // livelock, and the epoch protocol must stay correct when helpers wake
+  // several windows late.
+  constexpr int kHelpers = 8;
+  constexpr int kTasks = 6;
+  constexpr int kWindows = 3000;
+  ThreadPool pool(kHelpers);
+  std::atomic<std::uint64_t> counts[kTasks] = {};
+  {
+    WindowGang gang(pool, kHelpers, [&counts](int t) {
+      counts[t].fetch_add(1, std::memory_order_relaxed);
+    });
+    for (int w = 0; w < kWindows; ++w) gang.Run(1 + w % kTasks);
+  }
+  std::uint64_t expected[kTasks] = {};
+  for (int w = 0; w < kWindows; ++w) {
+    for (int t = 0; t < 1 + w % kTasks; ++t) ++expected[t];
+  }
+  for (int t = 0; t < kTasks; ++t) {
+    EXPECT_EQ(counts[t].load(), expected[t]) << "task " << t;
+  }
+}
+
 TEST(WindowGangTest, CallerAloneCompletesWhenPoolIsBusy) {
   // Saturate the one-thread pool so the helper can never start: the
   // caller must still finish every window on its own.
@@ -163,39 +188,48 @@ std::string Canonical(const IncastResult& r) {
 }
 
 /// Runs `base` at shards {1, 2, 4, 8} with deliberately mismatched pools
-/// (including none at all) and requires byte-identical summaries. The
-/// ledger is part of Canonical(), so the NetworkInvariants merge is
-/// covered by the same comparison.
+/// (including none at all) — in adaptive channel-clock mode AND with the
+/// fixed-W oracle at shards {1, 4, 8} — and requires byte-identical
+/// summaries across the whole matrix. The ledger is part of Canonical(),
+/// so the NetworkInvariants merge is covered by the same comparison, and
+/// window counters are NOT part of it (they differ by design: that is
+/// the point of adaptive lookahead).
 void ExpectShardCountInvariant(IncastConfig base, const char* tag) {
   ThreadPool small_pool(2);
   ThreadPool big_pool(7);
   struct Variant {
     int shards;
     ThreadPool* pool;
+    bool fixed_window;
   };
   const Variant variants[] = {
-      {1, nullptr},          // degenerate sharding, pure inline
-      {2, &big_pool},        // more helpers than shards
-      {4, &small_pool},      // fewer helpers than shards
-      {8, &big_pool},
+      {1, nullptr, false},     // degenerate sharding, pure inline
+      {2, &big_pool, false},   // more helpers than shards
+      {4, &small_pool, false},  // fewer helpers than shards
+      {8, &big_pool, false},
+      {1, nullptr, true},      // PR-5 fixed-W oracle must agree byte-wise
+      {4, &small_pool, true},
+      {8, &big_pool, true},
   };
   std::string reference;
   int reference_shards = 0;
   for (const Variant& v : variants) {
     base.shards = v.shards;
     base.shard_pool = v.pool;
+    base.fixed_window_lookahead = v.fixed_window;
     const IncastResult r = RunIncast(base);
     EXPECT_EQ(r.invariant_violations, 0u)
-        << tag << " shards=" << v.shards;
-    EXPECT_GT(r.rounds_completed, 0u) << tag << " shards=" << v.shards;
+        << tag << " shards=" << v.shards << " fixed=" << v.fixed_window;
+    EXPECT_GT(r.rounds_completed, 0u)
+        << tag << " shards=" << v.shards << " fixed=" << v.fixed_window;
     const std::string canon = Canonical(r);
     if (reference.empty()) {
       reference = canon;
       reference_shards = v.shards;
     } else {
       EXPECT_EQ(canon, reference)
-          << tag << ": shards=" << v.shards << " diverged from shards="
-          << reference_shards;
+          << tag << ": shards=" << v.shards << " fixed=" << v.fixed_window
+          << " diverged from shards=" << reference_shards;
     }
   }
 }
@@ -235,6 +269,85 @@ TEST(ShardDeterminismTest, ImpairedLinks) {
   config.link.impairment.duplicate_prob = 0.002;
   config.link.impairment.corrupt_prob = 0.001;
   ExpectShardCountInvariant(config, "impaired");
+}
+
+TEST(ShardDeterminismTest, BurstLossReorderAndFlaps) {
+  // The full PR-4 impairment battery plus deterministic link flaps: flaps
+  // down a link mid-round, stranding packets and forcing RTO recovery —
+  // the slowest, most window-sparse phase the adaptive lookahead has to
+  // chunk identically to the oracle.
+  IncastConfig config = BaseConfig(Protocol::kDctcpPlus, 13);
+  config.link.impairment.ge_p_good_to_bad = 0.002;
+  config.link.impairment.ge_p_bad_to_good = 0.3;
+  config.link.impairment.ge_loss_bad = 0.8;
+  config.link.impairment.reorder_prob = 0.01;
+  config.link.impairment.reorder_delay_min = 20 * kMicrosecond;
+  config.link.impairment.reorder_delay_max = 60 * kMicrosecond;
+  config.link.impairment.flaps.push_back(
+      {5 * kMillisecond, 6 * kMillisecond});
+  config.link.impairment.flaps.push_back(
+      {20 * kMillisecond, 22 * kMillisecond});
+  ExpectShardCountInvariant(config, "flaps");
+}
+
+TEST(ChannelClockTest, AdaptiveWindowsAreFarFewerThanFixed) {
+  // The reason the tentpole exists: on the same run the channel-clock
+  // engine must reach the same bytes with far fewer barriers than the
+  // fixed-W oracle. (The >= 5x acceptance gate lives in parallel_scale on
+  // the big N=1400 point; this guards the mechanism at test size.)
+  ThreadPool pool(4);
+  IncastConfig config = BaseConfig(Protocol::kDctcpPlus, 21);
+  config.shards = 4;
+  config.shard_pool = &pool;
+  config.fixed_window_lookahead = true;
+  const IncastResult fixed = RunIncast(config);
+  config.fixed_window_lookahead = false;
+  const IncastResult adaptive = RunIncast(config);
+  EXPECT_EQ(Canonical(adaptive), Canonical(fixed));
+  ASSERT_GT(fixed.windows_run, 0u);
+  ASSERT_GT(adaptive.windows_run, 0u);
+  EXPECT_LT(adaptive.windows_run * 2, fixed.windows_run)
+      << "adaptive=" << adaptive.windows_run
+      << " fixed=" << fixed.windows_run;
+  // sync_rounds keeps the honest causality-barrier count: batching shrinks
+  // the number of published windows, not the number of barriers, so
+  // sync_rounds must stay in the same regime as the fixed oracle's windows
+  // (it can only be lower via genuinely wider horizons, never by counting).
+  EXPECT_GE(adaptive.sync_rounds, adaptive.windows_run);
+  EXPECT_GT(adaptive.sync_rounds * 2, fixed.windows_run)
+      << "adaptive sync_rounds=" << adaptive.sync_rounds
+      << " fixed windows=" << fixed.windows_run;
+  // windows_run is data-deterministic: publish/segment boundaries are
+  // chosen by the coordinator from simulation state only, so a pool-free
+  // run of the same config must report the identical count.
+  config.shard_pool = nullptr;
+  const IncastResult serial = RunIncast(config);
+  EXPECT_EQ(Canonical(serial), Canonical(adaptive));
+  EXPECT_EQ(serial.windows_run, adaptive.windows_run);
+  EXPECT_EQ(serial.sync_rounds, adaptive.sync_rounds);
+}
+
+TEST(ChannelClockTest, ClocksNeverRegress) {
+  // Property: per-shard channel clocks are monotone across windows. The
+  // engine checks every barrier (lookahead_regressions folds into
+  // invariant_violations), so driving the nastiest impaired configs at
+  // several shard counts and asserting zero violations exercises the
+  // property over hundreds of thousands of windows.
+  for (const int shards : {2, 4, 8}) {
+    ThreadPool pool(3);
+    IncastConfig config = BaseConfig(Protocol::kDctcpPlus, 29);
+    config.link.impairment.random_loss = 0.005;
+    config.link.impairment.reorder_prob = 0.01;
+    config.link.impairment.reorder_delay_min = 20 * kMicrosecond;
+    config.link.impairment.reorder_delay_max = 60 * kMicrosecond;
+    config.link.impairment.flaps.push_back(
+        {5 * kMillisecond, 7 * kMillisecond});
+    config.shards = shards;
+    config.shard_pool = &pool;
+    const IncastResult r = RunIncast(config);
+    EXPECT_EQ(r.invariant_violations, 0u) << "shards=" << shards;
+    EXPECT_GT(r.rounds_completed, 0u) << "shards=" << shards;
+  }
 }
 
 TEST(ShardDeterminismTest, RedMarkingAndStagger) {
