@@ -97,6 +97,50 @@ void BM_HostDeliver(benchmark::State& state) {
 BENCHMARK(BM_HostDeliver)->Args({40, 0})->Args({40, 1})->Args({1400, 0})
     ->Args({1400, 1});
 
+/// Burst demux: the calendar drain delivers per-flow *runs* (consecutive
+/// packets of one flow), and Host::Deliver's one-entry run cache collapses
+/// each run to a single table probe. `state.range(1)` is the run length:
+/// 1 models per-packet probing (every delivery switches flows, the cache
+/// never hits), 16 models a drained ACK run (15 of 16 deliveries skip the
+/// probe). The 1-vs-16 margin is the run cache's worth on burst traffic.
+void BM_HostDeliverBurst(benchmark::State& state) {
+  const int flows = static_cast<int>(state.range(0));
+  const int run_len = static_cast<int>(state.range(1));
+  Simulator sim(1);
+  Host host(sim, /*id=*/1, "bench");
+  static std::uint64_t delivered;
+  delivered = 0;
+  std::vector<Packet> pkts;
+  for (int i = 0; i < flows; ++i) {
+    const PortNum local = static_cast<PortNum>(10000 + i);
+    const NodeId remote = static_cast<NodeId>(2 + i % 9);
+    const PortNum rport = static_cast<PortNum>(5000 + i % 7);
+    host.RegisterConnection(local, remote, rport,
+                            [](const Packet&) { ++delivered; });
+    Packet pkt;
+    pkt.src = remote;
+    pkt.dst = 1;
+    pkt.tcp.src_port = rport;
+    pkt.tcp.dst_port = local;
+    pkts.push_back(pkt);
+  }
+  std::size_t flow = 0;
+  int within_run = 0;
+  for (auto _ : state) {
+    host.Deliver(pkts[flow]);
+    if (++within_run == run_len) {
+      within_run = 0;
+      if (++flow == pkts.size()) flow = 0;
+    }
+  }
+  benchmark::DoNotOptimize(delivered);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HostDeliverBurst)
+    ->Args({1400, 1})
+    ->Args({1400, 4})
+    ->Args({1400, 16});
+
 void BM_RouteLookupDense(benchmark::State& state) {
   const int nodes = static_cast<int>(state.range(0));
   std::vector<std::int32_t> routes(nodes);

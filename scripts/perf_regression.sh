@@ -21,10 +21,33 @@ build_dir="${1:-$repo_root/build}"
 
 # No explicit build type: the top-level CMakeLists defaults to
 # RelWithDebInfo, and an existing build dir keeps its configuration.
+expected_benches=(engine_regression datapath_regression soak_impairment
+  parallel_scale micro_demux micro_shard_handoff)
 cmake -S "$repo_root" -B "$build_dir" >/dev/null
-cmake --build "$build_dir" --target engine_regression datapath_regression \
-  soak_impairment parallel_scale micro_demux micro_shard_handoff \
-  -j >/dev/null
+cmake --build "$build_dir" --target "${expected_benches[@]}" -j >/dev/null
+
+# A stale build dir can leave old binaries behind while a target silently
+# vanishes from the build (renamed, disabled by a config knob): verify
+# every expected bench binary actually exists before measuring anything.
+missing=0
+for bench in "${expected_benches[@]}"; do
+  if [ ! -x "$build_dir/bench/$bench" ]; then
+    echo "perf_regression: expected bench binary missing: $build_dir/bench/$bench" >&2
+    missing=1
+  fi
+done
+if [ "$missing" -ne 0 ]; then
+  echo "perf_regression: aborting — bench binaries failed to build" >&2
+  exit 1
+fi
+
+# Code identity for the manifest rows: which commit produced these numbers,
+# and whether the tree carried uncommitted changes on top of it.
+git_commit="$(git -C "$repo_root" rev-parse HEAD 2>/dev/null || echo unknown)"
+git_dirty=false
+if [ -n "$(git -C "$repo_root" status --porcelain 2>/dev/null)" ]; then
+  git_dirty=true
+fi
 
 python_bin=""
 if command -v python3 >/dev/null 2>&1; then
@@ -66,8 +89,8 @@ EOF
     wall=$((SECONDS - t0))
     rss=-1
   fi
-  manifest_rows+=("    {\"bench\": \"$name\", \"wall_seconds\": $wall, \"peak_rss_kib\": $rss}")
-  echo "[$name] wall=${wall}s peak_rss=${rss}KiB"
+  manifest_rows+=("    {\"bench\": \"$name\", \"wall_seconds\": $wall, \"peak_rss_kib\": $rss, \"commit\": \"$git_commit\", \"dirty\": $git_dirty}")
+  echo "[$name] wall=${wall}s peak_rss=${rss}KiB commit=${git_commit:0:12} dirty=$git_dirty"
 }
 
 run_bench engine_regression \
@@ -87,9 +110,10 @@ echo "Wrote $repo_root/BENCH_soak.json"
 run_bench parallel_scale \
   "$build_dir/bench/parallel_scale" "$repo_root/BENCH_parallel.json"
 echo "Wrote $repo_root/BENCH_parallel.json"
-# Control-plane microbenchmarks (flat-vs-map demux, dense-vs-hash routing,
-# arena-vs-heap setup); console output only, the regression numbers of
-# record live in BENCH_datapath.json's micro section.
+# Control-plane microbenchmarks (flat-vs-map demux, burst-demux run cache
+# at run lengths 1/4/16, dense-vs-hash routing, arena-vs-heap setup);
+# console output only, the regression numbers of record live in
+# BENCH_datapath.json's micro section.
 run_bench micro_demux "$build_dir/bench/micro_demux" --benchmark_min_time=0.05
 # Parallel-engine overheads: mailbox merge cost per handoff and gang
 # barrier latency per window.
@@ -111,6 +135,8 @@ manifest="$repo_root/BENCH_manifest.json"
   echo "  \"hardware_threads\": $(nproc),"
   echo "  \"cpu_model\": \"$cpu_model\","
   echo "  \"cpu_governor\": \"$governor\","
+  echo "  \"commit\": \"$git_commit\","
+  echo "  \"dirty\": $git_dirty,"
   echo "  \"benches\": ["
   for i in "${!manifest_rows[@]}"; do
     if [ "$i" -lt $((${#manifest_rows[@]} - 1)) ]; then

@@ -43,6 +43,14 @@ class DctcpPlusCc : public DctcpCc {
   void OnFastRetransmit(TcpSocket& sk) override;
   Tick PacingDelay(TcpSocket& sk, Rng& rng) override;
 
+  /// Pacing can only be engaged (or engage itself during a clean ACK's
+  /// OnAck) outside kNormal: kNormal -> kTimeInc requires a congestion
+  /// signal, which a burst-eligible (no-ECE) ACK never carries.
+  bool MayPace(const TcpSocket& sk) const override {
+    (void)sk;
+    return regulator_.state() != PlusState::kNormal;
+  }
+
   const SlowTimeRegulator& regulator() const { return regulator_; }
   PlusState plus_state() const { return regulator_.state(); }
   Tick slow_time() const { return regulator_.slow_time(); }

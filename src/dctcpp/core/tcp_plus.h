@@ -35,6 +35,13 @@ class TcpPlusCc : public NewRenoCc {
   void OnFastRetransmit(TcpSocket& sk) override;
   Tick PacingDelay(TcpSocket& sk, Rng& rng) override;
 
+  /// Same argument as DctcpPlusCc::MayPace: kNormal cannot engage pacing
+  /// without a congestion signal, so clean ACKs are safe to batch.
+  bool MayPace(const TcpSocket& sk) const override {
+    (void)sk;
+    return regulator_.state() != PlusState::kNormal;
+  }
+
   const SlowTimeRegulator& regulator() const { return regulator_; }
   PlusState plus_state() const { return regulator_.state(); }
   Tick slow_time() const { return regulator_.slow_time(); }

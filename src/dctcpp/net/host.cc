@@ -2,6 +2,7 @@
 
 #include "dctcpp/util/assert.h"
 #include "dctcpp/util/log.h"
+#include "dctcpp/util/profile.h"
 
 namespace dctcpp {
 
@@ -34,12 +35,14 @@ void Host::MarkPortFree(PortNum port) {
 void Host::RegisterConnection(PortNum local_port, NodeId remote,
                               PortNum rport, PacketHandler handler) {
   DCTCPP_ASSERT(static_cast<bool>(handler));
+  demux_cache_valid_ = false;
   connections_.Insert(PackFlowKey(local_port, remote, rport), handler);
   MarkPortUsed(local_port);
 }
 
 void Host::UnregisterConnection(PortNum local_port, NodeId remote,
                                 PortNum rport) {
+  demux_cache_valid_ = false;
   if (connections_.Erase(PackFlowKey(local_port, remote, rport))) {
     MarkPortFree(local_port);
   }
@@ -77,6 +80,7 @@ PortNum Host::AllocatePort() {
 }
 
 void Host::Deliver(const Packet& pkt) {
+  DCTCPP_PROFILE_SCOPE(kDemux);
   DCTCPP_ASSERT(pkt.dst == id_);
   if (pkt.corrupted) {
     // The TCP checksum fails verification: the segment is discarded here,
@@ -92,12 +96,28 @@ void Host::Deliver(const Packet& pkt) {
     return;
   }
   sim_.invariants().CountDelivered();
+  const std::uint64_t key =
+      PackFlowKey(pkt.tcp.dst_port, pkt.src, pkt.tcp.src_port);
+  if (demux_cache_valid_ && demux_cache_key_ == key) {
+    // Same flow as the previous delivery: skip the table probe. The cached
+    // copy stays safe to invoke even if the handler unregisters itself.
+    const PacketHandler handler = demux_cache_handler_;
+    handler(pkt);
+    return;
+  }
+  // A demux miss means the per-flow run (if any) just broke: packets a
+  // socket deferred during the run must reach the network before another
+  // flow — or a listener — can observe their absence. No-op when nothing
+  // is pending (the common case, and always outside a calendar drain).
+  sim_.FlushAckBursts();
   // Copy the handler before invoking: the callee may (un)register
   // handlers (FinalizeClose, accept). InlineHandler is a small trivially
   // copyable struct, so the copy is a couple of register moves.
-  if (const PacketHandler* h = connections_.Find(
-          PackFlowKey(pkt.tcp.dst_port, pkt.src, pkt.tcp.src_port))) {
+  if (const PacketHandler* h = connections_.Find(key)) {
     const PacketHandler handler = *h;
+    demux_cache_valid_ = true;
+    demux_cache_key_ = key;
+    demux_cache_handler_ = handler;
     handler(pkt);
     return;
   }

@@ -100,6 +100,14 @@ class Host : public PacketSink {
   std::string name_;
   std::unique_ptr<EgressPort> uplink_;
   FlowTable<PacketHandler> connections_;  // keyed by PackFlowKey(...)
+  // One-entry demux cache: arrivals come in per-flow runs (a window of
+  // segments from one sender drains back-to-back), so the last key repeats
+  // and a run costs one flow-table probe instead of one per packet. Holds
+  // a *copy* of the handler (InlineHandler is trivially copyable), so table
+  // rehashes can't dangle it; Register/Unregister invalidate it.
+  std::uint64_t demux_cache_key_ = 0;
+  PacketHandler demux_cache_handler_;
+  bool demux_cache_valid_ = false;
   FlowTable<PacketHandler> listeners_;    // keyed by local port
   // Per-port registration counts (connections + listeners), sized lazily.
   // Multiple connections share one local port on servers, hence counts.

@@ -3,6 +3,7 @@
 #include "dctcpp/net/parallel.h"
 #include "dctcpp/util/assert.h"
 #include "dctcpp/util/log.h"
+#include "dctcpp/util/profile.h"
 
 namespace dctcpp {
 
@@ -64,9 +65,16 @@ EgressPort::EgressPort(Simulator& sim, const LinkConfig& config,
   if (eff.Any()) {
     impairment_ = std::make_unique<ImpairmentStage>(sim, eff, *this);
   }
+  tx_size_data_ = kMss + kHeaderBytes;
+  tx_time_data_ = config_.rate.TransmissionTime(tx_size_data_);
+  tx_size_ack_ = kHeaderBytes;
+  tx_time_ack_ = config_.rate.TransmissionTime(tx_size_ack_);
 }
 
-EgressPort::~EgressPort() { AuditQueueBytes(); }
+EgressPort::~EgressPort() {
+  AuditQueueBytes();
+  CheckConservation();
+}
 
 void EgressPort::Send(const Packet& pkt) {
   if (impairment_ != nullptr) {
@@ -81,6 +89,7 @@ void EgressPort::Send(const Packet& pkt) {
 }
 
 void EgressPort::EnqueueForTransmit(const Packet& pkt) {
+  DCTCPP_PROFILE_SCOPE(kEnqueue);
   if (!queue_.Enqueue(pkt)) {
     sim_.invariants().CountDropped();
     if (LogEnabled(LogLevel::kTrace)) {
@@ -103,11 +112,15 @@ void EgressPort::StartTransmission() {
   on_wire_ = queue_.Front();
   queue_.PopFront();
   in_flight_bytes_ = on_wire_.WireSize();
-  const Tick tx = config_.rate.TransmissionTime(in_flight_bytes_);
+  const Tick tx = in_flight_bytes_ == tx_size_data_ ? tx_time_data_
+                  : in_flight_bytes_ == tx_size_ack_
+                      ? tx_time_ack_
+                      : config_.rate.TransmissionTime(in_flight_bytes_);
   finish_ev_.ArmIn(tx);
 }
 
 void EgressPort::FinishTransmission() {
+  DCTCPP_PROFILE_SCOPE(kEnqueue);
   transmitting_ = false;
   in_flight_bytes_ = 0;
   // Propagation: the packet arrives at the peer `delay` after the last bit
@@ -120,7 +133,9 @@ void EgressPort::FinishTransmission() {
     const std::uint64_t key = (port_gid_ << 32) | (wire_seq_++ & 0xffffffffu);
     ++handed_off_;
     psim_->Handoff(src_shard_, dst_shard_, due, key, &peer_, on_wire_);
-    CheckConservation();
+    if ((++conservation_clock_ & (kConservationPeriod - 1)) == 0) {
+      CheckConservation();
+    }
     StartTransmission();
     return;
   }
@@ -136,6 +151,7 @@ void EgressPort::FinishTransmission() {
 }
 
 void EgressPort::DeliverHead() {
+  DCTCPP_PROFILE_SCOPE(kEnqueue);
   // Delivering in place is safe: the callee can re-enter Send, but only on
   // *other* ports (a packet never routes back out the port it arrived on),
   // so `propagating_` cannot grow or reallocate under this reference.
@@ -143,7 +159,9 @@ void EgressPort::DeliverHead() {
   propagating_.PopFront();
   due_.PopFront();
   ++delivered_;
-  CheckConservation();
+  if ((++conservation_clock_ & (kConservationPeriod - 1)) == 0) {
+    CheckConservation();
+  }
   if (!due_.Empty()) {
     deliver_ev_.ArmAt(due_.Front());
   } else {

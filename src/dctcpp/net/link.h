@@ -153,8 +153,11 @@ class EgressPort {
   void FinishTransmission();
   void DeliverHead();
 
-  /// O(1) per-delivery conservation check: every packet the queue ever
-  /// accepted is delivered, still queued, serializing, or propagating.
+  /// O(1) conservation check: every packet the queue ever accepted is
+  /// delivered, still queued, serializing, or propagating. Run every
+  /// `kConservationPeriod`-th delivery (handoff in sharded mode) and at
+  /// teardown — the counters it compares are valid at any instant, so
+  /// sampling loses no coverage, only latency-to-detection.
   void CheckConservation();
 
   /// O(n) audit that the queue's occupancy counter matches the wire sizes
@@ -162,7 +165,8 @@ class EgressPort {
   /// enqueue and at teardown.
   void AuditQueueBytes();
 
-  static constexpr std::uint64_t kByteAuditPeriod = 1024;  // power of two
+  static constexpr std::uint64_t kByteAuditPeriod = 1024;      // power of two
+  static constexpr std::uint64_t kConservationPeriod = 64;     // power of two
 
   Simulator& sim_;
   LinkConfig config_;
@@ -185,6 +189,14 @@ class EgressPort {
   bool transmitting_ = false;
   Bytes in_flight_bytes_ = 0;
   std::uint64_t delivered_ = 0;
+  // Serialization times for the two wire sizes that cover essentially every
+  // packet (full data segment, bare ACK), precomputed once so the hot path
+  // skips the 128-bit division in DataRate::TransmissionTime.
+  Tick tx_time_data_ = 0;
+  Bytes tx_size_data_ = 0;
+  Tick tx_time_ack_ = 0;
+  Bytes tx_size_ack_ = 0;
+  std::uint64_t conservation_clock_ = 0;
   // The serializing packet and the packets in flight on the wire live here
   // instead of in event closures. Propagation delay is constant per port,
   // so deliveries leave `propagating_` in FIFO order: one pinned delivery

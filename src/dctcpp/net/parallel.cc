@@ -259,11 +259,24 @@ void ParallelSimulation::RunShardWindow(int idx, Tick end) {
       // next iteration, after the batch); handoffs they trigger go
       // through the wheel first, never straight back into the calendar.
       sim.SetNow(tc);
+      // The same-tick drain is the batched-ACK burst scope: consecutive
+      // deliveries into one sink are a run a socket may defer emissions
+      // across. A sink change breaks every run (the next sink's processing
+      // could enqueue behind the deferred packets), so flush there; the
+      // Host breaks runs on flow changes within one sink, and EndAckBurst
+      // flushes whatever the tick's last run left pending.
+      sim.BeginAckBurst();
+      PacketSink* run_sink = nullptr;
       do {
         const CalendarEntry e = sh.calendar.PopEarliest();
+        if (e.sink != run_sink) {
+          sim.FlushAckBursts();
+          run_sink = e.sink;
+        }
         e.sink->Deliver(e.pkt);
         ++sh.delivered;
       } while (!sh.calendar.Empty() && sh.calendar.NextTime() == tc);
+      sim.EndAckBurst();
     } else {
       // Wheel events up to the intra-shard lookahead horizon: an event at
       // u >= tw may deposit an arrival into this shard's own calendar due

@@ -41,6 +41,17 @@ class Timer {
   Timer(const Timer&) = delete;
   Timer& operator=(const Timer&) = delete;
 
+  /// Opts this timer into lazy cancellation: Cancel() only clears the
+  /// logical arming and leaves the wheel node in place, where the next
+  /// Schedule() usually reclaims it without touching the wheel; if none
+  /// comes, the stale pop fires into nothing. The right trade for timers
+  /// cancelled and re-armed once per packet (delayed ACK: arm on data,
+  /// cancel on every ACK sent) — the wheel is touched once per expiry
+  /// window instead of twice per packet. Keep eager cancel (default) for
+  /// timers whose pending arming is long compared to the run (RTO), where
+  /// a parked stale event would only delay queue drain.
+  void SetLazyCancel(bool lazy) { lazy_cancel_ = lazy; }
+
   /// Arms the timer `delay` from now. Re-arming while pending reschedules
   /// (lazily when the deadline only moves out — see the header comment).
   void Schedule(Tick delay) {
@@ -52,16 +63,23 @@ class Timer {
     ev_.ArmAt(expires_at_);
   }
 
-  /// Disarms; no-op if not pending.
+  /// Disarms; no-op if not pending. Lazy-cancel timers keep their wheel
+  /// arming (see SetLazyCancel); the callback is suppressed either way.
   void Cancel() {
     armed_ = false;
-    if (event_pending_) {
+    if (event_pending_ && !lazy_cancel_) {
       event_pending_ = false;
       ev_.Cancel();
     }
   }
 
   bool IsPending() const { return armed_; }
+
+  /// Whether a wheel arming exists right now — i.e. whether the next
+  /// Schedule() can possibly consume a scheduler sequence number. Lets the
+  /// batched-ACK path prove its wheel interactions identical to per-ACK
+  /// processing (see TcpSocket::ArmRtoTimer).
+  bool HasWheelArming() const { return event_pending_; }
 
   /// Absolute expiry of the current arming (meaningful while pending).
   Tick expires_at() const { return expires_at_; }
@@ -84,6 +102,7 @@ class Timer {
   Simulator& sim_;
   Callback callback_;
   bool armed_ = false;
+  bool lazy_cancel_ = false;
   bool event_pending_ = false;
   Tick expires_at_ = 0;
   Tick event_at_ = 0;  ///< where the pending arming actually sits

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <utility>
 
+#include "dctcpp/util/profile.h"
+
 namespace dctcpp {
 
 namespace {
@@ -17,11 +19,7 @@ std::uint64_t CircularMask(int start, std::uint64_t count) {
 
 }  // namespace
 
-TimerWheelScheduler::TimerWheelScheduler()
-    : head0_(kL0Slots, kNil), tail0_(kL0Slots, kNil) {
-  for (auto& level : head_) std::fill(std::begin(level), std::end(level), kNil);
-  for (auto& level : tail_) std::fill(std::begin(level), std::end(level), kNil);
-}
+TimerWheelScheduler::TimerWheelScheduler() : slots0_(kL0Slots) {}
 
 std::uint32_t TimerWheelScheduler::AllocNode() {
   if (free_head_ != kNil) {
@@ -89,10 +87,9 @@ void TimerWheelScheduler::LinkSorted(int level, int slot, std::uint32_t idx,
   n.loc = kLocWheel;
   n.level = static_cast<std::int8_t>(level);
   n.slot = static_cast<std::int16_t>(slot);
-  std::uint32_t& head =
-      level == 0 ? head0_[slot] : head_[level - 1][slot];
-  std::uint32_t& tail =
-      level == 0 ? tail0_[slot] : tail_[level - 1][slot];
+  Slot& s = level == 0 ? slots0_[slot] : upper_[level - 1][slot];
+  std::uint32_t& head = s.head;
+  std::uint32_t& tail = s.tail;
   if (head == kNil) {
     head = tail = idx;
     n.prev = n.next = kNil;
@@ -129,8 +126,9 @@ void TimerWheelScheduler::Unlink(std::uint32_t idx, Node& n) {
   DCTCPP_DASSERT(n.loc == kLocWheel);
   const int level = n.level;
   const int slot = n.slot;
-  std::uint32_t& head = level == 0 ? head0_[slot] : head_[level - 1][slot];
-  std::uint32_t& tail = level == 0 ? tail0_[slot] : tail_[level - 1][slot];
+  Slot& s = level == 0 ? slots0_[slot] : upper_[level - 1][slot];
+  std::uint32_t& head = s.head;
+  std::uint32_t& tail = s.tail;
   if (n.prev != kNil) {
     NodeAt(n.prev).next = n.next;
   } else {
@@ -256,7 +254,7 @@ void TimerWheelScheduler::CancelPinned(std::uint32_t idx) {
   if (n.loc == kLocParked) return;
   if (n.loc == kLocWheel) {
     Unlink(idx, n);
-  } else {
+  } else if (n.loc != kLocBatch) {  // batch entries revalidate on dispatch
     DCTCPP_DASSERT(n.loc == kLocHeap);
     ++n.gen;  // stale-ifies the HeapEntry left behind; dropped on pop
   }
@@ -301,9 +299,10 @@ void TimerWheelScheduler::AdvanceTo(Tick t) {
       while (dump != 0) {
         const int slot = std::countr_zero(dump);
         dump &= dump - 1;
-        const std::uint32_t first = head_[k - 1][slot];
-        const std::uint32_t last = tail_[k - 1][slot];
-        head_[k - 1][slot] = tail_[k - 1][slot] = kNil;
+        Slot& s = upper_[k - 1][slot];
+        const std::uint32_t first = s.head;
+        const std::uint32_t last = s.tail;
+        s.head = s.tail = kNil;
         if (first == kNil) continue;
         if (todo_tail == kNil) {
           todo_head = first;
@@ -325,6 +324,7 @@ void TimerWheelScheduler::AdvanceTo(Tick t) {
 
 void TimerWheelScheduler::EnsureNext() {
   if (cached_valid_) return;
+  DCTCPP_PROFILE_SCOPE(kWheelPop);
   cached_valid_ = true;
   cached_from_heap_ = false;
   cached_at_ = kTickMax;
@@ -337,7 +337,7 @@ void TimerWheelScheduler::EnsureNext() {
     // Level-0 slots hold exactly one timestamp each, so the first occupied
     // slot circularly from the wheel position is the exact minimum (its
     // list head has the lowest seq: lists are seq-sorted).
-    const std::uint32_t h = head0_[slot0];
+    const std::uint32_t h = slots0_[slot0].head;
     cached_at_ = now_ + ((slot0 - pos0) & (kL0Slots - 1));
     cached_seq_ = NodeAt(h).seq;
     cached_idx_ = h;
@@ -357,7 +357,8 @@ void TimerWheelScheduler::EnsureNext() {
     Tick base = (now_ & ~(lap - 1)) + Tick(slot) * width;
     if (base <= now_) base += lap;  // passed/current slot index: next lap
     if (base > cached_at_) continue;  // cannot beat or tie the minimum
-    for (std::uint32_t i = head_[k - 1][slot]; i != kNil; i = NodeAt(i).next) {
+    for (std::uint32_t i = upper_[k - 1][slot].head; i != kNil;
+         i = NodeAt(i).next) {
       const Node& n = NodeAt(i);
       if (n.at < cached_at_ || (n.at == cached_at_ && n.seq < cached_seq_)) {
         cached_at_ = n.at;
@@ -392,51 +393,71 @@ Tick TimerWheelScheduler::NextTime() {
 }
 
 Tick TimerWheelScheduler::RunNext() {
-  EnsureNext();
-  DCTCPP_ASSERT(live_count_ > 0);
-  const Tick t = cached_at_;
-  const std::uint32_t idx = cached_idx_;
-  const bool from_heap = cached_from_heap_;
-  AdvanceTo(t);
-  Node& n = NodeAt(idx);
-  if (from_heap) {
-    DCTCPP_DASSERT(!heap_.empty() && heap_.front().idx == idx);
-    std::pop_heap(heap_.begin(), heap_.end(), HeapLater{});
-    heap_.pop_back();
-  } else {
-    Unlink(idx, n);
-  }
-  const std::int8_t level = n.level;
-  const std::int16_t slot = n.slot;
-  // Pinned nodes just park (their callback is a bare fn+ctx pair, loaded
-  // below before dispatch). One-shot nodes move the action out and recycle
-  // *before* running it, so the callback may freely schedule (and even
-  // land on this node's id with a fresh generation).
-  const PinnedFn pin_fn = n.pin_fn;
-  void* const pin_ctx = n.pin_ctx;
+  Tick t;
+  PinnedFn pin_fn;
+  void* pin_ctx;
   InlineAction action;
-  if (pin_fn != nullptr) {
-    n.loc = kLocParked;
-  } else {
-    action = std::move(n.action);
-    FreeNode(n, idx);
-  }
-  --live_count_;
-  ++executed_;
-  cached_valid_ = false;
-  // Same-tick fast path: a level-0 slot holds exactly one timestamp, so a
-  // non-empty slot after the pop means its head (lowest remaining seq) is
-  // the next event — unless the overflow heap could hold an older event at
-  // this same tick, in which case fall back to the full scan. Callbacks
-  // can only add same-tick events with higher seqs, so the cache stays
-  // exact through whatever `action` schedules.
-  if (!from_heap && level == 0 && head0_[slot] != kNil &&
-      (heap_.empty() || heap_.front().at > t)) {
-    cached_valid_ = true;
-    cached_at_ = t;
-    cached_seq_ = NodeAt(head0_[slot]).seq;
-    cached_idx_ = head0_[slot];
-    cached_from_heap_ = false;
+  {
+    // Pop machinery only; dispatch happens outside the scope so callback
+    // cycles land in their own phases (demux/socket/enqueue) or kOther.
+    DCTCPP_PROFILE_SCOPE(kWheelPop);
+    EnsureNext();
+    DCTCPP_ASSERT(live_count_ > 0);
+    t = cached_at_;
+    const std::uint32_t idx = cached_idx_;
+    const bool from_heap = cached_from_heap_;
+    AdvanceTo(t);
+    Node& n = NodeAt(idx);
+    std::int16_t slot = -1;
+    if (from_heap) {
+      DCTCPP_DASSERT(!heap_.empty() && heap_.front().idx == idx);
+      std::pop_heap(heap_.begin(), heap_.end(), HeapLater{});
+      heap_.pop_back();
+    } else {
+      // AdvanceTo(t) cascaded every wheel event at tick t into the level-0
+      // slot t & mask (the entered upper slot is part of the dump mask),
+      // where the list is seq-sorted — so the cached minimum is the slot
+      // head and pops without the general Unlink.
+      DCTCPP_DASSERT(n.level == 0 && n.prev == kNil);
+      slot = n.slot;
+      Slot& s = slots0_[slot];
+      s.head = n.next;
+      if (n.next != kNil) {
+        NodeAt(n.next).prev = kNil;
+      } else {
+        s.tail = kNil;
+        ClearL0Bit(slot);
+      }
+    }
+    // Pinned nodes just park (their callback is a bare fn+ctx pair, loaded
+    // below before dispatch). One-shot nodes move the action out and recycle
+    // *before* running it, so the callback may freely schedule (and even
+    // land on this node's id with a fresh generation).
+    pin_fn = n.pin_fn;
+    pin_ctx = n.pin_ctx;
+    if (pin_fn != nullptr) {
+      n.loc = kLocParked;
+    } else {
+      action = std::move(n.action);
+      FreeNode(n, idx);
+    }
+    --live_count_;
+    ++executed_;
+    cached_valid_ = false;
+    // Same-tick fast path: a level-0 slot holds exactly one timestamp, so a
+    // non-empty slot after the pop means its head (lowest remaining seq) is
+    // the next event — unless the overflow heap could hold an older event at
+    // this same tick, in which case fall back to the full scan. Callbacks
+    // can only add same-tick events with higher seqs, so the cache stays
+    // exact through whatever `action` schedules.
+    if (!from_heap && slots0_[slot].head != kNil &&
+        (heap_.empty() || heap_.front().at > t)) {
+      cached_valid_ = true;
+      cached_at_ = t;
+      cached_seq_ = NodeAt(slots0_[slot].head).seq;
+      cached_idx_ = slots0_[slot].head;
+      cached_from_heap_ = false;
+    }
   }
   if (pin_fn != nullptr) {
     pin_fn(pin_ctx);  // may re-arm (or destroy) its own node
@@ -446,6 +467,67 @@ Tick TimerWheelScheduler::RunNext() {
   return t;
 }
 
+std::uint64_t TimerWheelScheduler::RunSlotBatch(const bool* stop) {
+  const Tick t = cached_at_;
+  {
+    DCTCPP_PROFILE_SCOPE(kWheelPop);
+    AdvanceTo(t);
+    // Unlink the whole seq-sorted chain into the run-buffer with one slot
+    // store and one bitmap clear; the nodes themselves are revalidated at
+    // dispatch so mid-batch cancellations and pinned re-arms stay exact.
+    const int slot = static_cast<int>(t & (kL0Slots - 1));
+    Slot& s = slots0_[slot];
+    batch_.clear();
+    for (std::uint32_t i = s.head; i != kNil;) {
+      Node& n = NodeAt(i);
+      DCTCPP_DASSERT(n.at == t);
+      n.loc = kLocBatch;
+      batch_.push_back(BatchEntry{n.seq, i});
+      i = n.next;
+    }
+    s.head = s.tail = kNil;
+    ClearL0Bit(slot);
+    cached_valid_ = false;
+  }
+  std::uint64_t ran = 0;
+  for (std::size_t b = 0; b < batch_.size(); ++b) {
+    if (*stop) {
+      // Mirror RunLoop's per-event stop semantics: entries from b on have
+      // not run, so they go back on the wheel (keeping their seqs — any
+      // same-tick events the callbacks added carry higher seqs and sort
+      // after them, exactly as with pop-per-event).
+      for (std::size_t r = b; r < batch_.size(); ++r) {
+        Node& n = NodeAt(batch_[r].idx);
+        if (n.loc == kLocBatch && n.seq == batch_[r].seq) {
+          Place(batch_[r].idx, n);
+        }
+      }
+      break;
+    }
+    const BatchEntry e = batch_[b];
+    Node& n = NodeAt(e.idx);
+    if (n.loc != kLocBatch || n.seq != e.seq) continue;  // cancelled mid-batch
+    const PinnedFn pin_fn = n.pin_fn;
+    void* const pin_ctx = n.pin_ctx;
+    InlineAction action;
+    if (pin_fn != nullptr) {
+      n.loc = kLocParked;
+    } else {
+      action = std::move(n.action);
+      FreeNode(n, e.idx);
+    }
+    --live_count_;
+    ++executed_;
+    ++ran;
+    if (pin_fn != nullptr) {
+      pin_fn(pin_ctx);
+    } else {
+      action();
+    }
+  }
+  return ran;
+}
+
 std::uint64_t TimerWheelScheduler::RunLoop(Tick deadline, const bool* stop,
                                            Tick* sim_now) {
   std::uint64_t count = 0;
@@ -453,6 +535,17 @@ std::uint64_t TimerWheelScheduler::RunLoop(Tick deadline, const bool* stop,
     EnsureNext();
     if (cached_at_ > deadline) break;
     *sim_now = cached_at_;
+    if (!cached_from_heap_) {
+      const Node& n = NodeAt(cached_idx_);
+      if (n.level == 0 && n.next != kNil &&
+          (heap_.empty() || heap_.front().at > cached_at_)) {
+        // Multi-event same-tick slot with nothing older in the overflow
+        // heap: drain it whole. (A heap event at this tick could interleave
+        // by seq, so that rare case keeps the pop-per-event path.)
+        count += RunSlotBatch(stop);
+        continue;
+      }
+    }
     RunNext();  // same-TU: inlines, and its EnsureNext re-check is cached
     ++count;
   }

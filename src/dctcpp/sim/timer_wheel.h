@@ -102,7 +102,11 @@ class TimerWheelScheduler {
   /// `*sim_now` before invoking it. Behaves exactly like the
   /// NextTime()/RunNext() loop it replaces, but lives in one translation
   /// unit so the whole pop path (scan, unlink, recycle, dispatch) inlines
-  /// into a single frame. Returns the number of events executed.
+  /// into a single frame, and same-tick level-0 slots holding several
+  /// events are drained whole into a run-buffer (one slot unlink + bitmap
+  /// clear per burst instead of one per event) — execution order is still
+  /// exactly (time, seq), so the batch is observationally identical to
+  /// pop-per-event. Returns the number of events executed.
   std::uint64_t RunLoop(Tick deadline, const bool* stop, Tick* sim_now);
 
   /// Total events ever executed (for instrumentation).
@@ -134,6 +138,7 @@ class TimerWheelScheduler {
     kLocWheel = 1,
     kLocHeap = 2,
     kLocParked = 3,  // pinned node, currently disarmed
+    kLocBatch = 4,   // unlinked into the same-tick run-buffer, not yet run
   };
 
   // Field order is deliberate: everything the wheel machinery touches
@@ -154,11 +159,29 @@ class TimerWheelScheduler {
     InlineAction action;
   };
 
+  /// Paired slot header: head and tail of a slot's intrusive list share a
+  /// cache line (and usually a single 8-byte load/store), where the old
+  /// parallel head[]/tail[] arrays put them a wheel apart. static_assert
+  /// below pins the packed layout the hot path relies on.
+  struct Slot {
+    std::uint32_t head = kNil;
+    std::uint32_t tail = kNil;
+  };
+  static_assert(sizeof(Slot) == 8, "slot header must stay one 8-byte pair");
+
   struct HeapEntry {
     Tick at;
     std::uint64_t seq;
     std::uint32_t idx;
     std::uint32_t gen;
+  };
+
+  /// One not-yet-run event in the same-tick run-buffer. `seq` (together
+  /// with loc == kLocBatch) revalidates the node at dispatch: a mid-batch
+  /// Cancel/CancelPinned/re-arm changes loc or seq and voids the entry.
+  struct BatchEntry {
+    std::uint64_t seq;
+    std::uint32_t idx;
   };
   struct HeapLater {  // min-heap on (at, seq) via std::*_heap
     bool operator()(const HeapEntry& a, const HeapEntry& b) const {
@@ -200,6 +223,14 @@ class TimerWheelScheduler {
   /// into the cached_* fields (kTickMax/kNil when empty).
   void EnsureNext();
 
+  /// Drains the whole level-0 slot holding the cached minimum into the
+  /// run-buffer and dispatches its events in seq order, revalidating each
+  /// entry against mid-batch cancellation. Precondition: EnsureNext() done,
+  /// cached minimum is a multi-node level-0 slot, and the overflow heap has
+  /// nothing at this tick. Returns the number of events executed (stops
+  /// early, re-homing unrun entries, when `*stop` flips).
+  std::uint64_t RunSlotBatch(const bool* stop);
+
   Tick now_ = 0;
   std::uint64_t next_seq_ = 1;
   std::uint64_t executed_ = 0;
@@ -207,17 +238,16 @@ class TimerWheelScheduler {
 
   // Level 0: flat one-tick slots with a two-level occupancy bitmap
   // (occ0_sum_ bit s set <=> occ0_[s] != 0).
-  std::vector<std::uint32_t> head0_;  // kL0Slots entries
-  std::vector<std::uint32_t> tail0_;
+  std::vector<Slot> slots0_;  // kL0Slots entries
   std::uint64_t occ0_[kL0Words] = {};
   std::uint64_t occ0_sum_[kL0SumWords] = {};
 
   // Upper levels, indexed [k-1] for level k in 1..kUpperLevels.
-  std::uint32_t head_[kUpperLevels][kSlotsPerLevel];
-  std::uint32_t tail_[kUpperLevels][kSlotsPerLevel];
+  Slot upper_[kUpperLevels][kSlotsPerLevel];
   std::uint64_t occupied_[kUpperLevels] = {};
 
-  std::vector<HeapEntry> heap_;  // overflow level, lazy-cancelled
+  std::vector<HeapEntry> heap_;   // overflow level, lazy-cancelled
+  std::vector<BatchEntry> batch_; // same-tick run-buffer (RunSlotBatch)
 
   std::vector<std::unique_ptr<Node[]>> chunks_;
   std::uint32_t alloc_count_ = 0;

@@ -1,19 +1,56 @@
 #include "dctcpp/tcp/socket.h"
 
 #include <algorithm>
+#include <cstddef>
 
 #include "dctcpp/util/assert.h"
 #include "dctcpp/util/log.h"
+#include "dctcpp/util/profile.h"
 
 namespace dctcpp {
+
+namespace {
+/// Process-wide default for TcpSocket::SetBatchedAckMode, captured by each
+/// socket at construction (same pattern as SetReferenceFlowTableForTest).
+bool g_batched_ack_mode = true;
+}  // namespace
+
+void TcpSocket::SetBatchedAckMode(bool batched) {
+  g_batched_ack_mode = batched;
+}
+
+bool TcpSocket::BatchedAckMode() { return g_batched_ack_mode; }
+
+// Hot/cold layout contract: the state the per-ACK chain touches on every
+// ACK must sit in the object's first four cache lines. offsetof on a
+// non-standard-layout class is conditionally supported; GCC and Clang both
+// compute it correctly for this single-inheritance-free class.
+#if defined(__GNUC__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Winvalid-offsetof"
+#endif
+void TcpSocket::StaticAssertHotLayout() {
+  static_assert(offsetof(TcpSocket, progress_since_arm_) +
+                        sizeof(std::uint64_t) <=
+                    4 * 64,
+                "per-ACK core state must fit the first four cache lines");
+  static_assert(offsetof(TcpSocket, stream_acked_) < 2 * 64,
+                "stream offsets belong in the leading cache lines");
+  static_assert(offsetof(TcpSocket, iss_) >
+                    offsetof(TcpSocket, stats_),
+                "cold section must follow the hot section");
+}
+#if defined(__GNUC__)
+#pragma GCC diagnostic pop
+#endif
 
 TcpSocket::TcpSocket(Host& host, std::unique_ptr<CongestionOps> cc,
                      const Config& config)
     : host_(host),
       cc_(std::move(cc)),
+      rto_(config.rto),
       config_(config),
       rng_(host.sim().StreamRng(host.NextSocketStreamId())),
-      rto_(config.rto),
       rto_timer_(host.sim(),
                  [this] {
                    if (TimerAlive("rto")) OnRetransmissionTimeout();
@@ -27,6 +64,11 @@ TcpSocket::TcpSocket(Host& host, std::unique_ptr<CongestionOps> cc,
       }) {
   DCTCPP_ASSERT(cc_ != nullptr);
   DCTCPP_ASSERT(config_.mss > 0);
+  // The delayed-ACK timer is armed on every odd data segment and cancelled
+  // by every ACK actually sent — per-packet churn that lazy cancellation
+  // turns into one wheel op per expiry window (see Timer::SetLazyCancel).
+  delack_timer_.SetLazyCancel(true);
+  batched_ack_ = g_batched_ack_mode;
   cwnd_ = config_.initial_cwnd > 0 ? config_.initial_cwnd
                                    : cc_->InitialCwnd();
 }
@@ -114,6 +156,7 @@ void TcpSocket::set_ssthresh(int ssthresh_mss) {
 // Ingress
 
 void TcpSocket::OnPacket(const Packet& pkt) {
+  DCTCPP_PROFILE_SCOPE(kSocketAck);
   switch (state_) {
     case State::kClosed:
       return;  // stray packet after close
@@ -147,6 +190,25 @@ void TcpSocket::OnPacket(const Packet& pkt) {
       break;
   }
 
+  // Batched fast path: inside a calendar-drain burst, a clean
+  // window-advancing ACK runs its full processing chain eagerly but defers
+  // segment emission and the invariant sweep to the end of the run (see
+  // AckBurstEligible / FlushAckBurst). Any ineligible packet first flushes
+  // a pending batch so the network observes emissions in per-ACK order.
+  const bool burst_eligible = AckBurstEligible(pkt);
+  if (burst_pending_ && !burst_eligible) sim().FlushAckBursts();
+  if (burst_eligible) {
+    if (!burst_pending_) {
+      burst_pending_ = true;
+      sim().RequestAckBurstFlush(&TcpSocket::FlushAckBurstThunk, this);
+    }
+    ++stats_.acks_batch_deferred;
+    defer_tx_ = true;
+    ProcessAck(pkt);
+    defer_tx_ = false;
+    return;  // pure ACK: no payload processing; invariants run at flush
+  }
+
   if (pkt.tcp.syn) {
     // Retransmitted SYN-ACK: our handshake ACK was lost; repeat it.
     SendAckNow(ReceiverEce());
@@ -156,6 +218,46 @@ void TcpSocket::OnPacket(const Packet& pkt) {
   if (pkt.tcp.ack_flag) ProcessAck(pkt);
   if (state_ == State::kClosed) return;  // ACK processing may finalize
   if (pkt.payload > 0 || pkt.tcp.fin) ProcessPayload(pkt);
+  CheckInvariants();
+}
+
+bool TcpSocket::AckBurstEligible(const Packet& pkt) const {
+  if (!batched_ack_ || !sim().InAckBurst()) return false;
+  if (state_ != State::kEstablished) return false;
+  // Pure cumulative ACK only: payload and FIN take the payload path, SYN
+  // the handshake path, and an ECE echo may reduce the window or engage
+  // the DCTCP+ regulator (whose pace-timer arming must stay in per-ACK
+  // order relative to the port's transmit event).
+  if (!pkt.tcp.ack_flag || pkt.payload != 0 || pkt.tcp.syn || pkt.tcp.fin) {
+    return false;
+  }
+  if (pkt.tcp.ece || in_recovery_ || fin_pending_ || fin_sent_) return false;
+  if (cc_->MayPace(*this)) return false;
+  // Strict forward progress within the sent range: duplicate and stale
+  // ACKs keep the reference path (fast-retransmit emission ordering).
+  const std::int64_t linear_ack =
+      stream_acked_ +
+      SeqNum(pkt.tcp.ack).DistanceFrom(SeqOfStream(stream_acked_));
+  return linear_ack > stream_acked_ && linear_ack <= stream_max_sent_;
+}
+
+void TcpSocket::EmitPacket(const Packet& pkt) {
+  if (defer_tx_) {
+    burst_tx_.push_back(pkt);
+    return;
+  }
+  host_.Send(pkt);
+}
+
+void TcpSocket::FlushBurstTx() {
+  for (const Packet& p : burst_tx_) host_.Send(p);
+  burst_tx_.clear();
+}
+
+void TcpSocket::FlushAckBurst() {
+  DCTCPP_DASSERT(burst_pending_);
+  burst_pending_ = false;
+  FlushBurstTx();
   CheckInvariants();
 }
 
@@ -295,7 +397,10 @@ void TcpSocket::ProcessAck(const Packet& pkt) {
   if (newly > 0 || duplicate || FlightSize() > 0) {
     const AckContext ctx{newly, duplicate, ece && ecn_ok_, in_recovery_,
                          rtt_sample};
-    cc_->OnAck(*this, ctx);
+    {
+      DCTCPP_PROFILE_SCOPE(kCwndUpdate);
+      cc_->OnAck(*this, ctx);
+    }
     if (probe_ != nullptr) {
       const bool at_min = (ece && ecn_ok_) && cwnd_ <= cc_->MinCwnd();
       probe_->OnAckProcessed(*this, cwnd_, ece && ecn_ok_, at_min);
@@ -443,7 +548,7 @@ void TcpSocket::SendAckNow(bool ece) {
     }
   }
   ++stats_.acks_sent;
-  host_.Send(pkt);
+  EmitPacket(pkt);
 }
 
 // ---------------------------------------------------------------------------
@@ -482,7 +587,7 @@ void TcpSocket::SendControl(bool syn, bool fin, bool ack) {
   }
   pkt.payload = 0;
   pkt.ecn = Ecn::kNotEct;
-  host_.Send(pkt);
+  EmitPacket(pkt);
 }
 
 void TcpSocket::TrySend() {
@@ -581,7 +686,7 @@ bool TcpSocket::SendDataSegment(std::int64_t offset, Bytes len,
   ++stats_.segments_sent;
   if (probe_ != nullptr) probe_->OnSegmentSent(*this, pkt, retransmit);
 
-  host_.Send(pkt);
+  EmitPacket(pkt);
   if (!rto_timer_.IsPending()) ArmRtoTimer();
   return true;
 }
@@ -662,6 +767,12 @@ void TcpSocket::OnRetransmissionTimeout() {
 }
 
 void TcpSocket::ArmRtoTimer() {
+  // Batched mode: a genuine (sequence-number-consuming) wheel arming must
+  // not overtake deferred emissions — per-ACK processing would have armed
+  // the port's transmit event first. Emitting the buffer here restores the
+  // exact arming order; while data is in flight the RTO timer always has a
+  // wheel arming (lazy re-arm), so this fires only after an eager cancel.
+  if (!burst_tx_.empty() && !rto_timer_.HasWheelArming()) FlushBurstTx();
   rto_timer_.Schedule(rto_.Rto());
   dupacks_since_arm_ = 0;
   progress_since_arm_ = 0;
@@ -670,6 +781,9 @@ void TcpSocket::ArmRtoTimer() {
 void TcpSocket::MaybeCancelRtoTimer() { rto_timer_.Cancel(); }
 
 void TcpSocket::FinalizeClose() {
+  // Close-progress packets (FIN, its ACK) are never burst-eligible, so the
+  // processing that got here flushed any pending batch on entry.
+  DCTCPP_DASSERT(!burst_pending_ && burst_tx_.empty());
   state_ = State::kClosed;
   rto_timer_.Cancel();
   delack_timer_.Cancel();

@@ -15,6 +15,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <vector>
 
 #include "dctcpp/net/host.h"
 #include "dctcpp/net/packet.h"
@@ -112,6 +113,25 @@ class TcpSocket {
   /// Attaches a trace probe (not owned); nullptr detaches.
   void set_probe(TcpProbe* probe) { probe_ = probe; }
 
+  // --- batched ACK processing ------------------------------------------
+  //
+  // Inside a sharded calendar drain, consecutive same-tick deliveries to
+  // one socket form a run. The batched mode processes each ACK's full
+  // chain (rtt sample -> RTO re-arm -> cwnd/alpha update -> send-window
+  // refill) eagerly — every byte of socket and congestion state evolves
+  // exactly as in per-ACK mode — but defers the *emission* of response
+  // segments and the per-packet invariant sweep to the end of the run.
+  // Emission order, packet uids, queue occupancy at each enqueue, and
+  // scheduler sequence numbers are all preserved (see socket.cc for the
+  // argument), so the two modes are bit-identical; the per-ACK path
+  // remains selectable as the differential oracle.
+
+  /// Selects the processing mode for sockets constructed afterwards
+  /// (process-wide, mirroring SetReferenceFlowTableForTest). Batched is
+  /// the default; `false` restores the per-ACK reference path.
+  static void SetBatchedAckMode(bool batched);
+  static bool BatchedAckMode();
+
   // --- introspection (CongestionOps, probes, tests) ---------------------
 
   State state() const { return state_; }
@@ -165,6 +185,9 @@ class TcpSocket {
     std::uint64_t acks_received = 0;
     std::uint64_t ece_acks_received = 0;
     std::uint64_t acks_sent = 0;
+    /// ACKs whose emission was deferred by the batched fast path (0 in
+    /// per-ACK mode; lets tests assert batching actually engaged).
+    std::uint64_t acks_batch_deferred = 0;
   };
   const Stats& stats() const { return stats_; }
 
@@ -187,6 +210,22 @@ class TcpSocket {
   bool SendDataSegment(std::int64_t offset, Bytes len, bool retransmit);
   void SendControl(bool syn, bool fin, bool ack);
   Packet MakePacket() const;
+
+  // --- batched ACK processing (see the public section) ------------------
+  /// Whether `pkt` may be processed with emission deferred: a clean
+  /// cumulative ACK making strict progress on an established, non-paced,
+  /// non-recovering connection inside an open burst scope.
+  bool AckBurstEligible(const Packet& pkt) const;
+  /// All socket egress funnels through here; while `defer_tx_` is set the
+  /// fully built packet is buffered instead of handed to the host.
+  void EmitPacket(const Packet& pkt);
+  /// Emits the deferred packets (in order) without closing the batch.
+  void FlushBurstTx();
+  /// End-of-run flush: emit, then run the deferred invariant sweep.
+  void FlushAckBurst();
+  static void FlushAckBurstThunk(void* self) {
+    static_cast<TcpSocket*>(self)->FlushAckBurst();
+  }
 
   // --- SACK scoreboard (sender side, linear stream offsets) -------------
   void ProcessSackBlocks(const Packet& pkt);
@@ -223,80 +262,100 @@ class TcpSocket {
     return iss_ + 1 + offset;
   }
 
+  /// Never called; its body static-asserts the hot-section layout below
+  /// (offsetof needs the complete type, so the checks live in socket.cc).
+  static void StaticAssertHotLayout();
+
+  // --- hot section ------------------------------------------------------
+  // Everything the per-ACK chain (ProcessAck -> cc OnAck -> TrySend
+  // bookkeeping) dereferences on every ACK is packed here, in the object's
+  // leading cache lines; StaticAssertHotLayout pins the boundary. The cold
+  // tail below holds handshake, receive-side, SACK, callback, and timer
+  // state touched at most once per data segment or per connection event.
+
   Host& host_;
   std::unique_ptr<CongestionOps> cc_;
-  Config config_;
-  Rng rng_;
   TcpProbe* probe_ = nullptr;
+
+  State state_ = State::kClosed;
+  bool registered_ = false;
+  bool syn_acked_ = false;
+  bool fin_pending_ = false;   ///< app closed; FIN after queued data
+  bool fin_sent_ = false;
+  bool fin_acked_ = false;
+  bool in_recovery_ = false;
+  bool sack_ok_ = false;       ///< RFC 2018 negotiated (see scoreboard below)
+  bool ecn_ok_ = false;
+  bool cwr_pending_ = false;
+  bool rtt_pending_ = false;
+  bool irs_valid_ = false;
+  bool peer_fin_received_ = false;
+  bool rx_ce_state_ = false;    ///< DCTCP receiver CE state machine
+  bool rx_ece_latched_ = false; ///< classic ECN receiver latch
+  bool pace_armed_ = false;  ///< a reserved pacing slot awaits its send
+  bool batched_ack_ = false;   ///< processing mode, captured at construction
+  bool defer_tx_ = false;      ///< EmitPacket buffers instead of sending
+  bool burst_pending_ = false; ///< a burst-flush callback is registered
+
+  NodeId remote_ = kInvalidNode;
+  PortNum local_port_ = 0;
+  PortNum remote_port_ = 0;
+
+  // Sequence bookkeeping. The stream_* members are linear (unwrapped)
+  // offsets into the application byte stream; SeqOfStream maps them to
+  // wire sequence numbers.
+  std::int64_t stream_acked_ = 0;   ///< first unacked app byte
+  std::int64_t stream_next_ = 0;    ///< next app byte to transmit
+  std::int64_t stream_max_sent_ = 0;  ///< high-water mark (snd_max)
+  std::int64_t app_bytes_queued_ = 0;
+
+  // Congestion state (MSS units), policy applied by cc_.
+  int cwnd_ = 2;
+  int ssthresh_ = 0x7fffffff;
+  int dupacks_ = 0;
+  std::int64_t recover_ = 0;  ///< NewReno recovery point (stream offset)
+
+  // RTT / RTO.
+  std::int64_t rtt_offset_end_ = 0;
+  Tick rtt_sent_at_ = 0;
+  RtoEstimator rto_;
+  // Feedback-since-timer-arm, for the FLoss/LAck classification.
+  std::uint64_t dupacks_since_arm_ = 0;
+  std::uint64_t progress_since_arm_ = 0;
+
+  Config config_;  ///< mss / rwnd_mss are read by every TrySend
+  Stats stats_;
+
+  // --- cold section -----------------------------------------------------
+
+  SeqNum iss_{};           ///< initial send sequence (the SYN)
+  Rng rng_;
 
   Callback on_connected_;
   DataCallback on_data_;
   Callback on_remote_close_;
   DataCallback on_acked_;
 
-  State state_ = State::kClosed;
-  NodeId remote_ = kInvalidNode;
-  PortNum local_port_ = 0;
-  PortNum remote_port_ = 0;
-  bool registered_ = false;
-
-  // Sequence bookkeeping. The stream_* members are linear (unwrapped)
-  // offsets into the application byte stream; SeqOfStream maps them to
-  // wire sequence numbers.
-  SeqNum iss_{};           ///< initial send sequence (the SYN)
-  std::int64_t stream_acked_ = 0;   ///< first unacked app byte
-  std::int64_t stream_next_ = 0;    ///< next app byte to transmit
-  std::int64_t stream_max_sent_ = 0;  ///< high-water mark (snd_max)
-  std::int64_t app_bytes_queued_ = 0;
-  bool syn_acked_ = false;
-  bool fin_pending_ = false;   ///< app closed; FIN after queued data
-  bool fin_sent_ = false;
-  bool fin_acked_ = false;
-
-  // Congestion state (MSS units), policy applied by cc_.
-  int cwnd_ = 2;
-  int ssthresh_ = 0x7fffffff;
-  int dupacks_ = 0;
-  bool in_recovery_ = false;
-  std::int64_t recover_ = 0;  ///< NewReno recovery point (stream offset)
-
-  // SACK: negotiated flag plus the sender scoreboard of selectively
-  // acknowledged ranges (disjoint, in linear stream offsets; flat sorted
-  // interval vector — no per-range allocation).
-  bool sack_ok_ = false;
+  // SACK sender scoreboard of selectively acknowledged ranges (disjoint,
+  // in linear stream offsets; flat sorted interval vector — no per-range
+  // allocation).
   IntervalSet sacked_;
   std::int64_t sack_high_ = 0;      ///< highest SACKed offset seen
   std::int64_t sack_rtx_next_ = 0;  ///< holes below this already resent
 
-  // ECN.
-  bool ecn_ok_ = false;
-  bool cwr_pending_ = false;
-  bool rx_ce_state_ = false;    ///< DCTCP receiver CE state machine
-  bool rx_ece_latched_ = false; ///< classic ECN receiver latch
-
-  // RTT / RTO.
-  RtoEstimator rto_;
-  bool rtt_pending_ = false;
-  std::int64_t rtt_offset_end_ = 0;
-  Tick rtt_sent_at_ = 0;
   Timer rto_timer_;
-  // Feedback-since-timer-arm, for the FLoss/LAck classification.
-  std::uint64_t dupacks_since_arm_ = 0;
-  std::uint64_t progress_since_arm_ = 0;
 
   // Receive side.
   ReceiveBuffer rx_;
-  bool irs_valid_ = false;
   int unacked_segments_ = 0;
   Timer delack_timer_;
-  bool peer_fin_received_ = false;
 
   // Pacing (DCTCP+).
   Tick pace_until_ = 0;
-  bool pace_armed_ = false;  ///< a reserved pacing slot awaits its send
   Timer pace_timer_;
 
-  Stats stats_;
+  /// Deferred emissions of the current batched-ACK run, in send order.
+  std::vector<Packet> burst_tx_;
 };
 
 /// Passive endpoint: accepts connections on a port, creating one TcpSocket
