@@ -18,6 +18,10 @@
 // These bound the price of sharding: a window is profitable when the
 // events it runs cost more than one barrier plus its handoff merges, and
 // the publish-vs-sub-round gap is exactly what batched wide windows save.
+// BM_CrossShardFraction closes the loop: it runs a real fat-tree
+// permutation under each partition strategy and reports what fraction of
+// calendar deliveries actually crossed shards — the quantity all the
+// per-handoff costs above get multiplied by.
 #include <benchmark/benchmark.h>
 
 #include <atomic>
@@ -27,6 +31,7 @@
 #include "dctcpp/net/parallel.h"
 #include "dctcpp/util/rng.h"
 #include "dctcpp/util/thread_pool.h"
+#include "dctcpp/workload/connection_matrix.h"
 
 namespace dctcpp {
 namespace {
@@ -203,6 +208,40 @@ void BM_InlineWindowDispatch(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_InlineWindowDispatch)->Arg(2)->Arg(4)->Arg(8);
+
+/// End-to-end cross-shard traffic per partition strategy: one k = 4
+/// fat-tree permutation at S = 4 per iteration. The wall time here is the
+/// whole sharded run; the interesting outputs are the counters —
+/// cross_shard_fraction (how much of the calendar traffic the partition
+/// failed to keep local) and handoffs_per_sync (how much merge work each
+/// causality barrier amortizes). Strategies index PartitionStrategy:
+/// 0 = random, 1 = pod, 2 = min_cut.
+void BM_CrossShardFraction(benchmark::State& state) {
+  FabricRunConfig config;
+  config.topo = FabricRunConfig::Topo::kFatTree;
+  config.fat_tree.k = 4;
+  config.pattern = TrafficPattern::kPermutation;
+  config.bytes_per_flow = 16 * kKiB;
+  config.shards = 4;
+  config.strategy = static_cast<PartitionStrategy>(state.range(0));
+  double cross_fraction = 0.0;
+  double handoffs_per_sync = 0.0;
+  std::uint64_t events = 0;
+  for (auto _ : state) {
+    const FabricRunResult r = RunFabricWorkload(config);
+    benchmark::DoNotOptimize(r.flows_completed);
+    cross_fraction = r.cross_shard_fraction;
+    handoffs_per_sync =
+        r.sync_rounds > 0 ? static_cast<double>(r.cross_shard_handoffs) /
+                                static_cast<double>(r.sync_rounds)
+                          : 0.0;
+    events += r.events;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(events));
+  state.counters["cross_shard_fraction"] = benchmark::Counter(cross_fraction);
+  state.counters["handoffs_per_sync"] = benchmark::Counter(handoffs_per_sync);
+}
+BENCHMARK(BM_CrossShardFraction)->Arg(0)->Arg(1)->Arg(2);
 
 }  // namespace
 }  // namespace dctcpp

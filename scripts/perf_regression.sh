@@ -4,25 +4,47 @@
 #   - datapath_regression -> BENCH_datapath.json (per-packet datapath)
 #   - soak_impairment     -> BENCH_soak.json     (fault-profile sweep)
 #   - parallel_scale      -> BENCH_parallel.json (sharded engine)
+#   - fabric_scale        -> BENCH_fabric.json   (topologies+partitioning)
 # and records one manifest row per bench — wall-clock seconds and peak
 # RSS — in BENCH_manifest.json, so a perf regression in *any* harness
 # (time or memory) shows up in a single diffable file. Numbers feed
 # DESIGN.md's performance sections and the acceptance gates (>=2x
 # wheel-vs-heap, >=1.5x datapath packets/sec vs the pre-PR baseline,
-# shard determinism). datapath_regression, soak_impairment, and
-# parallel_scale exit nonzero when their determinism gates fail, which
-# fails this script too.
+# shard determinism, >=3x cross-shard reduction). datapath_regression,
+# soak_impairment, parallel_scale, and fabric_scale exit nonzero when
+# their determinism gates fail, which fails this script too.
 #
-# Usage: scripts/perf_regression.sh [build_dir]
+# A manifest recorded from a tree with uncommitted changes is not a
+# baseline — its rows can't be reproduced from any commit — so a dirty
+# tree aborts the run unless --allow-dirty is given explicitly (the rows
+# then carry "dirty": true for downstream tooling to discount).
+#
+# Usage: scripts/perf_regression.sh [--allow-dirty] [build_dir]
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
-build_dir="${1:-$repo_root/build}"
+allow_dirty=false
+build_dir=""
+for arg in "$@"; do
+  case "$arg" in
+    --allow-dirty) allow_dirty=true ;;
+    *) build_dir="$arg" ;;
+  esac
+done
+[ -n "$build_dir" ] || build_dir="$repo_root/build"
+
+if [ -n "$(git -C "$repo_root" status --porcelain 2>/dev/null)" ] &&
+   [ "$allow_dirty" != true ]; then
+  echo "perf_regression: working tree is dirty — a baseline must be" >&2
+  echo "reproducible from a commit. Commit first, or pass --allow-dirty" >&2
+  echo "to record anyway (rows will be marked \"dirty\": true)." >&2
+  exit 1
+fi
 
 # No explicit build type: the top-level CMakeLists defaults to
 # RelWithDebInfo, and an existing build dir keeps its configuration.
 expected_benches=(engine_regression datapath_regression soak_impairment
-  parallel_scale micro_demux micro_shard_handoff)
+  parallel_scale fabric_scale micro_demux micro_shard_handoff)
 cmake -S "$repo_root" -B "$build_dir" >/dev/null
 cmake --build "$build_dir" --target "${expected_benches[@]}" -j >/dev/null
 
@@ -110,6 +132,13 @@ echo "Wrote $repo_root/BENCH_soak.json"
 run_bench parallel_scale \
   "$build_dir/bench/parallel_scale" "$repo_root/BENCH_parallel.json"
 echo "Wrote $repo_root/BENCH_parallel.json"
+# Fabric topologies + partitioning: strategy x shard determinism matrix,
+# cross-shard-fraction and channel-pruning gates, and the 50k-host
+# fat-tree permutation / 2048-fan-in incast sweep with the compact-routing
+# memory gate.
+run_bench fabric_scale \
+  "$build_dir/bench/fabric_scale" "$repo_root/BENCH_fabric.json"
+echo "Wrote $repo_root/BENCH_fabric.json"
 # Control-plane microbenchmarks (flat-vs-map demux, burst-demux run cache
 # at run lengths 1/4/16, dense-vs-hash routing, arena-vs-heap setup);
 # console output only, the regression numbers of record live in

@@ -1,0 +1,334 @@
+#include "dctcpp/net/fabric.h"
+
+#include <string>
+
+#include "dctcpp/util/assert.h"
+
+namespace dctcpp {
+
+namespace {
+
+// Resolves a plan id's shard: -1 (single-Simulator / shard 0) when the
+// partitioner supplied nothing. Network::SimForShard treats <= 0 as shard
+// 0 in single-Simulator mode, so 0 is safe in both modes.
+struct ShardLookup {
+  const std::vector<int>* shard_of;
+  int operator()(int plan_id) const {
+    if (shard_of->empty()) return 0;
+    return (*shard_of)[static_cast<std::size_t>(plan_id)];
+  }
+};
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Fat-tree
+
+FatTreeFabric::FatTreeFabric(const FatTreeConfig& config)
+    : k_(config.k),
+      half_k_(config.k / 2),
+      hosts_per_edge_(config.hosts_per_edge > 0 ? config.hosts_per_edge
+                                                : config.k / 2),
+      link_(config.link) {
+  DCTCPP_ASSERT(k_ >= 4 && k_ <= 32 && k_ % 2 == 0);
+  DCTCPP_ASSERT(hosts_per_edge_ >= 1);
+  num_pods_ = k_;
+  num_hosts_ = k_ * half_k_ * hosts_per_edge_;
+  num_switches_ = k_ * k_ + half_k_ * half_k_;  // pods' edge+agg, cores
+  pod_of_.assign(static_cast<std::size_t>(num_nodes()), -1);
+  for (int h = 0; h < num_hosts_; ++h) {
+    pod_of_[static_cast<std::size_t>(h)] = h / hosts_per_pod();
+  }
+  for (int p = 0; p < k_; ++p) {
+    for (int s = 0; s < k_; ++s) {
+      pod_of_[static_cast<std::size_t>(num_hosts_ + p * k_ + s)] = p;
+    }
+  }
+  // Cores stay -1 (pod-less).
+}
+
+void FatTreeFabric::Build(Network& net, const std::vector<int>& shard_of) {
+  DCTCPP_ASSERT(!built());
+  DCTCPP_ASSERT(shard_of.empty() ||
+                shard_of.size() == static_cast<std::size_t>(num_nodes()));
+  const ShardLookup shard{&shard_of};
+  hosts_.reserve(static_cast<std::size_t>(num_hosts_));
+  switches_.reserve(static_cast<std::size_t>(num_switches_));
+
+  // Hosts first: plan ids ARE the NodeIds only because creation order
+  // matches the plan (Network assigns ids sequentially).
+  for (int h = 0; h < num_hosts_; ++h) {
+    hosts_.push_back(&net.AddHost("h" + std::to_string(h), shard(h)));
+  }
+  for (int p = 0; p < k_; ++p) {
+    for (int e = 0; e < half_k_; ++e) {
+      switches_.push_back(&net.AddSwitch(
+          "e" + std::to_string(p) + "." + std::to_string(e),
+          shard(EdgePlanId(p, e))));
+    }
+    for (int j = 0; j < half_k_; ++j) {
+      switches_.push_back(&net.AddSwitch(
+          "a" + std::to_string(p) + "." + std::to_string(j),
+          shard(AggPlanId(p, j))));
+    }
+  }
+  for (int c = 0; c < half_k_ * half_k_; ++c) {
+    switches_.push_back(
+        &net.AddSwitch("c" + std::to_string(c), shard(CorePlanId(c))));
+  }
+  auto sw = [&](int plan_id) -> Switch& {
+    return *switches_[static_cast<std::size_t>(plan_id - num_hosts_)];
+  };
+
+  // Wiring. Port-index contracts the routing below depends on:
+  //  - edge: ports [0, hpe) face its hosts in id order, [hpe, hpe+k/2)
+  //    its pod's aggs in j order;
+  //  - agg: ports [0, k/2) face its pod's edges in e order, [k/2, k) its
+  //    k/2 cores in ascending core order;
+  //  - core c: port p faces pod p's agg (the agg with index c / (k/2)),
+  //    because the pod loop is outermost.
+  for (int p = 0; p < k_; ++p) {
+    for (int e = 0; e < half_k_; ++e) {
+      for (int s = 0; s < hosts_per_edge_; ++s) {
+        net.ConnectHost(*hosts_[static_cast<std::size_t>(
+                            HostPlanId(p, e, s))],
+                        sw(EdgePlanId(p, e)), link_);
+      }
+    }
+    for (int e = 0; e < half_k_; ++e) {
+      for (int j = 0; j < half_k_; ++j) {
+        net.ConnectSwitches(sw(EdgePlanId(p, e)), sw(AggPlanId(p, j)),
+                            link_);
+      }
+    }
+  }
+  for (int p = 0; p < k_; ++p) {
+    for (int j = 0; j < half_k_; ++j) {
+      for (int m = 0; m < half_k_; ++m) {
+        net.ConnectSwitches(sw(AggPlanId(p, j)),
+                            sw(CorePlanId(j * half_k_ + m)), link_);
+      }
+    }
+  }
+
+  // Compact routes: one interval per switch for "down", ECMP for "up".
+  const int hpp = hosts_per_pod();
+  for (int p = 0; p < k_; ++p) {
+    for (int e = 0; e < half_k_; ++e) {
+      Switch& edge = sw(EdgePlanId(p, e));
+      const NodeId lo = HostPlanId(p, e, 0);
+      edge.AddRouteInterval(lo, lo + hosts_per_edge_, 0, 1);
+      std::vector<std::int16_t> up;
+      for (int j = 0; j < half_k_; ++j) {
+        up.push_back(static_cast<std::int16_t>(hosts_per_edge_ + j));
+      }
+      edge.SetEcmpUplinks(std::move(up));
+    }
+    for (int j = 0; j < half_k_; ++j) {
+      Switch& agg = sw(AggPlanId(p, j));
+      agg.AddRouteInterval(p * hpp, (p + 1) * hpp, 0, hosts_per_edge_);
+      std::vector<std::int16_t> up;
+      for (int m = 0; m < half_k_; ++m) {
+        up.push_back(static_cast<std::int16_t>(half_k_ + m));
+      }
+      agg.SetEcmpUplinks(std::move(up));
+    }
+  }
+  for (int c = 0; c < half_k_ * half_k_; ++c) {
+    sw(CorePlanId(c)).AddRouteInterval(0, num_hosts_, 0, hpp);
+  }
+}
+
+void FatTreeFabric::MarkShardPairs(NodeId src, NodeId dst,
+                                   const std::vector<int>& shard_of,
+                                   int shards,
+                                   std::vector<std::uint8_t>& used) const {
+  const int se = EdgeOfHost(src);
+  const int de = EdgeOfHost(dst);
+  MarkHop(src, se, shard_of, shards, used);
+  if (se == de) {
+    MarkHop(se, dst, shard_of, shards, used);
+    return;
+  }
+  const int sp = pod_of(src);
+  const int dp = pod_of(dst);
+  if (sp == dp) {
+    // Up to any of the pod's aggs (ECMP), down to the peer edge.
+    for (int j = 0; j < half_k_; ++j) {
+      MarkHop(se, AggPlanId(sp, j), shard_of, shards, used);
+      MarkHop(AggPlanId(sp, j), de, shard_of, shards, used);
+    }
+  } else {
+    // Up through any agg, then any of that agg's cores; core c comes
+    // back down via the destination pod's agg with the same index
+    // c / (k/2) — the fat-tree wiring invariant.
+    for (int j = 0; j < half_k_; ++j) {
+      MarkHop(se, AggPlanId(sp, j), shard_of, shards, used);
+      MarkHop(AggPlanId(dp, j), de, shard_of, shards, used);
+      for (int m = 0; m < half_k_; ++m) {
+        const int c = CorePlanId(j * half_k_ + m);
+        MarkHop(AggPlanId(sp, j), c, shard_of, shards, used);
+        MarkHop(c, AggPlanId(dp, j), shard_of, shards, used);
+      }
+    }
+  }
+  MarkHop(de, dst, shard_of, shards, used);
+}
+
+// ---------------------------------------------------------------------------
+// Dragonfly
+
+DragonflyFabric::DragonflyFabric(const DragonflyConfig& config)
+    : a_(config.routers_per_group),
+      p_(config.hosts_per_router),
+      h_(config.global_links_per_router),
+      g_(config.groups > 0
+             ? config.groups
+             : config.routers_per_group * config.global_links_per_router +
+                   1),
+      valiant_(config.valiant),
+      local_link_(config.local_link),
+      global_link_(config.global_link) {
+  DCTCPP_ASSERT(a_ >= 1 && p_ >= 1 && h_ >= 1);
+  DCTCPP_ASSERT(g_ >= 2 && g_ <= a_ * h_ + 1);
+  num_pods_ = g_;
+  num_hosts_ = g_ * a_ * p_;
+  num_switches_ = g_ * a_;
+  pod_of_.assign(static_cast<std::size_t>(num_nodes()), -1);
+  for (int h = 0; h < num_hosts_; ++h) {
+    pod_of_[static_cast<std::size_t>(h)] = h / (a_ * p_);
+  }
+  for (int r = 0; r < num_switches_; ++r) {
+    pod_of_[static_cast<std::size_t>(num_hosts_ + r)] = r / a_;
+  }
+}
+
+void DragonflyFabric::Build(Network& net, const std::vector<int>& shard_of) {
+  DCTCPP_ASSERT(!built());
+  DCTCPP_ASSERT(shard_of.empty() ||
+                shard_of.size() == static_cast<std::size_t>(num_nodes()));
+  const ShardLookup shard{&shard_of};
+  hosts_.reserve(static_cast<std::size_t>(num_hosts_));
+  switches_.reserve(static_cast<std::size_t>(num_switches_));
+
+  for (int h = 0; h < num_hosts_; ++h) {
+    hosts_.push_back(&net.AddHost("h" + std::to_string(h), shard(h)));
+  }
+  for (int G = 0; G < g_; ++G) {
+    for (int r = 0; r < a_; ++r) {
+      switches_.push_back(&net.AddSwitch(
+          "r" + std::to_string(G) + "." + std::to_string(r),
+          shard(RouterPlanId(G, r))));
+    }
+  }
+  auto sw = [&](int plan_id) -> Switch& {
+    return *switches_[static_cast<std::size_t>(plan_id - num_hosts_)];
+  };
+
+  // Host links: router ports [0, p) face its hosts in id order.
+  for (int G = 0; G < g_; ++G) {
+    for (int r = 0; r < a_; ++r) {
+      for (int s = 0; s < p_; ++s) {
+        net.ConnectHost(*hosts_[static_cast<std::size_t>(
+                            HostPlanId(G, r, s))],
+                        sw(RouterPlanId(G, r)), local_link_);
+      }
+    }
+  }
+  // Intra-group full mesh. Pair iteration order (r1 < r2 ascending) gives
+  // every router local ports toward peers in ascending peer order:
+  // port p + (t < r ? t : t - 1) faces router t.
+  for (int G = 0; G < g_; ++G) {
+    for (int r1 = 0; r1 < a_; ++r1) {
+      for (int r2 = r1 + 1; r2 < a_; ++r2) {
+        net.ConnectSwitches(sw(RouterPlanId(G, r1)), sw(RouterPlanId(G, r2)),
+                            local_link_);
+      }
+    }
+  }
+  // Global links, canonical slotting: group G reaches group t over slot
+  // (t - G - 1) mod g, owned by router slot / h. Port indices recorded
+  // from ConnectSwitches (they come after host + local ports).
+  std::vector<std::int16_t> global_port(
+      static_cast<std::size_t>(g_) * static_cast<std::size_t>(g_), -1);
+  auto gp = [&](int from, int to) -> std::int16_t& {
+    return global_port[static_cast<std::size_t>(from) *
+                           static_cast<std::size_t>(g_) +
+                       static_cast<std::size_t>(to)];
+  };
+  for (int G = 0; G < g_; ++G) {
+    for (int t = G + 1; t < g_; ++t) {
+      const auto ports = net.ConnectSwitches(
+          sw(RouterPlanId(G, GatewayRouter(G, t))),
+          sw(RouterPlanId(t, GatewayRouter(t, G))), global_link_);
+      gp(G, t) = static_cast<std::int16_t>(ports.first);
+      gp(t, G) = static_cast<std::int16_t>(ports.second);
+    }
+  }
+
+  // Routes per router: own hosts, then the rest of the group by two
+  // stride-p intervals around the own-host gap, then per-group next hops.
+  const int local_base = p_;
+  const int group_hosts = a_ * p_;
+  for (int G = 0; G < g_; ++G) {
+    const NodeId gbase = G * group_hosts;
+    for (int r = 0; r < a_; ++r) {
+      Switch& router = sw(RouterPlanId(G, r));
+      const NodeId own = HostPlanId(G, r, 0);
+      router.AddRouteInterval(own, own + p_, 0, 1);
+      if (r > 0) {
+        router.AddRouteInterval(gbase, gbase + r * p_, local_base, p_);
+      }
+      if (r < a_ - 1) {
+        router.AddRouteInterval(own + p_, gbase + group_hosts,
+                                local_base + r, p_);
+      }
+      std::vector<std::int16_t> port_by_group(static_cast<std::size_t>(g_),
+                                              -1);
+      for (int t = 0; t < g_; ++t) {
+        if (t == G) continue;
+        const int owner = GatewayRouter(G, t);
+        port_by_group[static_cast<std::size_t>(t)] =
+            owner == r ? gp(G, t)
+                       : static_cast<std::int16_t>(
+                             local_base + (owner < r ? owner : owner - 1));
+      }
+      router.SetGroupRoutes(std::move(port_by_group), G, 0, group_hosts);
+      if (valiant_) {
+        router.EnableValiantTagging(static_cast<std::int16_t>(g_), own,
+                                    own + p_);
+      }
+    }
+  }
+}
+
+void DragonflyFabric::MarkShardPairs(NodeId src, NodeId dst,
+                                     const std::vector<int>& shard_of,
+                                     int shards,
+                                     std::vector<std::uint8_t>& used) const {
+  // Minimal routing only: Valiant fabrics report SupportsChannelPruning()
+  // false and callers must not prune (the detour can cross any group).
+  const int rs = RouterOfHost(src);
+  const int rd = RouterOfHost(dst);
+  MarkHop(src, rs, shard_of, shards, used);
+  int at = rs;
+  const int Gs = pod_of(src);
+  const int Gd = pod_of(dst);
+  if (Gs != Gd) {
+    const int gw_s = RouterPlanId(Gs, GatewayRouter(Gs, Gd));
+    const int gw_d = RouterPlanId(Gd, GatewayRouter(Gd, Gs));
+    if (at != gw_s) {
+      MarkHop(at, gw_s, shard_of, shards, used);
+      at = gw_s;
+    }
+    MarkHop(at, gw_d, shard_of, shards, used);
+    at = gw_d;
+  }
+  if (at != rd) {
+    MarkHop(at, rd, shard_of, shards, used);
+    at = rd;
+  }
+  MarkHop(at, dst, shard_of, shards, used);
+}
+
+}  // namespace dctcpp

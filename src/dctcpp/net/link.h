@@ -77,6 +77,9 @@ class EgressPort {
   const DropTailEcnQueue& queue() const { return queue_; }
   const LinkConfig& config() const { return config_; }
 
+  /// The node this port feeds (structural walks in tests/benches).
+  PacketSink& peer() const { return peer_; }
+
   /// Bytes queued plus the packet currently on the wire; the quantity a
   /// hardware queue-length register would report.
   Bytes BacklogBytes() const {

@@ -70,6 +70,13 @@ struct Packet {
   /// end-to-end TCP checksum, not a per-hop FCS); the destination host's
   /// checksum verification discards it instead of delivering it upward.
   bool corrupted = false;
+  /// Dragonfly Valiant routing tag: the intermediate group this packet
+  /// was assigned at its source router, -1 when untagged (minimal routing
+  /// or non-dragonfly fabrics). Stamped once from a per-flow hash, so it
+  /// is deterministic across shard counts and pools; routers forward
+  /// toward the tagged group until the packet reaches it (or its
+  /// destination group), then fall back to minimal routing.
+  std::int16_t valiant_group = -1;
 
   /// Bytes this packet occupies on the wire and in switch buffers.
   Bytes WireSize() const { return payload + kHeaderBytes; }

@@ -212,6 +212,15 @@ void ParallelSimulation::ComputeInfluenceClosure() {
   // inserting intra-shard hops only adds positive delay.
   const auto s = static_cast<std::size_t>(shard_count());
   influence_ = channel_min_;
+  if (!channel_allowed_.empty()) {
+    // Pruned channels carry no traffic (RestrictChannels' verified
+    // promise), so they contribute no influence: masking them before the
+    // closure is what turns a good partition into infinite lookahead for
+    // the shard pairs the connection matrix never couples.
+    for (std::size_t i = 0; i < s * s; ++i) {
+      if (channel_allowed_[i] == 0) influence_[i] = kTickMax;
+    }
+  }
   for (std::size_t k = 0; k < s; ++k) {
     for (std::size_t i = 0; i < s; ++i) {
       const Tick ik = influence_[i * s + k];
@@ -240,9 +249,31 @@ void ParallelSimulation::Handoff(int src, int dst, Tick at, std::uint64_t key,
     e.pkt = pkt;
     source.calendar.Push(e);
   } else {
+    if (!channel_allowed_.empty() &&
+        channel_allowed_[static_cast<std::size_t>(src) *
+                             static_cast<std::size_t>(shard_count()) +
+                         static_cast<std::size_t>(dst)] == 0) {
+      // A packet on a pruned channel means the RestrictChannels mask was
+      // wrong — count it (folded into invariant_violations) but still
+      // deliver the packet; the merge-horizon check reports any actual
+      // causality damage.
+      ++source.pruned_handoffs;
+    }
     source.staging.Append(at, key, dst, sink, pkt);
     ++source.cross_deposits;
   }
+}
+
+void ParallelSimulation::RestrictChannels(std::vector<std::uint8_t> allowed) {
+  const auto s = static_cast<std::size_t>(shard_count());
+  DCTCPP_ASSERT(allowed.size() == s * s);
+  channel_allowed_ = std::move(allowed);
+}
+
+std::uint64_t ParallelSimulation::pruned_channel_handoffs() const {
+  std::uint64_t total = 0;
+  for (const auto& sh : shards_) total += sh->pruned_handoffs;
+  return total;
 }
 
 void ParallelSimulation::RunShardWindow(int idx, Tick end) {
@@ -298,11 +329,18 @@ void ParallelSimulation::MergeStaging() {
       Shard& dst = *shards_[static_cast<std::size_t>(st.dst[i])];
       // Always-on causality check: a deposit due before the horizon its
       // destination already ran to would have been delivered in the past.
-      // Window safety (DESIGN.md Sec. 10) proves this cannot happen; if
-      // it ever does, the run is flagged rather than silently wrong.
-      if (st.at[i] < dst.ran_to) ++merge_causality_violations_;
+      // Window safety (DESIGN.md Sec. 10) proves this cannot happen for a
+      // correct influence map; a wrong RestrictChannels mask can make it
+      // happen. Either way the run is flagged, and the arrival is clamped
+      // to the destination's horizon so it degrades (late delivery) rather
+      // than aborting on the scheduler's time-monotonicity assert.
+      Tick at = st.at[i];
+      if (at < dst.ran_to) {
+        ++merge_causality_violations_;
+        at = dst.ran_to;
+      }
       CalendarEntry e;
-      e.at = st.at[i];
+      e.at = at;
       e.key = st.key[i];
       e.sink = st.sink[i];
       e.pkt = st.pkt[i];
@@ -600,6 +638,7 @@ std::uint64_t ParallelSimulation::invariant_violations() const {
   if (!NetworkInvariants::LedgerConsistent(MergedLedger())) ++total;
   total += merge_causality_violations_;
   total += lookahead_regressions_;
+  total += pruned_channel_handoffs();
   return total;
 }
 
@@ -611,6 +650,12 @@ std::string ParallelSimulation::first_violation() const {
   }
   if (!NetworkInvariants::LedgerConsistent(MergedLedger())) {
     return "merged packet ledger inconsistent";
+  }
+  // A pruned-channel crossing is the root cause of any merge-horizon
+  // breach it triggers (the mask fed lookahead the destination should
+  // never have had), so report it first.
+  if (pruned_channel_handoffs() > 0) {
+    return "packet crossed a channel pruned by RestrictChannels";
   }
   if (merge_causality_violations_ > 0) {
     return "cross-shard merge behind destination run horizon";

@@ -289,6 +289,26 @@ class ParallelSimulation {
   /// and as intermediate hops they only lengthen a cross-shard path.
   void ObserveChannel(int src, int dst, Tick propagation_delay);
 
+  /// Channel pruning: restricts the channel-clock closure to the shard
+  /// pairs in `allowed` (row-major S x S, nonzero = traffic possible).
+  /// A fabric that knows its connection matrix can prove most directed
+  /// pairs carry no packet ever — every ECMP member of every flow's path,
+  /// both directions, stays inside the allowed set — and pruning them
+  /// gives the remaining pairs (often: everyone) infinite lookahead from
+  /// those directions, so e.g. pod-local incast rows under a pod-boundary
+  /// partition run barrier-free to the deadline. The claim is verified,
+  /// not trusted: a cross-shard handoff on a pruned pair increments a
+  /// per-shard violation counter folded into invariant_violations() (and
+  /// the merge-horizon check would also fire), so a wrong mask is loud,
+  /// never a silent mis-simulation. Fixed-window mode ignores the mask —
+  /// the PR-5 oracle stays fully conservative, and bit-identity between
+  /// modes still holds because lookahead never affects the executed set.
+  /// Call after topology construction, before RunUntil.
+  void RestrictChannels(std::vector<std::uint8_t> allowed);
+
+  /// Cross-shard handoffs that crossed a pruned channel (expected 0).
+  std::uint64_t pruned_channel_handoffs() const;
+
   /// Deposits a packet due at `at` into shard `dst`'s arrival calendar
   /// (directly when src == dst — single-threaded owner — else via the
   /// source shard's SoA staging buffer, merged by the coordinator at the
@@ -379,6 +399,9 @@ class ParallelSimulation {
     /// shard: how far the wheel may run blind before an event could have
     /// deposited a new arrival into this shard's own calendar.
     Tick self_delay = kTickMax;
+    /// Handoffs this shard deposited onto a pruned channel (written only
+    /// by the shard's runner; a violation of the RestrictChannels mask).
+    std::uint64_t pruned_handoffs = 0;
   };
 
   /// Sub-round synchronization of one batched (wide) window. The same
@@ -452,6 +475,10 @@ class ParallelSimulation {
   /// Row-major S x S minimum delay of any single link crossing (i, j),
   /// kTickMax where no link does; diagonal unused.
   std::vector<Tick> channel_min_;
+  /// Row-major S x S channel mask from RestrictChannels (empty = allow
+  /// all). Only the closure seed consults it; channel_min_ keeps the
+  /// physical link delays so the mask can be re-applied or audited.
+  std::vector<std::uint8_t> channel_allowed_;
   /// Row-major S x S closure: cheapest >= 1-hop influence path i -> j
   /// (diagonal = cheapest round trip through other shards).
   std::vector<Tick> influence_;

@@ -1,0 +1,152 @@
+#include "dctcpp/net/partition.h"
+
+#include <algorithm>
+
+#include "dctcpp/util/assert.h"
+
+namespace dctcpp {
+
+namespace {
+
+std::uint64_t Mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+/// Expands a pod -> shard map to all plan ids, striping pod-less nodes.
+std::vector<int> ExpandPods(const Fabric& fabric, int shards,
+                            const std::vector<int>& pod_shard) {
+  std::vector<int> shard_of(static_cast<std::size_t>(fabric.num_nodes()));
+  int stripe = 0;
+  for (int n = 0; n < fabric.num_nodes(); ++n) {
+    const int pod = fabric.pod_of(n);
+    if (pod >= 0) {
+      shard_of[static_cast<std::size_t>(n)] =
+          pod_shard[static_cast<std::size_t>(pod)];
+    } else {
+      shard_of[static_cast<std::size_t>(n)] = stripe;
+      stripe = (stripe + 1) % shards;
+    }
+  }
+  return shard_of;
+}
+
+}  // namespace
+
+const char* ToString(PartitionStrategy s) {
+  switch (s) {
+    case PartitionStrategy::kRandom: return "random";
+    case PartitionStrategy::kPod: return "pod";
+    case PartitionStrategy::kMinCut: return "min_cut";
+  }
+  return "?";
+}
+
+std::vector<int> ShardPartitioner::MinCutPods(
+    const Fabric& fabric, int shards,
+    const std::vector<FlowDemand>& demand) {
+  const int pods = fabric.num_pods();
+  const auto np = static_cast<std::size_t>(pods);
+  // Symmetric pod-pair demand: each flow couples src's and dst's pods in
+  // both directions (data one way, ACKs the other).
+  std::vector<double> w(np * np, 0.0);
+  std::vector<double> total(np, 0.0);
+  for (const FlowDemand& d : demand) {
+    const auto ps = static_cast<std::size_t>(fabric.pod_of(d.src));
+    const auto pd = static_cast<std::size_t>(fabric.pod_of(d.dst));
+    if (ps == pd) continue;  // intra-pod demand never cuts
+    w[ps * np + pd] += d.weight;
+    w[pd * np + ps] += d.weight;
+    total[ps] += d.weight;
+    total[pd] += d.weight;
+  }
+
+  // Greedy growth under a hard balance cap. Each unassigned pod's
+  // attraction to a shard is its demand into that shard's pods; the
+  // globally best (pod, shard) move wins each step. An empty shard bids
+  // with the pod's total external demand (heaviest talkers seed shards),
+  // which also handles the all-zero matrix: everything ties at 0 and the
+  // id tie-break reproduces kPod's contiguous blocks.
+  const int cap = (pods + shards - 1) / shards;
+  std::vector<int> pod_shard(np, -1);
+  std::vector<int> load(static_cast<std::size_t>(shards), 0);
+  for (int step = 0; step < pods; ++step) {
+    int best_pod = -1;
+    int best_shard = -1;
+    double best_score = -1.0;
+    for (int p = 0; p < pods; ++p) {
+      if (pod_shard[static_cast<std::size_t>(p)] >= 0) continue;
+      for (int s = 0; s < shards; ++s) {
+        if (load[static_cast<std::size_t>(s)] >= cap) continue;
+        double score = 0.0;
+        if (load[static_cast<std::size_t>(s)] == 0) {
+          score = total[static_cast<std::size_t>(p)];
+        } else {
+          for (int q = 0; q < pods; ++q) {
+            if (pod_shard[static_cast<std::size_t>(q)] == s) {
+              score += w[static_cast<std::size_t>(p) * np +
+                         static_cast<std::size_t>(q)];
+            }
+          }
+        }
+        // Prefer emptier shards on ties so seeds spread out instead of
+        // piling behind shard 0; then lowest ids for determinism.
+        const bool better =
+            score > best_score ||
+            (score == best_score && best_shard >= 0 &&
+             load[static_cast<std::size_t>(s)] <
+                 load[static_cast<std::size_t>(best_shard)]);
+        if (better) {
+          best_score = score;
+          best_pod = p;
+          best_shard = s;
+        }
+      }
+    }
+    DCTCPP_ASSERT(best_pod >= 0 && best_shard >= 0);
+    pod_shard[static_cast<std::size_t>(best_pod)] = best_shard;
+    ++load[static_cast<std::size_t>(best_shard)];
+  }
+  return pod_shard;
+}
+
+std::vector<int> ShardPartitioner::Assign(
+    const Fabric& fabric, int shards, PartitionStrategy strategy,
+    const std::vector<FlowDemand>& demand, std::uint64_t seed) {
+  DCTCPP_ASSERT(shards >= 1);
+  if (shards == 1) {
+    return std::vector<int>(static_cast<std::size_t>(fabric.num_nodes()), 0);
+  }
+  switch (strategy) {
+    case PartitionStrategy::kRandom: {
+      std::vector<int> shard_of(
+          static_cast<std::size_t>(fabric.num_nodes()));
+      for (int n = 0; n < fabric.num_nodes(); ++n) {
+        shard_of[static_cast<std::size_t>(n)] = static_cast<int>(
+            Mix64(seed ^ static_cast<std::uint64_t>(n)) %
+            static_cast<std::uint64_t>(shards));
+      }
+      return shard_of;
+    }
+    case PartitionStrategy::kPod: {
+      // Contiguous pod blocks: pod p -> floor(p * S / P) keeps blocks
+      // within one of each other in size for any P, S.
+      std::vector<int> pod_shard(
+          static_cast<std::size_t>(fabric.num_pods()));
+      for (int p = 0; p < fabric.num_pods(); ++p) {
+        pod_shard[static_cast<std::size_t>(p)] =
+            static_cast<int>(static_cast<std::int64_t>(p) * shards /
+                             fabric.num_pods());
+      }
+      return ExpandPods(fabric, shards, pod_shard);
+    }
+    case PartitionStrategy::kMinCut:
+      return ExpandPods(fabric, shards, MinCutPods(fabric, shards, demand));
+  }
+  DCTCPP_ASSERT(false);
+  return {};
+}
+
+}  // namespace dctcpp

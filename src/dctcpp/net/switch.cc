@@ -4,6 +4,23 @@
 
 namespace dctcpp {
 
+namespace {
+
+// 64-bit finalizer (splitmix64's): full avalanche, so consecutive flow
+// tuples land on uncorrelated ECMP members.
+std::uint64_t Mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+// Distinct salt domain for Valiant group assignment so the intermediate
+// group is independent of the ECMP member choices along the path.
+constexpr std::uint64_t kValiantSalt = 0x76616c69616e7421ull;
+
+}  // namespace
+
 int Switch::AddPort(const LinkConfig& config, PacketSink& peer,
                     Simulator* peer_sim) {
   ports_.push_back(
@@ -19,13 +36,126 @@ void Switch::SetRoute(NodeId dst, int port) {
   routes_[idx] = port;
 }
 
+void Switch::AddRouteInterval(NodeId lo, NodeId hi, int port_base,
+                              int stride) {
+  DCTCPP_ASSERT(lo >= 0 && hi > lo);
+  DCTCPP_ASSERT(stride > 0);
+  DCTCPP_ASSERT(port_base >= 0);
+  // The last covered destination must map to an existing port.
+  DCTCPP_ASSERT(port_base + (hi - 1 - lo) / stride < PortCount());
+  RouteInterval r;
+  r.lo = lo;
+  r.hi = hi;
+  r.port_base = port_base;
+  r.stride = stride;
+  intervals_.push_back(r);
+}
+
+void Switch::SetEcmpUplinks(std::vector<std::int16_t> ports) {
+  DCTCPP_ASSERT(!ports.empty());
+  for (const std::int16_t p : ports) {
+    DCTCPP_ASSERT(p >= 0 && p < PortCount());
+  }
+  ecmp_ports_ = std::move(ports);
+  // Salt from the stable NodeId: deterministic across runs and shard
+  // counts, different per switch so tiers hash independently.
+  ecmp_salt_ = Mix64(static_cast<std::uint64_t>(id_) * 0xff51afd7ed558ccdull);
+}
+
+void Switch::SetGroupRoutes(std::vector<std::int16_t> port_by_group,
+                            std::int32_t my_group, NodeId host_base,
+                            std::int32_t hosts_per_group) {
+  DCTCPP_ASSERT(!port_by_group.empty());
+  DCTCPP_ASSERT(my_group >= 0 &&
+                my_group < static_cast<std::int32_t>(port_by_group.size()));
+  DCTCPP_ASSERT(hosts_per_group > 0);
+  for (std::size_t g = 0; g < port_by_group.size(); ++g) {
+    if (static_cast<std::int32_t>(g) == my_group) continue;
+    DCTCPP_ASSERT(port_by_group[g] >= 0 && port_by_group[g] < PortCount());
+  }
+  group_routes_ = std::move(port_by_group);
+  my_group_ = my_group;
+  group_host_base_ = host_base;
+  hosts_per_group_ = hosts_per_group;
+}
+
+void Switch::EnableValiantTagging(std::int16_t groups, NodeId src_lo,
+                                  NodeId src_hi) {
+  DCTCPP_ASSERT(groups > 0);
+  DCTCPP_ASSERT(src_hi > src_lo);
+  valiant_groups_ = groups;
+  valiant_src_lo_ = src_lo;
+  valiant_src_hi_ = src_hi;
+}
+
+int Switch::CompactRouteTo(NodeId dst) const {
+  for (const RouteInterval& r : intervals_) {
+    if (dst >= r.lo && dst < r.hi) {
+      return r.port_base + static_cast<int>((dst - r.lo) / r.stride);
+    }
+  }
+  if (!group_routes_.empty()) {
+    const std::int32_t g = GroupOf(dst);
+    if (g >= 0 && g != my_group_) return group_routes_[g];
+  }
+  return -1;
+}
+
+std::uint64_t Switch::FlowHash(const Packet& pkt, std::uint64_t salt) {
+  std::uint64_t h = salt;
+  h ^= (static_cast<std::uint64_t>(static_cast<std::uint32_t>(pkt.src))
+        << 32) |
+       static_cast<std::uint32_t>(pkt.dst);
+  h = Mix64(h);
+  h ^= (static_cast<std::uint64_t>(pkt.tcp.src_port) << 16) |
+       pkt.tcp.dst_port;
+  return Mix64(h);
+}
+
+int Switch::RoutePacket(const Packet& pkt) const {
+  // Valiant detour phase: a tagged packet not yet at its intermediate
+  // group, and whose destination is also elsewhere, heads for the tag.
+  if (pkt.valiant_group >= 0 && !group_routes_.empty() &&
+      pkt.valiant_group != my_group_ && GroupOf(pkt.dst) != my_group_) {
+    return group_routes_[static_cast<std::size_t>(pkt.valiant_group)];
+  }
+  const int direct = RouteTo(pkt.dst);
+  if (direct >= 0) return direct;
+  if (!ecmp_ports_.empty()) {
+    const std::uint64_t h = FlowHash(pkt, ecmp_salt_);
+    return ecmp_ports_[static_cast<std::size_t>(h % ecmp_ports_.size())];
+  }
+  return -1;
+}
+
+std::size_t Switch::RouteMemoryBytes() const {
+  return routes_.capacity() * sizeof(std::int32_t) +
+         intervals_.capacity() * sizeof(RouteInterval) +
+         ecmp_ports_.capacity() * sizeof(std::int16_t) +
+         group_routes_.capacity() * sizeof(std::int16_t);
+}
+
 void Switch::Deliver(const Packet& pkt) {
-  const int out = RouteTo(pkt.dst);
-  DCTCPP_ASSERT(out >= 0);  // unroutable: topology bug
   // Corrupted packets are forwarded, not dropped: the fault model is an
   // end-to-end TCP checksum (verified by the destination host), not a
   // per-hop Ethernet FCS. The switch just counts them passing through.
   if (pkt.corrupted) ++corrupted_forwarded_;
+  if (valiant_groups_ > 0 && pkt.valiant_group < 0 &&
+      pkt.src >= valiant_src_lo_ && pkt.src < valiant_src_hi_) {
+    // First hop of a Valiant-routed flow: stamp the intermediate group.
+    // The hash is a pure function of the flow tuple, so every retransmit
+    // takes the same path and the stamp is shard/pool-invariant.
+    Packet tagged = pkt;
+    tagged.valiant_group = static_cast<std::int16_t>(
+        FlowHash(pkt, kValiantSalt) %
+        static_cast<std::uint64_t>(valiant_groups_));
+    const int out = RoutePacket(tagged);
+    DCTCPP_ASSERT(out >= 0);  // unroutable: topology bug
+    ports_[static_cast<std::size_t>(out)]->Send(tagged);
+    return;
+  }
+  const int out = RoutePacket(pkt);
+  DCTCPP_ASSERT(out >= 0);  // unroutable: topology bug
   ports_[static_cast<std::size_t>(out)]->Send(pkt);
 }
 

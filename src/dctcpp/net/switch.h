@@ -8,6 +8,25 @@
 // NodeIds are dense int32s assigned sequentially by the topology builder,
 // so the route table is a direct-index vector: the per-packet forwarding
 // decision is one bounds check and one load, no hashing.
+//
+// Fabric-scale topologies (net/fabric.h) cannot afford a dense vector per
+// switch — 50k hosts x 1.3k switches would be ~260 MB of mostly-repeating
+// entries — so the table has three compact companions, consulted when the
+// dense entry is absent:
+//
+//  - Route intervals: [lo, hi) -> port_base + (dst - lo) / stride. Fabrics
+//    number hosts contiguously (pod-major), so "down" routing at every
+//    tier is one interval: an edge switch maps its own hosts at stride 1,
+//    an aggregation switch maps its pod at stride hosts_per_edge, a core
+//    switch maps ALL hosts at stride hosts_per_pod. A switch needs 1-3
+//    intervals (~16 bytes each) instead of a 50k-entry vector.
+//  - ECMP uplink group: destinations no interval covers (the "up"
+//    direction) hash onto one of the uplink ports by a deterministic
+//    per-flow 5-tuple hash salted with the switch id. Pure function of
+//    packet fields -> bit-identical across shard counts, pools, and runs.
+//  - Group routes (dragonfly): a per-group next-hop port array plus the
+//    group geometry, used for inter-group minimal routing and the Valiant
+//    detour phase.
 #pragma once
 
 #include <cstdint>
@@ -39,6 +58,42 @@ class Switch : public PacketSink {
   /// Routes every packet destined to host `dst` out of port `port`.
   void SetRoute(NodeId dst, int port);
 
+  /// Compact route: every dst in [lo, hi) leaves via
+  /// port_base + (dst - lo) / stride. Intervals are consulted in insertion
+  /// order after the dense table; the builder keeps them disjoint.
+  void AddRouteInterval(NodeId lo, NodeId hi, int port_base, int stride);
+
+  /// Destinations resolved by neither the dense table nor an interval
+  /// (nor a group route) hash onto one of `ports` per flow. The hash is
+  /// salted with this switch's id so consecutive tiers decorrelate.
+  void SetEcmpUplinks(std::vector<std::int16_t> ports);
+
+  /// Dragonfly inter-group routing: `port_by_group[g]` is the egress port
+  /// toward group g (own group's slot unused, -1). Hosts are numbered
+  /// group-major from `host_base` with `hosts_per_group` per group.
+  void SetGroupRoutes(std::vector<std::int16_t> port_by_group,
+                      std::int32_t my_group, NodeId host_base,
+                      std::int32_t hosts_per_group);
+
+  /// Makes this switch stamp Packet::valiant_group on untagged packets
+  /// sourced by its directly attached hosts [src_lo, src_hi): each flow
+  /// hashes to one of `groups` intermediate groups.
+  void EnableValiantTagging(std::int16_t groups, NodeId src_lo,
+                            NodeId src_hi);
+
+  /// Full per-packet routing decision: Valiant detour phase, then dense /
+  /// interval / group lookup via RouteTo, then the ECMP hash. -1 when the
+  /// packet is unroutable.
+  int RoutePacket(const Packet& pkt) const;
+
+  /// Bytes held by this switch's routing state (dense + compact); the
+  /// fabric bench gates the per-node sum at 50k hosts.
+  std::size_t RouteMemoryBytes() const;
+
+  /// Deterministic per-flow hash over (src, dst, ports), salt-mixed.
+  /// Shared by ECMP port selection and Valiant group assignment.
+  static std::uint64_t FlowHash(const Packet& pkt, std::uint64_t salt);
+
   /// Forwards the packet out its routed port. Unroutable packets are a
   /// configuration bug and abort.
   void Deliver(const Packet& pkt) override;
@@ -49,10 +104,13 @@ class Switch : public PacketSink {
     return *ports_.at(static_cast<std::size_t>(i));
   }
 
-  /// The port a packet to `dst` would take, or -1 when unrouted.
+  /// The single-path port a packet to `dst` would take (dense table, then
+  /// intervals, then the dst group's route), or -1 when only the ECMP
+  /// hash — which needs packet fields — could decide.
   int RouteTo(NodeId dst) const {
     const auto idx = static_cast<std::uint32_t>(dst);
-    return idx < routes_.size() ? routes_[idx] : -1;
+    if (idx < routes_.size() && routes_[idx] >= 0) return routes_[idx];
+    return CompactRouteTo(dst);
   }
 
   /// Corrupted packets forwarded (the end-to-end checksum model means the
@@ -60,11 +118,41 @@ class Switch : public PacketSink {
   std::uint64_t corrupted_forwarded() const { return corrupted_forwarded_; }
 
  private:
+  struct RouteInterval {
+    NodeId lo = 0;
+    NodeId hi = 0;  ///< exclusive
+    std::int32_t port_base = 0;
+    std::int32_t stride = 1;
+  };
+
+  int CompactRouteTo(NodeId dst) const;
+
+  /// Group of host `dst` under the configured geometry, -1 outside it.
+  std::int32_t GroupOf(NodeId dst) const {
+    if (hosts_per_group_ <= 0) return -1;
+    const NodeId rel = dst - group_host_base_;
+    if (rel < 0) return -1;
+    const auto g = static_cast<std::int32_t>(rel / hosts_per_group_);
+    return g < static_cast<std::int32_t>(group_routes_.size()) ? g : -1;
+  }
+
   Simulator& sim_;
   NodeId id_;
   std::string name_;
   std::vector<std::unique_ptr<EgressPort>> ports_;
   std::vector<std::int32_t> routes_;  // dense, indexed by NodeId; -1 unset
+  std::vector<RouteInterval> intervals_;
+  std::vector<std::int16_t> ecmp_ports_;
+  std::uint64_t ecmp_salt_ = 0;
+  // Dragonfly group geometry + per-group next hops (empty otherwise).
+  std::vector<std::int16_t> group_routes_;
+  std::int32_t my_group_ = -1;
+  NodeId group_host_base_ = 0;
+  std::int32_t hosts_per_group_ = 0;
+  // Valiant tagging at the source router.
+  std::int16_t valiant_groups_ = 0;
+  NodeId valiant_src_lo_ = 0;
+  NodeId valiant_src_hi_ = 0;
   std::uint64_t corrupted_forwarded_ = 0;
 };
 

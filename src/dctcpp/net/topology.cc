@@ -58,14 +58,15 @@ void Network::ConnectHost(Host& host, Switch& sw,
   }
 }
 
-void Network::ConnectSwitches(Switch& a, Switch& b,
-                              const LinkConfig& config) {
+std::pair<int, int> Network::ConnectSwitches(Switch& a, Switch& b,
+                                             const LinkConfig& config) {
   const int a_port = a.AddPort(config, b, &b.sim());
   const int b_port = b.AddPort(config, a, &a.sim());
   edges_.push_back(Edge{a.id(), b.id(), a_port, b_port});
   if (parallel_ != nullptr) {
     parallel_->ObserveLinkDelay(config.propagation_delay);
   }
+  return {a_port, b_port};
 }
 
 void Network::InstallRoutes() {

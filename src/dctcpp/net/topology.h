@@ -4,6 +4,7 @@
 
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "dctcpp/net/host.h"
@@ -47,7 +48,10 @@ class Network {
   void ConnectHost(Host& host, Switch& sw, const LinkConfig& config) {
     ConnectHost(host, sw, config, NicConfig(config));
   }
-  void ConnectSwitches(Switch& a, Switch& b, const LinkConfig& config);
+  /// Returns the (a-side, b-side) port indices of the new link — fabric
+  /// builders record them to derive compact routing tables without a BFS.
+  std::pair<int, int> ConnectSwitches(Switch& a, Switch& b,
+                                      const LinkConfig& config);
 
   /// Derives the default NIC config from a switch-port config: same rate
   /// and delay, a deep ~1000-packet buffer, marking disabled.
