@@ -5,6 +5,7 @@
 #   - soak_impairment     -> BENCH_soak.json     (fault-profile sweep)
 #   - parallel_scale      -> BENCH_parallel.json (sharded engine)
 #   - fabric_scale        -> BENCH_fabric.json   (topologies+partitioning)
+#   - soak_churn          -> BENCH_churn.json    (flow churn + checkpoint)
 # and records one manifest row per bench — wall-clock seconds and peak
 # RSS — in BENCH_manifest.json, so a perf regression in *any* harness
 # (time or memory) shows up in a single diffable file. Numbers feed
@@ -44,7 +45,7 @@ fi
 # No explicit build type: the top-level CMakeLists defaults to
 # RelWithDebInfo, and an existing build dir keeps its configuration.
 expected_benches=(engine_regression datapath_regression soak_impairment
-  parallel_scale fabric_scale micro_demux micro_shard_handoff)
+  parallel_scale fabric_scale soak_churn micro_demux micro_shard_handoff)
 cmake -S "$repo_root" -B "$build_dir" >/dev/null
 cmake --build "$build_dir" --target "${expected_benches[@]}" -j >/dev/null
 
@@ -139,6 +140,13 @@ echo "Wrote $repo_root/BENCH_parallel.json"
 run_bench fabric_scale \
   "$build_dir/bench/fabric_scale" "$repo_root/BENCH_fabric.json"
 echo "Wrote $repo_root/BENCH_fabric.json"
+# Churn soak: 100k-live-flow M/G/inf churn with the checkpoint/restore
+# fidelity matrix (shards x pools x impairment profiles), the mid-soak
+# save/restore cycle, and the bytes-per-flow footprint gate. Exits nonzero
+# on any gate failure or invariant violation.
+run_bench soak_churn \
+  "$build_dir/bench/soak_churn" "$repo_root/BENCH_churn.json"
+echo "Wrote $repo_root/BENCH_churn.json"
 # Control-plane microbenchmarks (flat-vs-map demux, burst-demux run cache
 # at run lengths 1/4/16, dense-vs-hash routing, arena-vs-heap setup);
 # console output only, the regression numbers of record live in

@@ -69,6 +69,15 @@ class D2tcpCc : public DctcpCc {
   DeadlineGate& gate() { return gate_; }
   const DeadlineGate& gate() const { return gate_; }
 
+  void SaveState(CheckpointWriter& w) const override {
+    DctcpCc::SaveState(w);
+    w.I64(gate_.deadline());
+  }
+  void LoadState(CheckpointReader& r) override {
+    DctcpCc::LoadState(r);
+    gate_.SetDeadline(r.I64());
+  }
+
  protected:
   int ApplyWindowReduction(TcpSocket& sk) override;
 
@@ -92,6 +101,15 @@ class D2tcpPlusCc : public DctcpPlusCc {
 
   DeadlineGate& gate() { return gate_; }
   const DeadlineGate& gate() const { return gate_; }
+
+  void SaveState(CheckpointWriter& w) const override {
+    DctcpPlusCc::SaveState(w);
+    w.I64(gate_.deadline());
+  }
+  void LoadState(CheckpointReader& r) override {
+    DctcpPlusCc::LoadState(r);
+    gate_.SetDeadline(r.I64());
+  }
 
  protected:
   int ApplyWindowReduction(TcpSocket& sk) override;

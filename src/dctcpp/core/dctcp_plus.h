@@ -55,6 +55,21 @@ class DctcpPlusCc : public DctcpCc {
   PlusState plus_state() const { return regulator_.state(); }
   Tick slow_time() const { return regulator_.slow_time(); }
 
+  void SaveState(CheckpointWriter& w) const override {
+    DctcpCc::SaveState(w);
+    regulator_.SaveState(w);
+    w.I64(decay_window_end_);
+    w.Bool(window_saw_congestion_);
+    w.Bool(window_armed_);
+  }
+  void LoadState(CheckpointReader& r) override {
+    DctcpCc::LoadState(r);
+    regulator_.LoadState(r);
+    decay_window_end_ = r.I64();
+    window_saw_congestion_ = r.Bool();
+    window_armed_ = r.Bool();
+  }
+
  private:
   SlowTimeRegulator regulator_;
   // One clean-window evaluation per window of data: congestion signals

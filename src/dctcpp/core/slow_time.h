@@ -122,6 +122,31 @@ class SlowTimeRegulator {
   };
   const Counters& counters() const { return counters_; }
 
+  /// Checkpoint (templated: this header stays free of the checkpoint
+  /// dependency; the Config is reconstructed with the owning ops).
+  template <typename Writer>
+  void SaveState(Writer& w) const {
+    w.U8(static_cast<std::uint8_t>(state_));
+    w.I64(slow_time_);
+    w.I64(clean_streak_);
+    w.I64(entry_streak_);
+    w.U64(counters_.entered_inc);
+    w.U64(counters_.inc_steps);
+    w.U64(counters_.entered_des);
+    w.U64(counters_.returned_normal);
+  }
+  template <typename Reader>
+  void LoadState(Reader& r) {
+    state_ = static_cast<PlusState>(r.U8());
+    slow_time_ = r.I64();
+    clean_streak_ = static_cast<int>(r.I64());
+    entry_streak_ = static_cast<int>(r.I64());
+    counters_.entered_inc = r.U64();
+    counters_.inc_steps = r.U64();
+    counters_.entered_des = r.U64();
+    counters_.returned_normal = r.U64();
+  }
+
  private:
   Tick Increment(Rng& rng, Tick rtt_hint) const;
 

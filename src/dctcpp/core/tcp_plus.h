@@ -46,6 +46,21 @@ class TcpPlusCc : public NewRenoCc {
   PlusState plus_state() const { return regulator_.state(); }
   Tick slow_time() const { return regulator_.slow_time(); }
 
+  void SaveState(CheckpointWriter& w) const override {
+    NewRenoCc::SaveState(w);
+    regulator_.SaveState(w);
+    w.I64(window_end_);
+    w.Bool(window_saw_loss_);
+    w.Bool(window_armed_);
+  }
+  void LoadState(CheckpointReader& r) override {
+    NewRenoCc::LoadState(r);
+    regulator_.LoadState(r);
+    window_end_ = r.I64();
+    window_saw_loss_ = r.Bool();
+    window_armed_ = r.Bool();
+  }
+
  private:
   SlowTimeRegulator regulator_;
   // Per-window loss accounting: a window that completes without a

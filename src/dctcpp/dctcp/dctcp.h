@@ -42,6 +42,23 @@ class DctcpCc : public NewRenoCc {
 
   double alpha() const { return alpha_; }
 
+  void SaveState(CheckpointWriter& w) const override {
+    NewRenoCc::SaveState(w);
+    w.F64(alpha_);
+    w.I64(acked_bytes_total_);
+    w.I64(acked_bytes_marked_);
+    w.I64(alpha_window_end_);
+    w.Bool(alpha_window_armed_);
+  }
+  void LoadState(CheckpointReader& r) override {
+    NewRenoCc::LoadState(r);
+    alpha_ = r.F64();
+    acked_bytes_total_ = r.I64();
+    acked_bytes_marked_ = r.I64();
+    alpha_window_end_ = r.I64();
+    alpha_window_armed_ = r.Bool();
+  }
+
  protected:
   /// Applies Eq. 2 to the socket (clamped at MinCwnd); returns new cwnd.
   /// Virtual so deadline-aware variants (D2TCP) can reshape the penalty.

@@ -19,18 +19,21 @@
 
 #include "dctcpp/net/link.h"
 #include "dctcpp/net/packet.h"
+#include "dctcpp/sim/checkpoint.h"
 #include "dctcpp/sim/simulator.h"
 #include "dctcpp/util/flow_table.h"
 #include "dctcpp/util/inline_function.h"
 
 namespace dctcpp {
 
-class Host : public PacketSink {
+class Host : public PacketSink, public Checkpointable {
  public:
   using PacketHandler = InlineHandler<void(const Packet&)>;
 
   Host(Simulator& sim, NodeId id, std::string name)
-      : sim_(sim), id_(id), name_(std::move(name)) {}
+      : sim_(sim), id_(id), name_(std::move(name)) {
+    sim_.RegisterCheckpointable(this);
+  }
 
   NodeId id() const { return id_; }
   const std::string& name() const { return name_; }
@@ -85,6 +88,30 @@ class Host : public PacketSink {
     return (1ULL << 40) | (static_cast<std::uint64_t>(id_) << 24) |
            next_socket_serial_++;
   }
+
+  /// Checkpoint: scalar counters only. The demux tables, the one-entry
+  /// cache, and the port refcounts are rebuilt by sockets/listeners
+  /// re-registering during the workload restore phase; this loads *after*
+  /// that phase, overwriting the socket-serial counter the re-creation
+  /// bumped. The NIC uplink is its own registered Checkpointable.
+  void SaveState(CheckpointWriter& w) const override {
+    w.U64(next_ephemeral_);
+    w.U64(unmatched_);
+    w.U64(checksum_drops_);
+    w.U64(next_packet_uid_);
+    w.U64(next_socket_serial_);
+  }
+  void LoadState(CheckpointReader& r) override {
+    next_ephemeral_ = static_cast<PortNum>(r.U64());
+    unmatched_ = r.U64();
+    checksum_drops_ = r.U64();
+    next_packet_uid_ = r.U64();
+    next_socket_serial_ = r.U64();
+  }
+
+  /// Forces the next AllocatePort probe position (regression tests for
+  /// same-tick port reuse; see tests/workload_test.cc).
+  void SetNextEphemeralForTest(PortNum next) { next_ephemeral_ = next; }
 
  private:
   static constexpr PortNum kEphemeralBase = 10000;

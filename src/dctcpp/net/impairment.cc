@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "dctcpp/net/link.h"
+#include "dctcpp/util/flight_recorder.h"
 #include "dctcpp/util/log.h"
 
 namespace dctcpp {
@@ -66,6 +67,10 @@ void ImpairmentStage::CountDrop(std::uint64_t* counter, const char* site,
                                 const Packet& pkt) {
   ++*counter;
   sim_.invariants().CountDropped();
+  if (FlightRecorder* fr = sim_.flight_recorder()) {
+    fr->Record(FrEvent::kDrop, sim_.shard_id(), sim_.Now(),
+               FrPortPayload(port_.port_gid_, pkt.uid));
+  }
   if (LogEnabled(LogLevel::kTrace)) {
     char buf[Packet::kDescribeBufSize];
     Log(LogLevel::kTrace, "impairment %s drop at %s: %s", site,
@@ -164,6 +169,86 @@ void ImpairmentStage::OnRelease() {
     port_.InjectReleased(pkt);
   });
   ArmRelease();
+}
+
+void ReorderBuffer::SaveState(CheckpointWriter& w) const {
+  w.U64(heap_.size());
+  for (const Held& h : heap_) {
+    w.I64(h.release_at);
+    w.U64(h.order);
+    SavePacket(w, h.pkt);
+  }
+  w.U64(next_order_);
+}
+
+void ReorderBuffer::LoadState(CheckpointReader& r) {
+  DCTCPP_ASSERT(heap_.empty());
+  const std::uint64_t n = r.U64();
+  heap_.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    Held h;
+    h.release_at = r.I64();
+    h.order = r.U64();
+    h.pkt = LoadPacket(r);
+    heap_.push_back(std::move(h));
+  }
+  next_order_ = r.U64();
+}
+
+void ImpairmentStage::SaveState(CheckpointWriter& w) const {
+  std::uint64_t rng_state[4];
+  rng_.SaveState(rng_state);
+  for (std::uint64_t s : rng_state) w.U64(s);
+  w.Bool(ge_bad_);
+  w.Bool(link_up_);
+  w.U64(next_flap_);
+  w.U64(data_seen_);
+  w.U64(acks_seen_);
+  held_.SaveState(w);
+  w.U64(stats_.submitted);
+  w.U64(stats_.random_losses);
+  w.U64(stats_.burst_losses);
+  w.U64(stats_.link_down_losses);
+  w.U64(stats_.forced_losses);
+  w.U64(stats_.duplicates);
+  w.U64(stats_.corruptions);
+  w.U64(stats_.reordered);
+  w.U64(stats_.released);
+  const bool armed = release_ev_.armed();
+  w.Bool(armed);
+  if (armed) {
+    Tick at = 0;
+    std::uint64_t seq = 0;
+    release_ev_.Arming(&at, &seq);
+    w.I64(at);
+    w.U64(seq);
+  }
+}
+
+void ImpairmentStage::LoadState(CheckpointReader& r) {
+  std::uint64_t rng_state[4];
+  for (std::uint64_t& s : rng_state) s = r.U64();
+  rng_.LoadState(rng_state);
+  ge_bad_ = r.Bool();
+  link_up_ = r.Bool();
+  next_flap_ = r.U64();
+  data_seen_ = r.U64();
+  acks_seen_ = r.U64();
+  held_.LoadState(r);
+  stats_.submitted = r.U64();
+  stats_.random_losses = r.U64();
+  stats_.burst_losses = r.U64();
+  stats_.link_down_losses = r.U64();
+  stats_.forced_losses = r.U64();
+  stats_.duplicates = r.U64();
+  stats_.corruptions = r.U64();
+  stats_.reordered = r.U64();
+  stats_.released = r.U64();
+  if (r.Bool()) {
+    const Tick at = r.I64();
+    const std::uint64_t seq = r.U64();
+    release_ev_.ArmAtWithSeq(at, seq);
+  }
 }
 
 }  // namespace dctcpp

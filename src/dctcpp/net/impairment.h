@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "dctcpp/net/packet.h"
+#include "dctcpp/sim/checkpoint.h"
 #include "dctcpp/sim/pinned_event.h"
 #include "dctcpp/sim/simulator.h"
 #include "dctcpp/util/rng.h"
@@ -117,6 +118,12 @@ class ReorderBuffer {
     }
   }
 
+  /// Checkpoint: the heap vector is saved in its current array order and
+  /// restored verbatim — a valid heap's layout is a valid heap, and the
+  /// identical layout reproduces identical pop tie-breaking.
+  void SaveState(CheckpointWriter& w) const;
+  void LoadState(CheckpointReader& r);
+
  private:
   struct Held {
     Tick release_at;
@@ -172,6 +179,12 @@ class ImpairmentStage {
   bool link_up() const { return link_up_; }
   const Stats& stats() const { return stats_; }
   std::size_t held_packets() const { return held_.Size(); }
+
+  /// Checkpoint: RNG stream state, Gilbert–Elliott/link/flap cursors,
+  /// ordinal counters, stats, the reorder hold, and the release event's
+  /// exact wheel arming. Configuration is rebuilt with the topology.
+  void SaveState(CheckpointWriter& w) const;
+  void LoadState(CheckpointReader& r);
 
  private:
   /// Advances the flap cursor to `now` and refreshes `link_up_`. The flap

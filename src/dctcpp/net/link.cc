@@ -2,6 +2,7 @@
 
 #include "dctcpp/net/parallel.h"
 #include "dctcpp/util/assert.h"
+#include "dctcpp/util/flight_recorder.h"
 #include "dctcpp/util/log.h"
 #include "dctcpp/util/profile.h"
 
@@ -39,6 +40,7 @@ EgressPort::EgressPort(Simulator& sim, const LinkConfig& config,
       deliver_ev_(
           sim, [](void* p) { static_cast<EgressPort*>(p)->DeliverHead(); },
           this) {
+  sim.RegisterCheckpointable(this);
   if (sim.parallel() != nullptr) {
     psim_ = sim.parallel();
     src_shard_ = sim.shard_id();
@@ -46,6 +48,9 @@ EgressPort::EgressPort(Simulator& sim, const LinkConfig& config,
     // Every port claims a gid (whether or not it crosses shards) so the
     // calendar key space depends only on topology-construction order.
     port_gid_ = sim.NextPortId();
+    // Calendar entries name this port by gid (key >> 32); the registry
+    // lets checkpoint restore re-resolve each entry's sink pointer.
+    psim_->RegisterPortSink(port_gid_, &peer_, dst_shard_);
     // A zero-delay link would make the conservative lookahead zero.
     DCTCPP_ASSERT(config.propagation_delay > 0);
     // Feed the channel-clock lookahead: this link bounds how fast an
@@ -90,14 +95,26 @@ void EgressPort::Send(const Packet& pkt) {
 
 void EgressPort::EnqueueForTransmit(const Packet& pkt) {
   DCTCPP_PROFILE_SCOPE(kEnqueue);
+  FlightRecorder* const fr = sim_.flight_recorder();
+  const std::uint64_t marked_before =
+      fr != nullptr ? queue_.stats().marked : 0;
   if (!queue_.Enqueue(pkt)) {
     sim_.invariants().CountDropped();
+    if (fr != nullptr) {
+      fr->Record(FrEvent::kDrop, sim_.shard_id(), sim_.Now(),
+                 FrPortPayload(port_gid_, pkt.uid));
+    }
     if (LogEnabled(LogLevel::kTrace)) {
       char buf[Packet::kDescribeBufSize];
       Log(LogLevel::kTrace, "drop at %s: %s",
           FormatTick(sim_.Now()).c_str(), pkt.DescribeTo(buf, sizeof buf));
     }
     return;
+  }
+  if (fr != nullptr) {
+    fr->Record(queue_.stats().marked != marked_before ? FrEvent::kMark
+                                                      : FrEvent::kEnqueue,
+               sim_.shard_id(), sim_.Now(), FrPortPayload(port_gid_, pkt.uid));
   }
   sim_.CountForwardedPacket();
   if ((queue_.stats().enqueued & (kByteAuditPeriod - 1)) == 0) {
@@ -199,6 +216,70 @@ void EgressPort::CheckConservation() {
         static_cast<unsigned long long>(queue_.stats().enqueued),
         static_cast<unsigned long long>(delivered_), queue_.PacketCount(),
         transmitting_ ? 1u : 0u, propagating_.Size());
+  }
+}
+
+void EgressPort::SaveState(CheckpointWriter& w) const {
+  queue_.SaveState(w);
+  if (impairment_ != nullptr) impairment_->SaveState(w);
+  std::uint64_t red_state[4];
+  red_rng_.SaveState(red_state);
+  for (std::uint64_t s : red_state) w.U64(s);
+  w.Bool(transmitting_);
+  if (transmitting_) {
+    SavePacket(w, on_wire_);
+    w.I64(in_flight_bytes_);
+    Tick at = 0;
+    std::uint64_t seq = 0;
+    finish_ev_.Arming(&at, &seq);
+    w.I64(at);
+    w.U64(seq);
+  }
+  w.U64(wire_seq_);
+  w.U64(handed_off_);
+  w.U64(delivered_);
+  w.U64(conservation_clock_);
+  w.U64(propagating_.Size());
+  propagating_.ForEach([&w](const Packet& pkt) { SavePacket(w, pkt); });
+  due_.SaveState(w);
+  w.Bool(deliver_armed_);
+  if (deliver_armed_) {
+    Tick at = 0;
+    std::uint64_t seq = 0;
+    deliver_ev_.Arming(&at, &seq);
+    w.I64(at);
+    w.U64(seq);
+  }
+}
+
+void EgressPort::LoadState(CheckpointReader& r) {
+  queue_.LoadState(r);
+  if (impairment_ != nullptr) impairment_->LoadState(r);
+  std::uint64_t red_state[4];
+  for (std::uint64_t& s : red_state) s = r.U64();
+  red_rng_.LoadState(red_state);
+  transmitting_ = r.Bool();
+  if (transmitting_) {
+    on_wire_ = LoadPacket(r);
+    in_flight_bytes_ = r.I64();
+    const Tick at = r.I64();
+    const std::uint64_t seq = r.U64();
+    finish_ev_.ArmAtWithSeq(at, seq);
+  }
+  wire_seq_ = r.U64();
+  handed_off_ = r.U64();
+  delivered_ = r.U64();
+  conservation_clock_ = r.U64();
+  const std::uint64_t propagating = r.U64();
+  for (std::uint64_t i = 0; i < propagating; ++i) {
+    propagating_.PushBack(LoadPacket(r));
+  }
+  due_.LoadState(r);
+  deliver_armed_ = r.Bool();
+  if (deliver_armed_) {
+    const Tick at = r.I64();
+    const std::uint64_t seq = r.U64();
+    deliver_ev_.ArmAtWithSeq(at, seq);
   }
 }
 

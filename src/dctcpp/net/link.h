@@ -57,7 +57,7 @@ struct LinkConfig {
 
 class ParallelSimulation;
 
-class EgressPort {
+class EgressPort : public Checkpointable {
  public:
   /// `peer_sim` is the Simulator owning the peer node; only consulted in
   /// sharded mode (sim.parallel() != nullptr), where it selects the
@@ -65,7 +65,7 @@ class EgressPort {
   /// own world.
   EgressPort(Simulator& sim, const LinkConfig& config, PacketSink& peer,
              Simulator* peer_sim = nullptr);
-  ~EgressPort();
+  ~EgressPort() override;
 
   EgressPort(const EgressPort&) = delete;
   EgressPort& operator=(const EgressPort&) = delete;
@@ -104,6 +104,12 @@ class EgressPort {
     return psim_ != nullptr ? handed_off_ : delivered_;
   }
 
+  /// Checkpoint (registered with the owning Simulator at construction):
+  /// queue contents, the serializing packet, the propagation pipeline, the
+  /// impairment stage, counters, and both pinned events' exact armings.
+  void SaveState(CheckpointWriter& w) const override;
+  void LoadState(CheckpointReader& r) override;
+
  private:
   friend class ImpairmentStage;
 
@@ -126,6 +132,18 @@ class EgressPort {
       DCTCPP_DASSERT(size_ > 0);
       head_ = (head_ + 1) & (buf_.size() - 1);
       --size_;
+    }
+
+    void SaveState(CheckpointWriter& w) const {
+      w.U64(size_);
+      for (std::size_t i = 0; i < size_; ++i) {
+        w.I64(buf_[(head_ + i) & (buf_.size() - 1)]);
+      }
+    }
+    void LoadState(CheckpointReader& r) {
+      DCTCPP_ASSERT(size_ == 0);
+      const std::uint64_t n = r.U64();
+      for (std::uint64_t i = 0; i < n; ++i) PushBack(r.I64());
     }
 
    private:

@@ -5,6 +5,7 @@
 #include <thread>
 #include <utility>
 
+#include "dctcpp/sim/checkpoint.h"
 #include "dctcpp/util/assert.h"
 
 #if defined(__x86_64__) || defined(__i386__)
@@ -640,6 +641,115 @@ std::uint64_t ParallelSimulation::invariant_violations() const {
   total += lookahead_regressions_;
   total += pruned_channel_handoffs();
   return total;
+}
+
+// --- checkpoint -----------------------------------------------------------
+
+namespace {
+constexpr std::uint32_t kTagParallel = 0x5053494d;  // "PSIM"
+constexpr std::uint32_t kTagShard = 0x53485244;     // "SHRD"
+}  // namespace
+
+void ArrivalCalendar::SaveState(CheckpointWriter& w) const {
+  DCTCPP_ASSERT(staged_ == 0);
+  w.U64(heap_.size());
+  for (const CalendarEntry& e : heap_) {
+    w.I64(e.at);
+    w.U64(e.key);
+    SavePacket(w, e.pkt);
+  }
+}
+
+void ArrivalCalendar::LoadState(
+    CheckpointReader& r,
+    const std::function<PacketSink*(std::uint64_t)>& sink_for_key) {
+  DCTCPP_ASSERT(heap_.empty() && staged_ == 0);
+  const std::uint64_t n = r.U64();
+  heap_.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    CalendarEntry e;
+    e.at = r.I64();
+    e.key = r.U64();
+    e.pkt = LoadPacket(r);
+    e.sink = sink_for_key(e.key);
+    heap_.push_back(e);
+  }
+}
+
+void ParallelSimulation::RegisterPortSink(std::uint64_t gid, PacketSink* sink,
+                                          int dst_shard) {
+  if (port_sinks_.size() <= gid) {
+    port_sinks_.resize(gid + 1, nullptr);
+    port_sink_shard_.resize(gid + 1, -1);
+  }
+  DCTCPP_ASSERT(port_sinks_[gid] == nullptr);
+  port_sinks_[gid] = sink;
+  port_sink_shard_[gid] = static_cast<std::int32_t>(dst_shard);
+}
+
+PacketSink* ParallelSimulation::SinkForGid(std::uint64_t gid) const {
+  DCTCPP_ASSERT(gid < port_sinks_.size() && port_sinks_[gid] != nullptr);
+  return port_sinks_[gid];
+}
+
+void ParallelSimulation::SaveCheckpoint(CheckpointWriter& w,
+                                        const CheckpointHooks* hooks) const {
+  w.Tag(kTagParallel);
+  w.U64(seed_);
+  w.U64(shards_.size());
+  w.I64(lookahead_);  // audit: rebuilt by topology construction
+  w.Bool(stopped_);
+  w.U64(windows_);
+  w.U64(gang_windows_);
+  w.U64(sync_rounds_);
+  w.U64(merge_causality_violations_);
+  w.U64(lookahead_regressions_);
+  for (const auto& sh : shards_) {
+    w.Tag(kTagShard);
+    // Barrier precondition: staging buffers are drained at every window
+    // merge; a non-empty one here means we are not at a RunUntil return.
+    DCTCPP_ASSERT(sh->staging.Empty());
+    sh->sim.SaveCheckpoint(w, hooks);
+    w.U64(sh->delivered);
+    w.U64(sh->cross_deposits);
+    w.I64(sh->ran_to);
+    w.I64(sh->clock);
+    w.I64(sh->self_delay);  // audit: rebuilt by topology construction
+    w.U64(sh->pruned_handoffs);
+    sh->calendar.SaveState(w);
+  }
+}
+
+void ParallelSimulation::RestoreCheckpoint(CheckpointReader& r,
+                                           CheckpointHooks* hooks) {
+  r.ExpectTag(kTagParallel);
+  const std::uint64_t saved_seed = r.U64();
+  DCTCPP_ASSERT(saved_seed == seed_);
+  const std::uint64_t saved_shards = r.U64();
+  DCTCPP_ASSERT(saved_shards == shards_.size());
+  const Tick saved_lookahead = r.I64();
+  DCTCPP_ASSERT(saved_lookahead == lookahead_);
+  stopped_ = r.Bool();
+  if (stopped_) stop_.store(true, std::memory_order_release);
+  windows_ = r.U64();
+  gang_windows_ = r.U64();
+  sync_rounds_ = r.U64();
+  merge_causality_violations_ = r.U64();
+  lookahead_regressions_ = r.U64();
+  for (auto& sh : shards_) {
+    r.ExpectTag(kTagShard);
+    DCTCPP_ASSERT(sh->staging.Empty() && sh->calendar.Empty());
+    sh->sim.RestoreCheckpoint(r, hooks);
+    sh->delivered = r.U64();
+    sh->cross_deposits = r.U64();
+    sh->ran_to = r.I64();
+    sh->clock = r.I64();
+    const Tick saved_self_delay = r.I64();
+    DCTCPP_ASSERT(saved_self_delay == sh->self_delay);
+    sh->pruned_handoffs = r.U64();
+    sh->calendar.LoadState(
+        r, [this](std::uint64_t key) { return SinkForGid(key >> 32); });
+  }
 }
 
 std::string ParallelSimulation::first_violation() const {

@@ -148,6 +148,15 @@ class ArrivalCalendar {
   /// Removes and returns the earliest entry. Precondition: !Empty().
   CalendarEntry PopEarliest();
 
+  /// Checkpoint: entries in raw heap-array order (a valid heap layout
+  /// restored verbatim is a valid heap and reproduces pop tie-breaking
+  /// bit-identically). Sink pointers never serialize — LoadState
+  /// re-resolves each entry's sink from its key via `sink_for_key`
+  /// (the coordinator's port-gid registry).
+  void SaveState(CheckpointWriter& w) const;
+  void LoadState(CheckpointReader& r,
+                 const std::function<PacketSink*(std::uint64_t)>& sink_for_key);
+
  private:
   static bool Before(const CalendarEntry& a, const CalendarEntry& b) {
     if (a.at != b.at) return a.at < b.at;
@@ -378,6 +387,28 @@ class ParallelSimulation {
 
   SharedSequences& sequences() { return sequences_; }
 
+  // --- checkpoint/restore (sim/checkpoint.h) ----------------------------
+
+  /// Called by every EgressPort at construction: names `sink` as the
+  /// receiver of calendar entries keyed `gid << 32 | wire_seq`, living on
+  /// shard `dst_shard`. Deterministic topology builders register gids
+  /// densely in construction order, so a rebuilt world re-registers the
+  /// identical mapping — which is what lets RestoreCheckpoint re-resolve
+  /// saved calendar entries' sink pointers.
+  void RegisterPortSink(std::uint64_t gid, PacketSink* sink, int dst_shard);
+
+  /// The sink registered for `gid` (aborts when unknown).
+  PacketSink* SinkForGid(std::uint64_t gid) const;
+
+  /// Serializes the whole sharded world. Only valid at a RunUntil return
+  /// (barrier): every staging buffer is empty and all in-flight packets
+  /// sit in serializable containers (port queues/wires, calendars).
+  void SaveCheckpoint(CheckpointWriter& w, const CheckpointHooks* hooks) const;
+
+  /// Restores into a freshly built, never-run world with the same seed,
+  /// shard count, and topology. Aborts on structural mismatch.
+  void RestoreCheckpoint(CheckpointReader& r, CheckpointHooks* hooks);
+
  private:
   struct Shard {
     explicit Shard(std::uint64_t seed) : sim(seed) {}
@@ -493,6 +524,10 @@ class ParallelSimulation {
   std::uint64_t sync_rounds_ = 0;
   std::uint64_t merge_causality_violations_ = 0;
   std::uint64_t lookahead_regressions_ = 0;
+  /// Port-gid -> delivery sink, registered at topology construction
+  /// (indexed by gid; gids are dense). dst shard rides along for audits.
+  std::vector<PacketSink*> port_sinks_;
+  std::vector<std::int32_t> port_sink_shard_;
 };
 
 }  // namespace dctcpp

@@ -74,4 +74,27 @@ void DropTailEcnQueue::PopFront() {
   queue_.PopFront();
 }
 
+void DropTailEcnQueue::SaveState(CheckpointWriter& w) const {
+  w.U64(queue_.Size());
+  queue_.ForEach([&w](const Packet& pkt) { SavePacket(w, pkt); });
+  w.I64(occupancy_);
+  w.U64(stats_.enqueued);
+  w.U64(stats_.dropped);
+  w.U64(stats_.marked);
+  w.I64(stats_.max_occupancy);
+  w.F64(red_avg_);
+}
+
+void DropTailEcnQueue::LoadState(CheckpointReader& r) {
+  DCTCPP_ASSERT(queue_.Empty());
+  const std::uint64_t n = r.U64();
+  for (std::uint64_t i = 0; i < n; ++i) queue_.PushBack(LoadPacket(r));
+  occupancy_ = r.I64();
+  stats_.enqueued = r.U64();
+  stats_.dropped = r.U64();
+  stats_.marked = r.U64();
+  stats_.max_occupancy = r.I64();
+  red_avg_ = r.F64();
+}
+
 }  // namespace dctcpp

@@ -13,6 +13,7 @@
 
 #include "dctcpp/net/packet.h"
 #include "dctcpp/net/packet_ring.h"
+#include "dctcpp/sim/checkpoint.h"
 #include "dctcpp/util/rng.h"
 #include "dctcpp/util/units.h"
 
@@ -79,6 +80,12 @@ class DropTailEcnQueue {
   Bytes ecn_threshold() const { return ecn_threshold_; }
 
   const Stats& stats() const { return stats_; }
+
+  /// Checkpoint: resident packets (FIFO order), occupancy, stats, and the
+  /// RED average. Configuration (capacity, K, RED parameters, RNG binding)
+  /// is reconstructed by rebuilding the topology.
+  void SaveState(CheckpointWriter& w) const;
+  void LoadState(CheckpointReader& r);
 
  private:
   bool RedShouldMark();

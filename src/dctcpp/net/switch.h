@@ -36,14 +36,27 @@
 
 #include "dctcpp/net/link.h"
 #include "dctcpp/net/packet.h"
+#include "dctcpp/sim/checkpoint.h"
 #include "dctcpp/sim/simulator.h"
 
 namespace dctcpp {
 
-class Switch : public PacketSink {
+class Switch : public PacketSink, public Checkpointable {
  public:
   Switch(Simulator& sim, NodeId id, std::string name)
-      : sim_(sim), id_(id), name_(std::move(name)) {}
+      : sim_(sim), id_(id), name_(std::move(name)) {
+    sim_.RegisterCheckpointable(this);
+  }
+
+  /// Checkpoint: the only mutable switch state is one counter — the
+  /// ports, routes, and ECMP groups are construction-derived (each
+  /// EgressPort registers and serializes itself).
+  void SaveState(CheckpointWriter& w) const override {
+    w.U64(corrupted_forwarded_);
+  }
+  void LoadState(CheckpointReader& r) override {
+    corrupted_forwarded_ = r.U64();
+  }
 
   NodeId id() const { return id_; }
   const std::string& name() const { return name_; }

@@ -43,6 +43,15 @@ class PinnedEvent {
 
   bool armed() const { return sim_.scheduler().PinnedArmed(idx_); }
 
+  // Checkpoint/restore: the pending arming's exact (at, seq), and re-arming
+  // with a saved seq so restored pop order matches the saved run.
+  void Arming(Tick* at, std::uint64_t* seq) const {
+    sim_.scheduler().PinnedArming(idx_, at, seq);
+  }
+  void ArmAtWithSeq(Tick at, std::uint64_t seq) {
+    sim_.scheduler().ArmPinnedAtWithSeq(idx_, at, seq);
+  }
+
  private:
   Simulator& sim_;
   std::uint32_t idx_;

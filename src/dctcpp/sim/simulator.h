@@ -27,6 +27,11 @@
 namespace dctcpp {
 
 class ParallelSimulation;
+class Checkpointable;
+class CheckpointHooks;
+class CheckpointWriter;
+class CheckpointReader;
+class FlightRecorder;
 
 /// Construction-time id counters shared by every shard of a parallel
 /// simulation (and trivially private in the single-Simulator case). Kept
@@ -208,6 +213,35 @@ class Simulator {
     now_ = t;
   }
 
+  // --- checkpoint/restore (sim/checkpoint.h, implemented there) ---------
+
+  /// Registers an infrastructure component (host, port, switch) whose
+  /// state rides in this world's checkpoint section. Construction-time
+  /// only; deterministic builders guarantee identical registration order
+  /// in a rebuilt world.
+  void RegisterCheckpointable(Checkpointable* c) {
+    checkpoint_clients_.push_back(c);
+  }
+
+  /// Serializes this world at a barrier (see checkpoint.h). `hooks`
+  /// contributes the workload section; null writes an empty one.
+  void SaveCheckpoint(CheckpointWriter& w, const CheckpointHooks* hooks) const;
+
+  /// Restores into this freshly built, never-run world. Aborts on any
+  /// structural mismatch (tag drift, client count, live-event count).
+  void RestoreCheckpoint(CheckpointReader& r, CheckpointHooks* hooks);
+
+  // --- flight recorder (util/flight_recorder.h) -------------------------
+
+  /// The attached flight recorder, or nullptr (the default: recording
+  /// off, hook sites cost one null check). Not owned; not checkpointed.
+  /// Attach after BindShard so violation records carry the shard id.
+  FlightRecorder* flight_recorder() const { return flight_recorder_; }
+  void set_flight_recorder(FlightRecorder* fr) {
+    flight_recorder_ = fr;
+    invariants_.AttachFlightRecorder(fr, &now_, shard_id_);
+  }
+
  private:
   struct PendingBurstFlush {
     BurstFlushFn fn;
@@ -225,6 +259,8 @@ class Simulator {
   ParallelSimulation* parallel_ = nullptr;
   int shard_id_ = 0;
   std::atomic<bool>* shard_stop_ = nullptr;
+  FlightRecorder* flight_recorder_ = nullptr;
+  std::vector<Checkpointable*> checkpoint_clients_;
   NetworkInvariants invariants_;
   Arena arena_;
   Scheduler scheduler_;

@@ -21,6 +21,7 @@
 
 #include <utility>
 
+#include "dctcpp/sim/checkpoint.h"
 #include "dctcpp/sim/inline_action.h"
 #include "dctcpp/sim/pinned_event.h"
 #include "dctcpp/sim/simulator.h"
@@ -83,6 +84,32 @@ class Timer {
 
   /// Absolute expiry of the current arming (meaningful while pending).
   Tick expires_at() const { return expires_at_; }
+
+  /// Checkpoint: all five lazy-arm fields plus the wheel arming's exact
+  /// (at, seq) when one exists, so a restored timer reproduces stale pops
+  /// and deferred re-homes identically.
+  void SaveState(CheckpointWriter& w) const {
+    w.Bool(armed_);
+    w.Bool(lazy_cancel_);
+    w.Bool(event_pending_);
+    w.I64(expires_at_);
+    w.I64(event_at_);
+    if (event_pending_) {
+      Tick at = 0;
+      std::uint64_t seq = 0;
+      ev_.Arming(&at, &seq);
+      DCTCPP_ASSERT(at == event_at_);
+      w.U64(seq);
+    }
+  }
+  void LoadState(CheckpointReader& r) {
+    armed_ = r.Bool();
+    lazy_cancel_ = r.Bool();
+    event_pending_ = r.Bool();
+    expires_at_ = r.I64();
+    event_at_ = r.I64();
+    if (event_pending_) ev_.ArmAtWithSeq(event_at_, r.U64());
+  }
 
  private:
   void Fire() {

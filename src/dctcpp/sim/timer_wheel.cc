@@ -528,6 +528,43 @@ std::uint64_t TimerWheelScheduler::RunSlotBatch(const bool* stop) {
   return ran;
 }
 
+void TimerWheelScheduler::RestoreClock(Tick t) {
+  DCTCPP_ASSERT(live_count_ == 0);
+  DCTCPP_ASSERT(batch_.empty());
+  now_ = t;
+  cached_valid_ = false;
+}
+
+EventId TimerWheelScheduler::ScheduleAtWithSeq(Tick at, Action action,
+                                               std::uint64_t seq) {
+  DCTCPP_ASSERT(static_cast<bool>(action));
+  DCTCPP_ASSERT(at >= now_);
+  const std::uint32_t idx = AllocNode();
+  Node& n = NodeAt(idx);
+  n.at = at;
+  n.seq = seq;
+  n.action = std::move(action);
+  Place(idx, n);
+  ++live_count_;
+  // Restored seqs are arbitrary relative to the cached minimum (a tie with
+  // a lower seq would make the memo wrong), so drop the memo entirely.
+  cached_valid_ = false;
+  return EventId{(static_cast<std::uint64_t>(n.gen) << 32) | (idx + 1)};
+}
+
+void TimerWheelScheduler::ArmPinnedAtWithSeq(std::uint32_t idx, Tick at,
+                                             std::uint64_t seq) {
+  DCTCPP_ASSERT(at >= now_);
+  Node& n = NodeAt(idx);
+  DCTCPP_DASSERT(n.pin_fn != nullptr);
+  if (n.loc != kLocParked) CancelPinned(idx);
+  n.at = at;
+  n.seq = seq;
+  Place(idx, n);
+  ++live_count_;
+  cached_valid_ = false;
+}
+
 std::uint64_t TimerWheelScheduler::RunLoop(Tick deadline, const bool* stop,
                                            Tick* sim_now) {
   std::uint64_t count = 0;

@@ -112,6 +112,45 @@ class TimerWheelScheduler {
   /// Total events ever executed (for instrumentation).
   std::uint64_t executed() const { return executed_; }
 
+  // -------------------------------------------------------------------------
+  // Checkpoint/restore hooks (sim/checkpoint.h). The blob records each
+  // pending event's (at, seq); on restore, owners re-arm their events with
+  // the saved seq so the pop order — which is purely (time, seq) — matches
+  // the uninterrupted run exactly, regardless of node-index differences
+  // between the two worlds. The restore protocol is: RestoreClock() on an
+  // empty wheel, owners re-arm via the WithSeq variants in any order, then
+  // SetNextSeq()/SetExecuted() reinstate the counters.
+
+  /// Insertion sequence the next ScheduleAt/ArmPinnedAt would consume.
+  std::uint64_t next_seq() const { return next_seq_; }
+  /// Restores the sequence counter. Call after every WithSeq re-arm.
+  void SetNextSeq(std::uint64_t seq) { next_seq_ = seq; }
+  /// Restores the executed-events counter.
+  void SetExecuted(std::uint64_t n) { executed_ = n; }
+
+  /// Resets the wheel clock to `t`. Precondition: no live events (a fresh
+  /// wheel, or one fully drained) — placement math is relative to now_, so
+  /// moving the clock under pending events would corrupt slot homes.
+  void RestoreClock(Tick t);
+
+  /// ScheduleAt with an explicit insertion sequence; does not consume or
+  /// disturb next_seq_. Restore path only.
+  EventId ScheduleAtWithSeq(Tick at, Action action, std::uint64_t seq);
+  /// ArmPinnedAt with an explicit insertion sequence. Restore path only.
+  void ArmPinnedAtWithSeq(std::uint32_t idx, Tick at, std::uint64_t seq);
+
+  /// (at, seq) of a pinned node's pending arming. Precondition: armed.
+  void PinnedArming(std::uint32_t idx, Tick* at, std::uint64_t* seq) const {
+    const Node& n = NodeAt(idx);
+    DCTCPP_ASSERT(n.loc != kLocParked && n.loc != kLocFree);
+    *at = n.at;
+    *seq = n.seq;
+  }
+
+  /// Bytes held by the node pool (footprint accounting for the churn
+  /// bench's bytes-per-flow gate).
+  std::size_t PoolBytes() const { return chunks_.size() * kChunkSize * sizeof(Node); }
+
   /// Events currently parked in the far-future overflow heap (untracked
   /// stale entries excluded). Exposed for tests.
   std::size_t OverflowCount() const;

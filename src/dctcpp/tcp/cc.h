@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <memory>
 
+#include "dctcpp/sim/checkpoint.h"
 #include "dctcpp/util/rng.h"
 #include "dctcpp/util/time.h"
 #include "dctcpp/util/units.h"
@@ -85,6 +86,12 @@ class CongestionOps {
     (void)sk;
     return false;
   }
+
+  /// Checkpoint: dynamic congestion state only (configuration is rebuilt
+  /// by constructing the same ops). Overrides must chain to their base
+  /// class first, mirroring construction order.
+  virtual void SaveState(CheckpointWriter& w) const { (void)w; }
+  virtual void LoadState(CheckpointReader& r) { (void)r; }
 };
 
 }  // namespace dctcpp

@@ -28,6 +28,17 @@ class NewRenoCc : public CongestionOps {
   void OnAck(TcpSocket& sk, const AckContext& ctx) override;
   int SsthreshAfterLoss(const TcpSocket& sk) const override;
 
+  void SaveState(CheckpointWriter& w) const override {
+    w.I64(ca_bytes_acked_);
+    w.I64(reduce_end_);
+    w.Bool(reduce_armed_);
+  }
+  void LoadState(CheckpointReader& r) override {
+    ca_bytes_acked_ = r.I64();
+    reduce_end_ = r.I64();
+    reduce_armed_ = r.Bool();
+  }
+
  protected:
   /// Slow-start / congestion-avoidance growth shared with DctcpCc.
   void GrowWindow(TcpSocket& sk, Bytes newly_acked);

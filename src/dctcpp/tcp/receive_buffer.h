@@ -84,6 +84,31 @@ class BasicReceiveBuffer {
     });
   }
 
+  /// Checkpoint: the in-order edge plus the out-of-order scoreboard
+  /// (ranges re-Added in sorted order reproduce the flat vector exactly).
+  template <typename Writer>
+  void SaveState(Writer& w) const {
+    w.U32(rcv_nxt_.raw());
+    w.I64(linear_rcv_nxt_);
+    w.U64(ooo_.size());
+    ooo_.ForEach([&w](const Interval& iv) {
+      w.I64(iv.start);
+      w.I64(iv.end);
+      return true;
+    });
+  }
+  template <typename Reader>
+  void LoadState(Reader& r) {
+    rcv_nxt_ = SeqNum(r.U32());
+    linear_rcv_nxt_ = r.I64();
+    const std::uint64_t n = r.U64();
+    for (std::uint64_t i = 0; i < n; ++i) {
+      const std::int64_t start = r.I64();
+      const std::int64_t end = r.I64();
+      ooo_.Add(start, end);
+    }
+  }
+
  private:
   SeqNum rcv_nxt_;
   std::int64_t linear_rcv_nxt_ = 0;

@@ -40,6 +40,23 @@ class RtoEstimator {
   Tick rttvar() const { return rttvar_; }
   int backoff_shift() const { return backoff_shift_; }
 
+  /// Checkpoint (templated to keep this header free of the checkpoint
+  /// dependency; config is reconstructed by the socket's builder).
+  template <typename Writer>
+  void SaveState(Writer& w) const {
+    w.Bool(has_sample_);
+    w.I64(srtt_);
+    w.I64(rttvar_);
+    w.I64(backoff_shift_);
+  }
+  template <typename Reader>
+  void LoadState(Reader& r) {
+    has_sample_ = r.Bool();
+    srtt_ = r.I64();
+    rttvar_ = r.I64();
+    backoff_shift_ = static_cast<int>(r.I64());
+  }
+
  private:
   Config config_;
   bool has_sample_ = false;

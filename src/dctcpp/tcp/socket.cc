@@ -4,6 +4,7 @@
 #include <cstddef>
 
 #include "dctcpp/util/assert.h"
+#include "dctcpp/util/flight_recorder.h"
 #include "dctcpp/util/log.h"
 #include "dctcpp/util/profile.h"
 
@@ -307,6 +308,11 @@ void TcpSocket::CheckInvariants() {
 
 void TcpSocket::ProcessAck(const Packet& pkt) {
   ++stats_.acks_received;
+  if (FlightRecorder* fr = sim().flight_recorder()) {
+    fr->Record(FrEvent::kAck, sim().shard_id(), sim().Now(),
+               FrSocketPayload(static_cast<std::uint32_t>(host_.id()),
+                               local_port_, pkt.tcp.ack));
+  }
   const bool ece = pkt.tcp.ece;
   if (ece) ++stats_.ece_acks_received;
   if (sack_ok_) ProcessSackBlocks(pkt);
@@ -739,6 +745,12 @@ void TcpSocket::OnRetransmissionTimeout() {
   if (!data_outstanding) return;  // spurious (everything got acked)
 
   ++stats_.timeouts;
+  if (FlightRecorder* fr = sim().flight_recorder()) {
+    fr->Record(FrEvent::kRto, sim().shard_id(), sim().Now(),
+               FrSocketPayload(static_cast<std::uint32_t>(host_.id()),
+                               local_port_,
+                               static_cast<std::uint32_t>(stats_.timeouts)));
+  }
   // Taxonomy of the paper's Table I: with zero feedback since the timer
   // was armed the whole window was lost (FLoss-TO); with some feedback but
   // not the three duplicates needed for fast retransmit it is LAck-TO.
@@ -791,6 +803,168 @@ void TcpSocket::FinalizeClose() {
   if (registered_) {
     host_.UnregisterConnection(local_port_, remote_, remote_port_);
     registered_ = false;
+  }
+  if (on_closed_) on_closed_();
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoint
+
+void TcpSocket::SaveState(CheckpointWriter& w) const {
+  // Barrier precondition: no batched-ACK run may be open across a save.
+  DCTCPP_ASSERT(!defer_tx_ && !burst_pending_ && burst_tx_.empty());
+
+  w.U8(static_cast<std::uint8_t>(state_));
+  w.Bool(registered_);
+  w.Bool(syn_acked_);
+  w.Bool(fin_pending_);
+  w.Bool(fin_sent_);
+  w.Bool(fin_acked_);
+  w.Bool(in_recovery_);
+  w.Bool(sack_ok_);
+  w.Bool(ecn_ok_);
+  w.Bool(cwr_pending_);
+  w.Bool(rtt_pending_);
+  w.Bool(irs_valid_);
+  w.Bool(peer_fin_received_);
+  w.Bool(rx_ce_state_);
+  w.Bool(rx_ece_latched_);
+  w.Bool(pace_armed_);
+  w.Bool(batched_ack_);
+
+  w.U32(static_cast<std::uint32_t>(remote_));
+  w.U32(local_port_);
+  w.U32(remote_port_);
+
+  w.I64(stream_acked_);
+  w.I64(stream_next_);
+  w.I64(stream_max_sent_);
+  w.I64(app_bytes_queued_);
+
+  w.I64(cwnd_);
+  w.I64(ssthresh_);
+  w.I64(dupacks_);
+  w.I64(recover_);
+
+  w.I64(rtt_offset_end_);
+  w.I64(rtt_sent_at_);
+  rto_.SaveState(w);
+  w.U64(dupacks_since_arm_);
+  w.U64(progress_since_arm_);
+
+  w.U64(stats_.segments_sent);
+  w.U64(stats_.segments_retransmitted);
+  w.U64(stats_.timeouts);
+  w.U64(stats_.fast_retransmits);
+  w.U64(stats_.acks_received);
+  w.U64(stats_.ece_acks_received);
+  w.U64(stats_.acks_sent);
+  w.U64(stats_.acks_batch_deferred);
+
+  w.U32(iss_.raw());
+  std::uint64_t rng_state[4];
+  rng_.SaveState(rng_state);
+  for (std::uint64_t s : rng_state) w.U64(s);
+  cc_->SaveState(w);
+
+  w.U64(sacked_.size());
+  sacked_.ForEach([&w](const Interval& iv) {
+    w.I64(iv.start);
+    w.I64(iv.end);
+    return true;
+  });
+  w.I64(sack_high_);
+  w.I64(sack_rtx_next_);
+
+  rto_timer_.SaveState(w);
+  rx_.SaveState(w);
+  w.I64(unacked_segments_);
+  delack_timer_.SaveState(w);
+  w.I64(pace_until_);
+  pace_timer_.SaveState(w);
+}
+
+void TcpSocket::LoadState(CheckpointReader& r) {
+  DCTCPP_ASSERT(state_ == State::kClosed && !registered_);
+  DCTCPP_ASSERT(!defer_tx_ && !burst_pending_ && burst_tx_.empty());
+
+  state_ = static_cast<State>(r.U8());
+  registered_ = r.Bool();
+  syn_acked_ = r.Bool();
+  fin_pending_ = r.Bool();
+  fin_sent_ = r.Bool();
+  fin_acked_ = r.Bool();
+  in_recovery_ = r.Bool();
+  sack_ok_ = r.Bool();
+  ecn_ok_ = r.Bool();
+  cwr_pending_ = r.Bool();
+  rtt_pending_ = r.Bool();
+  irs_valid_ = r.Bool();
+  peer_fin_received_ = r.Bool();
+  rx_ce_state_ = r.Bool();
+  rx_ece_latched_ = r.Bool();
+  pace_armed_ = r.Bool();
+  // Processing mode is a construction-time property of the restoring run;
+  // it must match the saved run for bit-identical resumption.
+  const bool saved_batched = r.Bool();
+  DCTCPP_ASSERT(saved_batched == batched_ack_);
+
+  remote_ = static_cast<NodeId>(r.U32());
+  local_port_ = r.U32();
+  remote_port_ = r.U32();
+
+  stream_acked_ = r.I64();
+  stream_next_ = r.I64();
+  stream_max_sent_ = r.I64();
+  app_bytes_queued_ = r.I64();
+
+  cwnd_ = static_cast<int>(r.I64());
+  ssthresh_ = static_cast<int>(r.I64());
+  dupacks_ = static_cast<int>(r.I64());
+  recover_ = r.I64();
+
+  rtt_offset_end_ = r.I64();
+  rtt_sent_at_ = r.I64();
+  rto_.LoadState(r);
+  dupacks_since_arm_ = r.U64();
+  progress_since_arm_ = r.U64();
+
+  stats_.segments_sent = r.U64();
+  stats_.segments_retransmitted = r.U64();
+  stats_.timeouts = r.U64();
+  stats_.fast_retransmits = r.U64();
+  stats_.acks_received = r.U64();
+  stats_.ece_acks_received = r.U64();
+  stats_.acks_sent = r.U64();
+  stats_.acks_batch_deferred = r.U64();
+
+  iss_ = SeqNum(r.U32());
+  std::uint64_t rng_state[4];
+  for (std::uint64_t& s : rng_state) s = r.U64();
+  rng_.LoadState(rng_state);
+  cc_->LoadState(r);
+
+  sacked_.clear();
+  const std::uint64_t n_sacked = r.U64();
+  for (std::uint64_t i = 0; i < n_sacked; ++i) {
+    const std::int64_t start = r.I64();
+    sacked_.Add(start, r.I64());
+  }
+  sack_high_ = r.I64();
+  sack_rtx_next_ = r.I64();
+
+  rto_timer_.LoadState(r);
+  rx_.LoadState(r);
+  unacked_segments_ = static_cast<int>(r.I64());
+  delack_timer_.LoadState(r);
+  pace_until_ = r.I64();
+  pace_timer_.LoadState(r);
+
+  // Rebuild the host-side demux entry (and its port refcount) exactly as
+  // Connect/AcceptFrom did in the saved run.
+  if (registered_) {
+    host_.RegisterConnection(local_port_, remote_, remote_port_,
+                             [this](const Packet& p) { OnPacket(p); });
   }
 }
 

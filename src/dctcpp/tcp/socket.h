@@ -109,6 +109,9 @@ class TcpSocket {
   void set_on_remote_close(Callback cb) { on_remote_close_ = std::move(cb); }
   /// Send-side progress: called with the newly acknowledged byte count.
   void set_on_acked(DataCallback cb) { on_acked_ = std::move(cb); }
+  /// Socket reached kClosed (both directions done); fires at the end of
+  /// FinalizeClose. Used by churn workloads to recycle pooled sockets.
+  void set_on_closed(Callback cb) { on_closed_ = std::move(cb); }
 
   /// Attaches a trace probe (not owned); nullptr detaches.
   void set_probe(TcpProbe* probe) { probe_ = probe; }
@@ -191,8 +194,23 @@ class TcpSocket {
   };
   const Stats& stats() const { return stats_; }
 
+  // --- checkpoint --------------------------------------------------------
+  // Serializes every simulation-visible field (handshake, stream offsets,
+  // congestion state, SACK scoreboards, timers with their exact wheel
+  // armings, the private RNG, and the polymorphic CongestionOps state).
+  // Callbacks, the probe, and the arena placement are NOT serialized; the
+  // restoring workload recreates the socket (same host, same cc type, same
+  // config) and re-attaches its callbacks, then LoadState overwrites the
+  // fresh state and — when the saved socket was registered — re-registers
+  // the connection with the host so demux tables and port refcounts are
+  // rebuilt. Only valid at a RunUntil barrier: no batched-ACK run may be
+  // open (defer_tx_ / burst_pending_ false, burst_tx_ empty).
+  void SaveState(CheckpointWriter& w) const;
+  void LoadState(CheckpointReader& r);
+
  private:
   friend class TcpListener;
+  friend class ChurnListener;
 
   // Passive open: adopt an incoming SYN (called by TcpListener).
   void AcceptFrom(const Packet& syn);
@@ -335,6 +353,7 @@ class TcpSocket {
   DataCallback on_data_;
   Callback on_remote_close_;
   DataCallback on_acked_;
+  Callback on_closed_;
 
   // SACK sender scoreboard of selectively acknowledged ranges (disjoint,
   // in linear stream offsets; flat sorted interval vector — no per-range

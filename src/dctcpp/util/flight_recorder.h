@@ -1,0 +1,109 @@
+// Flight recorder: a bounded ring of fixed-size binary event records, so
+// the moments before a long-soak invariant violation are reconstructable
+// without rerunning hours of simulation.
+//
+// Every record is 16 bytes — a meta word packing (type, shard, 48-bit
+// tick) and a type-specific payload word — appended with two stores and
+// one masked increment: no allocation, no branching beyond the hook
+// site's null check. Recording is OFF by default (Simulator holds a null
+// FlightRecorder*), so the hot path cost when disabled is one pointer
+// compare, and the recorder adds zero bytes to TcpSocket (the pointer
+// lives on the Simulator) — the same zero-overhead-OFF contract as the
+// PR 7 profiler.
+//
+// Sharded runs attach one recorder per shard Simulator (no locking; a
+// shard only records from its own thread). DumpTo writes all attached
+// rings into one versioned binary file; tools/fr_decode (or DecodeFile
+// here) renders it human-readable, merge-sorted by (tick, shard, ring
+// order). The recorder is observational only and is deliberately NOT part
+// of checkpoints: a restored run regenerates its own recent-event window.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "dctcpp/util/time.h"
+
+namespace dctcpp {
+
+enum class FrEvent : std::uint8_t {
+  kEnqueue = 1,    ///< packet accepted by an egress queue
+  kDrop = 2,       ///< packet dropped (queue overflow or impairment)
+  kMark = 3,       ///< CE mark applied at an egress queue
+  kAck = 4,        ///< cumulative ACK processed by a sender
+  kRto = 5,        ///< retransmission timeout fired
+  kViolation = 6,  ///< NetworkInvariants::Violate
+};
+
+const char* ToString(FrEvent e);
+
+/// One 16-byte record. meta = type:8 | shard:8 | tick:48.
+struct FrRecord {
+  std::uint64_t meta = 0;
+  std::uint64_t payload = 0;
+
+  FrEvent type() const { return static_cast<FrEvent>(meta >> 56); }
+  int shard() const { return static_cast<int>((meta >> 48) & 0xff); }
+  Tick tick() const { return static_cast<Tick>(meta & ((Tick(1) << 48) - 1)); }
+};
+static_assert(sizeof(FrRecord) == 16, "flight records are 16 bytes");
+
+// Payload packing helpers, shared by the hook sites and the decoder.
+// Port events: port_gid:24 | uid:40. Socket events: host:16 | port:16 |
+// value:32 (ack raw / backoff shift). Violations: total violation count.
+inline std::uint64_t FrPortPayload(std::uint64_t port_gid, std::uint64_t uid) {
+  return (port_gid << 40) | (uid & ((std::uint64_t(1) << 40) - 1));
+}
+inline std::uint64_t FrSocketPayload(std::uint32_t host, std::uint32_t port,
+                                     std::uint32_t value) {
+  return (static_cast<std::uint64_t>(host & 0xffff) << 48) |
+         (static_cast<std::uint64_t>(port & 0xffff) << 32) | value;
+}
+
+class FlightRecorder {
+ public:
+  /// `capacity` is rounded up to a power of two records (default ~1M:
+  /// 16 MB, a few hundred ms of datapath history at soak rates).
+  explicit FlightRecorder(std::size_t capacity = std::size_t(1) << 20);
+
+  void Record(FrEvent type, int shard, Tick tick, std::uint64_t payload) {
+    FrRecord& r = ring_[head_ & mask_];
+    r.meta = (static_cast<std::uint64_t>(type) << 56) |
+             (static_cast<std::uint64_t>(shard & 0xff) << 48) |
+             (static_cast<std::uint64_t>(tick) & ((std::uint64_t(1) << 48) - 1));
+    r.payload = payload;
+    ++head_;
+  }
+
+  /// Records ever written (monotonic; min(head, capacity) are resident).
+  std::uint64_t total_recorded() const { return head_; }
+  std::size_t capacity() const { return ring_.size(); }
+
+  /// Resident records oldest-first (decoded order within one ring).
+  std::vector<FrRecord> Snapshot() const;
+
+  /// Writes the given recorders' resident records into one binary dump
+  /// file (format: magic, version, ring count, per ring a record count +
+  /// raw records). Returns false on I/O failure.
+  static bool DumpTo(const std::string& path,
+                     const std::vector<const FlightRecorder*>& rings);
+
+  /// Decodes a DumpTo file into human-readable lines, merge-sorted by
+  /// (tick, shard). Returns false on open/parse failure. Shared by
+  /// tools/fr_decode and the tests' golden-trace comparison.
+  static bool DecodeFile(const std::string& path, std::ostream& out);
+
+  /// Renders one record as the decoder's canonical line.
+  static void DecodeRecord(const FrRecord& r, std::ostream& out);
+
+  static constexpr std::uint32_t kDumpMagic = 0x44465231;  // "DFR1"
+
+ private:
+  std::vector<FrRecord> ring_;
+  std::uint64_t mask_ = 0;
+  std::uint64_t head_ = 0;
+};
+
+}  // namespace dctcpp

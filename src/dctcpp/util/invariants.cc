@@ -3,12 +3,18 @@
 #include <cstdarg>
 #include <cstdio>
 
+#include "dctcpp/util/flight_recorder.h"
 #include "dctcpp/util/log.h"
 
 namespace dctcpp {
 
 void NetworkInvariants::Violate(const char* check, const char* fmt, ...) {
   ++violations_;
+  if (recorder_ != nullptr) {
+    recorder_->Record(FrEvent::kViolation, recorder_shard_,
+                      recorder_now_ != nullptr ? *recorder_now_ : 0,
+                      violations_);
+  }
   char msg[512];
   std::va_list ap;
   va_start(ap, fmt);

@@ -27,7 +27,11 @@
 #include <cstdint>
 #include <string>
 
+#include "dctcpp/util/time.h"
+
 namespace dctcpp {
+
+class FlightRecorder;
 
 class NetworkInvariants {
  public:
@@ -100,6 +104,40 @@ class NetworkInvariants {
            l.delivered + l.dropped <= l.originated + l.duplicated;
   }
 
+  /// Attaches a flight recorder (util/flight_recorder.h): every Violate
+  /// call additionally stamps a kViolation record at `*now` so the dump
+  /// shows exactly where in the event stream the failure landed. `now`
+  /// must outlive this object (it is the owning Simulator's clock).
+  /// Null detaches.
+  void AttachFlightRecorder(FlightRecorder* fr, const Tick* now, int shard) {
+    recorder_ = fr;
+    recorder_now_ = now;
+    recorder_shard_ = shard;
+  }
+
+  /// Checkpoint: the ledger and the violation record travel with the
+  /// world (ledger_check_enabled_ is reconstructed by BindShard).
+  template <typename Writer>
+  void SaveState(Writer& w) const {
+    w.U64(ledger_.originated);
+    w.U64(ledger_.duplicated);
+    w.U64(ledger_.delivered);
+    w.U64(ledger_.dropped);
+    w.U64(ledger_.checksum_discards);
+    w.U64(violations_);
+    w.Str(first_violation_);
+  }
+  template <typename Reader>
+  void LoadState(Reader& r) {
+    ledger_.originated = r.U64();
+    ledger_.duplicated = r.U64();
+    ledger_.delivered = r.U64();
+    ledger_.dropped = r.U64();
+    ledger_.checksum_discards = r.U64();
+    violations_ = r.U64();
+    first_violation_ = r.Str();
+  }
+
  private:
   /// Retirements can never outnumber the packets that exist. Called on
   /// every retirement; one compare on the hot path. Only meaningful once a
@@ -124,6 +162,10 @@ class NetworkInvariants {
   bool ledger_check_enabled_ = true;
   std::uint64_t violations_ = 0;
   std::string first_violation_;
+  // Flight-recorder attachment (observational; not checkpointed).
+  FlightRecorder* recorder_ = nullptr;
+  const Tick* recorder_now_ = nullptr;
+  int recorder_shard_ = 0;
 };
 
 }  // namespace dctcpp

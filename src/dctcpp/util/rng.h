@@ -109,6 +109,15 @@ class Rng {
   /// Derives an independent child generator (for per-flow streams).
   Rng Fork() { return Rng(Next()); }
 
+  /// The raw 256-bit generator state, for checkpoint/restore. A restored
+  /// generator continues the exact draw sequence of the saved one.
+  void SaveState(std::uint64_t out[4]) const {
+    for (int i = 0; i < 4; ++i) out[i] = s_[i];
+  }
+  void LoadState(const std::uint64_t in[4]) {
+    for (int i = 0; i < 4; ++i) s_[i] = in[i];
+  }
+
  private:
   static constexpr std::uint64_t Rotl(std::uint64_t x, int k) {
     return (x << k) | (x >> (64 - k));

@@ -1,0 +1,199 @@
+// Checkpoint/restore fidelity: a churn soak checkpointed at tick T and
+// resumed must be bit-identical (equal state fingerprint) to the same run
+// left uninterrupted — across shard counts, thread pools, ACK-processing
+// modes, and impairment profiles.
+//
+// Protocol (see workload/churn.h): the reference run and the restored run
+// must stop at the same RunTo boundaries, because the coordinator's window
+// sequence is part of the serialized state. Every comparison below drives
+// both worlds through an identical ascending stop schedule.
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "dctcpp/tcp/socket.h"
+#include "dctcpp/util/rng.h"
+#include "dctcpp/util/thread_pool.h"
+#include "dctcpp/workload/churn.h"
+
+namespace dctcpp {
+namespace {
+
+// Impairment profiles the matrix cycles through.
+enum class Profile { kClean, kLossy, kChaos };
+
+ChurnConfig SmallConfig(int shards, Profile profile,
+                        std::int64_t target_live = 200) {
+  ChurnConfig cfg;
+  cfg.fat_tree.k = 4;  // 16 hosts
+  cfg.link.propagation_delay = 2 * kMicrosecond;
+  cfg.shards = shards;
+  cfg.seed = 7;
+  cfg.target_live_flows = target_live;
+  cfg.mean_lifetime = 2 * kMillisecond;
+  cfg.bytes_per_flow = 4 * kKiB;
+  cfg.prewarm = 1 * kMillisecond;
+  cfg.min_rto = 1 * kMillisecond;
+  switch (profile) {
+    case Profile::kClean:
+      break;
+    case Profile::kLossy:
+      cfg.link.impairment.random_loss = 0.005;
+      break;
+    case Profile::kChaos:
+      cfg.link.impairment.random_loss = 0.002;
+      cfg.link.impairment.reorder_prob = 0.01;
+      cfg.link.impairment.duplicate_prob = 0.002;
+      cfg.link.impairment.corrupt_prob = 0.001;
+      break;
+  }
+  return cfg;
+}
+
+// Runs `w` through every stop in `stops` (ascending absolute ticks).
+void RunSchedule(ChurnWorkload& w, const std::vector<Tick>& stops,
+                 ThreadPool* pool = nullptr) {
+  for (Tick t : stops) w.RunTo(t, pool);
+}
+
+// Core gate: checkpoint at stops[cut], restore onto a fresh world, resume
+// through the remaining stops, and compare against the uninterrupted
+// reference driven through the identical schedule.
+void ExpectBitIdenticalResume(const ChurnConfig& cfg,
+                              const std::vector<Tick>& stops,
+                              std::size_t cut, ThreadPool* pool = nullptr) {
+  ChurnWorkload ref(cfg);
+  ref.Start();
+  RunSchedule(ref, stops, pool);
+  const std::uint64_t want = ref.Fingerprint();
+
+  ChurnWorkload first(cfg);
+  first.Start();
+  std::vector<std::uint8_t> blob;
+  for (std::size_t i = 0; i <= cut; ++i) first.RunTo(stops[i], pool);
+  blob = first.SaveCheckpoint();
+
+  ChurnWorkload resumed(cfg);
+  resumed.RestoreCheckpoint(blob);
+  // The restored world serializes back to the exact blob it came from.
+  EXPECT_EQ(resumed.SaveCheckpoint(), blob);
+  for (std::size_t i = cut + 1; i < stops.size(); ++i) {
+    resumed.RunTo(stops[i], pool);
+  }
+  EXPECT_EQ(resumed.Fingerprint(), want)
+      << "restore at t=" << stops[cut] << " diverged";
+}
+
+std::vector<Tick> EvenStops(Tick end, int n) {
+  std::vector<Tick> stops;
+  for (int i = 1; i <= n; ++i) stops.push_back(end * i / n);
+  return stops;
+}
+
+TEST(CheckpointTest, RestoredBlobRoundTripsSingleShard) {
+  ChurnWorkload w(SmallConfig(1, Profile::kClean));
+  w.Start();
+  w.RunTo(4 * kMillisecond);
+  const std::vector<std::uint8_t> blob = w.SaveCheckpoint();
+
+  ChurnWorkload restored(SmallConfig(1, Profile::kClean));
+  restored.RestoreCheckpoint(blob);
+  EXPECT_EQ(restored.SaveCheckpoint(), blob);
+  EXPECT_EQ(restored.live_flows(), w.live_flows());
+  EXPECT_EQ(restored.Stats().flows_completed, w.Stats().flows_completed);
+}
+
+TEST(CheckpointTest, ResumeMatchesUninterruptedSingleShard) {
+  ExpectBitIdenticalResume(SmallConfig(1, Profile::kClean),
+                           EvenStops(8 * kMillisecond, 4), /*cut=*/1);
+}
+
+TEST(CheckpointTest, ResumeMatchesUnderImpairments) {
+  ExpectBitIdenticalResume(SmallConfig(1, Profile::kLossy),
+                           EvenStops(8 * kMillisecond, 4), /*cut=*/2);
+  ExpectBitIdenticalResume(SmallConfig(1, Profile::kChaos),
+                           EvenStops(8 * kMillisecond, 4), /*cut=*/1);
+}
+
+TEST(CheckpointTest, ResumeMatchesAcrossShardCounts) {
+  for (int shards : {2, 4, 8}) {
+    for (Profile p : {Profile::kLossy, Profile::kChaos}) {
+      ExpectBitIdenticalResume(SmallConfig(shards, p),
+                               EvenStops(6 * kMillisecond, 3), /*cut=*/1);
+    }
+  }
+}
+
+TEST(CheckpointTest, ResumeMatchesWithThreadPools) {
+  // The same checkpoint gate with real parallelism: shard execution order
+  // inside a window must not leak into the serialized state.
+  for (int threads : {2, 8}) {
+    ThreadPool pool(threads);
+    ExpectBitIdenticalResume(SmallConfig(4, Profile::kLossy),
+                             EvenStops(6 * kMillisecond, 3), /*cut=*/1,
+                             &pool);
+  }
+}
+
+TEST(CheckpointTest, ResumeMatchesPerAckMode) {
+  TcpSocket::SetBatchedAckMode(false);
+  ExpectBitIdenticalResume(SmallConfig(2, Profile::kLossy),
+                           EvenStops(6 * kMillisecond, 3), /*cut=*/1);
+  TcpSocket::SetBatchedAckMode(true);
+  ExpectBitIdenticalResume(SmallConfig(2, Profile::kLossy),
+                           EvenStops(6 * kMillisecond, 3), /*cut=*/1);
+}
+
+// The headline satellite: an impaired N=1400 churn run saved at 50
+// pseudo-random barrier ticks; every save restores and resumes to a final
+// state bit-identical to the uninterrupted reference.
+TEST(CheckpointTest, FiftyRandomSavePointsN1400) {
+  const ChurnConfig cfg = SmallConfig(2, Profile::kLossy, /*target=*/1400);
+  constexpr Tick kEnd = 10 * kMillisecond;
+  constexpr int kSaves = 50;
+
+  // 50 distinct random ticks in (0, kEnd), sorted: they double as the
+  // shared stop schedule, so every save lands on a barrier both runs hit.
+  Rng rng(0x51ee9);
+  std::vector<Tick> stops;
+  while (stops.size() < kSaves) {
+    const Tick t = 1 + rng.UniformTick(kEnd - 1);
+    bool dup = false;
+    for (Tick s : stops) dup |= (s == t);
+    if (!dup) stops.push_back(t);
+  }
+  std::sort(stops.begin(), stops.end());
+  stops.push_back(kEnd);
+
+  ChurnWorkload ref(cfg);
+  ref.Start();
+  RunSchedule(ref, stops);
+  const std::uint64_t want = ref.Fingerprint();
+  ASSERT_GT(ref.Stats().flows_completed, 100u);
+
+  // One saving run captures all 50 blobs in a single pass.
+  ChurnWorkload saver(cfg);
+  saver.Start();
+  std::vector<std::vector<std::uint8_t>> blobs;
+  for (std::size_t i = 0; i + 1 < stops.size(); ++i) {
+    saver.RunTo(stops[i]);
+    blobs.push_back(saver.SaveCheckpoint());
+  }
+
+  for (std::size_t cut = 0; cut < blobs.size(); ++cut) {
+    ChurnWorkload resumed(cfg);
+    resumed.RestoreCheckpoint(blobs[cut]);
+    for (std::size_t i = cut + 1; i < stops.size(); ++i) {
+      resumed.RunTo(stops[i]);
+    }
+    ASSERT_EQ(resumed.Fingerprint(), want)
+        << "save #" << cut << " at t=" << stops[cut] << " diverged";
+  }
+}
+
+}  // namespace
+}  // namespace dctcpp

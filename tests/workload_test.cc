@@ -7,9 +7,11 @@
 
 #include "dctcpp/net/topology.h"
 #include "dctcpp/sim/simulator.h"
+#include "dctcpp/util/thread_pool.h"
 #include "dctcpp/workload/apps.h"
 #include "dctcpp/workload/background.h"
 #include "dctcpp/workload/benchmark_traffic.h"
+#include "dctcpp/workload/churn.h"
 #include "dctcpp/workload/experiment.h"
 #include "dctcpp/workload/incast.h"
 
@@ -340,6 +342,141 @@ TEST(BenchmarkTrafficTest, QueryOnlyAndBackgroundOnly) {
   const auto bg_only = RunBenchmarkTraffic(config);
   EXPECT_EQ(bg_only.queries_completed, 0u);
   EXPECT_EQ(bg_only.background_flows_completed, 10u);
+}
+
+// --- churning open-loop workload (workload/churn.h) ------------------------
+
+ChurnConfig SmallChurn(int shards) {
+  ChurnConfig cfg;
+  cfg.fat_tree.k = 4;  // 16 hosts
+  cfg.shards = shards;
+  cfg.seed = 3;
+  cfg.target_live_flows = 250;
+  cfg.mean_lifetime = 1 * kMillisecond;
+  cfg.bytes_per_flow = 2 * kKiB;
+  cfg.prewarm = 1 * kMillisecond;
+  cfg.min_rto = 1 * kMillisecond;
+  return cfg;
+}
+
+// 10k churn cycles with zero resource growth: once the pools and engine
+// allocators reach steady state, completing thousands more flows must not
+// allocate another byte — sockets recycle through slots, ports and flow-
+// table entries release on close, and the arena high-water mark is flat.
+TEST(ChurnTest, TenThousandCyclesNoResourceGrowth) {
+  ChurnWorkload w(SmallChurn(1));
+  w.Start();
+  w.RunTo(8 * kMillisecond);  // warm-up: pools touched, slabs reserved
+  const ChurnFootprint warm = w.MeasureFootprint();
+  const std::uint64_t warm_completed = w.Stats().flows_completed;
+
+  Tick now = 8 * kMillisecond;
+  while (w.Stats().flows_completed < warm_completed + 10000) {
+    now += 8 * kMillisecond;
+    ASSERT_LT(now, 500 * kMillisecond) << "churn stalled";
+    w.RunTo(now);
+  }
+
+  const ChurnFootprint done = w.MeasureFootprint();
+  EXPECT_EQ(done.pool_bytes, warm.pool_bytes);
+  EXPECT_EQ(done.scheduler_bytes, warm.scheduler_bytes);
+  EXPECT_EQ(done.arena_bytes, warm.arena_bytes);
+
+  const ChurnStats s = w.Stats();
+  EXPECT_GE(s.flows_completed, 10000u);
+  EXPECT_EQ(s.violations, 0u);
+  // Every completed flow delivered its full payload before the FIN.
+  EXPECT_GE(s.bytes_received,
+            static_cast<Bytes>(s.flows_completed) * w.config().bytes_per_flow);
+  // The live population stays near target: slots, ports, and table
+  // entries are being released, not leaked.
+  EXPECT_LT(s.live_flows, 3 * w.config().target_live_flows);
+}
+
+// The same sharded world must be bit-identical under thread pools of
+// size 1, 2, and 8: churn state is only touched from the owning shard,
+// and recycling happens at simulated-time points.
+TEST(ChurnTest, ThreadPoolSizeDoesNotChangeState) {
+  std::uint64_t want = 0;
+  bool first = true;
+  for (int threads : {1, 2, 8}) {
+    ThreadPool pool(threads);
+    ChurnWorkload w(SmallChurn(4));
+    w.Start();
+    for (Tick t = 2 * kMillisecond; t <= 10 * kMillisecond;
+         t += 2 * kMillisecond) {
+      w.RunTo(t, &pool);
+    }
+    const std::uint64_t got = w.Fingerprint();
+    if (first) {
+      want = got;
+      first = false;
+      ASSERT_GT(w.Stats().flows_completed, 500u);
+    } else {
+      EXPECT_EQ(got, want) << "pool=" << threads;
+    }
+  }
+}
+
+// Regression: a 4-tuple freed and re-allocated in the same tick must not
+// deliver old-incarnation packets into the new connection's handler (the
+// host demux cache and flow table both turn over at FinalizeClose).
+// Duplicate impairments keep stale copies of the old flow's last segments
+// in flight across the reuse point.
+TEST(ChurnTest, SameTickTupleReuseDeliversToNewSocket) {
+  Simulator sim(1);
+  Network net(sim);
+  Switch& sw = net.AddSwitch("sw");
+  Host& a = net.AddHost("a");
+  Host& b = net.AddHost("b");
+  LinkConfig link;
+  link.impairment.duplicate_prob = 0.3;
+  net.ConnectHost(a, sw, link);
+  net.ConnectHost(b, sw, link);
+  net.InstallRoutes();
+
+  TcpSocket::Config scfg;
+  std::vector<TcpSocket::Ptr> servers;
+  Bytes server_received = 0;
+  TcpListener listener(
+      b, 5000, TcpFactory(), scfg,
+      [&](TcpSocket::Ptr s) {
+        servers.push_back(std::move(s));
+        TcpSocket* srv = servers.back().get();
+        srv->set_on_data([&server_received](Bytes n) { server_received += n; });
+        srv->set_on_remote_close([srv] { srv->Close(); });
+      });
+
+  constexpr Bytes kSize = 16 * kKiB;
+  TcpSocket::Ptr client2;
+  bool second_started = false;
+  bool second_closed = false;
+  PortNum reused_port = 0;
+
+  TcpSocket::Ptr client1 =
+      TcpSocket::Create(a, MakeCongestionOps(Protocol::kDctcp), scfg);
+  client1->set_on_closed([&] {
+    // Same tick as the teardown: recycle the exact 4-tuple.
+    reused_port = client1->local_port();
+    a.SetNextEphemeralForTest(reused_port);
+    client2 = TcpSocket::Create(a, MakeCongestionOps(Protocol::kDctcp), scfg);
+    client2->set_on_closed([&second_closed] { second_closed = true; });
+    client2->Connect(b.id(), 5000);
+    client2->Send(kSize);
+    client2->Close();
+    second_started = true;
+  });
+  client1->Connect(b.id(), 5000);
+  client1->Send(kSize);
+  client1->Close();
+
+  sim.RunUntil(2000 * kMillisecond);
+  ASSERT_TRUE(second_started);
+  EXPECT_EQ(client2->local_port(), reused_port);
+  EXPECT_TRUE(second_closed) << "reused-tuple connection never completed";
+  EXPECT_EQ(server_received, 2 * kSize);
+  EXPECT_EQ(sim.invariants().violations(), 0u);
+  EXPECT_EQ(servers.size(), 2u);
 }
 
 }  // namespace

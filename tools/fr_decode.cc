@@ -1,0 +1,21 @@
+// fr_decode: renders a flight-recorder dump (FlightRecorder::DumpTo, the
+// churn_violation.frbin a failed soak leaves behind) as human-readable
+// lines on stdout, merge-sorted by (tick, shard).
+//
+// Usage: fr_decode <dump.frbin>
+#include <cstdio>
+#include <iostream>
+
+#include "dctcpp/util/flight_recorder.h"
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: fr_decode <dump.frbin>\n");
+    return 2;
+  }
+  if (!dctcpp::FlightRecorder::DecodeFile(argv[1], std::cout)) {
+    std::fprintf(stderr, "fr_decode: cannot decode %s\n", argv[1]);
+    return 1;
+  }
+  return 0;
+}
