@@ -12,7 +12,7 @@ void Host::AttachUplink(const LinkConfig& config, PacketSink& peer,
   uplink_ = std::make_unique<EgressPort>(sim_, config, peer, peer_sim);
 }
 
-void Host::Send(Packet pkt) {
+void Host::Send(Packet& pkt) {
   DCTCPP_ASSERT(uplink_ != nullptr);
   DCTCPP_ASSERT(pkt.src == id_);
   pkt.uid = (static_cast<std::uint64_t>(id_) + 1) << 40 | next_packet_uid_++;

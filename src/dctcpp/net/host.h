@@ -48,7 +48,10 @@ class Host : public PacketSink, public Checkpointable {
   EgressPort& uplink() { return *uplink_; }
 
   /// Transmits a packet (source fields must already identify this host).
-  void Send(Packet pkt);
+  /// Stamps the conservation uid into the caller's packet in place, so the
+  /// NIC enqueue is the only copy on the emission path.
+  void Send(Packet& pkt);
+  void Send(Packet&& pkt) { Send(pkt); }
 
   /// Registers an established-connection handler keyed by
   /// (local port, remote host, remote port). At most one per key.
@@ -68,6 +71,15 @@ class Host : public PacketSink, public Checkpointable {
   PortNum AllocatePort();
 
   void Deliver(const Packet& pkt) override;
+
+  /// Pulls the demux probe chain for `pkt`'s flow into cache ahead of its
+  /// Deliver (see PacketSink::PrefetchDeliver). The one-entry demux cache
+  /// makes this redundant within a per-flow run; it pays off exactly at
+  /// run boundaries, where the flow-table probe would otherwise miss.
+  void PrefetchDeliver(const Packet& pkt) const override {
+    connections_.Prefetch(
+        PackFlowKey(pkt.tcp.dst_port, pkt.src, pkt.tcp.src_port));
+  }
 
   /// Packets that matched neither a connection nor a listener.
   std::uint64_t unmatched_packets() const { return unmatched_; }

@@ -95,6 +95,10 @@ void EgressPort::Send(const Packet& pkt) {
 
 void EgressPort::EnqueueForTransmit(const Packet& pkt) {
   DCTCPP_PROFILE_SCOPE(kEnqueue);
+  // Catch up on serializations that virtually completed before now, so the
+  // admission and marking decisions below see exactly the occupancy an
+  // eventful transmitter would have shown.
+  if (psim_ == nullptr) SettleTo(sim_.Now());
   FlightRecorder* const fr = sim_.flight_recorder();
   const std::uint64_t marked_before =
       fr != nullptr ? queue_.stats().marked : 0;
@@ -120,15 +124,27 @@ void EgressPort::EnqueueForTransmit(const Packet& pkt) {
   if ((queue_.stats().enqueued & (kByteAuditPeriod - 1)) == 0) {
     AuditQueueBytes();
   }
-  if (!transmitting_) StartTransmission();
+  if (!transmitting_) {
+    if (psim_ != nullptr) {
+      StartTransmission();
+    } else if (!queue_.Empty()) {
+      BeginServiceAt(sim_.Now());
+    }
+  }
 }
 
 void EgressPort::StartTransmission() {
   if (queue_.Empty()) return;
   transmitting_ = true;
-  on_wire_ = queue_.Front();
-  queue_.PopFront();
-  in_flight_bytes_ = on_wire_.WireSize();
+  if (staged_) {
+    // One-copy path: the head queued packet becomes the serving packet in
+    // place; its ring slot — written once at Enqueue — IS the wire.
+    in_flight_bytes_ = queue_.BeginService().WireSize();
+  } else {
+    on_wire_ = queue_.Front();
+    queue_.PopFront();
+    in_flight_bytes_ = on_wire_.WireSize();
+  }
   const Tick tx = in_flight_bytes_ == tx_size_data_ ? tx_time_data_
                   : in_flight_bytes_ == tx_size_ack_
                       ? tx_time_ack_
@@ -136,44 +152,93 @@ void EgressPort::StartTransmission() {
   finish_ev_.ArmIn(tx);
 }
 
-void EgressPort::FinishTransmission() {
-  DCTCPP_PROFILE_SCOPE(kEnqueue);
-  transmitting_ = false;
-  in_flight_bytes_ = 0;
-  // Propagation: the packet arrives at the peer `delay` after the last bit
-  // leaves the wire.
-  const Tick due = sim_.Now() + config_.propagation_delay;
-  if (psim_ != nullptr) {
-    // Sharded mode: the wire is the destination shard's arrival calendar.
-    // (port gid, wire seq) makes the delivery key unique and canonical —
-    // the same packet sorts to the same place whatever the shard count.
-    const std::uint64_t key = (port_gid_ << 32) | (wire_seq_++ & 0xffffffffu);
-    ++handed_off_;
-    psim_->Handoff(src_shard_, dst_shard_, due, key, &peer_, on_wire_);
-    if ((++conservation_clock_ & (kConservationPeriod - 1)) == 0) {
-      CheckConservation();
-    }
-    StartTransmission();
-    return;
+void EgressPort::BeginServiceAt(Tick start) {
+  transmitting_ = true;
+  if (staged_) {
+    // One-copy path: the head queued packet becomes the serving packet in
+    // place; its ring slot — written once at Enqueue — IS the wire.
+    in_flight_bytes_ = queue_.BeginService().WireSize();
+  } else {
+    on_wire_ = queue_.Front();
+    queue_.PopFront();
+    in_flight_bytes_ = on_wire_.WireSize();
   }
-  // The delivery event only tracks the head; finish times are strictly
-  // increasing, so `due_` stays FIFO-ordered.
-  propagating_.PushBack(on_wire_);
+  const Tick tx = in_flight_bytes_ == tx_size_data_ ? tx_time_data_
+                  : in_flight_bytes_ == tx_size_ack_
+                      ? tx_time_ack_
+                      : config_.rate.TransmissionTime(in_flight_bytes_);
+  t_fin_ = start + tx;
+  // Propagation: the packet arrives at the peer `delay` after the last bit
+  // leaves the wire. Finish times are strictly increasing, so `due_` stays
+  // FIFO-ordered; and since the armed delivery at `due_.Front()` has not
+  // fired yet, `due` here is never in the past.
+  const Tick due = t_fin_ + config_.propagation_delay;
   due_.PushBack(due);
   if (!deliver_armed_) {
     deliver_armed_ = true;
     deliver_ev_.ArmAt(due);
+  }
+}
+
+void EgressPort::SettleSlow(Tick t) {
+  while (transmitting_ && t_fin_ <= t) {
+    if (staged_) {
+      queue_.FinishServiceToWire();  // serving -> propagating, zero copy
+    } else {
+      propagating_.PushBack(on_wire_);
+    }
+    transmitting_ = false;
+    in_flight_bytes_ = 0;
+    if (!queue_.Empty()) BeginServiceAt(t_fin_);
+  }
+}
+
+void EgressPort::FinishTransmission() {
+  DCTCPP_PROFILE_SCOPE(kEnqueue);
+  // Sharded mode only — unsharded ports never arm `finish_ev_` (their
+  // completions settle lazily through SettleTo).
+  DCTCPP_DASSERT(psim_ != nullptr);
+  transmitting_ = false;
+  in_flight_bytes_ = 0;
+  // Sharded mode: the wire is the destination shard's arrival calendar.
+  // (port gid, wire seq) makes the delivery key unique and canonical —
+  // the same packet sorts to the same place whatever the shard count.
+  const Tick due = sim_.Now() + config_.propagation_delay;
+  const std::uint64_t key = (port_gid_ << 32) | (wire_seq_++ & 0xffffffffu);
+  ++handed_off_;
+  // The cross-shard copy into the peer's calendar is unavoidable (the
+  // peer owns its arrival storage); in staged mode it is the packet's
+  // only post-enqueue copy, and the serving slot then retires.
+  if (staged_) {
+    psim_->Handoff(src_shard_, dst_shard_, due, key, &peer_,
+                   queue_.Serving());
+    queue_.DropServing();
+  } else {
+    psim_->Handoff(src_shard_, dst_shard_, due, key, &peer_, on_wire_);
+  }
+  if ((++conservation_clock_ & (kConservationPeriod - 1)) == 0) {
+    CheckConservation();
   }
   StartTransmission();
 }
 
 void EgressPort::DeliverHead() {
   DCTCPP_PROFILE_SCOPE(kEnqueue);
+  // The head's serialization finished at `due - delay`, at or before now:
+  // settle so the packet sits in the propagation stage and the next
+  // serialization is already underway.
+  SettleTo(sim_.Now());
   // Delivering in place is safe: the callee can re-enter Send, but only on
   // *other* ports (a packet never routes back out the port it arrived on),
-  // so `propagating_` cannot grow or reallocate under this reference.
-  peer_.Deliver(propagating_.Front());
-  propagating_.PopFront();
+  // so neither the staged ring nor `propagating_` can grow or reallocate
+  // under this reference.
+  if (staged_) {
+    peer_.Deliver(queue_.PropagatingFront());
+    queue_.PopPropagating();
+  } else {
+    peer_.Deliver(propagating_.Front());
+    propagating_.PopFront();
+  }
   due_.PopFront();
   ++delivered_;
   if ((++conservation_clock_ & (kConservationPeriod - 1)) == 0) {
@@ -181,6 +246,15 @@ void EgressPort::DeliverHead() {
   }
   if (!due_.Empty()) {
     deliver_ev_.ArmAt(due_.Front());
+    if (staged_ && queue_.PropagatingCount() > 0) {
+      // Two-stage software pipeline: the packet this event will deliver
+      // next is known now — pull its cacheline (the whole Packet, by the
+      // one-line static_assert) and the peer's demux probe chain for its
+      // flow while the current event's effects settle.
+      const Packet& nx = queue_.PropagatingFront();
+      __builtin_prefetch(&nx, 0, 3);
+      peer_.PrefetchDeliver(nx);
+    }
   } else {
     deliver_armed_ = false;
   }
@@ -205,9 +279,10 @@ void EgressPort::CheckConservation() {
     }
     return;
   }
-  const std::uint64_t resident = queue_.PacketCount() +
-                                 (transmitting_ ? 1u : 0u) +
-                                 propagating_.Size();
+  const std::size_t propagating =
+      staged_ ? queue_.PropagatingCount() : propagating_.Size();
+  const std::uint64_t resident =
+      queue_.PacketCount() + (transmitting_ ? 1u : 0u) + propagating;
   if (queue_.stats().enqueued != delivered_ + resident) {
     sim_.invariants().Violate(
         "port-conservation",
@@ -215,7 +290,7 @@ void EgressPort::CheckConservation() {
         "propagating=%zu",
         static_cast<unsigned long long>(queue_.stats().enqueued),
         static_cast<unsigned long long>(delivered_), queue_.PacketCount(),
-        transmitting_ ? 1u : 0u, propagating_.Size());
+        transmitting_ ? 1u : 0u, propagating);
   }
 }
 
@@ -227,20 +302,34 @@ void EgressPort::SaveState(CheckpointWriter& w) const {
   for (std::uint64_t s : red_state) w.U64(s);
   w.Bool(transmitting_);
   if (transmitting_) {
-    SavePacket(w, on_wire_);
+    // Staged mode: the serving packet is inside the queue blob already
+    // (region sizes lead it); only the copy-chain mode owns a separate
+    // on-wire slot. Same-binary blobs always restore in the same mode.
+    if (!staged_) SavePacket(w, on_wire_);
     w.I64(in_flight_bytes_);
-    Tick at = 0;
-    std::uint64_t seq = 0;
-    finish_ev_.Arming(&at, &seq);
-    w.I64(at);
-    w.U64(seq);
+    if (psim_ != nullptr) {
+      // Sharded: the eventful finish is pending — save its exact arming.
+      Tick at = 0;
+      std::uint64_t seq = 0;
+      finish_ev_.Arming(&at, &seq);
+      w.I64(at);
+      w.U64(seq);
+    } else {
+      // Unsharded: no finish event exists; the lazy finish instant is the
+      // whole serialization state. Unsettled virtual completions are
+      // checkpoint-faithful as-is — restoring the same (t_fin_, due_,
+      // delivery arming) replays the same settlements.
+      w.I64(t_fin_);
+    }
   }
   w.U64(wire_seq_);
   w.U64(handed_off_);
   w.U64(delivered_);
   w.U64(conservation_clock_);
-  w.U64(propagating_.Size());
-  propagating_.ForEach([&w](const Packet& pkt) { SavePacket(w, pkt); });
+  if (!staged_) {
+    w.U64(propagating_.Size());
+    propagating_.ForEach([&w](const Packet& pkt) { SavePacket(w, pkt); });
+  }
   due_.SaveState(w);
   w.Bool(deliver_armed_);
   if (deliver_armed_) {
@@ -260,19 +349,25 @@ void EgressPort::LoadState(CheckpointReader& r) {
   red_rng_.LoadState(red_state);
   transmitting_ = r.Bool();
   if (transmitting_) {
-    on_wire_ = LoadPacket(r);
+    if (!staged_) on_wire_ = LoadPacket(r);
     in_flight_bytes_ = r.I64();
-    const Tick at = r.I64();
-    const std::uint64_t seq = r.U64();
-    finish_ev_.ArmAtWithSeq(at, seq);
+    if (psim_ != nullptr) {
+      const Tick at = r.I64();
+      const std::uint64_t seq = r.U64();
+      finish_ev_.ArmAtWithSeq(at, seq);
+    } else {
+      t_fin_ = r.I64();
+    }
   }
   wire_seq_ = r.U64();
   handed_off_ = r.U64();
   delivered_ = r.U64();
   conservation_clock_ = r.U64();
-  const std::uint64_t propagating = r.U64();
-  for (std::uint64_t i = 0; i < propagating; ++i) {
-    propagating_.PushBack(LoadPacket(r));
+  if (!staged_) {
+    const std::uint64_t propagating = r.U64();
+    for (std::uint64_t i = 0; i < propagating; ++i) {
+      propagating_.PushBack(LoadPacket(r));
+    }
   }
   due_.LoadState(r);
   deliver_armed_ = r.Bool();

@@ -21,6 +21,7 @@
 #include "dctcpp/sim/pinned_event.h"
 #include "dctcpp/sim/simulator.h"
 #include "dctcpp/util/assert.h"
+#include "dctcpp/util/reference_mode.h"
 #include "dctcpp/util/units.h"
 
 namespace dctcpp {
@@ -32,6 +33,11 @@ class PacketSink {
  public:
   virtual ~PacketSink() = default;
   virtual void Deliver(const Packet& pkt) = 0;
+  /// Cache hint that `pkt` will be Deliver()ed shortly (the burst pipeline
+  /// calls this for arrival i+1 while arrival i is being processed). Must
+  /// have no observable effect; hosts prefetch their demux slot for the
+  /// packet's flow key, the default does nothing.
+  virtual void PrefetchDeliver(const Packet& pkt) const { (void)pkt; }
 };
 
 /// Configuration of one link direction.
@@ -81,12 +87,18 @@ class EgressPort : public Checkpointable {
   PacketSink& peer() const { return peer_; }
 
   /// Bytes queued plus the packet currently on the wire; the quantity a
-  /// hardware queue-length register would report.
+  /// hardware queue-length register would report. Unsharded ports settle
+  /// serializations lazily (see SettleTo), so an external sampler may see
+  /// serializations that virtually completed within the trailing
+  /// propagation delay still counted here; admission/marking decisions
+  /// always run on settled state, and the value is exact whenever the
+  /// simulator is drained.
   Bytes BacklogBytes() const {
     return queue_.OccupancyBytes() + in_flight_bytes_;
   }
 
-  /// True while a packet is serializing.
+  /// True while a packet is serializing (same lazy-settlement caveat as
+  /// BacklogBytes).
   bool Transmitting() const { return transmitting_; }
 
   /// Packets dropped by the random-loss injector (not buffer overflow).
@@ -105,16 +117,19 @@ class EgressPort : public Checkpointable {
   }
 
   /// Checkpoint (registered with the owning Simulator at construction):
-  /// queue contents, the serializing packet, the propagation pipeline, the
-  /// impairment stage, counters, and both pinned events' exact armings.
+  /// queue contents, the serializing packet (with its lazy finish instant
+  /// in unsharded mode, the finish event's exact arming in sharded mode),
+  /// the propagation pipeline, the impairment stage, counters, and the
+  /// delivery event's exact arming.
   void SaveState(CheckpointWriter& w) const override;
   void LoadState(CheckpointReader& r) override;
 
  private:
   friend class ImpairmentStage;
 
-  /// Flat power-of-two ring of absolute delivery times, same FIFO order as
-  /// `propagating_`. No steady-state allocation.
+  /// Flat power-of-two ring of absolute delivery times, FIFO. Covers the
+  /// propagation stage plus (unsharded) the serving packet, whose due time
+  /// is computed at serialization begin. No steady-state allocation.
   class TickFifo {
    public:
     TickFifo() : buf_(64) {}
@@ -174,6 +189,24 @@ class EgressPort : public Checkpointable {
   void FinishTransmission();
   void DeliverHead();
 
+  /// Lazy transmitter (unsharded only): replays every serialization that
+  /// virtually completed at or before `t` — serving packet moves to the
+  /// propagation stage, the next queued packet begins serializing at the
+  /// exact tick the wire freed. Called at the port's observation points
+  /// (enqueue admission, each delivery); the no-op case (wire idle or
+  /// still serializing) stays inline.
+  void SettleTo(Tick t) {
+    if (transmitting_ && t_fin_ <= t) SettleSlow(t);
+  }
+  void SettleSlow(Tick t);
+
+  /// Begins serializing the head queued packet as of instant `start`
+  /// (which may lie in the past when invoked from SettleTo), computes its
+  /// finish/delivery times, and arms the delivery event if idle. The
+  /// eventful FinishTransmission never runs in unsharded mode — the finish
+  /// instant lives in `t_fin_` until an observation settles it.
+  void BeginServiceAt(Tick start);
+
   /// O(1) conservation check: every packet the queue ever accepted is
   /// delivered, still queued, serializing, or propagating. Run every
   /// `kConservationPeriod`-th delivery (handoff in sharded mode) and at
@@ -218,15 +251,32 @@ class EgressPort : public Checkpointable {
   Tick tx_time_ack_ = 0;
   Bytes tx_size_ack_ = 0;
   std::uint64_t conservation_clock_ = 0;
-  // The serializing packet and the packets in flight on the wire live here
-  // instead of in event closures. Propagation delay is constant per port,
-  // so deliveries leave `propagating_` in FIFO order: one pinned delivery
-  // event tracks the head's due time (`due_`), re-arming itself as packets
-  // drain — each port owns exactly two wheel nodes for its lifetime
-  // however many packets it carries.
+  // One-copy egress (the production path, `staged_` true): the serializing
+  // packet and the packets in flight on the wire stay *inside the queue's
+  // ring* — BeginService/FinishServiceToWire/PopPropagating move region
+  // boundaries over slots written once at Enqueue. The scalar reference
+  // mode (SetScalarReferenceForTest) instead replays the original copy
+  // chain through `on_wire_` and `propagating_` below, so the regression
+  // harness can prove the staged pipeline is observationally identical.
+  // Either way propagation delay is constant per port, so deliveries leave
+  // the wire in FIFO order: one pinned delivery event tracks the head's
+  // due time (`due_`), re-arming itself as packets drain.
+  //
+  // Unsharded runs never arm `finish_ev_`: serialization completions are
+  // settled lazily by SettleTo at the port's observation points instead of
+  // costing a wheel event per packet. `t_fin_` holds the serving packet's
+  // finish instant; `due_` is pushed at serialization *begin* (its entries
+  // cover propagating + serving packets), which is safe because the armed
+  // delivery at `due_.Front()` has not fired yet, so every newly computed
+  // due time is provably >= Now(). The delivery event is therefore the
+  // port's only armed wheel node however many packets it carries. Sharded
+  // mode keeps the eventful finish: the calendar handoff must execute
+  // inside the conservative-parallel window that contains it.
+  const bool staged_ = !ScalarReferenceEnabled();
   Packet on_wire_;
   PacketFifo propagating_;
   TickFifo due_;
+  Tick t_fin_ = 0;
   PinnedEvent finish_ev_;
   PinnedEvent deliver_ev_;
   bool deliver_armed_ = false;

@@ -40,31 +40,39 @@ struct SackBlock {
   bool Valid() const { return start != end; }
 };
 
-/// TCP header flags and fields used by the model.
+/// TCP header flags and fields used by the model. The five flag booleans
+/// are single-bit fields sharing one byte: call sites read and assign them
+/// exactly as before, but the header packs into 40 bytes, which is what
+/// lets a whole Packet fit one cache line (static_assert below).
 struct TcpHeader {
   PortNum src_port = 0;
   PortNum dst_port = 0;
   std::uint32_t seq = 0;  ///< first payload byte (or SYN/FIN occupying one)
   std::uint32_t ack = 0;  ///< next expected byte (valid when `ack_flag`)
-  bool syn = false;
-  bool fin = false;
-  bool ack_flag = false;
-  bool ece = false;  ///< ECN-echo (receiver -> sender)
-  bool cwr = false;  ///< congestion window reduced (sender -> receiver)
   /// RFC 2018 selective acknowledgment option: up to 3 out-of-order
   /// ranges the receiver holds (all-zero blocks are absent). Only filled
   /// when both ends negotiated SACK.
   SackBlock sack[3];
+  bool syn : 1 = false;
+  bool fin : 1 = false;
+  bool ack_flag : 1 = false;
+  bool ece : 1 = false;  ///< ECN-echo (receiver -> sender)
+  bool cwr : 1 = false;  ///< congestion window reduced (sender -> receiver)
 };
+static_assert(sizeof(TcpHeader) == 40, "TcpHeader must stay packed");
 
-/// One simulated packet.
+/// One simulated packet. Field order and widths are chosen so the whole
+/// struct fits a single 64-byte cache line: every copy on the egress path
+/// is one cacheline move, and a burst pipeline entry prefetches with one
+/// line fill. `payload` is a 32-bit count (a segment carries at most kMss
+/// bytes; byte *totals* use the 64-bit Bytes type, to which it widens
+/// implicitly).
 struct Packet {
   NodeId src = kInvalidNode;
   NodeId dst = kInvalidNode;
   TcpHeader tcp;
+  std::int32_t payload = 0;  ///< TCP payload bytes (<= kMss per segment)
   Ecn ecn = Ecn::kNotEct;
-  Bytes payload = 0;       ///< TCP payload bytes
-  std::uint64_t uid = 0;   ///< unique per-simulation id, for tracing
   /// Set by the impairment layer when payload/header bits were flipped in
   /// transit. Switches still forward the packet (the model is an
   /// end-to-end TCP checksum, not a per-hop FCS); the destination host's
@@ -77,9 +85,10 @@ struct Packet {
   /// toward the tagged group until the packet reaches it (or its
   /// destination group), then fall back to minimal routing.
   std::int16_t valiant_group = -1;
+  std::uint64_t uid = 0;  ///< unique per-simulation id, for tracing
 
   /// Bytes this packet occupies on the wire and in switch buffers.
-  Bytes WireSize() const { return payload + kHeaderBytes; }
+  Bytes WireSize() const { return static_cast<Bytes>(payload) + kHeaderBytes; }
 
   bool IsData() const { return payload > 0; }
 
@@ -95,5 +104,8 @@ struct Packet {
   /// over DescribeTo that builds a std::string — not for hot paths.
   std::string Describe() const;
 };
+static_assert(sizeof(Packet) <= 64,
+              "Packet must fit one cache line: the burst pipeline and the "
+              "one-copy egress path budget exactly one line per packet");
 
 }  // namespace dctcpp

@@ -32,17 +32,18 @@ class PacketRing {
     std::size_t cap = 1;
     while (cap < initial_capacity) cap <<= 1;
     slots_.resize(cap);
+    mask_ = cap - 1;
   }
 
   bool Empty() const { return count_ == 0; }
   std::size_t Size() const { return count_; }
-  std::size_t Capacity() const { return slots_.size(); }
+  std::size_t Capacity() const { return mask_ + 1; }
 
   /// Appends a copy of `pkt` and returns the stored slot (valid until the
   /// next PushBack, which may grow the ring).
   Packet& PushBack(const Packet& pkt) {
-    if (count_ == slots_.size()) Grow();
-    Packet& slot = slots_[(head_ + count_) & (slots_.size() - 1)];
+    if (count_ > mask_) Grow();
+    Packet& slot = slots_[(head_ + count_) & mask_];
     slot = pkt;
     ++count_;
     return slot;
@@ -55,8 +56,21 @@ class PacketRing {
 
   void PopFront() {
     DCTCPP_DASSERT(count_ > 0);
-    head_ = (head_ + 1) & (slots_.size() - 1);
+    head_ = (head_ + 1) & mask_;
     --count_;
+  }
+
+  /// The i-th resident packet in FIFO order (0 = Front). The staged
+  /// egress pipeline addresses its serving/propagating regions this way;
+  /// the reference stays valid until the next PushBack (which may grow
+  /// the ring) or PopFront.
+  Packet& At(std::size_t i) {
+    DCTCPP_DASSERT(i < count_);
+    return slots_[(head_ + i) & mask_];
+  }
+  const Packet& At(std::size_t i) const {
+    DCTCPP_DASSERT(i < count_);
+    return slots_[(head_ + i) & mask_];
   }
 
   /// Visits every resident packet in FIFO order (audit walks only — the
@@ -64,7 +78,7 @@ class PacketRing {
   template <typename F>
   void ForEach(F&& fn) const {
     for (std::size_t i = 0; i < count_; ++i) {
-      fn(slots_[(head_ + i) & (slots_.size() - 1)]);
+      fn(slots_[(head_ + i) & mask_]);
     }
   }
 
@@ -72,13 +86,19 @@ class PacketRing {
   void Grow() {
     std::vector<Packet> bigger(slots_.size() * 2);
     for (std::size_t i = 0; i < count_; ++i) {
-      bigger[i] = slots_[(head_ + i) & (slots_.size() - 1)];
+      bigger[i] = slots_[(head_ + i) & mask_];
     }
     slots_.swap(bigger);
+    mask_ = slots_.size() - 1;
     head_ = 0;
   }
 
+  // The capacity mask is cached rather than derived from slots_.size() on
+  // every operation: with 64-byte Packets the slot index is then one
+  // add+and+shift, where reloading the vector size put a load and a
+  // non-constant multiply on the fifo_ring micro's critical path.
   std::vector<Packet> slots_;
+  std::size_t mask_ = 0;
   std::size_t head_ = 0;
   std::size_t count_ = 0;
 };
@@ -119,6 +139,14 @@ class PacketFifo {
     } else {
       ring_.PopFront();
     }
+  }
+
+  /// The i-th resident packet in FIFO order (0 = Front); see PacketRing::At.
+  Packet& At(std::size_t i) {
+    return reference_ ? deque_[i] : ring_.At(i);
+  }
+  const Packet& At(std::size_t i) const {
+    return reference_ ? deque_[i] : ring_.At(i);
   }
 
   /// Visits every resident packet in FIFO order (audit walks only).

@@ -148,6 +148,13 @@ class ArrivalCalendar {
   /// Removes and returns the earliest entry. Precondition: !Empty().
   CalendarEntry PopEarliest();
 
+  /// The earliest entry in place, without removing it (the drain loop's
+  /// lookahead prefetch). Precondition: !Empty().
+  const CalendarEntry& PeekEarliest() const {
+    DCTCPP_DASSERT(!heap_.empty());
+    return heap_[0];
+  }
+
   /// Checkpoint: entries in raw heap-array order (a valid heap layout
   /// restored verbatim is a valid heap and reproduces pop tie-breaking
   /// bit-identically). Sink pointers never serialize — LoadState
@@ -498,6 +505,10 @@ class ParallelSimulation {
 
   std::uint64_t seed_;
   Tick lookahead_ = kTickMax;
+  /// Scalar reference mode disables the drain loop's lookahead prefetch
+  /// (see util/reference_mode.h); captured at construction like every
+  /// other reference-mode flag.
+  const bool scalar_ref_ = ScalarReferenceEnabled();
   LookaheadMode mode_ = LookaheadMode::kChannelClock;
   SharedSequences sequences_;
   std::atomic<bool> stop_{false};

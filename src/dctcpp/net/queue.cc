@@ -62,6 +62,7 @@ bool DropTailEcnQueue::Enqueue(const Packet& pkt) {
 }
 
 std::optional<Packet> DropTailEcnQueue::Dequeue() {
+  DCTCPP_DASSERT(n_propagating_ == 0 && !serving_);
   if (queue_.Empty()) return std::nullopt;
   Packet pkt = queue_.Front();
   PopFront();
@@ -69,12 +70,49 @@ std::optional<Packet> DropTailEcnQueue::Dequeue() {
 }
 
 void DropTailEcnQueue::PopFront() {
+  // Reference (copy-chain) egress and standalone queues only: the staged
+  // pipeline never pops a queued packet, it re-labels it as serving.
+  DCTCPP_DASSERT(n_propagating_ == 0 && !serving_);
   occupancy_ -= queue_.Front().WireSize();
   DCTCPP_ASSERT(occupancy_ >= 0);
   queue_.PopFront();
 }
 
+const Packet& DropTailEcnQueue::BeginService() {
+  DCTCPP_DASSERT(!serving_);
+  DCTCPP_DASSERT(PacketCount() > 0);
+  const Packet& pkt = queue_.At(n_propagating_);
+  occupancy_ -= pkt.WireSize();
+  DCTCPP_ASSERT(occupancy_ >= 0);
+  serving_ = true;
+  return pkt;
+}
+
+void DropTailEcnQueue::FinishServiceToWire() {
+  DCTCPP_DASSERT(serving_);
+  serving_ = false;
+  ++n_propagating_;
+}
+
+void DropTailEcnQueue::DropServing() {
+  DCTCPP_DASSERT(serving_ && n_propagating_ == 0);
+  serving_ = false;
+  queue_.PopFront();
+}
+
+void DropTailEcnQueue::PopPropagating() {
+  DCTCPP_DASSERT(n_propagating_ > 0);
+  --n_propagating_;
+  queue_.PopFront();
+}
+
 void DropTailEcnQueue::SaveState(CheckpointWriter& w) const {
+  // Region sizes first, then every resident packet in FIFO order — the
+  // staged regions reconstruct from the sizes alone (their packets are
+  // the FIFO prefix). Legacy/standalone queues write 0/false here, so the
+  // blob layout is the same shape in both egress modes.
+  w.U64(n_propagating_);
+  w.Bool(serving_);
   w.U64(queue_.Size());
   queue_.ForEach([&w](const Packet& pkt) { SavePacket(w, pkt); });
   w.I64(occupancy_);
@@ -87,6 +125,9 @@ void DropTailEcnQueue::SaveState(CheckpointWriter& w) const {
 
 void DropTailEcnQueue::LoadState(CheckpointReader& r) {
   DCTCPP_ASSERT(queue_.Empty());
+  DCTCPP_ASSERT(n_propagating_ == 0 && !serving_);
+  n_propagating_ = r.U64();
+  serving_ = r.Bool();
   const std::uint64_t n = r.U64();
   for (std::uint64_t i = 0; i < n; ++i) queue_.PushBack(LoadPacket(r));
   occupancy_ = r.I64();

@@ -57,23 +57,77 @@ class DropTailEcnQueue {
   bool Enqueue(const Packet& pkt);
 
   /// Removes and returns the head packet, or nullopt when empty.
+  /// Standalone-queue API: not usable while service staging is active.
   std::optional<Packet> Dequeue();
 
-  /// Zero-copy drain used by the transmitter: the head packet in place,
-  /// then an explicit pop. Preconditions: !Empty().
-  const Packet& Front() const { return queue_.Front(); }
+  /// Zero-copy drain used by the reference (copy-chain) transmitter: the
+  /// head queued packet in place, then an explicit pop.
+  /// Preconditions: !Empty().
+  const Packet& Front() const { return queue_.At(QueuedBase()); }
   void PopFront();
 
-  bool Empty() const { return queue_.Empty(); }
-  std::size_t PacketCount() const { return queue_.Size(); }
+  bool Empty() const { return PacketCount() == 0; }
+  /// Packets awaiting service (the *queued* region only: a packet being
+  /// serialized or propagating on the wire no longer occupies the buffer,
+  /// exactly as before staging — see BeginService).
+  std::size_t PacketCount() const {
+    return queue_.Size() - n_propagating_ - (serving_ ? 1u : 0u);
+  }
   Bytes OccupancyBytes() const { return occupancy_; }
 
-  /// Recomputes occupancy by walking the resident packets — the ground
-  /// truth the incrementally-maintained `OccupancyBytes()` must match.
-  /// O(n); used by the egress port's amortized buffer-accounting audit.
+  // -------------------------------------------------------------------------
+  // Staged service: the one-copy egress pipeline. The backing FIFO holds,
+  // in arrival order from the front, [propagating | serving | queued]
+  // regions; a packet is copied exactly once (Enqueue's slot store) and
+  // then *stays in place* while it serializes and propagates — the
+  // transitions below only move region boundaries. Occupancy, drop-tail
+  // admission, and ECN marking all read the queued region alone, so the
+  // buffer model is bit-identical to the copy-chain path this replaces.
+  // The EgressPort is the only caller; standalone queues (tests, RED
+  // harnesses) never stage and see the legacy behavior unchanged.
+
+  /// Front queued packet -> serving: leaves the buffer accounting
+  /// (occupancy excludes it, as a serializing packet lives in the port's
+  /// in-flight register). Returns the serving slot. Preconditions:
+  /// !Empty(), no packet already serving.
+  const Packet& BeginService();
+  /// The packet currently serializing. Precondition: a BeginService is
+  /// outstanding.
+  const Packet& Serving() const {
+    DCTCPP_DASSERT(serving_);
+    return queue_.At(n_propagating_);
+  }
+  /// Serving -> propagating, in place (the unsharded wire).
+  void FinishServiceToWire();
+  /// Removes the serving packet (sharded mode: its bytes were copied into
+  /// the peer shard's arrival calendar). Precondition: no propagating
+  /// region (sharded ports never have one).
+  void DropServing();
+
+  std::size_t PropagatingCount() const { return n_propagating_; }
+  /// Oldest in-flight packet — the next to be delivered. Precondition:
+  /// PropagatingCount() > 0.
+  const Packet& PropagatingFront() const {
+    DCTCPP_DASSERT(n_propagating_ > 0);
+    return queue_.Front();
+  }
+  /// The i-th in-flight packet (0 = PropagatingFront), for delivery
+  /// prefetch. Precondition: i < PropagatingCount().
+  const Packet& PropagatingAt(std::size_t i) const {
+    DCTCPP_DASSERT(i < n_propagating_);
+    return queue_.At(i);
+  }
+  /// Retires the delivered head of the propagating region.
+  void PopPropagating();
+
+  /// Recomputes occupancy by walking the resident *queued* packets — the
+  /// ground truth the incrementally-maintained `OccupancyBytes()` must
+  /// match. O(n); used by the egress port's amortized buffer audit.
   Bytes ComputeOccupancyBytes() const {
     Bytes total = 0;
-    queue_.ForEach([&](const Packet& pkt) { total += pkt.WireSize(); });
+    for (std::size_t i = QueuedBase(); i < queue_.Size(); ++i) {
+      total += queue_.At(i).WireSize();
+    }
     return total;
   }
   Bytes capacity() const { return capacity_; }
@@ -90,10 +144,17 @@ class DropTailEcnQueue {
  private:
   bool RedShouldMark();
 
+  /// FIFO index of the first queued packet (past the staged regions).
+  std::size_t QueuedBase() const {
+    return n_propagating_ + (serving_ ? 1u : 0u);
+  }
+
   Bytes capacity_;
   Bytes ecn_threshold_;
   Bytes occupancy_ = 0;
   PacketFifo queue_;
+  std::size_t n_propagating_ = 0;  ///< staged region sizes; see BeginService
+  bool serving_ = false;
   Stats stats_;
 
   RedConfig red_config_;

@@ -58,7 +58,7 @@ Packet LoadPacket(CheckpointReader& r) {
     b.end = r.U32();
   }
   pkt.ecn = static_cast<Ecn>(r.U8());
-  pkt.payload = r.I64();
+  pkt.payload = static_cast<std::int32_t>(r.I64());
   pkt.uid = r.U64();
   pkt.valiant_group = static_cast<std::int16_t>(r.I64());
   return pkt;

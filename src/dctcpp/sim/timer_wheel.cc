@@ -158,6 +158,7 @@ void TimerWheelScheduler::Place(std::uint32_t idx, Node& n) {
     LinkSorted(0, static_cast<int>(n.at & (kL0Slots - 1)), idx, n);
     return;
   }
+  if (n.at < upper_min_at_) upper_min_at_ = n.at;
   if (delta >= kWheelSpan) {
     n.loc = kLocHeap;
     n.level = -1;
@@ -263,16 +264,7 @@ void TimerWheelScheduler::CancelPinned(std::uint32_t idx) {
   --live_count_;
 }
 
-void TimerWheelScheduler::AdvanceTo(Tick t) {
-  DCTCPP_DASSERT(t >= now_);
-  if (((now_ ^ t) >> kL0Bits) == 0) {
-    // Same level-1 position: no upper-level window boundary was crossed,
-    // so nothing can cascade (this also covers t == now_). Datapath
-    // events advance time by a few microseconds, so this is the
-    // overwhelmingly common case.
-    now_ = t;
-    return;
-  }
+void TimerWheelScheduler::AdvanceCascade(Tick t) {
   // Level 0 needs no work when time advances: t is never past a pending
   // event, so every one-tick slot in [now_, t) is already empty and its
   // occupancy bits were cleared as the events popped.
@@ -341,7 +333,15 @@ void TimerWheelScheduler::EnsureNext() {
     cached_at_ = now_ + ((slot0 - pos0) & (kL0Slots - 1));
     cached_seq_ = NodeAt(h).seq;
     cached_idx_ = h;
+    // Steady-state fast path: every upper-level and heap event is bounded
+    // below by upper_min_at_, so a strictly earlier level-0 minimum is the
+    // global minimum and the six upper bitmap probes plus the heap
+    // stale-drop are skipped. Ties must full-scan (lower seq possible).
+    if (cached_at_ < upper_min_at_) return;
   }
+  // Full scan; tightens upper_min_at_ back to the exact lower bound (the
+  // min of each level's first-occupied-slot base and the live heap top).
+  Tick upper_min = kTickMax;
   for (int k = 1; k <= kUpperLevels; ++k) {
     if (occupied_[k - 1] == 0) continue;
     const int shift = UpperShift(k);
@@ -356,6 +356,7 @@ void TimerWheelScheduler::EnsureNext() {
     const int slot = (start + off) & (kSlotsPerLevel - 1);
     Tick base = (now_ & ~(lap - 1)) + Tick(slot) * width;
     if (base <= now_) base += lap;  // passed/current slot index: next lap
+    if (base < upper_min) upper_min = base;
     if (base > cached_at_) continue;  // cannot beat or tie the minimum
     for (std::uint32_t i = upper_[k - 1][slot].head; i != kNil;
          i = NodeAt(i).next) {
@@ -377,6 +378,7 @@ void TimerWheelScheduler::EnsureNext() {
   }
   if (!heap_.empty()) {
     const HeapEntry& top = heap_.front();
+    if (top.at < upper_min) upper_min = top.at;
     if (top.at < cached_at_ ||
         (top.at == cached_at_ && top.seq < cached_seq_)) {
       cached_at_ = top.at;
@@ -385,6 +387,7 @@ void TimerWheelScheduler::EnsureNext() {
       cached_from_heap_ = true;
     }
   }
+  upper_min_at_ = upper_min;
 }
 
 Tick TimerWheelScheduler::NextTime() {
@@ -504,6 +507,19 @@ std::uint64_t TimerWheelScheduler::RunSlotBatch(const bool* stop) {
       }
       break;
     }
+    // Two-stage software pipeline over the burst: pull the node two ahead
+    // into cache (the address computation is just a chunk-pointer load, no
+    // dependent dereference), and the *context object* one ahead — by then
+    // that node's line is resident, so reading pin_ctx doesn't stall. The
+    // contexts are the EgressPorts/sockets about to run; their first line
+    // is exactly what the continuation touches first.
+    if (b + 2 < batch_.size()) {
+      __builtin_prefetch(&NodeAt(batch_[b + 2].idx), 0, 3);
+    }
+    if (b + 1 < batch_.size()) {
+      void* const next_ctx = NodeAt(batch_[b + 1].idx).pin_ctx;
+      if (next_ctx != nullptr) __builtin_prefetch(next_ctx, 0, 3);
+    }
     const BatchEntry e = batch_[b];
     Node& n = NodeAt(e.idx);
     if (n.loc != kLocBatch || n.seq != e.seq) continue;  // cancelled mid-batch
@@ -572,7 +588,7 @@ std::uint64_t TimerWheelScheduler::RunLoop(Tick deadline, const bool* stop,
     EnsureNext();
     if (cached_at_ > deadline) break;
     *sim_now = cached_at_;
-    if (!cached_from_heap_) {
+    if (!cached_from_heap_ && !scalar_ref_) {
       const Node& n = NodeAt(cached_idx_);
       if (n.level == 0 && n.next != kNil &&
           (heap_.empty() || heap_.front().at > cached_at_)) {

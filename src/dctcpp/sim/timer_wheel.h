@@ -44,6 +44,7 @@
 #include "dctcpp/sim/event_id.h"
 #include "dctcpp/sim/inline_action.h"
 #include "dctcpp/util/assert.h"
+#include "dctcpp/util/reference_mode.h"
 #include "dctcpp/util/time.h"
 
 namespace dctcpp {
@@ -255,8 +256,19 @@ class TimerWheelScheduler {
   int FindL0From(int pos) const;
 
   /// Advances the wheel to `t` (<= every pending event's time), cascading
-  /// higher-level slots whose windows were entered or passed.
-  void AdvanceTo(Tick t);
+  /// higher-level slots whose windows were entered or passed. The no-cascade
+  /// fast path is inline: datapath events advance time by a few
+  /// microseconds, so a level-1 window boundary is rarely crossed (this
+  /// also covers t == now_).
+  void AdvanceTo(Tick t) {
+    DCTCPP_DASSERT(t >= now_);
+    if (((now_ ^ t) >> kL0Bits) == 0) {
+      now_ = t;
+      return;
+    }
+    AdvanceCascade(t);
+  }
+  void AdvanceCascade(Tick t);
 
   /// Drops stale heap tops, then computes the exact earliest pending event
   /// into the cached_* fields (kTickMax/kNil when empty).
@@ -288,6 +300,12 @@ class TimerWheelScheduler {
   std::vector<HeapEntry> heap_;   // overflow level, lazy-cancelled
   std::vector<BatchEntry> batch_; // same-tick run-buffer (RunSlotBatch)
 
+  // Per-packet reference mode (SetScalarReferenceForTest): RunLoop skips
+  // the same-tick batch drain and pops one event at a time, so the
+  // regression harness can prove the batched+prefetched pipeline is
+  // observationally identical to the scalar pop order.
+  const bool scalar_ref_ = ScalarReferenceEnabled();
+
   std::vector<std::unique_ptr<Node[]>> chunks_;
   std::uint32_t alloc_count_ = 0;
   std::uint32_t free_head_ = kNil;
@@ -299,6 +317,18 @@ class TimerWheelScheduler {
   Tick cached_at_ = kTickMax;
   std::uint64_t cached_seq_ = ~0ull;
   std::uint32_t cached_idx_ = kNil;
+
+  // Conservative lower bound on the earliest event homed in the upper
+  // levels or the overflow heap (kTickMax when provably empty). Place
+  // lowers it on every upper/heap insert; full EnsureNext scans tighten it
+  // back up. While the level-0 minimum is *strictly* below this bound, the
+  // per-pop scan of six upper-level bitmaps and the heap stale-drop are
+  // skipped entirely — in the datapath steady state (every event < 16.4 us
+  // out) the bound stays far in the future and wheel-pop is pure L0
+  // bitmap-ctz. Ties fall back to the full scan: an upper/heap event at
+  // the same tick could carry a lower seq. Cascades and cancellations only
+  // make the bound stale-low, which costs the fast path, never correctness.
+  Tick upper_min_at_ = kTickMax;
 };
 
 }  // namespace dctcpp

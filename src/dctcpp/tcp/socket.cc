@@ -242,7 +242,7 @@ bool TcpSocket::AckBurstEligible(const Packet& pkt) const {
   return linear_ack > stream_acked_ && linear_ack <= stream_max_sent_;
 }
 
-void TcpSocket::EmitPacket(const Packet& pkt) {
+void TcpSocket::EmitPacket(Packet& pkt) {
   if (defer_tx_) {
     burst_tx_.push_back(pkt);
     return;
@@ -251,7 +251,7 @@ void TcpSocket::EmitPacket(const Packet& pkt) {
 }
 
 void TcpSocket::FlushBurstTx() {
-  for (const Packet& p : burst_tx_) host_.Send(p);
+  for (Packet& p : burst_tx_) host_.Send(p);
   burst_tx_.clear();
 }
 
@@ -672,7 +672,7 @@ bool TcpSocket::SendDataSegment(std::int64_t offset, Bytes len,
     pkt.tcp.ack = (rx_.rcv_nxt() + (peer_fin_received_ ? 1 : 0)).raw();
     pkt.tcp.ece = ReceiverEce();  // piggybacked echo
   }
-  pkt.payload = len;
+  pkt.payload = static_cast<std::int32_t>(len);
   pkt.ecn = ecn_ok_ ? Ecn::kEct : Ecn::kNotEct;
   if (cwr_pending_) {
     pkt.tcp.cwr = true;

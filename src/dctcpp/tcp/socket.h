@@ -236,7 +236,7 @@ class TcpSocket {
   bool AckBurstEligible(const Packet& pkt) const;
   /// All socket egress funnels through here; while `defer_tx_` is set the
   /// fully built packet is buffered instead of handed to the host.
-  void EmitPacket(const Packet& pkt);
+  void EmitPacket(Packet& pkt);
   /// Emits the deferred packets (in order) without closing the batch.
   void FlushBurstTx();
   /// End-of-run flush: emit, then run the deferred invariant sweep.

@@ -50,6 +50,37 @@ struct Counters {
   }
 };
 
+// ---------------------------------------------------------------------------
+// Hardware counters (perf_event_open). Four events cover the questions the
+// burst-pipeline work keeps asking: cycles and instructions give IPC,
+// cache-misses shows what prefetching bought, branch-misses what the
+// bitmap/batch paths bought. Per-phase attribution needs userspace counter
+// reads (rdpmc through the perf mmap page); when the kernel grants the
+// events but not rdpmc, run-level totals via read(2) still work. When
+// perf_event_open itself is denied (seccomp, perf_event_paranoid) the
+// whole layer degrades to HwAvailable() == false with the reason in
+// HwStatus() — callers print "unavailable" and stay green, so CI works in
+// unprivileged containers.
+
+/// One event-set sample: raw counts since the matching HwReset().
+struct HwCounts {
+  std::uint64_t cycles = 0;
+  std::uint64_t instructions = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t branch_misses = 0;
+};
+
+/// Everything HwSnapshot() reports. `per_phase` is true only in rdpmc
+/// mode, where `phase[]` carries the exclusive (self-time) attribution
+/// mirroring Counters::cycles; `total` is always read(2)-exact when
+/// `available`.
+struct HwSnapshotData {
+  bool available = false;
+  bool per_phase = false;
+  HwCounts total;
+  HwCounts phase[kNumPhases] = {};
+};
+
 }  // namespace dctcpp::prof
 
 #if DCTCPP_PROFILE
@@ -58,6 +89,18 @@ struct Counters {
 #include <x86intrin.h>
 #else
 #include <chrono>
+#endif
+
+#if defined(__linux__)
+#include <linux/perf_event.h>
+#include <sys/ioctl.h>
+#include <sys/mman.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
 #endif
 
 namespace dctcpp::prof {
@@ -100,15 +143,221 @@ inline void Reset() {
   s.last = ReadCycles();
 }
 
+// --- Hardware-counter backend ----------------------------------------------
+
+#if defined(__linux__)
+
+inline constexpr int kHwNumEvents = 4;
+
+struct HwState {
+  bool tried = false;       ///< perf_event_open attempted on this thread
+  bool available = false;   ///< all four events opened
+  bool rdpmc = false;       ///< userspace reads work: per-phase attribution on
+  char status[160] = "uninitialized";
+  int fd[kHwNumEvents] = {-1, -1, -1, -1};
+  perf_event_mmap_page* meta[kHwNumEvents] = {};
+  std::uint64_t base[kHwNumEvents] = {};  ///< read(2) values at HwReset
+  std::uint64_t last[kHwNumEvents] = {};  ///< rdpmc values at last transition
+  // phase_raw[p][e]: event e's count attributed to phase p (rdpmc mode).
+  std::uint64_t phase_raw[kNumPhases][kHwNumEvents] = {};
+};
+
+inline HwState& GetHwState() {
+  thread_local HwState state;
+  return state;
+}
+
+/// Seq-locked userspace counter read through the perf mmap page. Returns
+/// false (leaving *out alone) when the event is not rdpmc-readable right
+/// now (index 0: descheduled or capability withdrawn).
+inline bool HwRdpmcRead(const volatile perf_event_mmap_page* pc,
+                        std::uint64_t* out) {
+#if defined(__x86_64__)
+  std::uint32_t seq;
+  std::uint64_t count;
+  do {
+    seq = pc->lock;
+    __asm__ __volatile__("" ::: "memory");
+    const std::uint32_t idx = pc->index;
+    if (pc->cap_user_rdpmc == 0 || idx == 0) return false;
+    std::uint64_t pmc = _rdpmc(idx - 1);
+    // Counters are pmc_width bits wide; sign-extend so the offset math
+    // stays correct across the counter's wrap.
+    const int shift = 64 - pc->pmc_width;
+    pmc = static_cast<std::uint64_t>(
+        static_cast<std::int64_t>(pmc << shift) >> shift);
+    count = static_cast<std::uint64_t>(
+        static_cast<std::int64_t>(pc->offset) + static_cast<std::int64_t>(pmc));
+    __asm__ __volatile__("" ::: "memory");
+  } while (pc->lock != seq);
+  *out = count;
+  return true;
+#else
+  (void)pc;
+  (void)out;
+  return false;
+#endif
+}
+
+/// Opens the four hardware events for the calling thread. Any failure
+/// (ENOENT under seccomp, EACCES under perf_event_paranoid >= 2, missing
+/// PMU in VMs) leaves the layer unavailable with the reason in `status` —
+/// never fatal.
+inline void HwInit() {
+  HwState& h = GetHwState();
+  if (h.tried) return;
+  h.tried = true;
+  static constexpr std::uint64_t kConfigs[kHwNumEvents] = {
+      PERF_COUNT_HW_CPU_CYCLES, PERF_COUNT_HW_INSTRUCTIONS,
+      PERF_COUNT_HW_CACHE_MISSES, PERF_COUNT_HW_BRANCH_MISSES};
+  static constexpr const char* kNames[kHwNumEvents] = {
+      "cycles", "instructions", "cache-misses", "branch-misses"};
+  for (int e = 0; e < kHwNumEvents; ++e) {
+    perf_event_attr attr;
+    std::memset(&attr, 0, sizeof(attr));
+    attr.type = PERF_TYPE_HARDWARE;
+    attr.size = sizeof(attr);
+    attr.config = kConfigs[e];
+    attr.disabled = 0;
+    attr.exclude_kernel = 1;
+    attr.exclude_hv = 1;
+    const long fd = syscall(__NR_perf_event_open, &attr, 0, -1, -1, 0);
+    if (fd < 0) {
+      std::snprintf(h.status, sizeof(h.status),
+                    "perf_event_open(%s) failed: %s", kNames[e],
+                    std::strerror(errno));
+      for (int c = 0; c < e; ++c) {
+        if (h.meta[c] != nullptr) {
+          munmap(h.meta[c], static_cast<std::size_t>(getpagesize()));
+          h.meta[c] = nullptr;
+        }
+        close(h.fd[c]);
+        h.fd[c] = -1;
+      }
+      return;
+    }
+    h.fd[e] = static_cast<int>(fd);
+    // One page per event: the header carries the rdpmc capability and the
+    // seq-locked (index, offset) pair HwRdpmcRead needs.
+    void* page = mmap(nullptr, static_cast<std::size_t>(getpagesize()),
+                      PROT_READ, MAP_SHARED, h.fd[e], 0);
+    h.meta[e] =
+        page == MAP_FAILED ? nullptr
+                           : static_cast<perf_event_mmap_page*>(page);
+  }
+  h.available = true;
+  h.rdpmc = true;
+  for (int e = 0; e < kHwNumEvents; ++e) {
+    std::uint64_t v;
+    if (h.meta[e] == nullptr || !HwRdpmcRead(h.meta[e], &v)) {
+      h.rdpmc = false;
+      break;
+    }
+  }
+  std::snprintf(h.status, sizeof(h.status), "%s",
+                h.rdpmc ? "ok (rdpmc per-phase)" : "ok (read-only totals)");
+}
+
+inline std::uint64_t HwReadFd(int fd) {
+  std::uint64_t value = 0;
+  if (read(fd, &value, sizeof(value)) != sizeof(value)) return 0;
+  return value;
+}
+
+/// Charges each event's delta since the last transition to `phase`.
+/// Called at the same points as the cycle accounting; rdpmc mode only.
+inline void HwAccount(int phase) {
+  HwState& h = GetHwState();
+  for (int e = 0; e < kHwNumEvents; ++e) {
+    std::uint64_t v;
+    if (HwRdpmcRead(h.meta[e], &v)) {
+      h.phase_raw[phase][e] += v - h.last[e];
+      h.last[e] = v;
+    }
+  }
+}
+
+/// True when Scope transitions must also account hardware counters.
+inline bool HwPerPhaseActive() {
+  const HwState& h = GetHwState();
+  return h.available && h.rdpmc;
+}
+
+inline bool HwAvailable() {
+  HwInit();
+  return GetHwState().available;
+}
+
+/// Human-readable reason string ("ok (...)" or the open failure).
+inline const char* HwStatus() {
+  HwInit();
+  return GetHwState().status;
+}
+
+inline void HwReset() {
+  HwInit();
+  HwState& h = GetHwState();
+  if (!h.available) return;
+  for (int p = 0; p < kNumPhases; ++p) {
+    for (int e = 0; e < kHwNumEvents; ++e) h.phase_raw[p][e] = 0;
+  }
+  for (int e = 0; e < kHwNumEvents; ++e) {
+    h.base[e] = HwReadFd(h.fd[e]);
+    if (h.rdpmc) {
+      std::uint64_t v;
+      if (HwRdpmcRead(h.meta[e], &v)) h.last[e] = v;
+    }
+  }
+}
+
+inline HwSnapshotData HwSnapshot() {
+  HwInit();
+  HwState& h = GetHwState();
+  HwSnapshotData snap;
+  if (!h.available) return snap;
+  snap.available = true;
+  if (h.rdpmc) {
+    // Close the open interval on whatever phase is running, mirroring
+    // Snapshot()'s cycle bookkeeping.
+    HwAccount(GetState().current);
+    snap.per_phase = true;
+    for (int p = 0; p < kNumPhases; ++p) {
+      snap.phase[p].cycles = h.phase_raw[p][0];
+      snap.phase[p].instructions = h.phase_raw[p][1];
+      snap.phase[p].cache_misses = h.phase_raw[p][2];
+      snap.phase[p].branch_misses = h.phase_raw[p][3];
+    }
+  }
+  snap.total.cycles = HwReadFd(h.fd[0]) - h.base[0];
+  snap.total.instructions = HwReadFd(h.fd[1]) - h.base[1];
+  snap.total.cache_misses = HwReadFd(h.fd[2]) - h.base[2];
+  snap.total.branch_misses = HwReadFd(h.fd[3]) - h.base[3];
+  return snap;
+}
+
+#else  // !__linux__
+
+inline bool HwAvailable() { return false; }
+inline const char* HwStatus() { return "unsupported platform (not linux)"; }
+inline void HwReset() {}
+inline HwSnapshotData HwSnapshot() { return HwSnapshotData{}; }
+inline bool HwPerPhaseActive() { return false; }
+inline void HwAccount(int) {}
+
+#endif  // __linux__
+
 /// RAII phase scope with exclusive (self-time) accounting: the elapsed
 /// cycles since the last transition are charged to the phase that was
-/// running, then this scope's phase becomes current.
+/// running, then this scope's phase becomes current. When the hardware
+/// layer is live in rdpmc mode the same transition also attributes the
+/// four hardware events (one predictable branch per transition otherwise).
 class Scope {
  public:
   explicit Scope(Phase phase) {
     State& s = GetState();
     const std::uint64_t t = ReadCycles();
     s.counters.cycles[s.current] += t - s.last;
+    if (HwPerPhaseActive()) HwAccount(s.current);
     prev_ = s.current;
     s.current = phase;
     s.last = t;
@@ -118,6 +367,7 @@ class Scope {
     State& s = GetState();
     const std::uint64_t t = ReadCycles();
     s.counters.cycles[s.current] += t - s.last;
+    if (HwPerPhaseActive()) HwAccount(s.current);
     s.current = prev_;
     s.last = t;
   }
@@ -155,6 +405,11 @@ static_assert(std::is_empty_v<Scope>,
 
 inline Counters Snapshot() { return Counters{}; }
 inline void Reset() {}
+
+inline bool HwAvailable() { return false; }
+inline const char* HwStatus() { return "profiling disabled at build time"; }
+inline void HwReset() {}
+inline HwSnapshotData HwSnapshot() { return HwSnapshotData{}; }
 
 }  // namespace dctcpp::prof
 

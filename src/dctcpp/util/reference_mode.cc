@@ -1,0 +1,20 @@
+#include "dctcpp/util/reference_mode.h"
+
+#include <atomic>
+
+namespace dctcpp {
+namespace {
+
+std::atomic<bool> g_scalar_reference{false};
+
+}  // namespace
+
+void SetScalarReferenceForTest(bool enabled) {
+  g_scalar_reference.store(enabled, std::memory_order_relaxed);
+}
+
+bool ScalarReferenceEnabled() {
+  return g_scalar_reference.load(std::memory_order_relaxed);
+}
+
+}  // namespace dctcpp

@@ -1,0 +1,23 @@
+// Process-wide "scalar reference" switch for the burst datapath.
+//
+// The prefetched run-to-completion burst pipeline (same-tick wheel-slot
+// batching, software prefetch of the next packet's flow-table slot and
+// socket cacheline, and the one-copy staged egress ring) is a pure
+// mechanism change: it must not alter a single simulation output. This
+// flag swaps all of it for the original per-packet path — one event per
+// pop, the copy-chain egress (queue slot -> on-wire slot -> propagation
+// FIFO), and no prefetch hints — inside the same binary, so harnesses can
+// run both and require bit-identical fingerprints. It follows the same
+// pattern as SetReferenceFifoForTest / SetReferenceFlowTableForTest:
+// captured at component construction, toggled only between simulation
+// runs, never while one is in flight.
+#pragma once
+
+namespace dctcpp {
+
+/// Selects the scalar (per-packet, prefetch-off, copy-chain) reference
+/// datapath for every Simulator/EgressPort constructed afterwards.
+void SetScalarReferenceForTest(bool enabled);
+bool ScalarReferenceEnabled();
+
+}  // namespace dctcpp

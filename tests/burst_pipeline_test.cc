@@ -1,0 +1,286 @@
+// Differential tests for the prefetched burst datapath and one-copy egress.
+//
+// The scalar reference mode (SetScalarReferenceForTest) replays the
+// pre-burst-pipeline datapath: per-packet wheel pops with no same-tick
+// batch drain, no lookahead prefetch, and the original three-copy egress
+// chain (queue -> on_wire_ -> propagating_). Every construct the burst
+// pipeline touches — region-staged queues, upper-bound wheel memo,
+// calendar-drain prefetch — must be invisible in simulation results:
+// staged and scalar runs of the same workload are required to agree on
+// every aggregate, under the full impairment matrix and across shard
+// counts. The queue-level tests pin down the staged-region semantics the
+// end-to-end runs rely on.
+//
+// The flag is captured at construction (like the FIFO/flow-table reference
+// modes), so each run constructs its own topology after toggling.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "dctcpp/net/packet.h"
+#include "dctcpp/net/queue.h"
+#include "dctcpp/util/reference_mode.h"
+#include "dctcpp/util/thread_pool.h"
+#include "dctcpp/workload/incast.h"
+
+namespace dctcpp {
+namespace {
+
+using namespace time_literals;
+
+struct ImpairmentProfile {
+  const char* name;
+  ImpairmentConfig impairment;
+};
+
+std::vector<ImpairmentProfile> Profiles() {
+  std::vector<ImpairmentProfile> profiles;
+  profiles.push_back({"clean", {}});
+  {
+    ImpairmentConfig lossy;
+    lossy.ge_p_good_to_bad = 0.01;
+    lossy.ge_p_bad_to_good = 0.3;
+    lossy.ge_loss_bad = 0.5;
+    lossy.reorder_prob = 0.02;
+    profiles.push_back({"lossy", lossy});
+  }
+  {
+    ImpairmentConfig chaos;
+    chaos.random_loss = 0.005;
+    chaos.duplicate_prob = 0.01;
+    chaos.corrupt_prob = 0.005;
+    chaos.reorder_prob = 0.01;
+    profiles.push_back({"chaos", chaos});
+  }
+  return profiles;
+}
+
+IncastResult RunMode(bool scalar_reference, const ImpairmentConfig& impair,
+                     int shards, ThreadPool* pool) {
+  SetScalarReferenceForTest(scalar_reference);
+  IncastConfig config;
+  config.protocol = Protocol::kDctcp;
+  config.num_flows = 40;
+  config.rounds = 4;
+  config.total_bytes = 256 * kKiB;
+  config.min_rto = 10 * kMillisecond;
+  config.seed = 3;
+  config.link.impairment = impair;
+  config.shards = shards;
+  config.shard_pool = shards > 0 ? pool : nullptr;
+  const IncastResult r = RunIncast(config);
+  SetScalarReferenceForTest(false);
+  return r;
+}
+
+void ExpectIdentical(const IncastResult& staged, const IncastResult& scalar) {
+  EXPECT_EQ(staged.goodput_mbps, scalar.goodput_mbps);
+  EXPECT_EQ(staged.rounds_completed, scalar.rounds_completed);
+  EXPECT_EQ(staged.timeouts, scalar.timeouts);
+  EXPECT_EQ(staged.floss_timeouts, scalar.floss_timeouts);
+  EXPECT_EQ(staged.lack_timeouts, scalar.lack_timeouts);
+  EXPECT_EQ(staged.fast_retransmits, scalar.fast_retransmits);
+  EXPECT_EQ(staged.events, scalar.events);
+  EXPECT_EQ(staged.packets_forwarded, scalar.packets_forwarded);
+  EXPECT_EQ(staged.bottleneck_drops, scalar.bottleneck_drops);
+  EXPECT_EQ(staged.bottleneck_marks, scalar.bottleneck_marks);
+  EXPECT_EQ(staged.flow_fairness, scalar.flow_fairness);
+  EXPECT_EQ(staged.invariant_violations, 0u);
+  EXPECT_EQ(scalar.invariant_violations, 0u);
+}
+
+/// The canonical incast under each impairment profile, single-simulator:
+/// the burst pipeline (wheel batch drain + prefetch + one-copy egress)
+/// must be bit-identical to the scalar per-packet oracle.
+TEST(BurstPipelineDifferential, UnshardedMatchesScalarUnderImpairments) {
+  for (const ImpairmentProfile& p : Profiles()) {
+    SCOPED_TRACE(p.name);
+    const IncastResult staged = RunMode(false, p.impairment, 0, nullptr);
+    const IncastResult scalar = RunMode(true, p.impairment, 0, nullptr);
+    ExpectIdentical(staged, scalar);
+  }
+}
+
+/// Sharded engine: the calendar-drain prefetch and the sharded DropServing
+/// handoff replace the staged wire, and the lookahead windows interleave
+/// the two paths differently — results must still match the scalar oracle
+/// at every shard count.
+TEST(BurstPipelineDifferential, ShardedMatchesScalarUnderImpairments) {
+  ThreadPool pool(3);
+  for (const ImpairmentProfile& p : Profiles()) {
+    for (const int shards : {2, 4}) {
+      SCOPED_TRACE(std::string(p.name) + " shards=" + std::to_string(shards));
+      const IncastResult staged = RunMode(false, p.impairment, shards, &pool);
+      const IncastResult scalar = RunMode(true, p.impairment, shards, &pool);
+      ExpectIdentical(staged, scalar);
+    }
+  }
+}
+
+/// Mixed-mode cross-check within the parallel engine's shard-count
+/// invariance contract: a staged shards=1 run anchors both staged and
+/// scalar runs at higher shard counts, so the scalar oracle cannot drift
+/// into a consistent-but-wrong parallel variant.
+TEST(BurstPipelineDifferential, StagedAndScalarAgreeAcrossShardCounts) {
+  ThreadPool pool(3);
+  ImpairmentConfig lossy;
+  lossy.ge_p_good_to_bad = 0.01;
+  lossy.ge_p_bad_to_good = 0.3;
+  lossy.ge_loss_bad = 0.5;
+  const IncastResult anchor = RunMode(false, lossy, 1, nullptr);
+  const IncastResult sharded_staged = RunMode(false, lossy, 4, &pool);
+  const IncastResult sharded_scalar = RunMode(true, lossy, 4, &pool);
+  ExpectIdentical(anchor, sharded_staged);
+  ExpectIdentical(anchor, sharded_scalar);
+}
+
+// ---------------------------------------------------------------------------
+// Staged-queue region semantics: the one-copy egress invariants the
+// end-to-end runs rely on.
+
+Packet MakePacket(std::uint64_t uid, Bytes payload) {
+  Packet pkt;
+  pkt.uid = uid;
+  pkt.payload = static_cast<std::int32_t>(payload);
+  pkt.ecn = Ecn::kEct;
+  return pkt;
+}
+
+TEST(StagedQueue, ServiceAndWireRegionsLeaveBufferAccounting) {
+  DropTailEcnQueue q(/*capacity=*/1 << 20, /*ecn_threshold=*/0);
+  ASSERT_TRUE(q.Enqueue(MakePacket(1, kMss)));
+  ASSERT_TRUE(q.Enqueue(MakePacket(2, kMss)));
+  ASSERT_TRUE(q.Enqueue(MakePacket(3, kMss)));
+  const Bytes wire = MakePacket(0, kMss).WireSize();
+  EXPECT_EQ(q.PacketCount(), 3u);
+  EXPECT_EQ(q.OccupancyBytes(), 3 * wire);
+
+  // Begin serializing uid 1: it leaves the buffer accounting but stays in
+  // the FIFO slot (one-copy contract: same address until delivery).
+  const Packet& serving = q.BeginService();
+  EXPECT_EQ(serving.uid, 1u);
+  EXPECT_EQ(&serving, &q.Serving());
+  EXPECT_EQ(q.PacketCount(), 2u);
+  EXPECT_EQ(q.OccupancyBytes(), 2 * wire);
+  EXPECT_EQ(q.ComputeOccupancyBytes(), q.OccupancyBytes());
+  // Front() (the reference-transmitter view) now reads the queued region.
+  EXPECT_EQ(q.Front().uid, 2u);
+
+  // Serving -> propagating, in place; next service can begin.
+  q.FinishServiceToWire();
+  EXPECT_EQ(q.PropagatingCount(), 1u);
+  EXPECT_EQ(q.PropagatingFront().uid, 1u);
+  EXPECT_EQ(q.BeginService().uid, 2u);
+  q.FinishServiceToWire();
+  EXPECT_EQ(q.PropagatingCount(), 2u);
+  EXPECT_EQ(q.PropagatingAt(0).uid, 1u);
+  EXPECT_EQ(q.PropagatingAt(1).uid, 2u);
+  EXPECT_EQ(q.PacketCount(), 1u);
+  EXPECT_EQ(q.OccupancyBytes(), wire);
+
+  // Deliveries retire in FIFO order from the propagating region.
+  q.PopPropagating();
+  EXPECT_EQ(q.PropagatingFront().uid, 2u);
+  q.PopPropagating();
+  EXPECT_EQ(q.PropagatingCount(), 0u);
+  EXPECT_EQ(q.PacketCount(), 1u);
+  EXPECT_EQ(q.Front().uid, 3u);
+}
+
+TEST(StagedQueue, DropServingRemovesWithoutWireRegion) {
+  // Sharded mode: the serving packet's bytes were copied into the peer
+  // calendar, so it is dropped rather than staged onto a wire.
+  DropTailEcnQueue q(1 << 20, 0);
+  ASSERT_TRUE(q.Enqueue(MakePacket(7, kMss)));
+  ASSERT_TRUE(q.Enqueue(MakePacket(8, kMss)));
+  EXPECT_EQ(q.BeginService().uid, 7u);
+  q.DropServing();
+  EXPECT_EQ(q.PacketCount(), 1u);
+  EXPECT_EQ(q.BeginService().uid, 8u);
+  q.DropServing();
+  EXPECT_TRUE(q.Empty());
+}
+
+TEST(StagedQueue, EcnAndDropTailReadQueuedRegionOnly) {
+  // Capacity of two queued packets; a third fits once the head moves to
+  // the serving region (its bytes are in the port's in-flight register,
+  // not the buffer — identical to the copy-chain behavior).
+  const Bytes wire = MakePacket(0, kMss).WireSize();
+  DropTailEcnQueue q(2 * wire, /*ecn_threshold=*/wire);
+  ASSERT_TRUE(q.Enqueue(MakePacket(1, kMss)));
+  ASSERT_TRUE(q.Enqueue(MakePacket(2, kMss)));
+  EXPECT_FALSE(q.Enqueue(MakePacket(3, kMss)));  // full
+  EXPECT_EQ(q.stats().dropped, 1u);
+  q.BeginService();
+  ASSERT_TRUE(q.Enqueue(MakePacket(4, kMss)));  // head left the buffer
+  // Occupancy at admission was wire (uid 2 only) -> above K: marked.
+  EXPECT_EQ(q.stats().marked, 2u);  // uid 2 (occ=2*wire) and uid 4
+  q.FinishServiceToWire();
+  q.PopPropagating();
+  EXPECT_EQ(q.PacketCount(), 2u);
+  EXPECT_EQ(q.ComputeOccupancyBytes(), q.OccupancyBytes());
+}
+
+TEST(StagedQueue, CheckpointRoundTripsStagedRegions) {
+  DropTailEcnQueue q(1 << 20, 0);
+  ASSERT_TRUE(q.Enqueue(MakePacket(1, kMss)));
+  ASSERT_TRUE(q.Enqueue(MakePacket(2, kMss)));
+  ASSERT_TRUE(q.Enqueue(MakePacket(3, kMss)));
+  q.BeginService();
+  q.FinishServiceToWire();
+  q.BeginService();  // regions: [1 propagating | 2 serving | 3 queued]
+
+  CheckpointWriter w;
+  q.SaveState(w);
+  const std::vector<std::uint8_t> blob = w.TakeBlob();
+
+  DropTailEcnQueue restored(1 << 20, 0);
+  CheckpointReader r(blob.data(), blob.size());
+  restored.LoadState(r);
+  EXPECT_EQ(restored.PropagatingCount(), 1u);
+  EXPECT_EQ(restored.PropagatingFront().uid, 1u);
+  EXPECT_EQ(restored.Serving().uid, 2u);
+  EXPECT_EQ(restored.PacketCount(), 1u);
+  EXPECT_EQ(restored.Front().uid, 3u);
+  EXPECT_EQ(restored.OccupancyBytes(), q.OccupancyBytes());
+}
+
+// ---------------------------------------------------------------------------
+// Packet layout: the burst entry must stay one cacheline, and the packed
+// flag bits must behave exactly like the bools they replaced.
+
+static_assert(sizeof(Packet) <= 64,
+              "Packet must fit one cache line for the burst pipeline");
+static_assert(sizeof(TcpHeader) == 40, "TcpHeader packing regressed");
+
+TEST(PacketLayout, FlagBitsRoundTripIndependently) {
+  Packet pkt;
+  EXPECT_FALSE(pkt.tcp.syn || pkt.tcp.fin || pkt.tcp.ack_flag ||
+               pkt.tcp.ece || pkt.tcp.cwr);
+  pkt.tcp.syn = true;
+  pkt.tcp.ece = true;
+  EXPECT_TRUE(pkt.tcp.syn);
+  EXPECT_FALSE(pkt.tcp.fin);
+  EXPECT_TRUE(pkt.tcp.ece);
+  EXPECT_FALSE(pkt.tcp.cwr);
+  Packet copy = pkt;
+  copy.tcp.syn = false;
+  EXPECT_TRUE(pkt.tcp.syn);  // copies are independent
+  EXPECT_TRUE(copy.tcp.ece);
+  pkt.tcp.cwr = true;
+  pkt.tcp.ack_flag = true;
+  pkt.tcp.fin = true;
+  EXPECT_TRUE(pkt.tcp.syn && pkt.tcp.fin && pkt.tcp.ack_flag &&
+              pkt.tcp.ece && pkt.tcp.cwr);
+}
+
+TEST(PacketLayout, WireSizeCoversPayloadPlusHeader) {
+  Packet pkt;
+  pkt.payload = static_cast<std::int32_t>(kMss);
+  EXPECT_EQ(pkt.WireSize(), static_cast<Bytes>(kMss) + kHeaderBytes);
+  pkt.payload = 0;
+  EXPECT_EQ(pkt.WireSize(), kHeaderBytes);
+}
+
+}  // namespace
+}  // namespace dctcpp

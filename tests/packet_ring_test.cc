@@ -86,6 +86,38 @@ TEST(PacketRingTest, RandomizedDifferentialAgainstDeque) {
   }
 }
 
+TEST(PacketRingTest, AtIndexesFromFrontAcrossWrapAndGrowth) {
+  PacketRing ring(4);
+  for (std::uint64_t i = 0; i < 3; ++i) ring.PushBack(Pkt(i));
+  ring.PopFront();  // head moves: At(0) must track the logical front
+  EXPECT_EQ(ring.At(0).uid, 1u);
+  EXPECT_EQ(ring.At(1).uid, 2u);
+  for (std::uint64_t i = 3; i < 12; ++i) ring.PushBack(Pkt(i));  // wrap + grow
+  for (std::size_t i = 0; i < ring.Size(); ++i) {
+    EXPECT_EQ(ring.At(i).uid, i + 1);
+  }
+  // Mutation through At reaches the stored slot (the staged-egress queue
+  // marks and reads packets in place mid-FIFO).
+  ring.At(2).ecn = Ecn::kCe;
+  ring.PopFront();
+  ring.PopFront();
+  EXPECT_EQ(ring.Front().ecn, Ecn::kCe);
+}
+
+TEST(PacketFifoTest, AtMatchesBothBackends) {
+  PacketFifo production;
+  SetReferenceFifoForTest(true);
+  PacketFifo reference;
+  SetReferenceFifoForTest(false);
+  for (PacketFifo* fifo : {&production, &reference}) {
+    for (std::uint64_t i = 0; i < 5; ++i) fifo->PushBack(Pkt(i));
+    fifo->PopFront();
+    for (std::size_t i = 0; i < fifo->Size(); ++i) {
+      EXPECT_EQ(fifo->At(i).uid, i + 1);
+    }
+  }
+}
+
 TEST(PacketFifoTest, ReferenceModeIsConstructionTime) {
   EXPECT_FALSE(ReferenceFifoEnabled());
   PacketFifo production;

@@ -70,5 +70,65 @@ TEST(Profile, PhaseNamesCoverEveryPhase) {
   }
 }
 
+// --- hardware-counter layer -------------------------------------------------
+// perf_event_open is a privilege, not a given (perf_event_paranoid,
+// seccomp, VMs without a PMU), so the contract under test is graceful
+// degradation: the API must answer consistently and never fail the caller,
+// whatever the container allows.
+
+TEST(ProfileHw, StatusIsAlwaysAReason) {
+  const char* status = prof::HwStatus();
+  ASSERT_NE(status, nullptr);
+  EXPECT_GT(std::char_traits<char>::length(status), 0u);
+  if (!prof::kEnabled) {
+    EXPECT_STREQ(status, "profiling disabled at build time");
+  }
+}
+
+TEST(ProfileHw, SnapshotConsistentWithAvailability) {
+  prof::HwReset();
+  const prof::HwSnapshotData snap = prof::HwSnapshot();
+  EXPECT_EQ(snap.available, prof::HwAvailable());
+  if (!snap.available) {
+    // Unavailable must mean all-zero, per_phase off — callers print
+    // "unavailable" and move on.
+    EXPECT_FALSE(snap.per_phase);
+    EXPECT_EQ(snap.total.cycles, 0u);
+    EXPECT_EQ(snap.total.instructions, 0u);
+    EXPECT_EQ(snap.total.cache_misses, 0u);
+    EXPECT_EQ(snap.total.branch_misses, 0u);
+  } else {
+    // The counters ran across the Reset->Snapshot window, so the baseline
+    // subtraction must yield sane (not underflowed) values.
+    EXPECT_LT(snap.total.cycles, 1ull << 40);
+    EXPECT_LT(snap.total.instructions, 1ull << 40);
+  }
+}
+
+TEST(ProfileHw, CountersAdvanceWhenAvailable) {
+  if (!prof::kEnabled) GTEST_SKIP() << "default build: profiler stubbed out";
+  if (!prof::HwAvailable())
+    GTEST_SKIP() << "perf_event_open: " << prof::HwStatus();
+  prof::HwReset();
+  volatile std::uint64_t sink = 0;
+  for (int i = 0; i < 200000; ++i) sink = sink + static_cast<unsigned>(i);
+  const prof::HwSnapshotData snap = prof::HwSnapshot();
+  ASSERT_TRUE(snap.available);
+  EXPECT_GT(snap.total.instructions, 100000u);
+  EXPECT_GT(snap.total.cycles, 0u);
+  if (snap.per_phase) {
+    // Exclusive per-phase attribution mirrors the cycle accounting: the
+    // phase rows must sum to no more than the run totals (the window
+    // between the last transition and HwSnapshot closes into a phase, so
+    // equality is the expectation, but rdpmc and read(2) are sampled at
+    // slightly different instants).
+    std::uint64_t phase_instr = 0;
+    for (int p = 0; p < prof::kNumPhases; ++p) {
+      phase_instr += snap.phase[p].instructions;
+    }
+    EXPECT_LE(phase_instr, snap.total.instructions + 1000000u);
+  }
+}
+
 }  // namespace
 }  // namespace dctcpp
